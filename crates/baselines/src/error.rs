@@ -1,0 +1,53 @@
+//! Failure modes shared by the baseline implementations.
+
+use std::fmt;
+
+/// Why a baseline could not produce an answer — these map to the `N/A`
+/// cells of the paper's comparison table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BaselineError {
+    /// The method's precomputed structures exceed the memory budget
+    /// (FMT's fingerprint store).
+    MemoryBudget {
+        /// Bytes the method would need.
+        needed: u64,
+        /// The configured budget.
+        budget: u64,
+    },
+    /// The method's preprocessing exceeds the work budget (LIN's exact
+    /// propagation on large/skewed graphs).
+    WorkBudget {
+        /// Units of work (pushed entries) at the point of abandonment.
+        spent: u64,
+        /// The configured budget.
+        budget: u64,
+    },
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::MemoryBudget { needed, budget } => {
+                write!(f, "needs {needed} bytes, budget is {budget} (N/A in the table)")
+            }
+            BaselineError::WorkBudget { spent, budget } => {
+                write!(f, "abandoned after {spent} work units, budget is {budget} (N/A)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_include_numbers() {
+        let e = BaselineError::MemoryBudget { needed: 100, budget: 10 };
+        assert!(e.to_string().contains("100"));
+        let e = BaselineError::WorkBudget { spent: 5, budget: 4 };
+        assert!(e.to_string().contains("N/A"));
+    }
+}

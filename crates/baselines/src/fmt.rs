@@ -1,0 +1,270 @@
+//! FMT — Fogaras & Rácz fingerprint trees (WWW'05), reimplemented.
+//!
+//! SimRank admits the random-surfer view `s(i,j) = E[c^τ]`, where `τ` is
+//! the first time two lock-step reverse walks from `i` and `j` meet. FMT
+//! precomputes `R` *coupled* walks ("fingerprints") per node: at step `t`
+//! of fingerprint `r`, **every** walker standing on node `v` moves to the
+//! same sampled in-neighbour `σ_{r,t}(v)` — so walks coalesce once they
+//! meet, and first-meeting times can be read off stored fingerprints
+//! without any fresh sampling at query time.
+//!
+//! The price is the fingerprint store: `n·R·T` positions. The paper's
+//! comparison table shows FMT `N/A` beyond wiki-vote for exactly this
+//! reason; [`FmtConfig::memory_budget`] reproduces that wall honestly.
+
+use crate::error::BaselineError;
+use pasco_graph::{CsrGraph, NodeId};
+use pasco_mc::rng::mix;
+use pasco_mc::walks::pick;
+use rayon::prelude::*;
+use std::sync::Arc;
+
+/// FMT parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct FmtConfig {
+    /// Decay factor `c`.
+    pub c: f64,
+    /// Walk length `T`.
+    pub t: usize,
+    /// Fingerprints per node `R`.
+    pub r: u32,
+    /// Seed for the coupled step functions `σ_{r,t}`.
+    pub seed: u64,
+    /// Fingerprint-store budget in bytes; construction fails beyond it.
+    pub memory_budget: u64,
+}
+
+impl FmtConfig {
+    /// Paper-like defaults (`c = 0.6, T = 10, R = 100`) with a budget that
+    /// admits only wiki-vote-scale graphs — the same cut-off as the paper's
+    /// table.
+    pub fn default_paper() -> Self {
+        Self { c: 0.6, t: 10, r: 100, seed: 0xf17, memory_budget: 100 << 20 }
+    }
+}
+
+/// The coupled in-neighbour choice `σ_{r,t}(v)`: a pure function of
+/// `(seed, r, t, v)` — walkers at the same node at the same step move
+/// together, which is what makes the first-meeting estimator work.
+#[inline]
+fn coupled_step(graph: &CsrGraph, seed: u64, r: u32, t: usize, v: NodeId) -> Option<NodeId> {
+    let ins = graph.in_neighbors(v);
+    if ins.is_empty() {
+        None
+    } else {
+        let u = mix(&[seed, r as u64, t as u64, v as u64]);
+        Some(ins[pick(u, ins.len())])
+    }
+}
+
+/// The FMT index: all fingerprints, `fingerprints[r]` holding the length-`T`
+/// path of every node, flattened (`path of node v` =
+/// `[v·T .. v·T + T]`, `u32::MAX` marking a dead walker).
+pub struct Fmt {
+    graph: Arc<CsrGraph>,
+    cfg: FmtConfig,
+    fingerprints: Vec<Vec<u32>>,
+}
+
+const DEAD: u32 = u32::MAX;
+
+impl Fmt {
+    /// Precomputes fingerprints.
+    ///
+    /// # Errors
+    /// [`BaselineError::MemoryBudget`] when `n·R·T·4` bytes exceed the
+    /// configured budget — FMT's `N/A` condition.
+    pub fn build(graph: Arc<CsrGraph>, cfg: FmtConfig) -> Result<Self, BaselineError> {
+        let n = graph.node_count() as u64;
+        let needed = n * cfg.r as u64 * cfg.t as u64 * 4;
+        if needed > cfg.memory_budget {
+            return Err(BaselineError::MemoryBudget { needed, budget: cfg.memory_budget });
+        }
+        let fingerprints: Vec<Vec<u32>> = (0..cfg.r)
+            .into_par_iter()
+            .map(|r| {
+                let mut paths = vec![DEAD; (n as usize) * cfg.t];
+                for v in 0..graph.node_count() {
+                    let mut pos = v;
+                    for t in 1..=cfg.t {
+                        match coupled_step(&graph, cfg.seed, r, t, pos) {
+                            Some(next) => {
+                                pos = next;
+                                paths[(v as usize) * cfg.t + (t - 1)] = pos;
+                            }
+                            None => break,
+                        }
+                    }
+                }
+                paths
+            })
+            .collect();
+        Ok(Self { graph, cfg, fingerprints })
+    }
+
+    /// Bytes held by the fingerprint store.
+    pub fn memory_bytes(&self) -> u64 {
+        self.fingerprints.iter().map(|f| f.len() as u64 * 4).sum()
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &FmtConfig {
+        &self.cfg
+    }
+
+    #[inline]
+    fn path(&self, r: u32, v: NodeId) -> &[u32] {
+        let t = self.cfg.t;
+        &self.fingerprints[r as usize][(v as usize) * t..(v as usize) * t + t]
+    }
+
+    /// First-meeting time of the coupled walks of `i` and `j` on
+    /// fingerprint `r` (`None` if they never meet within `T`).
+    fn first_meeting(&self, r: u32, i: NodeId, j: NodeId) -> Option<usize> {
+        if i == j {
+            return Some(0);
+        }
+        let pi = self.path(r, i);
+        let pj = self.path(r, j);
+        for t in 0..self.cfg.t {
+            let (a, b) = (pi[t], pj[t]);
+            if a == DEAD || b == DEAD {
+                return None; // coupled walks can no longer meet
+            }
+            if a == b {
+                return Some(t + 1);
+            }
+        }
+        None
+    }
+
+    /// Single-pair similarity: `(1/R) Σ_r c^{τ_r}` over fingerprints where
+    /// the walks meet.
+    pub fn single_pair(&self, i: NodeId, j: NodeId) -> f64 {
+        if i == j {
+            return 1.0;
+        }
+        let mut acc = 0.0;
+        for r in 0..self.cfg.r {
+            if let Some(tau) = self.first_meeting(r, i, j) {
+                acc += self.cfg.c.powi(tau as i32);
+            }
+        }
+        acc / self.cfg.r as f64
+    }
+
+    /// Single-source similarity: scans every node's fingerprints against
+    /// `i`'s — `O(n·R·T)` per query, the cost that makes FMT's SS column so
+    /// much slower than its SP column in the paper's table.
+    pub fn single_source(&self, i: NodeId) -> Vec<f64> {
+        let n = self.graph.node_count();
+        let mut out: Vec<f64> = (0..n)
+            .into_par_iter()
+            .map(|j| if j == i { 0.0 } else { self.single_pair_scan(i, j) })
+            .collect();
+        out[i as usize] = 1.0;
+        out
+    }
+
+    #[inline]
+    fn single_pair_scan(&self, i: NodeId, j: NodeId) -> f64 {
+        let mut acc = 0.0;
+        for r in 0..self.cfg.r {
+            if let Some(tau) = self.first_meeting(r, i, j) {
+                acc += self.cfg.c.powi(tau as i32);
+            }
+        }
+        acc / self.cfg.r as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pasco_graph::generators;
+    use pasco_simrank::exact::ExactSimRank;
+
+    fn build(g: CsrGraph, r: u32) -> Fmt {
+        let cfg = FmtConfig { r, ..FmtConfig::default_paper() };
+        Fmt::build(Arc::new(g), cfg).unwrap()
+    }
+
+    #[test]
+    fn identical_nodes_score_one() {
+        let fmt = build(generators::cycle(6), 20);
+        assert_eq!(fmt.single_pair(2, 2), 1.0);
+    }
+
+    #[test]
+    fn cycle_walks_never_meet() {
+        // Deterministic disjoint orbits: reverse walks from distinct nodes
+        // on a cycle stay the same distance apart forever.
+        let fmt = build(generators::cycle(8), 50);
+        assert_eq!(fmt.single_pair(0, 3), 0.0);
+    }
+
+    #[test]
+    fn shared_parent_estimates_c() {
+        // 2 -> 0, 2 -> 1: both walks jump straight to node 2 ⇒ τ = 1 always
+        // ⇒ estimate = c exactly.
+        let g = CsrGraph::from_edges(3, &[(2, 0), (2, 1)]);
+        let fmt = build(g, 64);
+        assert!((fmt.single_pair(0, 1) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fmt_approximates_exact_simrank() {
+        let g = generators::barabasi_albert(70, 3, 5);
+        let exact = ExactSimRank::compute(&g, 0.6, 20);
+        let fmt = build(g, 3000);
+        let mut worst = 0.0f64;
+        for &(i, j) in &[(0u32, 1u32), (4, 30), (10, 60), (20, 21)] {
+            worst = worst.max((fmt.single_pair(i, j) - exact.get(i, j)).abs());
+        }
+        // First-meeting on coupled walks is a slightly different estimator
+        // than the truncated series; allow a loose but meaningful bound.
+        assert!(worst < 0.08, "worst error {worst}");
+    }
+
+    #[test]
+    fn single_source_matches_pairwise() {
+        let g = generators::barabasi_albert(50, 3, 7);
+        let fmt = build(g, 200);
+        let row = fmt.single_source(3);
+        assert_eq!(row[3], 1.0);
+        for j in [0u32, 10, 49] {
+            if j != 3 {
+                assert_eq!(row[j as usize], fmt.single_pair(3, j));
+            }
+        }
+    }
+
+    #[test]
+    fn memory_budget_enforced() {
+        let g = Arc::new(generators::barabasi_albert(5_000, 3, 1));
+        let cfg = FmtConfig { memory_budget: 1 << 20, ..FmtConfig::default_paper() };
+        match Fmt::build(g, cfg) {
+            Err(BaselineError::MemoryBudget { needed, budget }) => {
+                assert!(needed > budget);
+            }
+            other => panic!("expected memory budget error, got {:?}", other.is_ok()),
+        }
+    }
+
+    #[test]
+    fn coupling_makes_walks_coalesce() {
+        // Two nodes with the same single parent walk identically after
+        // meeting: their paths are equal from the meeting point onwards.
+        let g = CsrGraph::from_edges(
+            4,
+            &[(2, 0), (2, 1), (3, 2), (2, 3)], // 0,1 <- 2 <-> 3
+        );
+        let fmt = build(g, 30);
+        for r in 0..30 {
+            let p0 = fmt.path(r, 0).to_vec();
+            let p1 = fmt.path(r, 1).to_vec();
+            // both walk to 2 at t=1 and must stay together afterwards
+            assert_eq!(p0, p1);
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! Microbenchmarks: the simulated cluster's primitives — stage dispatch
+//! overhead and shuffle throughput (the cost centre of RDD mode).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pasco_cluster::{Cluster, ClusterConfig, DistVec};
+use std::hint::black_box;
+
+fn bench_stage_overhead(c: &mut Criterion) {
+    let cluster = Cluster::new(ClusterConfig::local(4));
+    let mut group = c.benchmark_group("cluster/stage");
+    group.bench_function("noop-8-tasks", |b| {
+        b.iter(|| {
+            black_box(cluster.run_stage("bench", vec![0u64; 8], |_, x| x + 1));
+        });
+    });
+    group.finish();
+}
+
+fn bench_shuffle(c: &mut Criterion) {
+    let cluster = Cluster::new(ClusterConfig::local(4));
+    let mut group = c.benchmark_group("cluster/shuffle");
+    group.sample_size(20);
+    for &n in &[10_000usize, 100_000] {
+        let items: Vec<(u64, u32, u32)> =
+            (0..n).map(|i| (i as u64, i as u32, (i * 7) as u32)).collect();
+        group.throughput(Throughput::Bytes((n * 16) as u64));
+        group.bench_function(format!("walker-records-{n}"), |b| {
+            b.iter(|| {
+                let dv = DistVec::parallelize(items.clone(), 8);
+                black_box(
+                    dv.shuffle(&cluster, "bench", 8, |&(_, _, pos)| (pos % 8) as usize).len(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stage_overhead, bench_shuffle);
+criterion_main!(benches);

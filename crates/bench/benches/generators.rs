@@ -1,0 +1,46 @@
+//! Microbenchmarks: synthetic graph generation (dataset stand-ins) and CSR
+//! assembly.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pasco_graph::{generators, GraphBuilder, ReverseChainIndex};
+use std::hint::black_box;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(100_000));
+    group.bench_function("erdos-renyi-100k-edges", |b| {
+        b.iter(|| black_box(generators::erdos_renyi(20_000, 100_000, 1)));
+    });
+    group.bench_function("barabasi-albert-100k-edges", |b| {
+        b.iter(|| black_box(generators::barabasi_albert(25_000, 4, 1)));
+    });
+    group.bench_function("rmat-100k-edges", |b| {
+        b.iter(|| black_box(generators::rmat(15, 100_000, generators::RmatParams::default(), 1)));
+    });
+    group.finish();
+}
+
+fn bench_csr_build(c: &mut Criterion) {
+    let g = generators::rmat(15, 200_000, generators::RmatParams::default(), 2);
+    let edges: Vec<(u32, u32)> = g.edges().collect();
+    let mut group = c.benchmark_group("graph");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(edges.len() as u64));
+    group.bench_function("csr-build-200k", |b| {
+        b.iter(|| {
+            let mut builder = GraphBuilder::with_capacity(g.node_count(), edges.len());
+            for &(u, v) in &edges {
+                builder.add_edge(u, v);
+            }
+            black_box(builder.build())
+        });
+    });
+    group.bench_function("reverse-chain-index", |b| {
+        b.iter(|| black_box(ReverseChainIndex::build(&g)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators, bench_csr_build);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Microbenchmarks: the Jacobi sweep (offline phase's solve) and the exact
+//! SimRank iteration (ground-truth generator).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pasco_graph::generators;
+use pasco_mc::walks::WalkParams;
+use pasco_simrank::ai::{ai_row, StoredRows};
+use pasco_solver::jacobi::{self, JacobiConfig};
+use std::hint::black_box;
+
+fn bench_jacobi(c: &mut Criterion) {
+    let g = generators::barabasi_albert(5_000, 6, 3);
+    let params = WalkParams::new(10, 100);
+    let rows: Vec<Vec<(u32, f64)>> = (0..g.node_count())
+        .map(|i| ai_row(&pasco_mc::walks::reverse_walk_distributions(&g, i, params, 7), 0.6))
+        .collect();
+    let nnz: u64 = rows.iter().map(|r| r.len() as u64).sum();
+    let rows = StoredRows::new(rows);
+    let b_vec = vec![1.0; 5_000];
+    let x0 = vec![0.4; 5_000];
+    let mut group = c.benchmark_group("solver/jacobi");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(nnz * 3));
+    group.bench_function("L3-n5000", |b| {
+        b.iter(|| {
+            black_box(jacobi::solve(
+                &rows,
+                &b_vec,
+                &x0,
+                &JacobiConfig { iterations: 3, tolerance: None, record_residuals: false },
+            ))
+        });
+    });
+    group.finish();
+}
+
+fn bench_exact_simrank(c: &mut Criterion) {
+    let g = generators::barabasi_albert(400, 4, 9);
+    let mut group = c.benchmark_group("solver/exact-simrank");
+    group.sample_size(10);
+    group.bench_function("n400-iter5", |b| {
+        b.iter(|| black_box(pasco_simrank::exact::ExactSimRank::compute(&g, 0.6, 5)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_jacobi, bench_exact_simrank);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Microbenchmarks: sparse accumulation (A4 ablation — the open-addressing
+//! count map against the standard library's hash map) and sparse-vector
+//! kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use pasco_mc::counts::CountMap;
+use pasco_solver::SparseVec;
+use std::collections::HashMap;
+use std::hint::black_box;
+
+fn keys(n: usize) -> Vec<u32> {
+    // Pseudorandom node ids with repetitions, like walker positions.
+    let mut state = 0x2545f4914f6cdd1du64;
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 5_000) as u32
+        })
+        .collect()
+}
+
+fn bench_count_maps(c: &mut Criterion) {
+    let ks = keys(10_000);
+    let mut group = c.benchmark_group("sparse/accumulate-10k");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("open-addressing", |b| {
+        b.iter(|| {
+            let mut m = CountMap::with_capacity(1_000);
+            for &k in &ks {
+                m.add(k, 1);
+            }
+            black_box(m.len())
+        });
+    });
+    group.bench_function("std-hashmap", |b| {
+        b.iter(|| {
+            let mut m: HashMap<u32, u64> = HashMap::with_capacity(1_000);
+            for &k in &ks {
+                *m.entry(k).or_insert(0) += 1;
+            }
+            black_box(m.len())
+        });
+    });
+    group.finish();
+}
+
+fn bench_sparse_vec(c: &mut Criterion) {
+    let a = SparseVec::from_unsorted(keys(2_000).into_iter().map(|k| (k, 0.5)).collect());
+    let b_vec = SparseVec::from_unsorted(keys(2_000).into_iter().map(|k| (k + 1, 0.25)).collect());
+    let weights = vec![1.0; 6_000];
+    let mut group = c.benchmark_group("sparse/vec");
+    group.bench_function("dot_sparse", |bch| {
+        bch.iter(|| black_box(a.dot_sparse(&b_vec)));
+    });
+    group.bench_function("dot_sparse_weighted", |bch| {
+        bch.iter(|| black_box(a.dot_sparse_weighted(&b_vec, &weights)));
+    });
+    group.bench_function("add_scaled", |bch| {
+        bch.iter(|| black_box(a.add_scaled(&b_vec, 0.6)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_count_maps, bench_sparse_vec);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Microbenchmarks: reverse-walk engine throughput (the kernel under both
+//! offline indexing and every online query).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pasco_graph::generators;
+use pasco_mc::walks::{reverse_walk_distributions, WalkParams};
+use std::hint::black_box;
+
+fn bench_cohorts(c: &mut Criterion) {
+    let g = generators::barabasi_albert(10_000, 8, 42);
+    let mut group = c.benchmark_group("walks/cohort");
+    group.sample_size(20);
+    for &walkers in &[100u32, 1_000, 10_000] {
+        let params = WalkParams::new(10, walkers);
+        group.throughput(Throughput::Elements(walkers as u64 * 10));
+        group.bench_with_input(BenchmarkId::from_parameter(walkers), &params, |b, &params| {
+            b.iter(|| black_box(reverse_walk_distributions(&g, 7, params, 1)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_all_nodes(c: &mut Criterion) {
+    let g = generators::rmat(12, 32_768, generators::RmatParams::default(), 7);
+    let mut group = c.benchmark_group("walks/index-phase");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(g.node_count() as u64 * 10 * 10));
+    group.bench_function("4096-nodes-R10-T10", |b| {
+        let params = WalkParams::new(10, 10);
+        b.iter(|| {
+            black_box(pasco_mc::parallel::map_all_nodes(&g, params, 3, |_, d| {
+                d.counts.len()
+            }))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cohorts, bench_all_nodes);
+criterion_main!(benches);

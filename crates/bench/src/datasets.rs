@@ -1,0 +1,62 @@
+//! Dataset loading with an on-disk cache.
+
+use pasco_graph::datasets::{DatasetSpec, SPECS};
+use pasco_graph::{io, CsrGraph};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// A generated (or cache-loaded) dataset stand-in.
+pub struct LoadedDataset {
+    /// The registry entry (paper sizes, seed).
+    pub spec: &'static DatasetSpec,
+    /// The stand-in graph.
+    pub graph: Arc<CsrGraph>,
+}
+
+fn cache_dir() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    // Walk up to the workspace root if invoked from a crate directory.
+    while !dir.join("Cargo.toml").exists() && dir.pop() {}
+    dir.join("target").join("pasco-datasets")
+}
+
+/// Loads `name` (either registry name), generating and caching on first
+/// use.
+pub fn load(name: &str) -> LoadedDataset {
+    let spec = pasco_graph::datasets::by_name(name)
+        .unwrap_or_else(|| panic!("unknown dataset {name}"));
+    let dir = cache_dir();
+    let path = dir.join(format!("{}.bin", spec.name));
+    if path.exists() {
+        if let Ok(graph) = io::read_binary(&path) {
+            return LoadedDataset { spec, graph: Arc::new(graph) };
+        }
+        eprintln!("warning: cache for {} was unreadable; regenerating", spec.name);
+    }
+    let graph = spec.generate();
+    if std::fs::create_dir_all(&dir).is_ok() {
+        if let Err(e) = io::write_binary(&graph, &path) {
+            eprintln!("warning: failed to cache {}: {e}", spec.name);
+        }
+    }
+    LoadedDataset { spec, graph: Arc::new(graph) }
+}
+
+/// Loads the `count` smallest datasets in evaluation order.
+pub fn load_first(count: usize) -> Vec<LoadedDataset> {
+    SPECS.iter().take(count).map(|s| load(s.name)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_generates_and_caches() {
+        let a = load("wiki-vote-sim");
+        assert_eq!(a.graph.node_count(), 7_115);
+        // Second load must come back identical (via cache or regeneration).
+        let b = load("wiki-vote");
+        assert_eq!(a.graph, b.graph);
+    }
+}

@@ -1,0 +1,148 @@
+//! Minimal binary codec for shuffled records.
+//!
+//! Shuffles must *really* serialise (that is where a large part of Spark's
+//! RDD-mode cost lives), so every shuffled record type implements [`Codec`]:
+//! fixed-width little-endian encoding into a byte buffer, mirrored decode.
+//! The format is internal to a single process — no versioning or endianness
+//! negotiation — so decode failures are programming errors and panic.
+
+use bytes::{Buf, BufMut};
+
+/// Fixed-width binary encoding for shuffle payloads.
+pub trait Codec: Sized {
+    /// Appends the encoding of `self` to `buf`.
+    fn encode(&self, buf: &mut impl BufMut);
+
+    /// Decodes one value, advancing `buf`.
+    ///
+    /// # Panics
+    /// Panics if `buf` does not hold a full encoding (internal corruption).
+    fn decode(buf: &mut impl Buf) -> Self;
+
+    /// Encoded size in bytes.
+    fn encoded_len(&self) -> usize;
+}
+
+macro_rules! impl_codec_primitive {
+    ($ty:ty, $put:ident, $get:ident, $len:expr) => {
+        impl Codec for $ty {
+            #[inline]
+            fn encode(&self, buf: &mut impl BufMut) {
+                buf.$put(*self);
+            }
+            #[inline]
+            fn decode(buf: &mut impl Buf) -> Self {
+                buf.$get()
+            }
+            #[inline]
+            fn encoded_len(&self) -> usize {
+                $len
+            }
+        }
+    };
+}
+
+impl_codec_primitive!(u32, put_u32_le, get_u32_le, 4);
+impl_codec_primitive!(u64, put_u64_le, get_u64_le, 8);
+impl_codec_primitive!(i64, put_i64_le, get_i64_le, 8);
+impl_codec_primitive!(f64, put_f64_le, get_f64_le, 8);
+
+impl<A: Codec, B: Codec> Codec for (A, B) {
+    fn encode(&self, buf: &mut impl BufMut) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+    }
+    fn decode(buf: &mut impl Buf) -> Self {
+        let a = A::decode(buf);
+        let b = B::decode(buf);
+        (a, b)
+    }
+    fn encoded_len(&self) -> usize {
+        self.0.encoded_len() + self.1.encoded_len()
+    }
+}
+
+impl<A: Codec, B: Codec, C: Codec> Codec for (A, B, C) {
+    fn encode(&self, buf: &mut impl BufMut) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+        self.2.encode(buf);
+    }
+    fn decode(buf: &mut impl Buf) -> Self {
+        let a = A::decode(buf);
+        let b = B::decode(buf);
+        let c = C::decode(buf);
+        (a, b, c)
+    }
+    fn encoded_len(&self) -> usize {
+        self.0.encoded_len() + self.1.encoded_len() + self.2.encoded_len()
+    }
+}
+
+impl<A: Codec, B: Codec, C: Codec, D: Codec> Codec for (A, B, C, D) {
+    fn encode(&self, buf: &mut impl BufMut) {
+        self.0.encode(buf);
+        self.1.encode(buf);
+        self.2.encode(buf);
+        self.3.encode(buf);
+    }
+    fn decode(buf: &mut impl Buf) -> Self {
+        let a = A::decode(buf);
+        let b = B::decode(buf);
+        let c = C::decode(buf);
+        let d = D::decode(buf);
+        (a, b, c, d)
+    }
+    fn encoded_len(&self) -> usize {
+        self.0.encoded_len()
+            + self.1.encoded_len()
+            + self.2.encoded_len()
+            + self.3.encoded_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Codec + PartialEq + std::fmt::Debug>(value: T) {
+        let mut buf = Vec::new();
+        value.encode(&mut buf);
+        assert_eq!(buf.len(), value.encoded_len());
+        let mut slice = buf.as_slice();
+        let back = T::decode(&mut slice);
+        assert_eq!(back, value);
+        assert!(slice.is_empty(), "decode must consume the encoding");
+    }
+
+    #[test]
+    fn primitives_roundtrip() {
+        roundtrip(0u32);
+        roundtrip(u32::MAX);
+        roundtrip(u64::MAX / 3);
+        roundtrip(-12345i64);
+        roundtrip(1.618_033f64);
+        roundtrip(f64::MIN_POSITIVE);
+    }
+
+    #[test]
+    fn tuples_roundtrip() {
+        roundtrip((7u32, 9u64));
+        roundtrip((1u32, 2u32, 0.5f64));
+        roundtrip((1u32, 2u32, 3u64, 0.25f64));
+    }
+
+    #[test]
+    fn sequences_decode_in_order() {
+        let mut buf = Vec::new();
+        for i in 0..10u32 {
+            (i, i as f64).encode(&mut buf);
+        }
+        let mut slice = buf.as_slice();
+        for i in 0..10u32 {
+            let (a, b): (u32, f64) = Codec::decode(&mut slice);
+            assert_eq!(a, i);
+            assert_eq!(b, i as f64);
+        }
+    }
+}

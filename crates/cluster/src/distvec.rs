@@ -1,0 +1,390 @@
+//! `DistVec` — the RDD analogue: a dataset partitioned across workers.
+//!
+//! All transformations execute as cluster stages (one task per partition)
+//! and are recorded in the metrics log. [`DistVec::shuffle`] performs a real
+//! map-side serialisation into per-destination byte buffers followed by a
+//! reduce-side decode, so RDD-mode algorithms pay a genuine
+//! serialise/transfer/deserialise cost exactly where Spark would.
+
+use crate::cluster::Cluster;
+use crate::codec::Codec;
+use crate::metrics::{simulate_network, ShuffleMetrics};
+
+/// A dataset split into partitions, each living on one simulated worker.
+#[derive(Clone, Debug)]
+pub struct DistVec<T> {
+    parts: Vec<Vec<T>>,
+}
+
+impl<T: Send> DistVec<T> {
+    /// Wraps existing partitions.
+    pub fn from_partitions(parts: Vec<Vec<T>>) -> Self {
+        assert!(!parts.is_empty(), "need at least one partition");
+        Self { parts }
+    }
+
+    /// Splits `items` into `parts` contiguous, evenly sized partitions.
+    pub fn parallelize(items: Vec<T>, parts: usize) -> Self {
+        assert!(parts > 0, "need at least one partition");
+        let total = items.len();
+        let chunk = total.div_ceil(parts).max(1);
+        let mut out: Vec<Vec<T>> = Vec::with_capacity(parts);
+        let mut iter = items.into_iter();
+        for _ in 0..parts {
+            let part: Vec<T> = iter.by_ref().take(chunk).collect();
+            out.push(part);
+        }
+        debug_assert_eq!(out.iter().map(Vec::len).sum::<usize>(), total);
+        Self { parts: out }
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Total number of records.
+    pub fn len(&self) -> usize {
+        self.parts.iter().map(Vec::len).sum()
+    }
+
+    /// True when every partition is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parts.iter().all(Vec::is_empty)
+    }
+
+    /// Borrows partition `i`.
+    pub fn partition(&self, i: usize) -> &[T] {
+        &self.parts[i]
+    }
+
+    /// Consumes the dataset, yielding its raw partitions (for custom stages
+    /// that need to thread partition data through `Cluster::run_stage`).
+    pub fn into_partitions(self) -> Vec<Vec<T>> {
+        self.parts
+    }
+
+    /// Element-wise transformation.
+    pub fn map<U, F>(self, cluster: &Cluster, label: &str, f: F) -> DistVec<U>
+    where
+        U: Send,
+        F: Fn(T) -> U + Sync,
+    {
+        let parts = cluster.run_stage(label, self.parts, |_, part| {
+            part.into_iter().map(&f).collect::<Vec<U>>()
+        });
+        DistVec { parts }
+    }
+
+    /// Whole-partition transformation; `f` receives the partition index and
+    /// the owned partition.
+    pub fn map_partitions<U, F>(self, cluster: &Cluster, label: &str, f: F) -> DistVec<U>
+    where
+        U: Send,
+        F: Fn(usize, Vec<T>) -> Vec<U> + Sync,
+    {
+        let parts = cluster.run_stage(label, self.parts, f);
+        DistVec { parts }
+    }
+
+    /// Keeps records satisfying `pred`.
+    pub fn filter<F>(self, cluster: &Cluster, label: &str, pred: F) -> DistVec<T>
+    where
+        F: Fn(&T) -> bool + Sync,
+    {
+        self.map_partitions(cluster, label, |_, part| {
+            part.into_iter().filter(|t| pred(t)).collect()
+        })
+    }
+
+    /// Per-partition fold followed by a driver-side merge.
+    pub fn fold<U, F, M>(&self, cluster: &Cluster, label: &str, init: U, fold: F, merge: M) -> U
+    where
+        T: Sync,
+        U: Send + Sync + Clone,
+        F: Fn(U, &T) -> U + Sync,
+        M: Fn(U, U) -> U,
+    {
+        let partials = cluster.run_stage(label, self.parts.iter().collect::<Vec<_>>(), |_, part| {
+            part.iter().fold(init.clone(), &fold)
+        });
+        partials.into_iter().fold(init, merge)
+    }
+
+    /// Concatenates all partitions on the driver.
+    pub fn collect(self) -> Vec<T> {
+        self.parts.into_iter().flatten().collect()
+    }
+
+    /// Concatenates two datasets partition-wise (Spark's `union`): the
+    /// result has the same partition count as `self`, with `other`'s
+    /// partitions folded in round-robin.
+    pub fn union(mut self, other: DistVec<T>) -> DistVec<T> {
+        let n = self.parts.len();
+        for (i, part) in other.parts.into_iter().enumerate() {
+            self.parts[i % n].extend(part);
+        }
+        self
+    }
+
+    /// Repartitions by destination: `dest(&record)` names the partition
+    /// (`0..dest_parts`) each record must move to. Map-side tasks encode
+    /// records into per-destination byte buffers; reduce-side tasks decode.
+    /// Bytes, records and message counts land in the metrics log under
+    /// `label`, together with the virtual cluster's estimated network time.
+    pub fn shuffle<F>(self, cluster: &Cluster, label: &str, dest_parts: usize, dest: F) -> DistVec<T>
+    where
+        T: Codec,
+        F: Fn(&T) -> usize + Sync,
+    {
+        assert!(dest_parts > 0, "need at least one destination partition");
+        // Map side: encode into per-destination buffers.
+        let encoded: Vec<Vec<Vec<u8>>> =
+            cluster.run_stage(&format!("{label}/write"), self.parts, |_, part| {
+                let mut bufs: Vec<Vec<u8>> = vec![Vec::new(); dest_parts];
+                for record in part {
+                    let d = dest(&record);
+                    debug_assert!(d < dest_parts, "destination {d} out of range");
+                    record.encode(&mut bufs[d]);
+                }
+                bufs
+            });
+
+        // "Network": account for every non-empty src→dst message.
+        let mut bytes = 0u64;
+        let mut messages = 0u64;
+        for src in &encoded {
+            for buf in src {
+                if !buf.is_empty() {
+                    bytes += buf.len() as u64;
+                    messages += 1;
+                }
+            }
+        }
+
+        // Transpose: destination d receives one buffer from each source.
+        let mut inboxes: Vec<Vec<Vec<u8>>> = (0..dest_parts).map(|_| Vec::new()).collect();
+        for src_bufs in encoded {
+            for (d, buf) in src_bufs.into_iter().enumerate() {
+                if !buf.is_empty() {
+                    inboxes[d].push(buf);
+                }
+            }
+        }
+
+        // Reduce side: decode.
+        let parts: Vec<Vec<T>> =
+            cluster.run_stage(&format!("{label}/read"), inboxes, |_, bufs| {
+                let mut out = Vec::new();
+                for buf in bufs {
+                    let mut slice = buf.as_slice();
+                    while !slice.is_empty() {
+                        out.push(T::decode(&mut slice));
+                    }
+                }
+                out
+            });
+
+        let records = parts.iter().map(Vec::len).sum::<usize>() as u64;
+        cluster.log_shuffle(ShuffleMetrics {
+            label: label.to_string(),
+            bytes,
+            records,
+            messages,
+            est_network: simulate_network(bytes, messages, cluster.config()),
+        });
+        DistVec { parts }
+    }
+}
+
+impl<K: Send + Ord + Copy, V: Send> DistVec<(K, V)> {
+    /// Groups co-partitioned key-value records by key (Spark's
+    /// `groupByKey` *after* a shuffle has already routed keys): each
+    /// partition's records are grouped locally, keys sorted ascending.
+    /// Call [`DistVec::shuffle`] first if the same key may appear in
+    /// several partitions.
+    pub fn group_by_key_local(self, cluster: &Cluster, label: &str) -> DistVec<(K, Vec<V>)> {
+        self.map_partitions(cluster, label, |_, mut part| {
+            part.sort_by_key(|&(k, _)| k);
+            let mut out: Vec<(K, Vec<V>)> = Vec::new();
+            for (k, v) in part {
+                match out.last_mut() {
+                    Some((lk, vs)) if *lk == k => vs.push(v),
+                    _ => out.push((k, vec![v])),
+                }
+            }
+            out
+        })
+    }
+
+    /// Transforms values, keeping keys (Spark's `mapValues`).
+    pub fn map_values<U, F>(self, cluster: &Cluster, label: &str, f: F) -> DistVec<(K, U)>
+    where
+        U: Send,
+        F: Fn(V) -> U + Sync,
+    {
+        self.map(cluster, label, |(k, v)| (k, f(v)))
+    }
+
+    /// Per-key reduction after local grouping (Spark's `reduceByKey`
+    /// without the implicit shuffle — shuffle first for global keys).
+    pub fn reduce_by_key_local<F>(self, cluster: &Cluster, label: &str, f: F) -> DistVec<(K, V)>
+    where
+        F: Fn(V, V) -> V + Sync,
+    {
+        self.map_partitions(cluster, label, |_, mut part| {
+            part.sort_by_key(|&(k, _)| k);
+            let mut out: Vec<(K, Option<V>)> = Vec::new();
+            for (k, v) in part {
+                match out.last_mut() {
+                    Some((lk, acc)) if *lk == k => {
+                        let prev = acc.take().expect("accumulator always present");
+                        *acc = Some(f(prev, v));
+                    }
+                    _ => out.push((k, Some(v))),
+                }
+            }
+            out.into_iter().map(|(k, v)| (k, v.expect("accumulator"))).collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClusterConfig;
+
+    fn cluster() -> Cluster {
+        Cluster::new(ClusterConfig::local(4))
+    }
+
+    #[test]
+    fn parallelize_splits_evenly() {
+        let dv = DistVec::parallelize((0..10u32).collect(), 3);
+        assert_eq!(dv.num_partitions(), 3);
+        assert_eq!(dv.len(), 10);
+        assert_eq!(dv.partition(0).len(), 4);
+        assert_eq!(dv.partition(2).len(), 2);
+    }
+
+    #[test]
+    fn parallelize_more_parts_than_items() {
+        let dv = DistVec::parallelize(vec![1u32, 2], 5);
+        assert_eq!(dv.num_partitions(), 5);
+        assert_eq!(dv.len(), 2);
+    }
+
+    #[test]
+    fn map_and_collect_preserve_order() {
+        let c = cluster();
+        let dv = DistVec::parallelize((0..8u32).collect(), 3);
+        let out = dv.map(&c, "x2", |x| x * 2).collect();
+        assert_eq!(out, vec![0, 2, 4, 6, 8, 10, 12, 14]);
+    }
+
+    #[test]
+    fn filter_drops_records() {
+        let c = cluster();
+        let dv = DistVec::parallelize((0..10u32).collect(), 2);
+        let out = dv.filter(&c, "even", |x| x % 2 == 0).collect();
+        assert_eq!(out, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn fold_sums_across_partitions() {
+        let c = cluster();
+        let dv = DistVec::parallelize((1..=100u64).collect(), 7);
+        let sum = dv.fold(&c, "sum", 0u64, |acc, &x| acc + x, |a, b| a + b);
+        assert_eq!(sum, 5050);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation_and_routes_correctly() {
+        let c = cluster();
+        let dv = DistVec::parallelize((0..1000u32).collect(), 4);
+        let shuffled = dv.shuffle(&c, "by-mod", 5, |&x| (x % 5) as usize);
+        assert_eq!(shuffled.num_partitions(), 5);
+        assert_eq!(shuffled.len(), 1000);
+        for p in 0..5 {
+            assert!(shuffled.partition(p).iter().all(|&x| x % 5 == p as u32));
+            assert_eq!(shuffled.partition(p).len(), 200);
+        }
+        // No loss, no duplication.
+        let mut all = shuffled.collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..1000).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shuffle_records_metrics() {
+        let c = cluster();
+        let dv = DistVec::parallelize((0..100u32).collect(), 2);
+        let _ = dv.shuffle(&c, "meter", 2, |&x| (x % 2) as usize);
+        let m = c.metrics();
+        assert_eq!(m.shuffles.len(), 1);
+        assert_eq!(m.shuffles[0].records, 100);
+        assert_eq!(m.shuffles[0].bytes, 400); // 100 × u32
+        assert!(m.shuffles[0].messages <= 4);
+        // write + read stages recorded too
+        assert_eq!(m.stages.len(), 2);
+    }
+
+    #[test]
+    fn shuffle_tuples_roundtrip_values() {
+        let c = cluster();
+        let items: Vec<(u32, f64)> = (0..50).map(|i| (i, i as f64 * 0.5)).collect();
+        let dv = DistVec::parallelize(items.clone(), 3);
+        let mut back = dv.shuffle(&c, "t", 4, |&(k, _)| (k % 4) as usize).collect();
+        back.sort_by_key(|&(k, _)| k);
+        assert_eq!(back, items);
+    }
+
+    #[test]
+    fn union_concatenates_without_loss() {
+        let a = DistVec::parallelize((0..10u32).collect(), 3);
+        let b = DistVec::parallelize((10..15u32).collect(), 2);
+        let u = a.union(b);
+        assert_eq!(u.num_partitions(), 3);
+        let mut all = u.collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..15).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn group_by_key_local_groups_sorted() {
+        let c = cluster();
+        let items = vec![(2u32, 10u64), (1, 20), (2, 30), (1, 40), (3, 50)];
+        let dv = DistVec::parallelize(items, 1);
+        let grouped = dv.group_by_key_local(&c, "group").collect();
+        assert_eq!(grouped, vec![(1, vec![20, 40]), (2, vec![10, 30]), (3, vec![50])]);
+    }
+
+    #[test]
+    fn reduce_by_key_after_shuffle_is_global() {
+        let c = cluster();
+        let items: Vec<(u32, u64)> = (0..100).map(|i| (i % 5, 1u64)).collect();
+        let dv = DistVec::parallelize(items, 4)
+            .shuffle(&c, "route", 3, |&(k, _)| (k % 3) as usize)
+            .reduce_by_key_local(&c, "count", |a, b| a + b);
+        let mut counts = dv.collect();
+        counts.sort_unstable();
+        assert_eq!(counts, vec![(0, 20), (1, 20), (2, 20), (3, 20), (4, 20)]);
+    }
+
+    #[test]
+    fn map_values_keeps_keys() {
+        let c = cluster();
+        let dv = DistVec::parallelize(vec![(1u32, 2u64), (3, 4)], 2);
+        let out = dv.map_values(&c, "mv", |v| v * 10).collect();
+        assert_eq!(out, vec![(1, 20), (3, 40)]);
+    }
+
+    #[test]
+    fn empty_partitions_shuffle_cleanly() {
+        let c = cluster();
+        let dv: DistVec<u32> = DistVec::from_partitions(vec![vec![], vec![], vec![]]);
+        let out = dv.shuffle(&c, "empty", 2, |&x| x as usize % 2);
+        assert_eq!(out.len(), 0);
+        assert_eq!(out.num_partitions(), 2);
+    }
+}

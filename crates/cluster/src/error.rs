@@ -1,0 +1,42 @@
+//! Cluster runtime errors.
+
+use std::fmt;
+
+/// Failures surfaced by the simulated cluster.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// A broadcast value does not fit the per-worker memory budget — the
+    /// condition that makes Broadcasting-mode rows `N/A` in the paper's
+    /// tables.
+    BroadcastExceedsMemory {
+        /// Bytes the value needs on every worker.
+        needed: u64,
+        /// The configured per-worker budget.
+        budget: u64,
+    },
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::BroadcastExceedsMemory { needed, budget } => write!(
+                f,
+                "broadcast of {needed} bytes exceeds per-worker memory budget of {budget} bytes"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_both_sizes() {
+        let e = ClusterError::BroadcastExceedsMemory { needed: 10, budget: 5 };
+        let s = e.to_string();
+        assert!(s.contains("10") && s.contains('5'));
+    }
+}

@@ -1,0 +1,184 @@
+//! Stage and shuffle accounting.
+//!
+//! Real wall time on the host machine is recorded for every stage, plus a
+//! *simulated makespan* for the configured virtual cluster: tasks are
+//! assigned round-robin to workers and each worker's busy time divides by
+//! its core count. The estimate deliberately ignores stragglers beyond task
+//! granularity — the same fidelity trade-off the paper's own wall-clock
+//! tables make — but lets a 2-core host report how a 160-core cluster would
+//! scale (experiment E7).
+
+use crate::config::ClusterConfig;
+use std::time::Duration;
+
+/// Metrics for one executed stage.
+#[derive(Clone, Debug)]
+pub struct StageMetrics {
+    /// Caller-supplied stage label, e.g. `"index/walks"`.
+    pub label: String,
+    /// Number of tasks (= partitions).
+    pub tasks: usize,
+    /// Real elapsed wall time of the whole stage on the host.
+    pub wall: Duration,
+    /// Sum of per-task busy times.
+    pub busy: Duration,
+    /// The longest single task — a lower bound on any schedule's makespan.
+    pub max_task: Duration,
+    /// Estimated makespan on the virtual cluster.
+    pub sim_makespan: Duration,
+}
+
+/// Metrics for one shuffle.
+#[derive(Clone, Debug)]
+pub struct ShuffleMetrics {
+    /// Caller-supplied label.
+    pub label: String,
+    /// Total serialised bytes moved between partitions.
+    pub bytes: u64,
+    /// Records moved.
+    pub records: u64,
+    /// Messages (source partition → destination partition buffers).
+    pub messages: u64,
+    /// Estimated network time on the virtual cluster.
+    pub est_network: Duration,
+}
+
+/// Estimates the makespan of `task_times` on the virtual cluster:
+/// round-robin assignment to workers, each worker's load divided by its
+/// cores (tasks are internally sequential; cores pipeline different tasks).
+pub fn simulate_makespan(task_times: &[Duration], cfg: &ClusterConfig) -> Duration {
+    if task_times.is_empty() {
+        return Duration::ZERO;
+    }
+    let mut per_worker = vec![Duration::ZERO; cfg.workers];
+    for (i, &t) in task_times.iter().enumerate() {
+        per_worker[i % cfg.workers] += t;
+    }
+    let max_worker = per_worker.into_iter().max().unwrap_or(Duration::ZERO);
+    let div = max_worker.div_f64(cfg.cores_per_worker as f64);
+    // A schedule can never beat the longest single task.
+    let longest = task_times.iter().copied().max().unwrap_or(Duration::ZERO);
+    div.max(longest)
+}
+
+/// Estimates time on the wire for a shuffle of `bytes` total across the
+/// virtual cluster: every worker transmits its share in parallel, plus a
+/// per-message latency charge.
+pub fn simulate_network(bytes: u64, messages: u64, cfg: &ClusterConfig) -> Duration {
+    let xfer = bytes as f64 / (cfg.net_bytes_per_sec as f64 * cfg.workers as f64);
+    let lat = (messages as f64 / cfg.workers as f64) * cfg.net_latency_us as f64 * 1e-6;
+    Duration::from_secs_f64(xfer + lat)
+}
+
+/// Append-only log of everything the cluster executed.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsLog {
+    /// Stages in execution order.
+    pub stages: Vec<StageMetrics>,
+    /// Shuffles in execution order.
+    pub shuffles: Vec<ShuffleMetrics>,
+}
+
+/// Aggregated view of a [`MetricsLog`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ClusterReport {
+    /// Number of stages executed.
+    pub stages: usize,
+    /// Real wall time across stages.
+    pub total_wall: Duration,
+    /// Total task busy time.
+    pub total_busy: Duration,
+    /// Estimated virtual-cluster compute makespan.
+    pub total_sim: Duration,
+    /// Number of shuffles.
+    pub shuffles: usize,
+    /// Total bytes shuffled.
+    pub shuffle_bytes: u64,
+    /// Total records shuffled.
+    pub shuffle_records: u64,
+    /// Estimated virtual-cluster network time.
+    pub est_network: Duration,
+}
+
+impl MetricsLog {
+    /// Aggregates the log.
+    pub fn report(&self) -> ClusterReport {
+        let mut r = ClusterReport { stages: self.stages.len(), shuffles: self.shuffles.len(), ..Default::default() };
+        for s in &self.stages {
+            r.total_wall += s.wall;
+            r.total_busy += s.busy;
+            r.total_sim += s.sim_makespan;
+        }
+        for s in &self.shuffles {
+            r.shuffle_bytes += s.bytes;
+            r.shuffle_records += s.records;
+            r.est_network += s.est_network;
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(x: u64) -> Duration {
+        Duration::from_millis(x)
+    }
+
+    #[test]
+    fn makespan_divides_across_workers_and_cores() {
+        let cfg = ClusterConfig { workers: 2, cores_per_worker: 2, ..ClusterConfig::local(2) };
+        // 4 equal tasks of 100ms → each worker gets 200ms over 2 cores → 100ms,
+        // floor at longest task (100ms).
+        let m = simulate_makespan(&[ms(100); 4], &cfg);
+        assert_eq!(m, ms(100));
+    }
+
+    #[test]
+    fn makespan_never_beats_longest_task() {
+        let cfg = ClusterConfig { workers: 8, cores_per_worker: 8, ..ClusterConfig::local(8) };
+        let m = simulate_makespan(&[ms(500), ms(1), ms(1)], &cfg);
+        assert_eq!(m, ms(500));
+    }
+
+    #[test]
+    fn empty_stage_has_zero_makespan() {
+        let cfg = ClusterConfig::local(3);
+        assert_eq!(simulate_makespan(&[], &cfg), Duration::ZERO);
+    }
+
+    #[test]
+    fn network_estimate_scales_with_bytes() {
+        let cfg = ClusterConfig::local(2); // 1 GB/s per worker, 100 us latency
+        let t = simulate_network(2_000_000_000, 0, &cfg);
+        assert!((t.as_secs_f64() - 1.0).abs() < 1e-9);
+        let t = simulate_network(0, 20, &cfg);
+        assert!((t.as_secs_f64() - 10.0 * 100e-6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let mut log = MetricsLog::default();
+        log.stages.push(StageMetrics {
+            label: "a".into(),
+            tasks: 2,
+            wall: ms(10),
+            busy: ms(18),
+            max_task: ms(9),
+            sim_makespan: ms(9),
+        });
+        log.shuffles.push(ShuffleMetrics {
+            label: "s".into(),
+            bytes: 100,
+            records: 10,
+            messages: 4,
+            est_network: ms(1),
+        });
+        let r = log.report();
+        assert_eq!(r.stages, 1);
+        assert_eq!(r.shuffle_bytes, 100);
+        assert_eq!(r.total_wall, ms(10));
+        assert_eq!(r.est_network, ms(1));
+    }
+}

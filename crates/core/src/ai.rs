@@ -1,0 +1,196 @@
+//! Construction of the linear-system rows `aᵢ`.
+//!
+//! Row `aᵢ = Σ_{t=0..T} cᵗ (Pᵗeᵢ) ∘ (Pᵗeᵢ)` encodes node `i`'s truncated
+//! self-similarity series; the constraint `aᵢ · x = 1` pins the diagonal
+//! correction. With `Pᵗeᵢ` estimated by an `R`-walker cohort, the row's
+//! support is at most `T·R + 1` and the diagonal entry satisfies
+//! `aᵢᵢ ≥ 1` (all walkers sit on `i` at `t = 0`), making the system
+//! strongly diagonally dominant — the reason `L = 3` Jacobi sweeps suffice.
+
+use pasco_graph::{CsrGraph, NodeId};
+use pasco_mc::counts::MassMap;
+use pasco_mc::walks::{reverse_walk_distributions, StepDistributions, WalkParams};
+use pasco_solver::jacobi::RowSource;
+
+/// Builds the sparse row `aᵢ` (sorted by column) from a cohort's step
+/// distributions: `aᵢ(k) = Σ_t cᵗ (countₜ(k)/R)²`.
+pub fn ai_row(dists: &StepDistributions, c: f64) -> Vec<(u32, f64)> {
+    let r = dists.walkers as f64;
+    let mut acc = MassMap::with_capacity(dists.counts.iter().map(Vec::len).sum());
+    let mut ct = 1.0;
+    for step in &dists.counts {
+        for &(node, count) in step {
+            let p = count as f64 / r;
+            acc.add(node, ct * p * p);
+        }
+        ct *= c;
+    }
+    acc.into_sorted_vec()
+}
+
+/// Builds `aᵢ` exactly, propagating `eᵢ` through `Pᵗ` by sparse pushes
+/// instead of sampling. Used by the exact diagonal reference and the LIN
+/// baseline; cost grows with the `t`-hop in-neighbourhood of `i`.
+pub fn ai_row_exact(graph: &CsrGraph, i: NodeId, c: f64, t_max: usize) -> Vec<(u32, f64)> {
+    let mut acc = MassMap::with_capacity(64);
+    let mut u: Vec<(NodeId, f64)> = vec![(i, 1.0)];
+    let mut ct = 1.0;
+    for _ in 0..=t_max {
+        for &(node, p) in &u {
+            acc.add(node, ct * p * p);
+        }
+        ct *= c;
+        u = pasco_mc::forward::reverse_push_measure(graph, &u);
+        if u.is_empty() {
+            break;
+        }
+    }
+    acc.into_sorted_vec()
+}
+
+/// [`RowSource`] over fully materialised rows — the `Store` strategy.
+#[derive(Clone, Debug)]
+pub struct StoredRows {
+    rows: Vec<Vec<(u32, f64)>>,
+}
+
+impl StoredRows {
+    /// Wraps materialised rows.
+    pub fn new(rows: Vec<Vec<(u32, f64)>>) -> Self {
+        Self { rows }
+    }
+
+    /// Approximate resident bytes (12 bytes per stored entry + vec headers).
+    pub fn memory_bytes(&self) -> u64 {
+        self.rows.iter().map(|r| 24 + 12 * r.len() as u64).sum()
+    }
+
+    /// Borrow a row.
+    pub fn get(&self, i: u32) -> &[(u32, f64)] {
+        &self.rows[i as usize]
+    }
+}
+
+impl RowSource for StoredRows {
+    fn dim(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn row(&self, i: u32, row: &mut Vec<(u32, f64)>) {
+        row.clear();
+        row.extend_from_slice(&self.rows[i as usize]);
+    }
+}
+
+/// [`RowSource`] that regenerates each row from seeded walks on demand —
+/// the `Recompute` strategy. Because walk randomness is a pure function of
+/// `(seed, source, walker, step)`, regenerated rows are identical to stored
+/// ones.
+pub struct RecomputedRows<'g> {
+    graph: &'g CsrGraph,
+    params: WalkParams,
+    seed: u64,
+    c: f64,
+}
+
+impl<'g> RecomputedRows<'g> {
+    /// A recomputing row source over `graph` with the index walk
+    /// parameters.
+    pub fn new(graph: &'g CsrGraph, params: WalkParams, seed: u64, c: f64) -> Self {
+        Self { graph, params, seed, c }
+    }
+}
+
+impl RowSource for RecomputedRows<'_> {
+    fn dim(&self) -> usize {
+        self.graph.node_count() as usize
+    }
+
+    fn row(&self, i: u32, row: &mut Vec<(u32, f64)>) {
+        let dists = reverse_walk_distributions(self.graph, i, self.params, self.seed);
+        row.clear();
+        row.extend(ai_row(&dists, self.c));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pasco_graph::generators;
+
+    #[test]
+    fn diagonal_entry_at_least_one() {
+        let g = generators::barabasi_albert(200, 3, 7);
+        for i in [0u32, 50, 199] {
+            let d = reverse_walk_distributions(&g, i, WalkParams::new(10, 50), 3);
+            let row = ai_row(&d, 0.6);
+            let diag = row.iter().find(|&&(k, _)| k == i).map(|&(_, v)| v).unwrap();
+            assert!(diag >= 1.0, "a[{i}][{i}] = {diag}");
+        }
+    }
+
+    #[test]
+    fn row_support_is_bounded_by_walk_budget() {
+        let g = generators::barabasi_albert(500, 4, 1);
+        let params = WalkParams::new(10, 20);
+        let d = reverse_walk_distributions(&g, 17, params, 2);
+        let row = ai_row(&d, 0.6);
+        assert!(row.len() <= 10 * 20 + 1);
+        assert!(row.windows(2).all(|w| w[0].0 < w[1].0), "sorted");
+    }
+
+    #[test]
+    fn exact_row_on_cycle_is_geometric() {
+        // Cycle: P^t e_i is a point mass, so a_i(k) = Σ c^t [k = i - t].
+        let g = generators::cycle(4);
+        let row = ai_row_exact(&g, 0, 0.5, 3);
+        // t=0: node 0 += 1; t=1: node 3 += 0.5; t=2: node 2 += 0.25;
+        // t=3: node 1 += 0.125
+        assert_eq!(row, vec![(0, 1.0), (1, 0.125), (2, 0.25), (3, 0.5)]);
+    }
+
+    #[test]
+    fn exact_row_terminates_on_dangling() {
+        let g = generators::path(3); // 0 -> 1 -> 2; node 0 dangling
+        let row = ai_row_exact(&g, 2, 0.6, 10);
+        // t=0 at 2 (1.0), t=1 at 1 (0.6·1), t=2 at 0 (0.36·1), then dies.
+        assert_eq!(row, vec![(0, 0.36), (1, 0.6), (2, 1.0)]);
+    }
+
+    #[test]
+    fn mc_row_converges_to_exact_row() {
+        let g = generators::barabasi_albert(100, 3, 5);
+        let exact = ai_row_exact(&g, 42, 0.6, 6);
+        let d = reverse_walk_distributions(&g, 42, WalkParams::new(6, 60_000), 8);
+        let mc = ai_row(&d, 0.6);
+        // Compare the diagonal and total mass.
+        let get = |row: &[(u32, f64)], k: u32| {
+            row.iter().find(|&&(j, _)| j == k).map(|&(_, v)| v).unwrap_or(0.0)
+        };
+        assert!((get(&exact, 42) - get(&mc, 42)).abs() < 0.02);
+        let sum_e: f64 = exact.iter().map(|&(_, v)| v).sum();
+        let sum_m: f64 = mc.iter().map(|&(_, v)| v).sum();
+        // Squared empirical frequencies are biased upward by Var/R per node,
+        // so allow a generous but bounded gap.
+        assert!((sum_e - sum_m).abs() / sum_e < 0.1, "{sum_e} vs {sum_m}");
+    }
+
+    #[test]
+    fn stored_and_recomputed_rows_agree() {
+        let g = generators::rmat(8, 1500, generators::RmatParams::default(), 3);
+        let params = WalkParams::new(5, 30);
+        let stored: Vec<Vec<(u32, f64)>> = (0..g.node_count())
+            .map(|i| ai_row(&reverse_walk_distributions(&g, i, params, 11), 0.6))
+            .collect();
+        let stored = StoredRows::new(stored);
+        let recomputed = RecomputedRows::new(&g, params, 11, 0.6);
+        assert_eq!(stored.dim(), recomputed.dim());
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for i in (0..g.node_count()).step_by(37) {
+            stored.row(i, &mut a);
+            recomputed.row(i, &mut b);
+            assert_eq!(a, b, "row {i}");
+        }
+    }
+}

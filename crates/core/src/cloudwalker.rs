@@ -1,0 +1,348 @@
+//! The public CloudWalker API: build the index once, query forever.
+
+use crate::config::{AiStrategy, SimRankConfig};
+use crate::diag::DiagonalIndex;
+use crate::engine::broadcast::BroadcastEngine;
+use crate::engine::local;
+use crate::engine::rdd::RddEngine;
+use crate::engine::ExecMode;
+use crate::error::SimRankError;
+use crate::queries;
+use pasco_cluster::ClusterReport;
+use pasco_graph::{CsrGraph, NodeId, ReverseChainIndex};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Statistics from offline index construction.
+#[derive(Clone, Debug)]
+pub struct IndexBuildStats {
+    /// Wall time of the whole build.
+    pub wall: Duration,
+    /// The row-provisioning strategy actually used.
+    pub strategy: AiStrategy,
+    /// `‖Ax − 1‖∞` after each Jacobi sweep.
+    pub jacobi_residuals: Vec<f64>,
+    /// Stored-row footprint, if rows were materialised.
+    pub rows_bytes: Option<u64>,
+    /// Cluster accounting (broadcast/RDD modes only).
+    pub cluster: Option<ClusterReport>,
+}
+
+enum EngineImpl {
+    Local,
+    Broadcast(BroadcastEngine),
+    Rdd(RddEngine),
+}
+
+/// CloudWalker: offline-indexed, Monte-Carlo-queried SimRank.
+///
+/// ```
+/// use pasco_simrank::{CloudWalker, SimRankConfig, ExecMode};
+/// use pasco_graph::generators;
+///
+/// let g = generators::barabasi_albert(300, 4, 1);
+/// let cw = CloudWalker::build(g.into(), SimRankConfig::fast(), ExecMode::Local).unwrap();
+/// let s = cw.single_pair(3, 4);
+/// assert!((0.0..=1.0).contains(&s));
+/// ```
+pub struct CloudWalker {
+    graph: Arc<CsrGraph>,
+    rci: Arc<ReverseChainIndex>,
+    cfg: SimRankConfig,
+    diag: DiagonalIndex,
+    engine: EngineImpl,
+}
+
+impl CloudWalker {
+    /// Builds the offline index (the diagonal correction `D`) with the
+    /// chosen execution mode and returns a query-ready engine.
+    pub fn build(
+        graph: Arc<CsrGraph>,
+        cfg: SimRankConfig,
+        mode: ExecMode,
+    ) -> Result<Self, SimRankError> {
+        Self::build_with_stats(graph, cfg, mode).map(|(cw, _)| cw)
+    }
+
+    /// [`CloudWalker::build`] plus build statistics.
+    pub fn build_with_stats(
+        graph: Arc<CsrGraph>,
+        cfg: SimRankConfig,
+        mode: ExecMode,
+    ) -> Result<(Self, IndexBuildStats), SimRankError> {
+        cfg.validate()?;
+        if graph.node_count() == 0 {
+            return Err(SimRankError::InvalidConfig("graph has no nodes".into()));
+        }
+        let start = Instant::now();
+        let rci = Arc::new(ReverseChainIndex::build(&graph));
+        let strategy = cfg.resolve_ai_strategy(graph.node_count());
+        let (diag, engine, residuals, rows_bytes, cluster) = match mode {
+            ExecMode::Local => {
+                let out = local::build_diagonal(&graph, &cfg);
+                (out.diag, EngineImpl::Local, out.residuals, out.rows_bytes, None)
+            }
+            ExecMode::Broadcast(cluster_cfg) => {
+                let eng = BroadcastEngine::new(cluster_cfg, Arc::clone(&graph), Arc::clone(&rci))?;
+                let (diag, residuals, rows_bytes) = eng.build_diagonal(&cfg);
+                let report = eng.cluster().report();
+                (diag, EngineImpl::Broadcast(eng), residuals, rows_bytes, Some(report))
+            }
+            ExecMode::Rdd(cluster_cfg) => {
+                let eng = RddEngine::new(cluster_cfg, &graph);
+                let (diag, residuals) = eng.build_diagonal(&cfg);
+                let report = eng.cluster().report();
+                (diag, EngineImpl::Rdd(eng), residuals, None, Some(report))
+            }
+        };
+        let stats = IndexBuildStats {
+            wall: start.elapsed(),
+            strategy,
+            jacobi_residuals: residuals,
+            rows_bytes,
+            cluster,
+        };
+        Ok((Self { graph, rci, cfg, diag, engine }, stats))
+    }
+
+    /// Wraps a previously computed (e.g. [`crate::persist::load_index`]ed)
+    /// diagonal for local-mode querying.
+    pub fn from_index(
+        graph: Arc<CsrGraph>,
+        cfg: SimRankConfig,
+        diag: DiagonalIndex,
+    ) -> Result<Self, SimRankError> {
+        cfg.validate()?;
+        if diag.len() != graph.node_count() as usize {
+            return Err(SimRankError::BadIndex(format!(
+                "index covers {} nodes but the graph has {}",
+                diag.len(),
+                graph.node_count()
+            )));
+        }
+        let rci = Arc::new(ReverseChainIndex::build(&graph));
+        Ok(Self { graph, rci, cfg, diag, engine: EngineImpl::Local })
+    }
+
+    /// MCSP — similarity of one node pair, `O(T·R′)`. Estimates are
+    /// clamped into SimRank's `[0, 1]` range (Monte-Carlo noise can push a
+    /// raw estimate slightly outside).
+    ///
+    /// # Panics
+    /// Panics if `i` or `j` is not a node of the graph.
+    pub fn single_pair(&self, i: NodeId, j: NodeId) -> f64 {
+        self.check_node(i);
+        self.check_node(j);
+        let raw = match &self.engine {
+            EngineImpl::Local => {
+                queries::single_pair(&self.graph, self.diag.as_slice(), &self.cfg, i, j)
+            }
+            EngineImpl::Broadcast(eng) => {
+                eng.single_pair(self.diag.as_slice(), &self.cfg, i, j)
+            }
+            EngineImpl::Rdd(eng) => eng.single_pair(self.diag.as_slice(), &self.cfg, i, j),
+        };
+        raw.clamp(0.0, 1.0)
+    }
+
+    /// MCSS — similarity of every node to `i`, `O(T²·R′·log d)`. Estimates
+    /// are clamped into SimRank's `[0, 1]` range.
+    ///
+    /// # Panics
+    /// Panics if `i` is not a node of the graph.
+    pub fn single_source(&self, i: NodeId) -> Vec<f64> {
+        self.check_node(i);
+        let mut out = match &self.engine {
+            EngineImpl::Local => queries::single_source(
+                &self.graph,
+                &self.rci,
+                self.diag.as_slice(),
+                &self.cfg,
+                i,
+            ),
+            EngineImpl::Broadcast(eng) => eng.single_source(self.diag.as_slice(), &self.cfg, i),
+            EngineImpl::Rdd(eng) => eng.single_source(self.diag.as_slice(), &self.cfg, i),
+        };
+        for v in &mut out {
+            *v = v.clamp(0.0, 1.0);
+        }
+        out
+    }
+
+    /// Sparse top-`k` MCSS: returns only the `k` most similar nodes
+    /// (query node excluded), accumulating over the walk support instead of
+    /// a dense length-`n` vector — the right call for big graphs when only
+    /// a ranking is needed. Local execution regardless of mode.
+    ///
+    /// # Panics
+    /// Panics if `i` is not a node of the graph.
+    pub fn single_source_topk(&self, i: NodeId, k: usize) -> Vec<(NodeId, f64)> {
+        self.check_node(i);
+        queries::single_source_topk(
+            &self.graph,
+            &self.rci,
+            self.diag.as_slice(),
+            &self.cfg,
+            i,
+            k,
+        )
+    }
+
+    /// The deterministic-push variant of MCSS (ablation A1); local
+    /// execution regardless of mode.
+    pub fn single_source_push(&self, i: NodeId) -> Vec<f64> {
+        self.check_node(i);
+        let mut out = queries::single_source_push(&self.graph, self.diag.as_slice(), &self.cfg, i);
+        for v in &mut out {
+            *v = v.clamp(0.0, 1.0);
+        }
+        out
+    }
+
+    /// MCAP — top-`k` similar nodes for every node (`O(n·T²·R′·log d)`;
+    /// run it on graphs small enough to afford `n` single-source queries).
+    /// Local execution regardless of mode, as in the paper ("use MCSS
+    /// repeatedly").
+    pub fn all_pairs_topk(&self, k: usize) -> Vec<Vec<(NodeId, f64)>> {
+        queries::all_pairs_topk(&self.graph, &self.rci, self.diag.as_slice(), &self.cfg, k)
+    }
+
+    /// The offline index.
+    pub fn diagonal(&self) -> &DiagonalIndex {
+        &self.diag
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SimRankConfig {
+        &self.cfg
+    }
+
+    /// The indexed graph.
+    pub fn graph(&self) -> &Arc<CsrGraph> {
+        &self.graph
+    }
+
+    /// Cluster accounting so far (None in local mode).
+    pub fn cluster_report(&self) -> Option<ClusterReport> {
+        match &self.engine {
+            EngineImpl::Local => None,
+            EngineImpl::Broadcast(eng) => Some(eng.cluster().report()),
+            EngineImpl::Rdd(eng) => Some(eng.cluster().report()),
+        }
+    }
+
+    /// RDD mode's per-worker memory requirement (largest partition); `None`
+    /// in other modes.
+    pub fn max_partition_bytes(&self) -> Option<u64> {
+        match &self.engine {
+            EngineImpl::Rdd(eng) => Some(eng.max_partition_bytes()),
+            _ => None,
+        }
+    }
+
+    #[inline]
+    fn check_node(&self, v: NodeId) {
+        assert!(
+            v < self.graph.node_count(),
+            "node {v} out of range (graph has {} nodes)",
+            self.graph.node_count()
+        );
+    }
+}
+
+impl std::fmt::Debug for CloudWalker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CloudWalker")
+            .field("nodes", &self.graph.node_count())
+            .field("edges", &self.graph.edge_count())
+            .field("cfg", &self.cfg)
+            .field(
+                "mode",
+                &match self.engine {
+                    EngineImpl::Local => "local",
+                    EngineImpl::Broadcast(_) => "broadcast",
+                    EngineImpl::Rdd(_) => "rdd",
+                },
+            )
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pasco_cluster::ClusterConfig;
+    use pasco_graph::generators;
+
+    #[test]
+    fn build_and_query_local() {
+        let g = Arc::new(generators::barabasi_albert(150, 3, 3));
+        let (cw, stats) =
+            CloudWalker::build_with_stats(g, SimRankConfig::fast(), ExecMode::Local).unwrap();
+        assert_eq!(cw.single_pair(5, 5), 1.0);
+        let s = cw.single_pair(5, 60);
+        assert!((0.0..=1.0).contains(&s));
+        let row = cw.single_source(5);
+        assert_eq!(row.len(), 150);
+        assert_eq!(row[5], 1.0);
+        assert_eq!(stats.jacobi_residuals.len(), cw.config().l);
+        assert!(stats.cluster.is_none());
+    }
+
+    #[test]
+    fn rejects_invalid_config_and_empty_graph() {
+        let g = Arc::new(generators::cycle(5));
+        let bad = SimRankConfig::fast().with_c(2.0);
+        assert!(CloudWalker::build(Arc::clone(&g), bad, ExecMode::Local).is_err());
+        let empty = Arc::new(pasco_graph::GraphBuilder::new().build());
+        assert!(CloudWalker::build(empty, SimRankConfig::fast(), ExecMode::Local).is_err());
+    }
+
+    #[test]
+    fn from_index_validates_length() {
+        let g = Arc::new(generators::cycle(5));
+        let err = CloudWalker::from_index(
+            Arc::clone(&g),
+            SimRankConfig::fast(),
+            DiagonalIndex::new(vec![0.4; 3]),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimRankError::BadIndex(_)));
+        let ok = CloudWalker::from_index(
+            g,
+            SimRankConfig::fast(),
+            DiagonalIndex::new(vec![0.4; 5]),
+        );
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn query_out_of_range_panics() {
+        let g = Arc::new(generators::cycle(4));
+        let cw = CloudWalker::build(g, SimRankConfig::fast(), ExecMode::Local).unwrap();
+        cw.single_pair(0, 4);
+    }
+
+    #[test]
+    fn three_modes_agree_end_to_end() {
+        let g = Arc::new(generators::barabasi_albert(120, 3, 9));
+        let cfg = SimRankConfig::fast().with_seed(5);
+        let local = CloudWalker::build(Arc::clone(&g), cfg, ExecMode::Local).unwrap();
+        let bcast = CloudWalker::build(
+            Arc::clone(&g),
+            cfg,
+            ExecMode::Broadcast(ClusterConfig::local(3)),
+        )
+        .unwrap();
+        let rdd =
+            CloudWalker::build(Arc::clone(&g), cfg, ExecMode::Rdd(ClusterConfig::local(3)))
+                .unwrap();
+        assert_eq!(local.diagonal(), bcast.diagonal());
+        assert_eq!(local.diagonal(), rdd.diagonal());
+        assert_eq!(local.single_pair(3, 99), bcast.single_pair(3, 99));
+        assert_eq!(local.single_pair(3, 99), rdd.single_pair(3, 99));
+        assert!(bcast.cluster_report().is_some());
+        assert!(rdd.max_partition_bytes().unwrap() < g.memory_bytes());
+    }
+}

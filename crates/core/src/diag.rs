@@ -1,0 +1,84 @@
+//! The offline index: the diagonal of the correction matrix `D`.
+
+/// CloudWalker's entire offline index — one `f64` per node
+/// (`x = [D₁₁ … D_nn]`). At query time, similarity is
+/// `Σ_t cᵗ (Pᵗeᵢ)ᵀ D (Pᵗeⱼ)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DiagonalIndex {
+    x: Vec<f64>,
+}
+
+impl DiagonalIndex {
+    /// Wraps a solved diagonal.
+    pub fn new(x: Vec<f64>) -> Self {
+        Self { x }
+    }
+
+    /// Number of nodes the index covers.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// True for an index over an empty graph.
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// The diagonal value `D_vv`.
+    #[inline]
+    pub fn get(&self, v: u32) -> f64 {
+        self.x[v as usize]
+    }
+
+    /// The full diagonal as a slice (the query kernels' weight vector).
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.x
+    }
+
+    /// Summary statistics `(min, mean, max)` — the convergence experiment
+    /// tracks how these move with `L`.
+    pub fn stats(&self) -> (f64, f64, f64) {
+        if self.x.is_empty() {
+            return (0.0, 0.0, 0.0);
+        }
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for &v in &self.x {
+            min = min.min(v);
+            max = max.max(v);
+            sum += v;
+        }
+        (min, sum / self.x.len() as f64, max)
+    }
+}
+
+impl From<Vec<f64>> for DiagonalIndex {
+    fn from(x: Vec<f64>) -> Self {
+        Self::new(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_and_stats() {
+        let d = DiagonalIndex::new(vec![0.4, 0.6, 0.8]);
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.get(1), 0.6);
+        let (min, mean, max) = d.stats();
+        assert_eq!(min, 0.4);
+        assert!((mean - 0.6).abs() < 1e-12);
+        assert_eq!(max, 0.8);
+    }
+
+    #[test]
+    fn empty_index_is_well_behaved() {
+        let d = DiagonalIndex::new(vec![]);
+        assert!(d.is_empty());
+        assert_eq!(d.stats(), (0.0, 0.0, 0.0));
+    }
+}

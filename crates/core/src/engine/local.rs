@@ -1,0 +1,164 @@
+//! In-process execution: rayon over nodes, no cluster accounting.
+
+use crate::ai::{ai_row, RecomputedRows, StoredRows};
+use crate::config::{AiStrategy, SimRankConfig};
+use crate::diag::DiagonalIndex;
+use pasco_graph::CsrGraph;
+use pasco_mc::walks::{reverse_walk_distributions, WalkParams};
+use pasco_solver::jacobi::{self, JacobiConfig};
+use rayon::prelude::*;
+
+/// Offline statistics returned alongside the index.
+#[derive(Clone, Debug)]
+pub struct LocalBuildOutcome {
+    /// The solved diagonal.
+    pub diag: DiagonalIndex,
+    /// The resolved row strategy actually used.
+    pub strategy: AiStrategy,
+    /// `‖Ax − 1‖∞` after each Jacobi sweep.
+    pub residuals: Vec<f64>,
+    /// Bytes of stored rows (`None` under `Recompute`).
+    pub rows_bytes: Option<u64>,
+}
+
+/// Builds the diagonal index in-process.
+///
+/// Walk phase: a cohort of `R` walkers per node, in parallel over nodes.
+/// Solve phase: `L` parallel Jacobi sweeps on `A x = 1` starting from
+/// `x⁰ = (1 − c)·1` (the diagonal of the *first-order* correction, a good
+/// warm start).
+pub fn build_diagonal(graph: &CsrGraph, cfg: &SimRankConfig) -> LocalBuildOutcome {
+    let n = graph.node_count();
+    let params = WalkParams::new(cfg.t, cfg.r);
+    let strategy = cfg.resolve_ai_strategy(n);
+    let b = vec![1.0; n as usize];
+    let x0 = vec![1.0 - cfg.c; n as usize];
+    let jacobi_cfg =
+        JacobiConfig { iterations: cfg.l, tolerance: None, record_residuals: true };
+
+    let (result, rows_bytes) = match strategy {
+        AiStrategy::Store | AiStrategy::Auto { .. } => {
+            let rows: Vec<Vec<(u32, f64)>> = (0..n)
+                .into_par_iter()
+                .map(|i| ai_row(&reverse_walk_distributions(graph, i, params, cfg.seed), cfg.c))
+                .collect();
+            let rows = StoredRows::new(rows);
+            let bytes = rows.memory_bytes();
+            (jacobi::solve(&rows, &b, &x0, &jacobi_cfg), Some(bytes))
+        }
+        AiStrategy::Recompute => {
+            let rows = RecomputedRows::new(graph, params, cfg.seed, cfg.c);
+            (jacobi::solve(&rows, &b, &x0, &jacobi_cfg), None)
+        }
+    };
+    LocalBuildOutcome {
+        diag: DiagonalIndex::new(result.x),
+        strategy,
+        residuals: result.residuals,
+        rows_bytes,
+    }
+}
+
+/// Builds the diagonal with an explicit, already-resolved strategy (used by
+/// the ablation harness so `Auto` does not mask the comparison).
+pub fn build_diagonal_with_strategy(
+    graph: &CsrGraph,
+    cfg: &SimRankConfig,
+    strategy: AiStrategy,
+) -> LocalBuildOutcome {
+    let cfg = cfg.with_ai_strategy(strategy);
+    build_diagonal(graph, &cfg)
+}
+
+/// Convenience wrapper asserting both strategies agree bit-for-bit — the
+/// guarantee that lets deployments choose purely on memory grounds.
+pub fn strategies_agree(graph: &CsrGraph, cfg: &SimRankConfig) -> bool {
+    let a = build_diagonal_with_strategy(graph, cfg, AiStrategy::Store);
+    let b = build_diagonal_with_strategy(graph, cfg, AiStrategy::Recompute);
+    a.diag == b.diag
+}
+
+/// Implements row-source selection without exposing solver types to
+/// callers needing custom sweeps (convergence experiment sweeps `L`).
+pub fn solve_with_iterations(
+    graph: &CsrGraph,
+    cfg: &SimRankConfig,
+    iterations: usize,
+) -> (DiagonalIndex, Vec<f64>) {
+    let params = WalkParams::new(cfg.t, cfg.r);
+    let n = graph.node_count();
+    let rows: Vec<Vec<(u32, f64)>> = (0..n)
+        .into_par_iter()
+        .map(|i| ai_row(&reverse_walk_distributions(graph, i, params, cfg.seed), cfg.c))
+        .collect();
+    let rows = StoredRows::new(rows);
+    let b = vec![1.0; n as usize];
+    let x0 = vec![1.0 - cfg.c; n as usize];
+    let result = jacobi::solve(
+        &rows,
+        &b,
+        &x0,
+        &JacobiConfig { iterations, tolerance: None, record_residuals: true },
+    );
+    (DiagonalIndex::new(result.x), result.residuals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pasco_graph::generators;
+
+    #[test]
+    fn store_and_recompute_agree_bitwise() {
+        let g = generators::barabasi_albert(150, 3, 6);
+        let cfg = SimRankConfig::fast().with_seed(42);
+        assert!(strategies_agree(&g, &cfg));
+    }
+
+    #[test]
+    fn diagonal_values_are_plausible() {
+        // x ∈ (0, 1]. A dangling node's row is exactly e_i (its walkers die
+        // after step 0), so its diagonal is exactly 1; nodes with
+        // in-neighbours carry later-step mass and need x < 1.
+        let g = generators::barabasi_albert(300, 4, 8);
+        let cfg = SimRankConfig::fast();
+        let out = build_diagonal(&g, &cfg);
+        let (min, mean, max) = out.diag.stats();
+        assert!(min > 0.0, "min {min}");
+        assert!(max <= 1.0 + 1e-9, "max {max}");
+        assert!(mean > 1.0 - cfg.c && mean <= 1.0, "mean {mean}");
+        for v in g.nodes() {
+            if g.is_dangling(v) {
+                assert!((out.diag.get(v) - 1.0).abs() < 1e-12, "dangling x[{v}]");
+            }
+        }
+        assert_eq!(out.residuals.len(), cfg.l);
+    }
+
+    #[test]
+    fn residuals_shrink_with_sweeps() {
+        let g = generators::rmat(9, 3000, generators::RmatParams::default(), 9);
+        let cfg = SimRankConfig::fast();
+        let (_, residuals) = solve_with_iterations(&g, &cfg, 6);
+        assert!(residuals.last().unwrap() < &residuals[0]);
+        // By L = 3 the residual should be tiny relative to sweep 1 — the
+        // paper's justification for L = 3.
+        assert!(residuals[2] < residuals[0] * 0.1, "{residuals:?}");
+    }
+
+    #[test]
+    fn mc_diagonal_close_to_exact_diagonal() {
+        let g = generators::barabasi_albert(120, 3, 5);
+        let cfg = SimRankConfig::default_paper().with_r(4_000).with_t(8).with_l(10);
+        let out = build_diagonal(&g, &cfg);
+        let exact = crate::exact::exact_diagonal(&g, cfg.c, cfg.t, 100);
+        let worst = out
+            .diag
+            .as_slice()
+            .iter()
+            .zip(exact.as_slice())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f64, f64::max);
+        assert!(worst < 0.05, "worst |x_mc - x_exact| = {worst}");
+    }
+}

@@ -1,0 +1,34 @@
+//! Execution engines: where CloudWalker's walks and sweeps actually run.
+//!
+//! The same algorithm executes in three places:
+//!
+//! * [`local`] — a rayon pool in-process (the single-machine reference);
+//! * [`broadcast`] — the simulated cluster with the graph **replicated** to
+//!   every worker (the paper's faster model, bounded by per-worker RAM);
+//! * [`rdd`] — the simulated cluster with the graph **partitioned** and
+//!   walker state shuffled between steps (the paper's scalable model).
+//!
+//! Because each walk step's randomness is a pure function of
+//! `(seed, source, walker, step)`, all engines produce identical walker
+//! trajectories; integration tests assert Local ≡ Broadcast ≡ RDD.
+
+pub mod broadcast;
+pub mod local;
+pub mod rdd;
+
+use pasco_cluster::ClusterConfig;
+
+/// Selects the execution engine for index construction and queries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExecMode {
+    /// In-process rayon execution.
+    Local,
+    /// Simulated cluster, Broadcasting model: the graph (plus the query
+    /// sampling index) is replicated; fails with
+    /// [`pasco_cluster::ClusterError::BroadcastExceedsMemory`] when it does
+    /// not fit the per-worker budget.
+    Broadcast(ClusterConfig),
+    /// Simulated cluster, RDD model: the graph is range-partitioned and
+    /// walker state is shuffled to the owner of its next node every step.
+    Rdd(ClusterConfig),
+}

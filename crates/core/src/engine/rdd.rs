@@ -1,0 +1,534 @@
+//! RDD-model execution: partitioned graph, walker state shuffled per step.
+//!
+//! The scalable model of the paper's evaluation. The graph is
+//! range-partitioned ([`pasco_graph::partitioned`]); a walker standing on
+//! node `v` can only step on the partition owning `v`, so after every step
+//! walker records are **shuffled** (really serialised and re-decoded — see
+//! [`pasco_cluster::DistVec::shuffle`]) to their next owner. That per-step
+//! communication is what makes RDD mode slower than Broadcasting in the
+//! paper's tables, while per-worker memory stays `O(|G|/partitions)`.
+//!
+//! Row construction exploits a locality invariant: after the shuffle, *all*
+//! walkers currently standing on node `v` — regardless of source — live in
+//! `owner(v)`'s partition, so global per-`(source, position)` counts are
+//! computable locally, then shipped to `owner(source)` where rows
+//! accumulate. Because every random choice is a pure function of
+//! `(seed, source, walker, step)`, the produced index is **bitwise equal**
+//! to the Local and Broadcasting engines' output.
+
+use crate::config::SimRankConfig;
+use crate::diag::DiagonalIndex;
+use crate::queries::{forward_seed, query_seed, score_pair, weighted_support};
+use pasco_cluster::{Cluster, ClusterConfig, DistVec};
+use pasco_graph::partition::Partitioner;
+use pasco_graph::partitioned::{partition_graph, GraphPartition};
+use pasco_graph::{CsrGraph, NodeId};
+use pasco_mc::counts::{CountMap, MassMap};
+use pasco_mc::forward::forward_step_r;
+use pasco_mc::rng::mix;
+use pasco_mc::walks::{pick, step_u64, walker_key, StepDistributions};
+use std::sync::Arc;
+
+/// Reverse-walk walker record: `(rng key, source, position)`.
+type IndexWalker = (u64, u32, u32);
+/// Query-cohort walker record: `(rng key, position)`.
+type QueryWalker = (u64, u32);
+/// Row contribution: `(source, position, walker count)` at the current step.
+type Contribution = (u32, u32, u64);
+/// Forward (mass-carrying) walker: `(rng key, position, remaining steps, mass)`.
+type ForwardWalker = (u64, u32, u32, f64);
+/// A counting stage's output: the threaded-through walkers plus the
+/// partition's contribution records.
+type CountedPartition<W, C> = (Vec<W>, Vec<C>);
+
+/// How many sources are walked concurrently during indexing; bounds live
+/// walker state to `batch × R` records.
+const SOURCE_BATCH: u32 = 1 << 16;
+
+/// RDD-model engine: cluster plus the partitioned graph.
+pub struct RddEngine {
+    cluster: Cluster,
+    parts: Arc<Vec<GraphPartition>>,
+    partitioner: Partitioner,
+    n: u32,
+}
+
+impl RddEngine {
+    /// Partitions `graph` across the cluster's default partition count.
+    pub fn new(cluster_cfg: ClusterConfig, graph: &CsrGraph) -> Self {
+        let cluster = Cluster::new(cluster_cfg);
+        let n = graph.node_count();
+        let nparts = (cluster.config().default_partitions() as u32).min(n.max(1));
+        let partitioner = Partitioner::range(n, nparts);
+        let parts = Arc::new(partition_graph(graph, &partitioner));
+        Self { cluster, parts, partitioner, n }
+    }
+
+    /// The underlying cluster (metrics access).
+    pub fn cluster(&self) -> &Cluster {
+        &self.cluster
+    }
+
+    /// Largest single partition footprint — the RDD model's per-worker
+    /// memory requirement (compare against the broadcast model's full
+    /// `|G|`).
+    pub fn max_partition_bytes(&self) -> u64 {
+        self.parts.iter().map(|p| p.memory_bytes()).max().unwrap_or(0)
+    }
+
+    fn nparts(&self) -> usize {
+        self.partitioner.parts() as usize
+    }
+
+    fn empty_parts<T>(&self) -> Vec<Vec<T>> {
+        (0..self.nparts()).map(|_| Vec::new()).collect()
+    }
+
+    /// Offline indexing in the RDD model. Sources are processed in batches
+    /// of 2¹⁶ (bounding live walker state); per batch, `R` walkers per source take `T`
+    /// steps, shuffling both walker state and row contributions each step.
+    /// Rows are then materialised per partition and `L` Jacobi sweeps run
+    /// with the iterate `x` held by the driver (re-broadcast each sweep).
+    pub fn build_diagonal(&self, cfg: &SimRankConfig) -> (DiagonalIndex, Vec<f64>) {
+        let n = self.n;
+        let nparts = self.nparts();
+        let parts = Arc::clone(&self.parts);
+        let partitioner = self.partitioner;
+        let r = cfg.r;
+        let starts: Arc<Vec<u32>> = Arc::new(parts.iter().map(|gp| gp.start).collect());
+
+        // rows[p][local_source] accumulates a_i; seeded with the t = 0 term
+        // (all R walkers on the source: c⁰·(R/R)² = 1).
+        let mut rows: Vec<Vec<MassMap>> = self
+            .parts
+            .iter()
+            .map(|gp| {
+                (gp.start..gp.end)
+                    .map(|src| {
+                        let mut m = MassMap::with_capacity(cfg.t * cfg.r as usize / 4 + 4);
+                        m.add(src, 1.0);
+                        m
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let mut batch_start = 0u32;
+        while batch_start < n {
+            let batch_end = batch_start.saturating_add(SOURCE_BATCH).min(n);
+            // Launch R walkers per source, placed at owner(source).
+            let mut initial: Vec<Vec<IndexWalker>> = self.empty_parts();
+            for src in batch_start..batch_end {
+                let p = partitioner.owner(src) as usize;
+                for w in 0..r {
+                    initial[p].push((walker_key(cfg.seed, src, w), src, src));
+                }
+            }
+            let mut walkers = DistVec::from_partitions(initial);
+            let mut ct = 1.0f64;
+            for t in 1..=cfg.t {
+                ct *= cfg.c;
+                // Step: each partition advances walkers standing on its nodes.
+                let parts_ref = Arc::clone(&parts);
+                walkers = walkers.map_partitions(
+                    &self.cluster,
+                    "index/step",
+                    move |pidx, batch: Vec<IndexWalker>| {
+                        let gp = &parts_ref[pidx];
+                        batch
+                            .into_iter()
+                            .filter_map(|(key, src, pos)| {
+                                let ins = gp.in_neighbors(pos);
+                                if ins.is_empty() {
+                                    None
+                                } else {
+                                    let next = ins[pick(step_u64(key, t as u32), ins.len())];
+                                    Some((key, src, next))
+                                }
+                            })
+                            .collect()
+                    },
+                );
+                // Shuffle to the owner of the new position.
+                walkers = walkers.shuffle(
+                    &self.cluster,
+                    "index/walkers",
+                    nparts,
+                    move |&(_, _, pos)| partitioner.owner(pos) as usize,
+                );
+                // All walkers on a node are now co-located: counts per
+                // (source, position) are globally complete. The stage
+                // threads the walker partitions through so the next step
+                // reuses them without a copy.
+                let counted: Vec<(Vec<IndexWalker>, Vec<Contribution>)> = self.cluster.run_stage(
+                    "index/count",
+                    walkers.into_partitions(),
+                    |_, batch: Vec<IndexWalker>| {
+                        let mut sorted: Vec<(u32, u32)> =
+                            batch.iter().map(|&(_, src, pos)| (src, pos)).collect();
+                        sorted.sort_unstable();
+                        let mut out: Vec<Contribution> = Vec::new();
+                        for (src, pos) in sorted {
+                            match out.last_mut() {
+                                Some(&mut (s, p, ref mut c)) if s == src && p == pos => *c += 1,
+                                _ => out.push((src, pos, 1)),
+                            }
+                        }
+                        (batch, out)
+                    },
+                );
+                let mut walker_parts = Vec::with_capacity(nparts);
+                let mut contrib_parts = Vec::with_capacity(nparts);
+                for (w, c) in counted {
+                    walker_parts.push(w);
+                    contrib_parts.push(c);
+                }
+                walkers = DistVec::from_partitions(walker_parts);
+                // Ship contributions to the owner of their source and fold
+                // them into the row accumulators.
+                let contribs = DistVec::from_partitions(contrib_parts).shuffle(
+                    &self.cluster,
+                    "index/contribs",
+                    nparts,
+                    move |&(src, _, _)| partitioner.owner(src) as usize,
+                );
+                let row_inputs: Vec<(Vec<MassMap>, Vec<Contribution>)> =
+                    rows.drain(..).zip(contribs.into_partitions()).collect();
+                let starts_ref = Arc::clone(&starts);
+                rows = self.cluster.run_stage(
+                    "index/rows",
+                    row_inputs,
+                    move |pidx, (mut row_maps, mut contribs)| {
+                        // Merge counts that arrived from different partitions
+                        // for the same (source, position) before squaring.
+                        contribs.sort_unstable_by_key(|&(s, p, _)| (s, p));
+                        let mut i = 0;
+                        while i < contribs.len() {
+                            let (src, pos, mut cnt) = contribs[i];
+                            i += 1;
+                            while i < contribs.len()
+                                && contribs[i].0 == src
+                                && contribs[i].1 == pos
+                            {
+                                cnt += contribs[i].2;
+                                i += 1;
+                            }
+                            let p = cnt as f64 / r as f64;
+                            let local = (src - starts_ref[pidx]) as usize;
+                            row_maps[local].add(pos, ct * p * p);
+                        }
+                        row_maps
+                    },
+                );
+            }
+            batch_start = batch_end;
+        }
+
+        // Materialise sorted rows per partition.
+        let finalized: Vec<Vec<Vec<(u32, f64)>>> = self.cluster.run_stage(
+            "index/finalize",
+            rows,
+            |_, maps: Vec<MassMap>| maps.into_iter().map(|m| m.into_sorted_vec()).collect(),
+        );
+        let finalized = Arc::new(finalized);
+
+        // Jacobi sweeps with the driver-held iterate.
+        let mut x = vec![1.0 - cfg.c; n as usize];
+        let mut residuals = Vec::with_capacity(cfg.l);
+        let ranges: Vec<(usize, u32, u32)> = self
+            .parts
+            .iter()
+            .enumerate()
+            .map(|(i, gp)| (i, gp.start, gp.end))
+            .collect();
+        for _ in 0..cfg.l {
+            let x_ref = &x;
+            let fin = Arc::clone(&finalized);
+            let new_parts: Vec<Vec<f64>> =
+                self.cluster.run_stage("index/jacobi", ranges.clone(), move |_, (pidx, lo, hi)| {
+                    let rows = &fin[pidx];
+                    (lo..hi)
+                        .map(|i| {
+                            let row = &rows[(i - lo) as usize];
+                            let mut off = 0.0;
+                            let mut diagv = 0.0;
+                            for &(j, a) in row {
+                                if j == i {
+                                    diagv = a;
+                                } else {
+                                    off += a * x_ref[j as usize];
+                                }
+                            }
+                            assert!(diagv != 0.0, "zero diagonal at row {i}");
+                            (1.0 - off) / diagv
+                        })
+                        .collect()
+                });
+            x = new_parts.into_iter().flatten().collect();
+            let x_ref = &x;
+            let fin = Arc::clone(&finalized);
+            let partial: Vec<f64> =
+                self.cluster.run_stage("index/residual", ranges.clone(), move |_, (pidx, lo, hi)| {
+                    let rows = &fin[pidx];
+                    let mut worst = 0.0f64;
+                    for i in lo..hi {
+                        let ax: f64 = rows[(i - lo) as usize]
+                            .iter()
+                            .map(|&(j, a)| a * x_ref[j as usize])
+                            .sum();
+                        worst = worst.max((ax - 1.0).abs());
+                    }
+                    worst
+                });
+            residuals.push(partial.into_iter().fold(0.0, f64::max));
+        }
+        (DiagonalIndex::new(x), residuals)
+    }
+
+    /// Simulates the query cohort for `source` with per-step shuffles.
+    /// Counts are bitwise identical to the other engines.
+    pub fn query_cohort(&self, cfg: &SimRankConfig, source: NodeId) -> StepDistributions {
+        let seed = query_seed(cfg);
+        let nparts = self.nparts();
+        let partitioner = self.partitioner;
+        let parts = Arc::clone(&self.parts);
+
+        let mut initial: Vec<Vec<QueryWalker>> = self.empty_parts();
+        let home = partitioner.owner(source) as usize;
+        for w in 0..cfg.r_query {
+            initial[home].push((walker_key(seed, source, w), source));
+        }
+        let mut walkers = DistVec::from_partitions(initial);
+        let mut counts: Vec<Vec<(NodeId, u64)>> = Vec::with_capacity(cfg.t + 1);
+        counts.push(vec![(source, cfg.r_query as u64)]);
+        for t in 1..=cfg.t {
+            let parts_ref = Arc::clone(&parts);
+            walkers = walkers.map_partitions(
+                &self.cluster,
+                "query/step",
+                move |pidx, batch: Vec<QueryWalker>| {
+                    let gp = &parts_ref[pidx];
+                    batch
+                        .into_iter()
+                        .filter_map(|(key, pos)| {
+                            let ins = gp.in_neighbors(pos);
+                            if ins.is_empty() {
+                                None
+                            } else {
+                                Some((key, ins[pick(step_u64(key, t as u32), ins.len())]))
+                            }
+                        })
+                        .collect()
+                },
+            );
+            walkers = walkers.shuffle(
+                &self.cluster,
+                "query/walkers",
+                nparts,
+                move |&(_, pos)| partitioner.owner(pos) as usize,
+            );
+            // Per-partition histograms cover disjoint node ranges; merging
+            // is a concatenation + sort. The stage threads the walker
+            // partitions through for the next step.
+            let counted: Vec<CountedPartition<QueryWalker, (u32, u64)>> = self.cluster.run_stage(
+                "query/count",
+                walkers.into_partitions(),
+                |_, batch: Vec<QueryWalker>| {
+                    let mut m = CountMap::with_capacity(batch.len());
+                    for &(_, pos) in &batch {
+                        m.add(pos, 1);
+                    }
+                    let hist = m.into_sorted_vec();
+                    (batch, hist)
+                },
+            );
+            let mut walker_parts = Vec::with_capacity(counted.len());
+            let mut merged: Vec<(NodeId, u64)> = Vec::new();
+            for (w, hist) in counted {
+                walker_parts.push(w);
+                merged.extend(hist);
+            }
+            walkers = DistVec::from_partitions(walker_parts);
+            merged.sort_unstable_by_key(|&(k, _)| k);
+            counts.push(merged);
+        }
+        StepDistributions { source, walkers: cfg.r_query, counts }
+    }
+
+    /// MCSP in the RDD model.
+    pub fn single_pair(&self, diag: &[f64], cfg: &SimRankConfig, i: NodeId, j: NodeId) -> f64 {
+        if i == j {
+            return 1.0;
+        }
+        let di = self.query_cohort(cfg, i);
+        let dj = self.query_cohort(cfg, j);
+        score_pair(&di, &dj, diag, cfg.c)
+    }
+
+    /// MCSS in the RDD model: the cohort stage, then all `T` forward-walk
+    /// waves launched together, each carrying its remaining step budget so
+    /// one shuffled pass per global step retires wave `t` at step `t`.
+    pub fn single_source(&self, diag: &[f64], cfg: &SimRankConfig, i: NodeId) -> Vec<f64> {
+        let dists = self.query_cohort(cfg, i);
+        let n = self.n as usize;
+        let nparts = self.nparts();
+        let partitioner = self.partitioner;
+        let parts = Arc::clone(&self.parts);
+        let mut out = vec![0.0f64; n];
+
+        // Launch every wave: wave t starts with mass cᵗ·y_k/R_f and must
+        // take exactly t steps.
+        let mut initial: Vec<Vec<ForwardWalker>> = self.empty_parts();
+        let mut ct = 1.0f64;
+        for t in 0..=cfg.t {
+            let y = weighted_support(&dists, t, diag);
+            if t == 0 {
+                for &(k, m) in &y {
+                    out[k as usize] += ct * m;
+                }
+            } else {
+                let seed = forward_seed(cfg, i, t);
+                for (k, yk, nk) in crate::queries::forward_allocation(&y, cfg.r_forward) {
+                    let per = ct * yk / nk as f64;
+                    let p = partitioner.owner(k) as usize;
+                    for w in 0..nk {
+                        let key = mix(&[seed, k as u64, w as u64, t as u64]);
+                        initial[p].push((key, k, t as u32, per));
+                    }
+                }
+            }
+            ct *= cfg.c;
+        }
+
+        let mut walkers = DistVec::from_partitions(initial);
+        for s in 1..=cfg.t as u32 {
+            if walkers.is_empty() {
+                break;
+            }
+            // Step every active walker; retire those that finish this step.
+            let parts_ref = Arc::clone(&parts);
+            let stepped: Vec<CountedPartition<ForwardWalker, (u32, f64)>> = self.cluster.run_stage(
+                "query/forward-step",
+                walkers.into_partitions(),
+                move |pidx, batch| {
+                    let gp = &parts_ref[pidx];
+                    let mut active = Vec::with_capacity(batch.len());
+                    let mut retired: Vec<(u32, f64)> = Vec::new();
+                    for (key, pos, remaining, mass) in batch {
+                        let w = gp.outflow(pos);
+                        if w == 0.0 {
+                            continue; // mass drops off the graph
+                        }
+                        let next = gp
+                            .sample_out(pos, forward_step_r(key, s))
+                            .expect("outflow > 0 implies out-edges");
+                        let mass = mass * w;
+                        if remaining == 1 {
+                            retired.push((next, mass));
+                        } else {
+                            active.push((key, next, remaining - 1, mass));
+                        }
+                    }
+                    (active, retired)
+                },
+            );
+            let mut active_parts = Vec::with_capacity(nparts);
+            for (active, retired) in stepped {
+                active_parts.push(active);
+                for (node, mass) in retired {
+                    out[node as usize] += mass;
+                }
+            }
+            walkers = DistVec::from_partitions(active_parts).shuffle(
+                &self.cluster,
+                "query/forward",
+                nparts,
+                move |&(_, pos, _, _)| partitioner.owner(pos) as usize,
+            );
+        }
+        out[i as usize] = 1.0;
+        out
+    }
+}
+
+impl std::fmt::Debug for RddEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RddEngine")
+            .field("nodes", &self.n)
+            .field("partitions", &self.nparts())
+            .field("cluster", &self.cluster.config())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::local;
+    use pasco_graph::generators;
+    use pasco_graph::ReverseChainIndex;
+
+    fn engine(g: &CsrGraph, workers: usize) -> RddEngine {
+        RddEngine::new(ClusterConfig::local(workers), g)
+    }
+
+    #[test]
+    fn rdd_diagonal_matches_local_bitwise() {
+        let g = generators::barabasi_albert(180, 3, 4);
+        let cfg = SimRankConfig::fast().with_seed(21);
+        let eng = engine(&g, 3);
+        let (diag_r, res_r) = eng.build_diagonal(&cfg);
+        let out_l = local::build_diagonal(&g, &cfg);
+        assert_eq!(diag_r, out_l.diag, "RDD D must equal local D bitwise");
+        assert_eq!(res_r, out_l.residuals);
+    }
+
+    #[test]
+    fn rdd_cohort_matches_local_cohort() {
+        let g = generators::rmat(8, 1500, generators::RmatParams::default(), 6);
+        let cfg = SimRankConfig::fast();
+        let eng = engine(&g, 4);
+        assert_eq!(eng.query_cohort(&cfg, 9), crate::queries::query_cohort(&g, &cfg, 9));
+    }
+
+    #[test]
+    fn rdd_queries_match_local() {
+        let g = generators::barabasi_albert(120, 3, 2);
+        let cfg = SimRankConfig::fast();
+        let eng = engine(&g, 3);
+        let out = local::build_diagonal(&g, &cfg);
+        let diag = out.diag.as_slice();
+
+        assert_eq!(
+            eng.single_pair(diag, &cfg, 4, 70),
+            crate::queries::single_pair(&g, diag, &cfg, 4, 70),
+            "MCSP bitwise"
+        );
+        let rci = ReverseChainIndex::build(&g);
+        let ss_r = eng.single_source(diag, &cfg, 4);
+        let ss_l = crate::queries::single_source(&g, &rci, diag, &cfg, 4);
+        for (idx, (a, b)) in ss_r.iter().zip(&ss_l).enumerate() {
+            assert!((a - b).abs() < 1e-12, "MCSS node {idx}: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn rdd_shuffles_are_accounted() {
+        let g = generators::barabasi_albert(100, 3, 8);
+        let cfg = SimRankConfig::fast();
+        let eng = engine(&g, 2);
+        let _ = eng.build_diagonal(&cfg);
+        let report = eng.cluster().report();
+        assert!(report.shuffle_bytes > 0, "RDD indexing must shuffle");
+        assert!(report.shuffle_records > 0);
+        // walker + contribution shuffles per step
+        assert!(report.shuffles >= 2 * cfg.t);
+    }
+
+    #[test]
+    fn max_partition_is_smaller_than_graph() {
+        let g = generators::rmat(10, 10_000, generators::RmatParams::default(), 3);
+        let eng = engine(&g, 4);
+        assert!(eng.max_partition_bytes() < g.memory_bytes());
+    }
+}

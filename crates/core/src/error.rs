@@ -1,0 +1,72 @@
+//! Error type for CloudWalker operations.
+
+use pasco_cluster::ClusterError;
+use std::fmt;
+
+/// Failures surfaced by index construction, persistence and queries.
+#[derive(Debug)]
+pub enum SimRankError {
+    /// A configuration parameter is out of range.
+    InvalidConfig(String),
+    /// The underlying cluster refused an operation — most prominently a
+    /// broadcast that exceeds per-worker memory (the paper's `N/A` cells).
+    Cluster(ClusterError),
+    /// Persistence I/O failure.
+    Io(std::io::Error),
+    /// A persisted index file is malformed or does not match the graph.
+    BadIndex(String),
+}
+
+impl fmt::Display for SimRankError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimRankError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            SimRankError::Cluster(e) => write!(f, "cluster error: {e}"),
+            SimRankError::Io(e) => write!(f, "I/O error: {e}"),
+            SimRankError::BadIndex(msg) => write!(f, "bad index: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SimRankError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimRankError::Cluster(e) => Some(e),
+            SimRankError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ClusterError> for SimRankError {
+    fn from(e: ClusterError) -> Self {
+        SimRankError::Cluster(e)
+    }
+}
+
+impl From<std::io::Error> for SimRankError {
+    fn from(e: std::io::Error) -> Self {
+        SimRankError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_descriptive() {
+        let e = SimRankError::InvalidConfig("c out of range".into());
+        assert!(e.to_string().contains("c out of range"));
+        let e: SimRankError =
+            ClusterError::BroadcastExceedsMemory { needed: 2, budget: 1 }.into();
+        assert!(e.to_string().contains("broadcast"));
+    }
+
+    #[test]
+    fn sources_chain() {
+        use std::error::Error;
+        let e: SimRankError = std::io::Error::other("disk").into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,52 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! **CloudWalker** — the paper's contribution: SimRank at scale via a
+//! Monte-Carlo-estimated diagonal correction and constant-time MC queries.
+//!
+//! # The algorithm
+//!
+//! SimRank linearises as `S = Σ_{t≥0} cᵗ (Pᵗ)ᵀ D Pᵗ` for a diagonal
+//! correction matrix `D = diag(x)` (`P` is the column-stochastic in-link
+//! transition matrix). CloudWalker:
+//!
+//! 1. **Offline** ([`CloudWalker::build`]): estimates row
+//!    `aᵢ = Σ_{t=0..T} cᵗ (Pᵗeᵢ)∘(Pᵗeᵢ)` for every node by placing `R`
+//!    walkers on `i` and walking `T` steps along in-links, then solves
+//!    `A x = 1` (from `s(i,i) = 1`) with `L` parallel Jacobi iterations.
+//! 2. **Online**: single-pair queries ([`CloudWalker::single_pair`],
+//!    *MCSP*), single-source queries ([`CloudWalker::single_source`],
+//!    *MCSS*) and all-pair queries ([`CloudWalker::all_pairs_topk`],
+//!    *MCAP*) are answered from `R'` fresh walks plus the stored diagonal —
+//!    time independent of the graph size.
+//!
+//! # Execution modes
+//!
+//! [`ExecMode`] selects where the work runs: [`ExecMode::Local`] on a rayon
+//! pool, or on the simulated Spark cluster in the paper's two models —
+//! [`ExecMode::Broadcast`] (graph replicated per worker; fails when it does
+//! not fit the per-worker budget) and [`ExecMode::Rdd`] (graph partitioned;
+//! walker state shuffled every step). All three produce **bitwise identical
+//! results** for the same seed, because every walk step's randomness is a
+//! pure function of `(seed, source, walker, step)`.
+//!
+//! The [`exact`] module provides the `O(n²)` ground truth used by the
+//! effectiveness experiments, and [`metrics`] the error/ranking measures.
+
+pub mod ai;
+pub mod cloudwalker;
+pub mod config;
+pub mod diag;
+pub mod engine;
+pub mod error;
+pub mod exact;
+pub mod metrics;
+pub mod persist;
+pub mod queries;
+pub mod session;
+
+pub use cloudwalker::{CloudWalker, IndexBuildStats};
+pub use session::QuerySession;
+pub use config::{AiStrategy, SimRankConfig};
+pub use diag::DiagonalIndex;
+pub use engine::ExecMode;
+pub use error::SimRankError;

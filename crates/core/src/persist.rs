@@ -1,0 +1,90 @@
+//! Index persistence: the offline phase's output (`D`) saved to disk.
+//!
+//! Little-endian binary: magic `PASCODX1`, node count as `u64`, then the
+//! diagonal values. The index is the *only* state the online phase needs
+//! besides the graph, so this file is what a deployment would ship from the
+//! preprocessing cluster to the query servers.
+
+use crate::diag::DiagonalIndex;
+use crate::error::SimRankError;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"PASCODX1";
+
+/// Writes the index to `path`.
+pub fn save_index(index: &DiagonalIndex, path: impl AsRef<Path>) -> Result<(), SimRankError> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    w.write_all(MAGIC)?;
+    w.write_all(&(index.len() as u64).to_le_bytes())?;
+    for &v in index.as_slice() {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads an index written by [`save_index`].
+pub fn load_index(path: impl AsRef<Path>) -> Result<DiagonalIndex, SimRankError> {
+    let file = std::fs::File::open(path)?;
+    let mut r = BufReader::new(file);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(SimRankError::BadIndex(format!(
+            "bad magic {magic:?}, expected {MAGIC:?}"
+        )));
+    }
+    let mut len_buf = [0u8; 8];
+    r.read_exact(&mut len_buf)?;
+    let n = u64::from_le_bytes(len_buf) as usize;
+    let mut x = Vec::with_capacity(n);
+    let mut buf = [0u8; 8];
+    for _ in 0..n {
+        r.read_exact(&mut buf)?;
+        let v = f64::from_le_bytes(buf);
+        if !v.is_finite() {
+            return Err(SimRankError::BadIndex("non-finite diagonal value".into()));
+        }
+        x.push(v);
+    }
+    Ok(DiagonalIndex::new(x))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let dir = std::env::temp_dir().join("pasco_persist_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("d.idx");
+        let index = DiagonalIndex::new(vec![0.4, 0.61, 0.99, 1.0 - 0.6]);
+        save_index(&index, &path).unwrap();
+        let back = load_index(&path).unwrap();
+        assert_eq!(index, back);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let dir = std::env::temp_dir().join("pasco_persist_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("junk.idx");
+        std::fs::write(&path, b"NOTANIDXjunkjunkjunk").unwrap();
+        assert!(matches!(load_index(&path), Err(SimRankError::BadIndex(_))));
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        let dir = std::env::temp_dir().join("pasco_persist_test3");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("short.idx");
+        let index = DiagonalIndex::new(vec![0.5; 10]);
+        save_index(&index, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 4]).unwrap();
+        assert!(matches!(load_index(&path), Err(SimRankError::Io(_))));
+    }
+}

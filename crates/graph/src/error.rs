@@ -1,0 +1,64 @@
+//! Error type shared by the graph loaders.
+
+use std::fmt;
+
+/// Errors produced while loading or validating graphs.
+#[derive(Debug)]
+pub enum GraphError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line of an edge-list file could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description of the problem.
+        msg: String,
+    },
+    /// A binary graph file had a bad magic number or inconsistent lengths.
+    BadFormat(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Io(e) => write!(f, "I/O error: {e}"),
+            GraphError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            GraphError::BadFormat(msg) => write!(f, "bad graph file: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = GraphError::Parse { line: 3, msg: "bad token".into() };
+        assert_eq!(e.to_string(), "parse error at line 3: bad token");
+        let e = GraphError::BadFormat("magic".into());
+        assert!(e.to_string().contains("magic"));
+    }
+
+    #[test]
+    fn io_error_chains_source() {
+        use std::error::Error;
+        let e: GraphError = std::io::Error::new(std::io::ErrorKind::NotFound, "x").into();
+        assert!(e.source().is_some());
+    }
+}

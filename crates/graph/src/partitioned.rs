@@ -1,0 +1,200 @@
+//! Range-partitioned graph storage for the RDD execution mode.
+//!
+//! The paper's RDD model stores the graph as a partitioned dataset: each
+//! partition owns a contiguous node range and holds only the adjacency of
+//! its nodes, so the per-worker footprint is `O(|G| / partitions)`. A walker
+//! standing on node `v` can only take its next step on the partition owning
+//! `v` — walker state is shuffled between steps, which is exactly the cost
+//! the RDD-vs-Broadcasting experiment measures.
+//!
+//! Each [`GraphPartition`] carries, for its owned nodes:
+//! * in-adjacency (for the SimRank reverse walk), and
+//! * out-adjacency with reverse-chain cumulative weights (for the MCSS
+//!   forward walk; see [`crate::sampling::ReverseChainIndex`]).
+
+use crate::csr::{CsrGraph, NodeId};
+use crate::partition::Partitioner;
+
+/// One range partition of a graph.
+#[derive(Clone, Debug)]
+pub struct GraphPartition {
+    /// First owned node id.
+    pub start: NodeId,
+    /// One past the last owned node id.
+    pub end: NodeId,
+    in_offsets: Vec<u64>,
+    in_sources: Vec<NodeId>,
+    out_offsets: Vec<u64>,
+    out_targets: Vec<NodeId>,
+    /// Per-out-edge cumulative reverse-chain weights (local layout).
+    out_cum: Vec<f64>,
+    /// Per-owned-node total outflow `W_k`.
+    out_total: Vec<f64>,
+}
+
+impl GraphPartition {
+    /// Number of owned nodes.
+    pub fn len(&self) -> u32 {
+        self.end - self.start
+    }
+
+    /// True when the partition owns no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// True if this partition owns node `v`.
+    #[inline]
+    pub fn owns(&self, v: NodeId) -> bool {
+        (self.start..self.end).contains(&v)
+    }
+
+    #[inline]
+    fn local(&self, v: NodeId) -> usize {
+        debug_assert!(self.owns(v), "node {v} not owned by [{}, {})", self.start, self.end);
+        (v - self.start) as usize
+    }
+
+    /// In-neighbours of owned node `v` (global ids).
+    #[inline]
+    pub fn in_neighbors(&self, v: NodeId) -> &[NodeId] {
+        let l = self.local(v);
+        &self.in_sources[self.in_offsets[l] as usize..self.in_offsets[l + 1] as usize]
+    }
+
+    /// Out-neighbours of owned node `v` (global ids).
+    #[inline]
+    pub fn out_neighbors(&self, v: NodeId) -> &[NodeId] {
+        let l = self.local(v);
+        &self.out_targets[self.out_offsets[l] as usize..self.out_offsets[l + 1] as usize]
+    }
+
+    /// Total reverse-chain outflow `W_v` of owned node `v`.
+    #[inline]
+    pub fn outflow(&self, v: NodeId) -> f64 {
+        self.out_total[self.local(v)]
+    }
+
+    /// Samples an out-neighbour of owned `v` with probability `∝ 1/|In(j)|`
+    /// given uniform `r ∈ [0,1)`; `None` when `v` has no out-edges.
+    #[inline]
+    pub fn sample_out(&self, v: NodeId, r: f64) -> Option<NodeId> {
+        let l = self.local(v);
+        let lo = self.out_offsets[l] as usize;
+        let hi = self.out_offsets[l + 1] as usize;
+        if lo == hi {
+            return None;
+        }
+        let target = r * self.out_total[l];
+        let slice = &self.out_cum[lo..hi];
+        let idx = slice.partition_point(|&c| c <= target).min(slice.len() - 1);
+        Some(self.out_targets[lo + idx])
+    }
+
+    /// Resident bytes of this partition's arrays.
+    pub fn memory_bytes(&self) -> u64 {
+        (self.in_offsets.len() as u64 + self.out_offsets.len() as u64) * 8
+            + (self.in_sources.len() as u64 + self.out_targets.len() as u64) * 4
+            + (self.out_cum.len() as u64 + self.out_total.len() as u64) * 8
+    }
+}
+
+/// Splits `graph` into the range partitions described by `partitioner`.
+///
+/// # Panics
+/// Panics if `partitioner` is not a range partitioner over the graph's node
+/// count (hash partitioning would shred adjacency locality).
+pub fn partition_graph(graph: &CsrGraph, partitioner: &Partitioner) -> Vec<GraphPartition> {
+    let parts = partitioner.parts();
+    (0..parts)
+        .map(|p| {
+            let (start, end) = partitioner
+                .range_of(p)
+                .expect("partition_graph requires a range partitioner");
+            let count = (end - start) as usize;
+            let mut in_offsets = Vec::with_capacity(count + 1);
+            let mut in_sources = Vec::new();
+            let mut out_offsets = Vec::with_capacity(count + 1);
+            let mut out_targets = Vec::new();
+            let mut out_cum = Vec::new();
+            let mut out_total = Vec::with_capacity(count);
+            in_offsets.push(0);
+            out_offsets.push(0);
+            for v in start..end {
+                in_sources.extend_from_slice(graph.in_neighbors(v));
+                in_offsets.push(in_sources.len() as u64);
+                let mut acc = 0.0;
+                for &j in graph.out_neighbors(v) {
+                    acc += 1.0 / graph.in_degree(j) as f64;
+                    out_targets.push(j);
+                    out_cum.push(acc);
+                }
+                out_offsets.push(out_targets.len() as u64);
+                out_total.push(acc);
+            }
+            GraphPartition {
+                start,
+                end,
+                in_offsets,
+                in_sources,
+                out_offsets,
+                out_targets,
+                out_cum,
+                out_total,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::sampling::ReverseChainIndex;
+
+    #[test]
+    fn partitions_cover_graph_exactly() {
+        let g = generators::barabasi_albert(500, 4, 3);
+        let p = Partitioner::range(500, 7);
+        let parts = partition_graph(&g, &p);
+        assert_eq!(parts.len(), 7);
+        let total: u32 = parts.iter().map(|gp| gp.len()).sum();
+        assert_eq!(total, 500);
+        // Adjacency matches the full graph for every node.
+        for gp in &parts {
+            for v in gp.start..gp.end {
+                assert_eq!(gp.in_neighbors(v), g.in_neighbors(v));
+                assert_eq!(gp.out_neighbors(v), g.out_neighbors(v));
+            }
+        }
+    }
+
+    #[test]
+    fn partition_sampling_matches_global_index() {
+        let g = generators::rmat(9, 3000, generators::RmatParams::default(), 4);
+        let p = Partitioner::range(g.node_count(), 4);
+        let parts = partition_graph(&g, &p);
+        let rci = ReverseChainIndex::build(&g);
+        for gp in &parts {
+            for v in gp.start..gp.end {
+                assert!((gp.outflow(v) - rci.outflow(v)).abs() < 1e-12, "node {v}");
+                for &r in &[0.0, 0.3, 0.77, 0.999] {
+                    assert_eq!(gp.sample_out(v, r), rci.sample(&g, v, r), "node {v} r {r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn memory_sums_close_to_full_graph() {
+        let g = generators::barabasi_albert(300, 4, 1);
+        let p = Partitioner::range(300, 5);
+        let parts = partition_graph(&g, &p);
+        let part_bytes: u64 = parts.iter().map(|gp| gp.memory_bytes()).sum();
+        // Partitioned storage duplicates offsets and adds weights, but each
+        // partition alone must be much smaller than the whole.
+        for gp in &parts {
+            assert!(gp.memory_bytes() < part_bytes / 2);
+        }
+    }
+}

@@ -1,0 +1,146 @@
+//! Walk diagnostics: survival, spread and support statistics.
+//!
+//! Operators sizing `T`, `R` and memory budgets need to know how walks
+//! behave on *their* graph: how fast mass dies on dangling nodes (bounds
+//! useful `T`), how wide the per-step support spreads (bounds row storage
+//! under the `Store` strategy and shuffle volume in RDD mode). These
+//! summaries are cheap to compute from sampled cohorts and feed capacity
+//! planning before an expensive full index build.
+
+use crate::walks::{reverse_walk_distributions, WalkParams};
+use pasco_graph::{CsrGraph, NodeId};
+use rayon::prelude::*;
+
+/// Per-step aggregates over a sample of cohorts.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WalkProfile {
+    /// Walk parameters the profile was measured with.
+    pub params: WalkParams,
+    /// Number of sampled source nodes.
+    pub sampled_sources: usize,
+    /// Mean surviving mass per step (`survival[t] ∈ [0, 1]`, index 0 = 1).
+    pub survival: Vec<f64>,
+    /// Mean distinct-node support per step.
+    pub support: Vec<f64>,
+    /// Largest observed per-step support across samples.
+    pub max_support: usize,
+}
+
+impl WalkProfile {
+    /// Estimated bytes per stored `aᵢ` row (12 bytes per support entry),
+    /// from the measured mean total support.
+    pub fn estimated_row_bytes(&self) -> u64 {
+        let total: f64 = self.support.iter().sum();
+        (total * 12.0).ceil() as u64 + 24
+    }
+
+    /// The first step at which mean survival drops below `threshold`
+    /// (`None` if it never does within the profiled horizon). A `T` beyond
+    /// this point buys little: the series terms carry almost no mass.
+    pub fn effective_horizon(&self, threshold: f64) -> Option<usize> {
+        self.survival.iter().position(|&s| s < threshold)
+    }
+}
+
+/// Profiles reverse walks from `sources` (deterministic in `seed`).
+pub fn profile_walks(
+    graph: &CsrGraph,
+    sources: &[NodeId],
+    params: WalkParams,
+    seed: u64,
+) -> WalkProfile {
+    assert!(!sources.is_empty(), "need at least one source");
+    let per_source: Vec<(Vec<f64>, Vec<usize>)> = sources
+        .par_iter()
+        .map(|&s| {
+            let d = reverse_walk_distributions(graph, s, params, seed);
+            let mass: Vec<f64> = (0..=params.steps).map(|t| d.mass(t)).collect();
+            let support: Vec<usize> = d.counts.iter().map(Vec::len).collect();
+            (mass, support)
+        })
+        .collect();
+    let steps = params.steps + 1;
+    let mut survival = vec![0.0; steps];
+    let mut support = vec![0.0; steps];
+    let mut max_support = 0;
+    for (mass, sup) in &per_source {
+        for t in 0..steps {
+            survival[t] += mass[t];
+            support[t] += sup[t] as f64;
+            max_support = max_support.max(sup[t]);
+        }
+    }
+    let k = sources.len() as f64;
+    for t in 0..steps {
+        survival[t] /= k;
+        support[t] /= k;
+    }
+    WalkProfile { params, sampled_sources: sources.len(), survival, support, max_support }
+}
+
+/// Evenly spaced sample of `count` node ids (for profiling without bias
+/// toward any id range).
+pub fn sample_sources(graph: &CsrGraph, count: usize) -> Vec<NodeId> {
+    let n = graph.node_count();
+    assert!(n > 0, "empty graph");
+    let count = count.min(n as usize).max(1);
+    (0..count).map(|i| ((i as u64 * n as u64) / count as u64) as NodeId).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pasco_graph::generators;
+
+    #[test]
+    fn cycle_profile_is_lossless_and_point_supported() {
+        let g = generators::cycle(20);
+        let p = profile_walks(&g, &[0, 5, 10], WalkParams::new(6, 8), 3);
+        assert!(p.survival.iter().all(|&s| (s - 1.0).abs() < 1e-12));
+        assert!(p.support.iter().all(|&s| (s - 1.0).abs() < 1e-12));
+        assert_eq!(p.max_support, 1);
+        assert_eq!(p.effective_horizon(0.5), None);
+    }
+
+    #[test]
+    fn path_profile_shows_mass_death() {
+        // 0 -> 1 -> 2: from node 2 walkers die after two steps.
+        let g = generators::path(3);
+        let p = profile_walks(&g, &[2], WalkParams::new(4, 10), 1);
+        assert_eq!(p.survival[0], 1.0);
+        assert_eq!(p.survival[2], 1.0);
+        assert_eq!(p.survival[3], 0.0);
+        assert_eq!(p.effective_horizon(0.5), Some(3));
+    }
+
+    #[test]
+    fn support_grows_then_saturates_on_scale_free_graphs() {
+        let g = generators::barabasi_albert(500, 4, 9);
+        let sources = sample_sources(&g, 20);
+        let p = profile_walks(&g, &sources, WalkParams::new(8, 64), 5);
+        // Support at step 1 exceeds the single source node of step 0.
+        assert!(p.support[1] > p.support[0]);
+        assert!(p.max_support <= 64);
+        assert!(p.estimated_row_bytes() > 24);
+    }
+
+    #[test]
+    fn sample_sources_spans_the_id_range() {
+        let g = generators::cycle(100);
+        let s = sample_sources(&g, 10);
+        assert_eq!(s.len(), 10);
+        assert_eq!(s[0], 0);
+        assert!(*s.last().unwrap() >= 90);
+        // Monotone and unique.
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn profile_is_deterministic() {
+        let g = generators::rmat(8, 1200, generators::RmatParams::default(), 2);
+        let sources = sample_sources(&g, 5);
+        let a = profile_walks(&g, &sources, WalkParams::new(5, 32), 7);
+        let b = profile_walks(&g, &sources, WalkParams::new(5, 32), 7);
+        assert_eq!(a, b);
+    }
+}

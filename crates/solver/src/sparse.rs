@@ -1,0 +1,254 @@
+//! Sorted sparse vectors.
+
+/// A sparse vector over `u32` indices: entries sorted by index, indices
+/// unique, values finite. The invariants are established at construction
+/// and relied upon by the merge-based operations.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SparseVec {
+    entries: Vec<(u32, f64)>,
+}
+
+impl SparseVec {
+    /// An empty vector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds from entries that are already sorted by index and unique.
+    ///
+    /// # Panics
+    /// In debug builds, panics if the invariant does not hold.
+    pub fn from_sorted(entries: Vec<(u32, f64)>) -> Self {
+        debug_assert!(
+            entries.windows(2).all(|w| w[0].0 < w[1].0),
+            "entries must be sorted and unique"
+        );
+        debug_assert!(entries.iter().all(|&(_, v)| v.is_finite()));
+        Self { entries }
+    }
+
+    /// Builds from arbitrary entries: sorts and merges duplicate indices by
+    /// summation.
+    pub fn from_unsorted(mut entries: Vec<(u32, f64)>) -> Self {
+        entries.sort_unstable_by_key(|&(i, _)| i);
+        let mut out: Vec<(u32, f64)> = Vec::with_capacity(entries.len());
+        for (i, v) in entries {
+            match out.last_mut() {
+                Some(last) if last.0 == i => last.1 += v,
+                _ => out.push((i, v)),
+            }
+        }
+        Self { entries: out }
+    }
+
+    /// Number of stored entries.
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no entries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The sorted entry slice.
+    pub fn entries(&self) -> &[(u32, f64)] {
+        &self.entries
+    }
+
+    /// Value at `idx` (0 if absent); binary search.
+    pub fn get(&self, idx: u32) -> f64 {
+        match self.entries.binary_search_by_key(&idx, |&(i, _)| i) {
+            Ok(p) => self.entries[p].1,
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Dot product with a dense vector.
+    pub fn dot_dense(&self, dense: &[f64]) -> f64 {
+        self.entries.iter().map(|&(i, v)| v * dense[i as usize]).sum()
+    }
+
+    /// Dot product with another sparse vector (sorted merge).
+    pub fn dot_sparse(&self, other: &SparseVec) -> f64 {
+        let (mut a, mut b) = (self.entries.iter().peekable(), other.entries.iter().peekable());
+        let mut acc = 0.0;
+        while let (Some(&&(ia, va)), Some(&&(ib, vb))) = (a.peek(), b.peek()) {
+            match ia.cmp(&ib) {
+                std::cmp::Ordering::Less => {
+                    a.next();
+                }
+                std::cmp::Ordering::Greater => {
+                    b.next();
+                }
+                std::cmp::Ordering::Equal => {
+                    acc += va * vb;
+                    a.next();
+                    b.next();
+                }
+            }
+        }
+        acc
+    }
+
+    /// Triple product `Σ_k self_k · other_k · weight_k` with a dense weight
+    /// vector — the `ûᵀ D v̂` kernel of MCSP.
+    pub fn dot_sparse_weighted(&self, other: &SparseVec, weights: &[f64]) -> f64 {
+        let (mut a, mut b) = (self.entries.iter().peekable(), other.entries.iter().peekable());
+        let mut acc = 0.0;
+        while let (Some(&&(ia, va)), Some(&&(ib, vb))) = (a.peek(), b.peek()) {
+            match ia.cmp(&ib) {
+                std::cmp::Ordering::Less => {
+                    a.next();
+                }
+                std::cmp::Ordering::Greater => {
+                    b.next();
+                }
+                std::cmp::Ordering::Equal => {
+                    acc += va * vb * weights[ia as usize];
+                    a.next();
+                    b.next();
+                }
+            }
+        }
+        acc
+    }
+
+    /// `self + scale · other`, returned as a new vector (sorted merge).
+    pub fn add_scaled(&self, other: &SparseVec, scale: f64) -> SparseVec {
+        let mut out = Vec::with_capacity(self.nnz() + other.nnz());
+        let (mut a, mut b) = (self.entries.iter().peekable(), other.entries.iter().peekable());
+        loop {
+            match (a.peek(), b.peek()) {
+                (Some(&&(ia, va)), Some(&&(ib, vb))) => match ia.cmp(&ib) {
+                    std::cmp::Ordering::Less => {
+                        out.push((ia, va));
+                        a.next();
+                    }
+                    std::cmp::Ordering::Greater => {
+                        out.push((ib, scale * vb));
+                        b.next();
+                    }
+                    std::cmp::Ordering::Equal => {
+                        out.push((ia, va + scale * vb));
+                        a.next();
+                        b.next();
+                    }
+                },
+                (Some(&&(ia, va)), None) => {
+                    out.push((ia, va));
+                    a.next();
+                }
+                (None, Some(&&(ib, vb))) => {
+                    out.push((ib, scale * vb));
+                    b.next();
+                }
+                (None, None) => break,
+            }
+        }
+        SparseVec { entries: out }
+    }
+
+    /// Multiplies every value by `scale` in place.
+    pub fn scale(&mut self, scale: f64) {
+        for e in &mut self.entries {
+            e.1 *= scale;
+        }
+    }
+
+    /// Sum of values.
+    pub fn sum(&self) -> f64 {
+        self.entries.iter().map(|&(_, v)| v).sum()
+    }
+
+    /// Materialises into a dense vector of length `n`.
+    pub fn to_dense(&self, n: usize) -> Vec<f64> {
+        let mut out = vec![0.0; n];
+        for &(i, v) in &self.entries {
+            out[i as usize] = v;
+        }
+        out
+    }
+
+    /// Drops entries with `|value| < eps` in place; returns entries removed.
+    /// Keeps the online frontier of sparse pushes from filling up with dust.
+    pub fn prune(&mut self, eps: f64) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|&(_, v)| v.abs() >= eps);
+        before - self.entries.len()
+    }
+}
+
+impl From<Vec<(u32, f64)>> for SparseVec {
+    /// Accepts arbitrary order (sorts and merges duplicates).
+    fn from(entries: Vec<(u32, f64)>) -> Self {
+        SparseVec::from_unsorted(entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(entries: &[(u32, f64)]) -> SparseVec {
+        SparseVec::from_unsorted(entries.to_vec())
+    }
+
+    #[test]
+    fn from_unsorted_sorts_and_merges() {
+        let v = sv(&[(5, 1.0), (1, 2.0), (5, 3.0)]);
+        assert_eq!(v.entries(), &[(1, 2.0), (5, 4.0)]);
+        assert_eq!(v.nnz(), 2);
+    }
+
+    #[test]
+    fn get_and_sum() {
+        let v = sv(&[(2, 0.5), (7, 1.5)]);
+        assert_eq!(v.get(2), 0.5);
+        assert_eq!(v.get(3), 0.0);
+        assert!((v.sum() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dot_products_agree() {
+        let a = sv(&[(0, 1.0), (2, 2.0), (5, 3.0)]);
+        let b = sv(&[(2, 4.0), (3, 9.0), (5, 0.5)]);
+        let dense_b = b.to_dense(6);
+        assert!((a.dot_sparse(&b) - (2.0 * 4.0 + 3.0 * 0.5)).abs() < 1e-12);
+        assert!((a.dot_dense(&dense_b) - a.dot_sparse(&b)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_dot_matches_manual() {
+        let a = sv(&[(1, 2.0), (3, 1.0)]);
+        let b = sv(&[(1, 0.5), (2, 9.0), (3, 2.0)]);
+        let w = vec![0.0, 10.0, 0.0, 100.0];
+        assert!((a.dot_sparse_weighted(&b, &w) - (2.0 * 0.5 * 10.0 + 1.0 * 2.0 * 100.0)).abs()
+            < 1e-12);
+    }
+
+    #[test]
+    fn add_scaled_merges_all_cases() {
+        let a = sv(&[(0, 1.0), (2, 1.0)]);
+        let b = sv(&[(1, 1.0), (2, 2.0), (4, 4.0)]);
+        let c = a.add_scaled(&b, 0.5);
+        assert_eq!(c.entries(), &[(0, 1.0), (1, 0.5), (2, 2.0), (4, 2.0)]);
+    }
+
+    #[test]
+    fn prune_drops_dust() {
+        let mut v = sv(&[(0, 1e-12), (1, 0.5), (2, -1e-9)]);
+        let removed = v.prune(1e-10);
+        assert_eq!(removed, 1);
+        assert_eq!(v.nnz(), 2);
+        assert_eq!(v.get(0), 0.0);
+        assert_eq!(v.get(2), -1e-9);
+    }
+
+    #[test]
+    fn scale_in_place() {
+        let mut v = sv(&[(3, 2.0)]);
+        v.scale(-0.25);
+        assert_eq!(v.get(3), -0.5);
+    }
+}

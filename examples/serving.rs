@@ -1,0 +1,64 @@
+//! A serving-shaped workload: capacity planning with walk profiles, then a
+//! query session with cohort caching answering a stream of repeated
+//! queries.
+//!
+//! ```text
+//! cargo run --release --example serving
+//! ```
+
+use pasco::graph::generators;
+use pasco::mc::stats::{profile_walks, sample_sources};
+use pasco::mc::walks::WalkParams;
+use pasco::simrank::{CloudWalker, ExecMode, QuerySession, SimRankConfig};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() {
+    let graph = Arc::new(generators::rmat(14, 120_000, generators::RmatParams::default(), 9));
+    let cfg = SimRankConfig::default_paper().with_r_query(4_000);
+
+    // Capacity planning BEFORE the expensive build: how do walks behave?
+    let probe = sample_sources(&graph, 32);
+    let profile = profile_walks(&graph, &probe, WalkParams::new(cfg.t, cfg.r), cfg.seed);
+    println!("walk profile over {} sampled sources:", profile.sampled_sources);
+    println!(
+        "  survival by step: {:?}",
+        profile.survival.iter().map(|s| format!("{s:.2}")).collect::<Vec<_>>()
+    );
+    println!("  est. stored-row size: {} bytes/node", profile.estimated_row_bytes());
+    if let Some(h) = profile.effective_horizon(0.05) {
+        println!("  95% of walk mass is gone by step {h} — T beyond that buys little");
+    }
+
+    let cw = CloudWalker::build(Arc::clone(&graph), cfg, ExecMode::Local).unwrap();
+
+    // A query stream with a skewed working set (hot nodes repeat), served
+    // through the caching session.
+    let hot: Vec<u32> = (0..8).map(|i| i * 1000 + 3).collect();
+    let mut session = QuerySession::new(&cw, 64);
+    let t0 = Instant::now();
+    let mut checksum = 0.0;
+    for round in 0..50u32 {
+        let i = hot[(round % 8) as usize];
+        let j = hot[((round / 2 + 3) % 8) as usize];
+        checksum += session.single_pair(i, j);
+    }
+    let with_cache = t0.elapsed();
+    let (hits, misses) = session.cache_stats();
+    println!("\n50 pair queries over 8 hot nodes: {with_cache:?} (cache: {hits} hits / {misses} misses)");
+
+    let t0 = Instant::now();
+    let mut checksum2 = 0.0;
+    for round in 0..50u32 {
+        let i = hot[(round % 8) as usize];
+        let j = hot[((round / 2 + 3) % 8) as usize];
+        checksum2 += cw.single_pair(i, j);
+    }
+    let without = t0.elapsed();
+    println!("same stream without caching:    {without:?}");
+    assert!((checksum - checksum2).abs() < 1e-9, "caching must not change answers");
+
+    // Top-k retrieval without materialising a dense score vector.
+    let top = cw.single_source_topk(hot[0], 5);
+    println!("\ntop-5 similar to node {}: {:?}", hot[0], top);
+}

@@ -1,0 +1,237 @@
+//! `pasco` — command-line interface to the CloudWalker reproduction.
+//!
+//! ```text
+//! pasco generate --model rmat --scale 14 --edges 100000 --seed 7 --out g.bin
+//! pasco stats    --graph g.bin
+//! pasco index    --graph g.bin --out g.idx [--mode local|broadcast|rdd] [--seed N]
+//! pasco sp       --graph g.bin --index g.idx --i 3 --j 99
+//! pasco ss       --graph g.bin --index g.idx --i 3 [--top 10]
+//! pasco convert  --in edges.txt --out g.bin      (edge list -> binary, or back)
+//! ```
+//!
+//! Graphs are read as the binary format when the file starts with the
+//! `PASCOGR1` magic, otherwise as a whitespace edge list.
+
+use pasco::cluster::ClusterConfig;
+use pasco::graph::stats::{degree_stats, human_bytes, Direction};
+use pasco::graph::{io, CsrGraph};
+use pasco::simrank::{persist, CloudWalker, ExecMode, SimRankConfig};
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Instant;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, flags)) = parse(&args) else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(&flags),
+        "stats" => cmd_stats(&flags),
+        "index" => cmd_index(&flags),
+        "sp" => cmd_sp(&flags),
+        "ss" => cmd_ss(&flags),
+        "convert" => cmd_convert(&flags),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+pasco — CloudWalker SimRank (PASCO reproduction)
+
+USAGE:
+  pasco generate --model <er|ba|rmat|ws> --out <file> [--nodes N] [--scale S]
+                 [--edges M] [--seed N]
+  pasco stats    --graph <file>
+  pasco index    --graph <file> --out <file> [--mode local|broadcast|rdd]
+                 [--seed N] [--c F] [--t N] [--l N] [--r N]
+  pasco sp       --graph <file> --index <file> --i <node> --j <node>
+  pasco ss       --graph <file> --index <file> --i <node> [--top K]
+  pasco convert  --in <file> --out <file>   (.txt <-> .bin by extension)
+";
+
+type Flags = HashMap<String, String>;
+
+fn parse(args: &[String]) -> Option<(String, Flags)> {
+    let cmd = args.first()?.clone();
+    let mut flags = HashMap::new();
+    let mut it = args[1..].iter();
+    while let Some(flag) = it.next() {
+        let name = flag.strip_prefix("--")?;
+        let value = it.next()?;
+        flags.insert(name.to_string(), value.clone());
+    }
+    Some((cmd, flags))
+}
+
+fn get<'a>(flags: &'a Flags, key: &str) -> Result<&'a str, String> {
+    flags.get(key).map(|s| s.as_str()).ok_or_else(|| format!("missing --{key}"))
+}
+
+fn get_num<T: std::str::FromStr>(flags: &Flags, key: &str, default: T) -> Result<T, String> {
+    match flags.get(key) {
+        None => Ok(default),
+        Some(s) => s.parse().map_err(|_| format!("--{key}: cannot parse `{s}`")),
+    }
+}
+
+fn load_graph(path: &str) -> Result<CsrGraph, String> {
+    let head = std::fs::read(path).map_err(|e| format!("{path}: {e}"))?;
+    if head.starts_with(b"PASCOGR1") {
+        io::read_binary(path).map_err(|e| e.to_string())
+    } else {
+        io::read_edge_list(path).map_err(|e| e.to_string())
+    }
+}
+
+fn cmd_generate(flags: &Flags) -> Result<(), String> {
+    use pasco::graph::generators as g;
+    let model = get(flags, "model")?;
+    let out = get(flags, "out")?;
+    let seed: u64 = get_num(flags, "seed", 42)?;
+    let graph = match model {
+        "er" => {
+            let n: u32 = get_num(flags, "nodes", 10_000)?;
+            let m: u64 = get_num(flags, "edges", (n as u64) * 8)?;
+            g::erdos_renyi(n, m, seed)
+        }
+        "ba" => {
+            let n: u32 = get_num(flags, "nodes", 10_000)?;
+            let per: u32 = get_num(flags, "edges-per-node", 8)?;
+            g::barabasi_albert(n, per, seed)
+        }
+        "rmat" => {
+            let scale: u32 = get_num(flags, "scale", 14)?;
+            let m: u64 = get_num(flags, "edges", (1u64 << scale) * 8)?;
+            g::rmat(scale, m, g::RmatParams::default(), seed)
+        }
+        "ws" => {
+            let n: u32 = get_num(flags, "nodes", 10_000)?;
+            let k: u32 = get_num(flags, "k", 8)?;
+            g::watts_strogatz(n, k, 0.1, seed)
+        }
+        other => return Err(format!("unknown model `{other}` (er|ba|rmat|ws)")),
+    };
+    io::write_binary(&graph, out).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {out}: {} nodes, {} edges, {}",
+        graph.node_count(),
+        graph.edge_count(),
+        human_bytes(graph.memory_bytes())
+    );
+    Ok(())
+}
+
+fn cmd_stats(flags: &Flags) -> Result<(), String> {
+    let graph = load_graph(get(flags, "graph")?)?;
+    println!("nodes:  {}", graph.node_count());
+    println!("edges:  {}", graph.edge_count());
+    println!("memory: {}", human_bytes(graph.memory_bytes()));
+    for (label, dir) in [("in", Direction::In), ("out", Direction::Out)] {
+        let s = degree_stats(&graph, dir);
+        println!(
+            "{label}-degree: min {} p50 {} p90 {} p99 {} max {} mean {:.2} zeros {}",
+            s.min, s.p50, s.p90, s.p99, s.max, s.mean, s.zeros
+        );
+    }
+    Ok(())
+}
+
+fn sim_config(flags: &Flags) -> Result<SimRankConfig, String> {
+    let mut cfg = SimRankConfig::default_paper();
+    cfg.c = get_num(flags, "c", cfg.c)?;
+    cfg.t = get_num(flags, "t", cfg.t)?;
+    cfg.l = get_num(flags, "l", cfg.l)?;
+    cfg.r = get_num(flags, "r", cfg.r)?;
+    cfg.r_query = get_num(flags, "r-query", cfg.r_query)?;
+    cfg.seed = get_num(flags, "seed", cfg.seed)?;
+    cfg.validate().map_err(|e| e.to_string())?;
+    Ok(cfg)
+}
+
+fn cmd_index(flags: &Flags) -> Result<(), String> {
+    let graph = Arc::new(load_graph(get(flags, "graph")?)?);
+    let out = get(flags, "out")?;
+    let cfg = sim_config(flags)?;
+    let mode = match flags.get("mode").map(|s| s.as_str()).unwrap_or("local") {
+        "local" => ExecMode::Local,
+        "broadcast" => ExecMode::Broadcast(ClusterConfig::paper_like()),
+        "rdd" => ExecMode::Rdd(ClusterConfig::paper_like()),
+        other => return Err(format!("unknown mode `{other}`")),
+    };
+    let t0 = Instant::now();
+    let (cw, stats) =
+        CloudWalker::build_with_stats(graph, cfg, mode).map_err(|e| e.to_string())?;
+    persist::save_index(cw.diagonal(), out).map_err(|e| e.to_string())?;
+    println!(
+        "indexed {} nodes in {:.2?} (strategy {:?}, residual {:.2e}); index -> {out}",
+        cw.diagonal().len(),
+        t0.elapsed(),
+        stats.strategy,
+        stats.jacobi_residuals.last().copied().unwrap_or(0.0)
+    );
+    Ok(())
+}
+
+fn load_engine(flags: &Flags) -> Result<CloudWalker, String> {
+    let graph = Arc::new(load_graph(get(flags, "graph")?)?);
+    let index = persist::load_index(get(flags, "index")?).map_err(|e| e.to_string())?;
+    let cfg = sim_config(flags)?;
+    CloudWalker::from_index(graph, cfg, index).map_err(|e| e.to_string())
+}
+
+fn cmd_sp(flags: &Flags) -> Result<(), String> {
+    let cw = load_engine(flags)?;
+    let i: u32 = get_num(flags, "i", u32::MAX)?;
+    let j: u32 = get_num(flags, "j", u32::MAX)?;
+    if i == u32::MAX || j == u32::MAX {
+        return Err("sp needs --i and --j".into());
+    }
+    let t0 = Instant::now();
+    let s = cw.single_pair(i, j);
+    println!("s({i}, {j}) = {s:.6}   [{:?}]", t0.elapsed());
+    Ok(())
+}
+
+fn cmd_ss(flags: &Flags) -> Result<(), String> {
+    let cw = load_engine(flags)?;
+    let i: u32 = get_num(flags, "i", u32::MAX)?;
+    if i == u32::MAX {
+        return Err("ss needs --i".into());
+    }
+    let top: usize = get_num(flags, "top", 10)?;
+    let t0 = Instant::now();
+    let ranked = cw.single_source_topk(i, top);
+    let latency = t0.elapsed();
+    println!("top-{top} similar to {i}   [{latency:?}]");
+    for (node, s) in ranked {
+        println!("  {node:>10}  {s:.6}");
+    }
+    Ok(())
+}
+
+fn cmd_convert(flags: &Flags) -> Result<(), String> {
+    let input = get(flags, "in")?;
+    let output = get(flags, "out")?;
+    let graph = load_graph(input)?;
+    if output.ends_with(".txt") || output.ends_with(".el") {
+        io::write_edge_list(&graph, output).map_err(|e| e.to_string())?;
+    } else {
+        io::write_binary(&graph, output).map_err(|e| e.to_string())?;
+    }
+    println!("{input} -> {output} ({} nodes, {} edges)", graph.node_count(), graph.edge_count());
+    Ok(())
+}

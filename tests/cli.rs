@@ -1,0 +1,106 @@
+//! Integration: the `pasco` command-line binary, invoked as a subprocess.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_pasco"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join("pasco_cli_tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn generate_index_query_pipeline() {
+    let graph = tmp("pipeline.bin");
+    let index = tmp("pipeline.idx");
+
+    let out = bin()
+        .args(["generate", "--model", "ba", "--nodes", "500", "--edges-per-node", "4"])
+        .args(["--out", graph.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("500 nodes"));
+
+    let out = bin()
+        .args(["index", "--graph", graph.to_str().unwrap()])
+        .args(["--out", index.to_str().unwrap()])
+        .args(["--r-query", "500", "--r", "32", "--t", "5"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = bin()
+        .args(["sp", "--graph", graph.to_str().unwrap()])
+        .args(["--index", index.to_str().unwrap()])
+        .args(["--i", "3", "--j", "99", "--r-query", "500", "--t", "5"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("s(3, 99)"));
+
+    let out = bin()
+        .args(["ss", "--graph", graph.to_str().unwrap()])
+        .args(["--index", index.to_str().unwrap()])
+        .args(["--i", "3", "--top", "3", "--r-query", "500", "--t", "5"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("top-3 similar to 3"), "{stdout}");
+}
+
+#[test]
+fn stats_and_convert_roundtrip() {
+    let bin_path = tmp("conv.bin");
+    let txt_path = tmp("conv.txt");
+    assert!(bin()
+        .args(["generate", "--model", "er", "--nodes", "100", "--edges", "400"])
+        .args(["--out", bin_path.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    assert!(bin()
+        .args(["convert", "--in", bin_path.to_str().unwrap()])
+        .args(["--out", txt_path.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    let out = bin().args(["stats", "--graph", txt_path.to_str().unwrap()]).output().unwrap();
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("edges:  400"), "{stdout}");
+}
+
+#[test]
+fn bad_invocations_fail_cleanly() {
+    // Unknown command.
+    let out = bin().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+    // Missing required flag.
+    let out = bin().args(["stats"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--graph"));
+    // Nonexistent file.
+    let out = bin().args(["stats", "--graph", "/nonexistent/g.bin"]).output().unwrap();
+    assert!(!out.status.success());
+    // Bad parameter value.
+    let graph = tmp("badparam.bin");
+    bin()
+        .args(["generate", "--model", "er", "--nodes", "50", "--edges", "100"])
+        .args(["--out", graph.to_str().unwrap()])
+        .status()
+        .unwrap();
+    let out = bin()
+        .args(["index", "--graph", graph.to_str().unwrap()])
+        .args(["--out", tmp("x.idx").to_str().unwrap(), "--c", "1.5"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("decay factor"));
+}

@@ -1,0 +1,100 @@
+//! End-to-end integration: CloudWalker against exact SimRank, across
+//! crates.
+
+use pasco::graph::generators;
+use pasco::simrank::exact::ExactSimRank;
+use pasco::simrank::{metrics, CloudWalker, ExecMode, SimRankConfig};
+use std::sync::Arc;
+
+/// The headline correctness property: with paper parameters, CloudWalker's
+/// estimates track exact SimRank on a scale-free graph.
+#[test]
+fn cloudwalker_tracks_exact_simrank() {
+    let g = Arc::new(generators::barabasi_albert(150, 4, 31));
+    let cfg = SimRankConfig::default_paper().with_r(400).with_r_query(6_000).with_seed(3);
+    let cw = CloudWalker::build(Arc::clone(&g), cfg, ExecMode::Local).unwrap();
+    let exact = ExactSimRank::compute(&g, cfg.c, 25);
+
+    // Pairs.
+    let mut worst = 0.0f64;
+    for i in (0..150).step_by(17) {
+        for j in (1..150).step_by(29) {
+            let est = cw.single_pair(i, j);
+            worst = worst.max((est - exact.get(i, j)).abs());
+        }
+    }
+    assert!(worst < 0.06, "worst single-pair error {worst}");
+
+    // Single-source rows: value error and ranking quality.
+    for s in [0u32, 75, 149] {
+        let est = cw.single_source(s);
+        let truth = exact.row(s);
+        let mean = metrics::mean_abs_diff(&est, truth);
+        assert!(mean < 0.03, "source {s}: mean error {mean}");
+        let ranking: Vec<u32> =
+            metrics::top_k(&est, 10, Some(s)).into_iter().map(|(i, _)| i).collect();
+        let ndcg = metrics::ndcg_at_k(truth, &ranking, 10, Some(s));
+        assert!(ndcg > 0.85, "source {s}: NDCG@10 = {ndcg}");
+    }
+}
+
+/// SimRank fundamentals survive the full pipeline: unit diagonal, [0, 1]
+/// range, near-symmetry of the estimator.
+#[test]
+fn estimates_respect_simrank_axioms() {
+    let g = Arc::new(generators::rmat(9, 3_000, generators::RmatParams::default(), 8));
+    let cfg = SimRankConfig::fast();
+    let cw = CloudWalker::build(Arc::clone(&g), cfg, ExecMode::Local).unwrap();
+    for v in (0..g.node_count()).step_by(97) {
+        assert_eq!(cw.single_pair(v, v), 1.0);
+    }
+    let scores = cw.single_source(100);
+    assert!(scores.iter().all(|&s| (0.0..=1.0 + 1e-9).contains(&s)));
+    assert_eq!(scores[100], 1.0);
+    // The estimator reuses per-node cohorts: exact argument symmetry.
+    assert_eq!(cw.single_pair(5, 200), cw.single_pair(200, 5));
+}
+
+/// Dangling nodes (no in-links) are only similar to themselves.
+#[test]
+fn dangling_nodes_have_zero_similarity() {
+    let g = Arc::new(generators::star(40)); // leaves 1..40 are dangling
+    let cfg = SimRankConfig::fast();
+    let cw = CloudWalker::build(Arc::clone(&g), cfg, ExecMode::Local).unwrap();
+    // Leaves have no in-neighbours: s(leaf, anything else) = 0.
+    assert_eq!(cw.single_pair(1, 2), 0.0);
+    assert_eq!(cw.single_pair(1, 0), 0.0);
+    let row = cw.single_source(1);
+    assert_eq!(row[1], 1.0);
+    assert!(row.iter().enumerate().all(|(i, &s)| i == 1 || s == 0.0));
+}
+
+/// The two-community structure that the examples rely on: within-community
+/// similarity dominates cross-community similarity.
+#[test]
+fn community_structure_is_respected() {
+    let g = Arc::new(generators::two_communities(200, 1_200, 16, 5));
+    let cfg = SimRankConfig::fast();
+    let cw = CloudWalker::build(Arc::clone(&g), cfg, ExecMode::Local).unwrap();
+    let row = cw.single_source(10);
+    let within: f64 = (0..100).filter(|&i| i != 10).map(|i| row[i]).sum::<f64>() / 99.0;
+    let cross: f64 = (100..200).map(|i| row[i]).sum::<f64>() / 100.0;
+    assert!(
+        within > 2.0 * cross,
+        "within {within} should dominate cross {cross}"
+    );
+}
+
+/// MCAP output is consistent with individual MCSS calls.
+#[test]
+fn all_pairs_is_consistent_with_single_source() {
+    let g = Arc::new(generators::barabasi_albert(60, 3, 12));
+    let cfg = SimRankConfig::fast();
+    let cw = CloudWalker::build(Arc::clone(&g), cfg, ExecMode::Local).unwrap();
+    let all = cw.all_pairs_topk(5);
+    for &s in &[0u32, 30, 59] {
+        let row = cw.single_source(s);
+        let expect = metrics::top_k(&row, 5, Some(s));
+        assert_eq!(all[s as usize], expect, "source {s}");
+    }
+}

@@ -1,0 +1,95 @@
+//! The reproduction's strongest guarantee: the three execution engines
+//! (Local, Broadcasting, RDD) are observationally equivalent under a fixed
+//! seed — indexes bitwise equal, MCSP bitwise equal, MCSS equal to float
+//! accumulation order.
+
+use pasco::cluster::{ClusterConfig, ClusterError};
+use pasco::graph::generators;
+use pasco::simrank::{CloudWalker, ExecMode, SimRankConfig, SimRankError};
+use std::sync::Arc;
+
+fn build_all(g: &Arc<pasco::graph::CsrGraph>, cfg: SimRankConfig) -> [CloudWalker; 3] {
+    [
+        CloudWalker::build(Arc::clone(g), cfg, ExecMode::Local).unwrap(),
+        CloudWalker::build(Arc::clone(g), cfg, ExecMode::Broadcast(ClusterConfig::local(3)))
+            .unwrap(),
+        CloudWalker::build(Arc::clone(g), cfg, ExecMode::Rdd(ClusterConfig::local(5))).unwrap(),
+    ]
+}
+
+#[test]
+fn indexes_are_bitwise_identical_across_modes() {
+    for seed in [1u64, 99, 0xdead] {
+        let g = Arc::new(generators::rmat(8, 1_600, generators::RmatParams::default(), seed));
+        let cfg = SimRankConfig::fast().with_seed(seed);
+        let [l, b, r] = build_all(&g, cfg);
+        assert_eq!(l.diagonal(), b.diagonal(), "seed {seed}: broadcast");
+        assert_eq!(l.diagonal(), r.diagonal(), "seed {seed}: rdd");
+    }
+}
+
+#[test]
+fn mcsp_is_bitwise_identical_across_modes() {
+    let g = Arc::new(generators::barabasi_albert(140, 3, 7));
+    let cfg = SimRankConfig::fast().with_seed(11);
+    let [l, b, r] = build_all(&g, cfg);
+    for &(i, j) in &[(0u32, 1u32), (5, 70), (120, 139), (33, 32)] {
+        let expect = l.single_pair(i, j);
+        assert_eq!(expect, b.single_pair(i, j), "broadcast ({i},{j})");
+        assert_eq!(expect, r.single_pair(i, j), "rdd ({i},{j})");
+    }
+}
+
+#[test]
+fn mcss_matches_across_modes_to_float_tolerance() {
+    let g = Arc::new(generators::barabasi_albert(140, 3, 19));
+    let cfg = SimRankConfig::fast().with_seed(23);
+    let [l, b, r] = build_all(&g, cfg);
+    for &s in &[0u32, 64, 139] {
+        let expect = l.single_source(s);
+        for (name, row) in [("broadcast", b.single_source(s)), ("rdd", r.single_source(s))] {
+            for (v, (a, e)) in row.iter().zip(&expect).enumerate() {
+                assert!(
+                    (a - e).abs() < 1e-12,
+                    "{name} source {s} node {v}: {a} vs {e}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn result_is_independent_of_cluster_shape() {
+    // Different worker counts and partition counts must not change results
+    // (the determinism that makes elastic deployments debuggable).
+    let g = Arc::new(generators::rmat(8, 1_500, generators::RmatParams::default(), 4));
+    let cfg = SimRankConfig::fast().with_seed(40);
+    let reference =
+        CloudWalker::build(Arc::clone(&g), cfg, ExecMode::Rdd(ClusterConfig::local(2)))
+            .unwrap();
+    for workers in [1usize, 3, 7] {
+        let other = CloudWalker::build(
+            Arc::clone(&g),
+            cfg,
+            ExecMode::Rdd(ClusterConfig::local(workers)),
+        )
+        .unwrap();
+        assert_eq!(reference.diagonal(), other.diagonal(), "workers {workers}");
+    }
+}
+
+#[test]
+fn broadcast_memory_wall_vs_rdd_scalability() {
+    // The paper's central operational contrast, as an assertion.
+    let g = Arc::new(generators::rmat(10, 8_000, generators::RmatParams::default(), 2));
+    let budget = g.memory_bytes(); // graph alone fits, graph + query index does not
+    let cluster = ClusterConfig::local(4).with_memory_per_worker(budget);
+    let cfg = SimRankConfig::fast();
+    match CloudWalker::build(Arc::clone(&g), cfg, ExecMode::Broadcast(cluster)) {
+        Err(SimRankError::Cluster(ClusterError::BroadcastExceedsMemory { .. })) => {}
+        other => panic!("expected the broadcast memory wall, got ok={}", other.is_ok()),
+    }
+    let rdd = CloudWalker::build(Arc::clone(&g), cfg, ExecMode::Rdd(cluster)).unwrap();
+    assert!(rdd.max_partition_bytes().unwrap() < budget);
+    assert!(rdd.cluster_report().unwrap().shuffle_bytes > 0);
+}
