@@ -151,8 +151,7 @@ impl Lin {
                 ct *= self.cfg.c;
             }
             // y = D u, then z = (Pᵀ)ᵗ y by forward pushes.
-            let mut z: Vec<(u32, f64)> =
-                u.iter().map(|&(k, p)| (k, x[k as usize] * p)).collect();
+            let mut z: Vec<(u32, f64)> = u.iter().map(|&(k, p)| (k, x[k as usize] * p)).collect();
             for _ in 0..t {
                 z = push_measure(&self.graph, &z);
             }

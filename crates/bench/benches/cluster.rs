@@ -27,9 +27,7 @@ fn bench_shuffle(c: &mut Criterion) {
         group.bench_function(format!("walker-records-{n}"), |b| {
             b.iter(|| {
                 let dv = DistVec::parallelize(items.clone(), 8);
-                black_box(
-                    dv.shuffle(&cluster, "bench", 8, |&(_, _, pos)| (pos % 8) as usize).len(),
-                )
+                black_box(dv.shuffle(&cluster, "bench", 8, |&(_, _, pos)| (pos % 8) as usize).len())
             });
         });
     }

@@ -28,9 +28,7 @@ fn bench_all_nodes(c: &mut Criterion) {
     group.bench_function("4096-nodes-R10-T10", |b| {
         let params = WalkParams::new(10, 10);
         b.iter(|| {
-            black_box(pasco_mc::parallel::map_all_nodes(&g, params, 3, |_, d| {
-                d.counts.len()
-            }))
+            black_box(pasco_mc::parallel::map_all_nodes(&g, params, 3, |_, d| d.counts.len()))
         });
     });
     group.finish();

@@ -74,8 +74,7 @@ fn ai_ablation() {
     let cfg = SimRankConfig::default_paper();
     println!("A2: aᵢ row strategy on {}\n", ds.spec.name);
     let mut t = Table::new(&["strategy", "D wall", "row memory", "identical x?"]);
-    let (store, d_store) =
-        time(|| local::build_diagonal_with_strategy(g, &cfg, AiStrategy::Store));
+    let (store, d_store) = time(|| local::build_diagonal_with_strategy(g, &cfg, AiStrategy::Store));
     let (recompute, d_rec) =
         time(|| local::build_diagonal_with_strategy(g, &cfg, AiStrategy::Recompute));
     let same = store.diag == recompute.diag;
@@ -85,12 +84,7 @@ fn ai_ablation() {
         format!("{:.1}MB", store.rows_bytes.unwrap_or(0) as f64 / 1e6),
         same.to_string(),
     ]);
-    t.row(vec![
-        "Recompute".into(),
-        fmt_duration(d_rec),
-        "O(n) only".into(),
-        same.to_string(),
-    ]);
+    t.row(vec!["Recompute".into(), fmt_duration(d_rec), "O(n) only".into(), same.to_string()]);
     t.print();
     println!("\nSeed-replayed walks make the two strategies bit-identical, so the choice\nis purely memory vs (L+1)x walk time.\n");
 }
@@ -115,11 +109,7 @@ fn walker_ablation() {
             lat += d;
             worst = worst.max((est - exact.get(i, j)).abs());
         }
-        t.row(vec![
-            rq.to_string(),
-            fmt_duration(lat / pairs.len() as u32),
-            format!("{worst:.4}"),
-        ]);
+        t.row(vec![rq.to_string(), fmt_duration(lat / pairs.len() as u32), format!("{worst:.4}")]);
     }
     t.print();
     println!("\nError shrinks ~1/sqrt(R') while latency grows linearly — R' = 10,000 is the\npaper's accuracy/latency sweet spot.");

@@ -49,14 +49,8 @@ fn main() {
     let (x_star, _) = local::solve_with_iterations(g, &cfg, 50);
 
     // Sweep L at the paper's R.
-    let mut t = Table::new(&[
-        "L",
-        "residual",
-        "|x_L - x*|inf",
-        "pair max-err",
-        "SS mean-err",
-        "NDCG@20",
-    ]);
+    let mut t =
+        Table::new(&["L", "residual", "|x_L - x*|inf", "pair max-err", "SS mean-err", "NDCG@20"]);
     for l in 0..=6usize {
         let (diag, residuals) = local::solve_with_iterations(g, &cfg, l);
         let dist = metrics::max_abs_diff(diag.as_slice(), x_star.as_slice());

@@ -19,22 +19,14 @@ fn main() {
 
     // (a) Speedup in workers on a fixed graph.
     let ds = datasets::load("wiki-talk-sim");
-    println!(
-        "(a) indexing {} (|V|={}) vs virtual workers:\n",
-        ds.spec.name,
-        ds.graph.node_count()
-    );
+    println!("(a) indexing {} (|V|={}) vs virtual workers:\n", ds.spec.name, ds.graph.node_count());
     let mut t = Table::new(&["workers", "wall", "sim makespan", "sim speedup"]);
     let mut base_sim = None;
     for workers in [1usize, 2, 4, 8, 16] {
         let cluster = ClusterConfig::local(workers);
         let (built, wall) = time(|| {
-            CloudWalker::build_with_stats(
-                Arc::clone(&ds.graph),
-                cfg,
-                ExecMode::Broadcast(cluster),
-            )
-            .unwrap()
+            CloudWalker::build_with_stats(Arc::clone(&ds.graph), cfg, ExecMode::Broadcast(cluster))
+                .unwrap()
         });
         let report = built.1.cluster.unwrap();
         let sim = report.total_sim;
@@ -63,9 +55,8 @@ fn main() {
             RmatParams::default(),
             0x5ca1e + scale_exp as u64,
         ));
-        let (out, wall) = time(|| {
-            CloudWalker::build(Arc::clone(&g), cfg, ExecMode::Local).unwrap()
-        });
+        let (out, wall) =
+            time(|| CloudWalker::build(Arc::clone(&g), cfg, ExecMode::Local).unwrap());
         let per_node = wall.as_secs_f64() * 1e6 / g.node_count() as f64;
         t.row(vec![
             g.node_count().to_string(),

@@ -56,11 +56,7 @@ fn main() {
             (Ok(fmt), prep) => {
                 let (_, sp) = time(|| std::hint::black_box(fmt.single_pair(qi, qj)));
                 let (_, ss) = time(|| std::hint::black_box(fmt.single_source(qi)));
-                MethodCells {
-                    prep: fmt_duration(prep),
-                    sp: fmt_duration(sp),
-                    ss: fmt_duration(ss),
-                }
+                MethodCells { prep: fmt_duration(prep), sp: fmt_duration(sp), ss: fmt_duration(ss) }
             }
             (Err(e), _) => {
                 eprintln!("[{}] FMT: {e}", ds.spec.name);
@@ -72,18 +68,10 @@ fn main() {
             (Ok(lin), prep) => {
                 let (_, sp) = time(|| std::hint::black_box(lin.single_pair(qi, qj)));
                 let (_, ss) = time(|| std::hint::black_box(lin.single_source(qi)));
-                MethodCells {
-                    prep: fmt_duration(prep),
-                    sp: fmt_duration(sp),
-                    ss: fmt_duration(ss),
-                }
+                MethodCells { prep: fmt_duration(prep), sp: fmt_duration(sp), ss: fmt_duration(ss) }
             }
             (Err(e), spent) => {
-                eprintln!(
-                    "[{}] LIN: {e} (abandoned after {})",
-                    ds.spec.name,
-                    fmt_duration(spent)
-                );
+                eprintln!("[{}] LIN: {e} (abandoned after {})", ds.spec.name, fmt_duration(spent));
                 na()
             }
         };
@@ -91,8 +79,7 @@ fn main() {
         // CloudWalker runs locally here — the comparison isolates the
         // algorithms; the cluster models are compared in E4/E5/E8.
         let cw_cells = {
-            let (built, prep) =
-                time(|| CloudWalker::build(Arc::clone(&g), cfg, ExecMode::Local));
+            let (built, prep) = time(|| CloudWalker::build(Arc::clone(&g), cfg, ExecMode::Local));
             match built {
                 Ok(cw) => {
                     let (_, sp) = time(|| std::hint::black_box(cw.single_pair(qi, qj)));

@@ -27,15 +27,11 @@ fn main() {
         .to_string();
     let scale = Scale::from_env();
     let cfg = SimRankConfig::default_paper().with_r_query(scale.r_query());
-    println!(
-        "E4/E5: D + MCSP + MCSS per dataset — mode={mode_name}, PASCO_SCALE={scale:?}"
-    );
-    println!(
-        "params: c={}, T={}, L={}, R={}, R'={}\n",
-        cfg.c, cfg.t, cfg.l, cfg.r, cfg.r_query
-    );
+    println!("E4/E5: D + MCSP + MCSS per dataset — mode={mode_name}, PASCO_SCALE={scale:?}");
+    println!("params: c={}, T={}, L={}, R={}, R'={}\n", cfg.c, cfg.t, cfg.l, cfg.r, cfg.r_query);
 
-    let mut t = Table::new(&["Dataset", "D", "MCSP", "MCSS", "paper D", "paper MCSP", "paper MCSS"]);
+    let mut t =
+        Table::new(&["Dataset", "D", "MCSP", "MCSS", "paper D", "paper MCSP", "paper MCSS"]);
     let paper: &[(&str, &str, &str)] = match mode_name.as_str() {
         "rdd" => &[
             ("50s", "2.7s", "2.9s"),

@@ -23,8 +23,8 @@ fn cache_dir() -> PathBuf {
 /// Loads `name` (either registry name), generating and caching on first
 /// use.
 pub fn load(name: &str) -> LoadedDataset {
-    let spec = pasco_graph::datasets::by_name(name)
-        .unwrap_or_else(|| panic!("unknown dataset {name}"));
+    let spec =
+        pasco_graph::datasets::by_name(name).unwrap_or_else(|| panic!("unknown dataset {name}"));
     let dir = cache_dir();
     let path = dir.join(format!("{}.bin", spec.name));
     if path.exists() {

@@ -94,10 +94,7 @@ impl<A: Codec, B: Codec, C: Codec, D: Codec> Codec for (A, B, C, D) {
         (a, b, c, d)
     }
     fn encoded_len(&self) -> usize {
-        self.0.encoded_len()
-            + self.1.encoded_len()
-            + self.2.encoded_len()
-            + self.3.encoded_len()
+        self.0.encoded_len() + self.1.encoded_len() + self.2.encoded_len() + self.3.encoded_len()
     }
 }
 

@@ -34,7 +34,7 @@ impl ClusterConfig {
             // query sampling index ≈ 59 MiB) fits, the clue-web stand-in
             // (≈ 123 MiB) does not — same relationship as in the paper.
             memory_per_worker: 96 * 1024 * 1024,
-            net_bytes_per_sec: 1_000_000_000,    // ~10 GbE
+            net_bytes_per_sec: 1_000_000_000, // ~10 GbE
             net_latency_us: 150,
         }
     }

@@ -70,9 +70,8 @@ impl<T: Send> DistVec<T> {
         U: Send,
         F: Fn(T) -> U + Sync,
     {
-        let parts = cluster.run_stage(label, self.parts, |_, part| {
-            part.into_iter().map(&f).collect::<Vec<U>>()
-        });
+        let parts = cluster
+            .run_stage(label, self.parts, |_, part| part.into_iter().map(&f).collect::<Vec<U>>());
         DistVec { parts }
     }
 
@@ -105,9 +104,10 @@ impl<T: Send> DistVec<T> {
         F: Fn(U, &T) -> U + Sync,
         M: Fn(U, U) -> U,
     {
-        let partials = cluster.run_stage(label, self.parts.iter().collect::<Vec<_>>(), |_, part| {
-            part.iter().fold(init.clone(), &fold)
-        });
+        let partials =
+            cluster.run_stage(label, self.parts.iter().collect::<Vec<_>>(), |_, part| {
+                part.iter().fold(init.clone(), &fold)
+            });
         partials.into_iter().fold(init, merge)
     }
 
@@ -132,7 +132,13 @@ impl<T: Send> DistVec<T> {
     /// records into per-destination byte buffers; reduce-side tasks decode.
     /// Bytes, records and message counts land in the metrics log under
     /// `label`, together with the virtual cluster's estimated network time.
-    pub fn shuffle<F>(self, cluster: &Cluster, label: &str, dest_parts: usize, dest: F) -> DistVec<T>
+    pub fn shuffle<F>(
+        self,
+        cluster: &Cluster,
+        label: &str,
+        dest_parts: usize,
+        dest: F,
+    ) -> DistVec<T>
     where
         T: Codec,
         F: Fn(&T) -> usize + Sync,
@@ -173,17 +179,16 @@ impl<T: Send> DistVec<T> {
         }
 
         // Reduce side: decode.
-        let parts: Vec<Vec<T>> =
-            cluster.run_stage(&format!("{label}/read"), inboxes, |_, bufs| {
-                let mut out = Vec::new();
-                for buf in bufs {
-                    let mut slice = buf.as_slice();
-                    while !slice.is_empty() {
-                        out.push(T::decode(&mut slice));
-                    }
+        let parts: Vec<Vec<T>> = cluster.run_stage(&format!("{label}/read"), inboxes, |_, bufs| {
+            let mut out = Vec::new();
+            for buf in bufs {
+                let mut slice = buf.as_slice();
+                while !slice.is_empty() {
+                    out.push(T::decode(&mut slice));
                 }
-                out
-            });
+            }
+            out
+        });
 
         let records = parts.iter().map(Vec::len).sum::<usize>() as u64;
         cluster.log_shuffle(ShuffleMetrics {

@@ -103,7 +103,11 @@ pub struct ClusterReport {
 impl MetricsLog {
     /// Aggregates the log.
     pub fn report(&self) -> ClusterReport {
-        let mut r = ClusterReport { stages: self.stages.len(), shuffles: self.shuffles.len(), ..Default::default() };
+        let mut r = ClusterReport {
+            stages: self.stages.len(),
+            shuffles: self.shuffles.len(),
+            ..Default::default()
+        };
         for s in &self.stages {
             r.total_wall += s.wall;
             r.total_busy += s.busy;

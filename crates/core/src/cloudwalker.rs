@@ -3,13 +3,14 @@
 use crate::config::{AiStrategy, SimRankConfig};
 use crate::diag::DiagonalIndex;
 use crate::engine::broadcast::BroadcastEngine;
-use crate::engine::local;
+use crate::engine::local::LocalEngine;
 use crate::engine::rdd::RddEngine;
-use crate::engine::ExecMode;
+use crate::engine::{ExecMode, SimRankEngine};
 use crate::error::SimRankError;
 use crate::queries;
 use pasco_cluster::ClusterReport;
 use pasco_graph::{CsrGraph, NodeId, ReverseChainIndex};
+use rayon::prelude::*;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -28,13 +29,11 @@ pub struct IndexBuildStats {
     pub cluster: Option<ClusterReport>,
 }
 
-enum EngineImpl {
-    Local,
-    Broadcast(BroadcastEngine),
-    Rdd(RddEngine),
-}
-
 /// CloudWalker: offline-indexed, Monte-Carlo-queried SimRank.
+///
+/// Every query dispatches through one `Box<dyn SimRankEngine>` — the
+/// execution substrate is chosen once at build time and the query paths
+/// never branch on it.
 ///
 /// ```
 /// use pasco_simrank::{CloudWalker, SimRankConfig, ExecMode};
@@ -50,7 +49,7 @@ pub struct CloudWalker {
     rci: Arc<ReverseChainIndex>,
     cfg: SimRankConfig,
     diag: DiagonalIndex,
-    engine: EngineImpl,
+    engine: Box<dyn SimRankEngine>,
 }
 
 impl CloudWalker {
@@ -76,33 +75,23 @@ impl CloudWalker {
         }
         let start = Instant::now();
         let rci = Arc::new(ReverseChainIndex::build(&graph));
-        let strategy = cfg.resolve_ai_strategy(graph.node_count());
-        let (diag, engine, residuals, rows_bytes, cluster) = match mode {
-            ExecMode::Local => {
-                let out = local::build_diagonal(&graph, &cfg);
-                (out.diag, EngineImpl::Local, out.residuals, out.rows_bytes, None)
-            }
+        // The one place execution modes are matched: engine construction.
+        let engine: Box<dyn SimRankEngine> = match mode {
+            ExecMode::Local => Box::new(LocalEngine::new(Arc::clone(&graph), Arc::clone(&rci))),
             ExecMode::Broadcast(cluster_cfg) => {
-                let eng = BroadcastEngine::new(cluster_cfg, Arc::clone(&graph), Arc::clone(&rci))?;
-                let (diag, residuals, rows_bytes) = eng.build_diagonal(&cfg);
-                let report = eng.cluster().report();
-                (diag, EngineImpl::Broadcast(eng), residuals, rows_bytes, Some(report))
+                Box::new(BroadcastEngine::new(cluster_cfg, Arc::clone(&graph), Arc::clone(&rci))?)
             }
-            ExecMode::Rdd(cluster_cfg) => {
-                let eng = RddEngine::new(cluster_cfg, &graph);
-                let (diag, residuals) = eng.build_diagonal(&cfg);
-                let report = eng.cluster().report();
-                (diag, EngineImpl::Rdd(eng), residuals, None, Some(report))
-            }
+            ExecMode::Rdd(cluster_cfg) => Box::new(RddEngine::new(cluster_cfg, &graph)),
         };
+        let out = engine.build_diagonal(&cfg)?;
         let stats = IndexBuildStats {
             wall: start.elapsed(),
-            strategy,
-            jacobi_residuals: residuals,
-            rows_bytes,
-            cluster,
+            strategy: out.strategy,
+            jacobi_residuals: out.residuals,
+            rows_bytes: out.rows_bytes,
+            cluster: out.cluster,
         };
-        Ok((Self { graph, rci, cfg, diag, engine }, stats))
+        Ok((Self { graph, rci, cfg, diag: out.diag, engine }, stats))
     }
 
     /// Wraps a previously computed (e.g. [`crate::persist::load_index`]ed)
@@ -121,7 +110,8 @@ impl CloudWalker {
             )));
         }
         let rci = Arc::new(ReverseChainIndex::build(&graph));
-        Ok(Self { graph, rci, cfg, diag, engine: EngineImpl::Local })
+        let engine = Box::new(LocalEngine::new(Arc::clone(&graph), Arc::clone(&rci)));
+        Ok(Self { graph, rci, cfg, diag, engine })
     }
 
     /// MCSP — similarity of one node pair, `O(T·R′)`. Estimates are
@@ -133,16 +123,7 @@ impl CloudWalker {
     pub fn single_pair(&self, i: NodeId, j: NodeId) -> f64 {
         self.check_node(i);
         self.check_node(j);
-        let raw = match &self.engine {
-            EngineImpl::Local => {
-                queries::single_pair(&self.graph, self.diag.as_slice(), &self.cfg, i, j)
-            }
-            EngineImpl::Broadcast(eng) => {
-                eng.single_pair(self.diag.as_slice(), &self.cfg, i, j)
-            }
-            EngineImpl::Rdd(eng) => eng.single_pair(self.diag.as_slice(), &self.cfg, i, j),
-        };
-        raw.clamp(0.0, 1.0)
+        self.engine.single_pair(self.diag.as_slice(), &self.cfg, i, j).clamp(0.0, 1.0)
     }
 
     /// MCSS — similarity of every node to `i`, `O(T²·R′·log d)`. Estimates
@@ -152,17 +133,7 @@ impl CloudWalker {
     /// Panics if `i` is not a node of the graph.
     pub fn single_source(&self, i: NodeId) -> Vec<f64> {
         self.check_node(i);
-        let mut out = match &self.engine {
-            EngineImpl::Local => queries::single_source(
-                &self.graph,
-                &self.rci,
-                self.diag.as_slice(),
-                &self.cfg,
-                i,
-            ),
-            EngineImpl::Broadcast(eng) => eng.single_source(self.diag.as_slice(), &self.cfg, i),
-            EngineImpl::Rdd(eng) => eng.single_source(self.diag.as_slice(), &self.cfg, i),
-        };
+        let mut out = self.engine.single_source(self.diag.as_slice(), &self.cfg, i);
         for v in &mut out {
             *v = v.clamp(0.0, 1.0);
         }
@@ -170,22 +141,26 @@ impl CloudWalker {
     }
 
     /// Sparse top-`k` MCSS: returns only the `k` most similar nodes
-    /// (query node excluded), accumulating over the walk support instead of
-    /// a dense length-`n` vector — the right call for big graphs when only
-    /// a ranking is needed. Local execution regardless of mode.
+    /// (query node excluded) — the right call for big graphs when only a
+    /// ranking is needed. Runs on the configured engine, so cluster modes
+    /// account the work in their [`ClusterReport`].
     ///
     /// # Panics
     /// Panics if `i` is not a node of the graph.
     pub fn single_source_topk(&self, i: NodeId, k: usize) -> Vec<(NodeId, f64)> {
         self.check_node(i);
-        queries::single_source_topk(
-            &self.graph,
-            &self.rci,
-            self.diag.as_slice(),
-            &self.cfg,
-            i,
-            k,
-        )
+        self.engine.single_source_topk(self.diag.as_slice(), &self.cfg, i, k)
+    }
+
+    /// Simulates the `R'`-walker query cohort of `v` on the configured
+    /// engine (the building block [`crate::QuerySession`] caches; cluster
+    /// modes account the work in their [`ClusterReport`]).
+    ///
+    /// # Panics
+    /// Panics if `v` is not a node of the graph.
+    pub fn query_cohort(&self, v: NodeId) -> pasco_mc::walks::StepDistributions {
+        self.check_node(v);
+        self.engine.query_cohort(&self.cfg, v)
     }
 
     /// The deterministic-push variant of MCSS (ablation A1); local
@@ -201,10 +176,14 @@ impl CloudWalker {
 
     /// MCAP — top-`k` similar nodes for every node (`O(n·T²·R′·log d)`;
     /// run it on graphs small enough to afford `n` single-source queries).
-    /// Local execution regardless of mode, as in the paper ("use MCSS
-    /// repeatedly").
+    /// Runs MCSS repeatedly (as in the paper) on the configured engine, in
+    /// parallel over sources.
     pub fn all_pairs_topk(&self, k: usize) -> Vec<Vec<(NodeId, f64)>> {
-        queries::all_pairs_topk(&self.graph, &self.rci, self.diag.as_slice(), &self.cfg, k)
+        let diag = self.diag.as_slice();
+        (0..self.graph.node_count())
+            .into_par_iter()
+            .map(|i| self.engine.single_source_topk(diag, &self.cfg, i, k))
+            .collect()
     }
 
     /// The offline index.
@@ -222,22 +201,31 @@ impl CloudWalker {
         &self.graph
     }
 
+    /// The reverse-chain sampling index shared with the engine.
+    pub fn reverse_chain_index(&self) -> &Arc<ReverseChainIndex> {
+        &self.rci
+    }
+
+    /// The engine's substrate name (`"local"`, `"broadcast"`, `"rdd"`).
+    pub fn mode_name(&self) -> &'static str {
+        self.engine.name()
+    }
+
     /// Cluster accounting so far (None in local mode).
     pub fn cluster_report(&self) -> Option<ClusterReport> {
-        match &self.engine {
-            EngineImpl::Local => None,
-            EngineImpl::Broadcast(eng) => Some(eng.cluster().report()),
-            EngineImpl::Rdd(eng) => Some(eng.cluster().report()),
-        }
+        self.engine.cluster_report()
+    }
+
+    /// The engine's per-worker query-time memory demand.
+    pub fn memory_footprint(&self) -> crate::engine::EngineFootprint {
+        self.engine.memory_footprint()
     }
 
     /// RDD mode's per-worker memory requirement (largest partition); `None`
     /// in other modes.
     pub fn max_partition_bytes(&self) -> Option<u64> {
-        match &self.engine {
-            EngineImpl::Rdd(eng) => Some(eng.max_partition_bytes()),
-            _ => None,
-        }
+        let fp = self.engine.memory_footprint();
+        fp.partitioned.then_some(fp.per_worker_bytes)
     }
 
     #[inline]
@@ -256,14 +244,7 @@ impl std::fmt::Debug for CloudWalker {
             .field("nodes", &self.graph.node_count())
             .field("edges", &self.graph.edge_count())
             .field("cfg", &self.cfg)
-            .field(
-                "mode",
-                &match self.engine {
-                    EngineImpl::Local => "local",
-                    EngineImpl::Broadcast(_) => "broadcast",
-                    EngineImpl::Rdd(_) => "rdd",
-                },
-            )
+            .field("mode", &self.engine.name())
             .finish_non_exhaustive()
     }
 }
@@ -287,6 +268,7 @@ mod tests {
         assert_eq!(row[5], 1.0);
         assert_eq!(stats.jacobi_residuals.len(), cw.config().l);
         assert!(stats.cluster.is_none());
+        assert_eq!(cw.mode_name(), "local");
     }
 
     #[test]
@@ -308,11 +290,8 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, SimRankError::BadIndex(_)));
-        let ok = CloudWalker::from_index(
-            g,
-            SimRankConfig::fast(),
-            DiagonalIndex::new(vec![0.4; 5]),
-        );
+        let ok =
+            CloudWalker::from_index(g, SimRankConfig::fast(), DiagonalIndex::new(vec![0.4; 5]));
         assert!(ok.is_ok());
     }
 
@@ -325,24 +304,27 @@ mod tests {
     }
 
     #[test]
+    fn cloudwalker_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CloudWalker>();
+    }
+
+    #[test]
     fn three_modes_agree_end_to_end() {
         let g = Arc::new(generators::barabasi_albert(120, 3, 9));
         let cfg = SimRankConfig::fast().with_seed(5);
         let local = CloudWalker::build(Arc::clone(&g), cfg, ExecMode::Local).unwrap();
-        let bcast = CloudWalker::build(
-            Arc::clone(&g),
-            cfg,
-            ExecMode::Broadcast(ClusterConfig::local(3)),
-        )
-        .unwrap();
-        let rdd =
-            CloudWalker::build(Arc::clone(&g), cfg, ExecMode::Rdd(ClusterConfig::local(3)))
+        let bcast =
+            CloudWalker::build(Arc::clone(&g), cfg, ExecMode::Broadcast(ClusterConfig::local(3)))
                 .unwrap();
+        let rdd = CloudWalker::build(Arc::clone(&g), cfg, ExecMode::Rdd(ClusterConfig::local(3)))
+            .unwrap();
         assert_eq!(local.diagonal(), bcast.diagonal());
         assert_eq!(local.diagonal(), rdd.diagonal());
         assert_eq!(local.single_pair(3, 99), bcast.single_pair(3, 99));
         assert_eq!(local.single_pair(3, 99), rdd.single_pair(3, 99));
         assert!(bcast.cluster_report().is_some());
         assert!(rdd.max_partition_bytes().unwrap() < g.memory_bytes());
+        assert!(local.max_partition_bytes().is_none());
     }
 }

@@ -9,9 +9,10 @@
 use crate::ai::ai_row;
 use crate::config::{AiStrategy, SimRankConfig};
 use crate::diag::DiagonalIndex;
+use crate::engine::{topk_from_dense, BuildOutcome, EngineFootprint, SimRankEngine};
 use crate::error::SimRankError;
 use crate::queries::{forward_seed, query_seed, score_pair, weighted_support};
-use pasco_cluster::{Broadcast, Cluster, ClusterConfig};
+use pasco_cluster::{Broadcast, Cluster, ClusterConfig, ClusterReport};
 use pasco_graph::partition::Partitioner;
 use pasco_graph::{CsrGraph, NodeId, ReverseChainIndex};
 use pasco_mc::counts::{CountMap, MassMap};
@@ -64,10 +65,7 @@ impl BroadcastEngine {
     /// Offline indexing in the Broadcasting model. Row generation is one
     /// task per node range; each Jacobi sweep re-broadcasts `x` (small) and
     /// updates ranges in parallel. Bitwise identical to the local engine.
-    pub fn build_diagonal(
-        &self,
-        cfg: &SimRankConfig,
-    ) -> (DiagonalIndex, Vec<f64>, Option<u64>) {
+    fn build_diagonal_impl(&self, cfg: &SimRankConfig) -> (DiagonalIndex, Vec<f64>, Option<u64>) {
         let n = self.graph.node_count();
         let params = WalkParams::new(cfg.t, cfg.r);
         let strategy = cfg.resolve_ai_strategy(n);
@@ -81,22 +79,15 @@ impl BroadcastEngine {
                 Some(self.cluster.run_stage("index/walks", ranges.clone(), |_, (lo, hi)| {
                     (lo..hi)
                         .map(|i| {
-                            ai_row(
-                                &reverse_walk_distributions(graph, i, params, cfg.seed),
-                                cfg.c,
-                            )
+                            ai_row(&reverse_walk_distributions(graph, i, params, cfg.seed), cfg.c)
                         })
                         .collect::<Vec<_>>()
                 }))
             }
         };
-        let rows_bytes = stored.as_ref().map(|parts| {
-            parts
-                .iter()
-                .flatten()
-                .map(|r| 24 + 12 * r.len() as u64)
-                .sum()
-        });
+        let rows_bytes = stored
+            .as_ref()
+            .map(|parts| parts.iter().flatten().map(|r| 24 + 12 * r.len() as u64).sum());
         let stored = stored.map(Arc::new);
 
         // Jacobi sweeps: x lives on the driver, conceptually re-broadcast
@@ -221,19 +212,9 @@ impl BroadcastEngine {
         StepDistributions { source, walkers: cfg.r_query, counts }
     }
 
-    /// MCSP in the Broadcasting model.
-    pub fn single_pair(&self, diag: &[f64], cfg: &SimRankConfig, i: NodeId, j: NodeId) -> f64 {
-        if i == j {
-            return 1.0;
-        }
-        let di = self.query_cohort(cfg, i);
-        let dj = self.query_cohort(cfg, j);
-        score_pair(&di, &dj, diag, cfg.c)
-    }
-
     /// MCSS in the Broadcasting model: cohort stage, then one stage of
     /// mass-carrying forward walks over all `(t, support-entry)` items.
-    pub fn single_source(&self, diag: &[f64], cfg: &SimRankConfig, i: NodeId) -> Vec<f64> {
+    fn single_source_impl(&self, diag: &[f64], cfg: &SimRankConfig, i: NodeId) -> Vec<f64> {
         let dists = self.query_cohort(cfg, i);
         let n = self.graph.node_count() as usize;
         let mut out = vec![0.0f64; n];
@@ -260,8 +241,7 @@ impl BroadcastEngine {
         }
         let tasks = self.cluster.config().default_partitions();
         let chunk = items.len().div_ceil(tasks).max(1);
-        let batches: Vec<Vec<ForwardItem>> =
-            items.chunks(chunk).map(|c| c.to_vec()).collect();
+        let batches: Vec<Vec<ForwardItem>> = items.chunks(chunk).map(|c| c.to_vec()).collect();
         if batches.is_empty() {
             out[i as usize] = 1.0;
             return out;
@@ -276,9 +256,9 @@ impl BroadcastEngine {
                     let per = yk / nk as f64;
                     for w in 0..nk {
                         let key = mix(&[seed, k as u64, w as u64, t as u64]);
-                        if let Some((node, mass)) = pasco_mc::forward::forward_walk(
-                            graph, rci, k, per, t, key,
-                        ) {
+                        if let Some((node, mass)) =
+                            pasco_mc::forward::forward_walk(graph, rci, k, per, t, key)
+                        {
                             acc.add(node, ct * mass);
                         }
                     }
@@ -292,6 +272,64 @@ impl BroadcastEngine {
         }
         out[i as usize] = 1.0;
         out
+    }
+}
+
+impl SimRankEngine for BroadcastEngine {
+    fn name(&self) -> &'static str {
+        "broadcast"
+    }
+
+    fn build_diagonal(&self, cfg: &SimRankConfig) -> Result<BuildOutcome, SimRankError> {
+        let strategy = cfg.resolve_ai_strategy(self.graph.node_count());
+        let (diag, residuals, rows_bytes) = self.build_diagonal_impl(cfg);
+        Ok(BuildOutcome {
+            diag,
+            strategy,
+            residuals,
+            rows_bytes,
+            cluster: Some(self.cluster.report()),
+        })
+    }
+
+    fn query_cohort(&self, cfg: &SimRankConfig, source: NodeId) -> StepDistributions {
+        // Resolves to the inherent cluster-staged implementation.
+        BroadcastEngine::query_cohort(self, cfg, source)
+    }
+
+    fn single_pair(&self, diag: &[f64], cfg: &SimRankConfig, i: NodeId, j: NodeId) -> f64 {
+        if i == j {
+            return 1.0;
+        }
+        let di = self.query_cohort(cfg, i);
+        let dj = self.query_cohort(cfg, j);
+        score_pair(&di, &dj, diag, cfg.c)
+    }
+
+    fn single_source(&self, diag: &[f64], cfg: &SimRankConfig, i: NodeId) -> Vec<f64> {
+        self.single_source_impl(diag, cfg, i)
+    }
+
+    fn single_source_topk(
+        &self,
+        diag: &[f64],
+        cfg: &SimRankConfig,
+        i: NodeId,
+        k: usize,
+    ) -> Vec<(NodeId, f64)> {
+        let scores = self.single_source_impl(diag, cfg, i);
+        topk_from_dense(&scores, i, k)
+    }
+
+    fn cluster_report(&self) -> Option<ClusterReport> {
+        Some(self.cluster.report())
+    }
+
+    fn memory_footprint(&self) -> EngineFootprint {
+        EngineFootprint {
+            per_worker_bytes: self.graph.memory_bytes() + self.rci.memory_bytes(),
+            partitioned: false,
+        }
     }
 }
 
@@ -321,11 +359,12 @@ mod tests {
         let g = Arc::new(generators::barabasi_albert(200, 3, 4));
         let cfg = SimRankConfig::fast().with_seed(77);
         let eng = engine(&g, 3);
-        let (diag_b, res_b, bytes) = eng.build_diagonal(&cfg);
+        let out_b = eng.build_diagonal(&cfg).unwrap();
         let out_l = local::build_diagonal(&g, &cfg);
-        assert_eq!(diag_b, out_l.diag);
-        assert_eq!(res_b, out_l.residuals);
-        assert!(bytes.is_some());
+        assert_eq!(out_b.diag, out_l.diag);
+        assert_eq!(out_b.residuals, out_l.residuals);
+        assert!(out_b.rows_bytes.is_some());
+        assert!(out_b.cluster.is_some());
     }
 
     #[test]
@@ -377,7 +416,7 @@ mod tests {
         let g = Arc::new(generators::barabasi_albert(100, 3, 8));
         let cfg = SimRankConfig::fast();
         let eng = engine(&g, 2);
-        let _ = eng.build_diagonal(&cfg);
+        let _ = eng.build_diagonal(&cfg).unwrap();
         let report = eng.cluster().report();
         assert!(report.stages > cfg.l * 2, "stages: {}", report.stages);
         assert_eq!(report.shuffle_bytes, 0, "broadcast mode never shuffles");

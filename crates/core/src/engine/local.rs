@@ -3,22 +3,79 @@
 use crate::ai::{ai_row, RecomputedRows, StoredRows};
 use crate::config::{AiStrategy, SimRankConfig};
 use crate::diag::DiagonalIndex;
-use pasco_graph::CsrGraph;
-use pasco_mc::walks::{reverse_walk_distributions, WalkParams};
+use crate::engine::{BuildOutcome, EngineFootprint, SimRankEngine};
+use crate::error::SimRankError;
+use crate::queries;
+use pasco_cluster::ClusterReport;
+use pasco_graph::{CsrGraph, NodeId, ReverseChainIndex};
+use pasco_mc::walks::{reverse_walk_distributions, StepDistributions, WalkParams};
 use pasco_solver::jacobi::{self, JacobiConfig};
 use rayon::prelude::*;
+use std::sync::Arc;
 
-/// Offline statistics returned alongside the index.
-#[derive(Clone, Debug)]
-pub struct LocalBuildOutcome {
-    /// The solved diagonal.
-    pub diag: DiagonalIndex,
-    /// The resolved row strategy actually used.
-    pub strategy: AiStrategy,
-    /// `‖Ax − 1‖∞` after each Jacobi sweep.
-    pub residuals: Vec<f64>,
-    /// Bytes of stored rows (`None` under `Recompute`).
-    pub rows_bytes: Option<u64>,
+/// The single-machine substrate: queries run on the caller's rayon pool
+/// against the fully resident graph and sampling index.
+pub struct LocalEngine {
+    graph: Arc<CsrGraph>,
+    rci: Arc<ReverseChainIndex>,
+}
+
+impl LocalEngine {
+    /// An engine over a resident graph and its sampling index.
+    pub fn new(graph: Arc<CsrGraph>, rci: Arc<ReverseChainIndex>) -> Self {
+        Self { graph, rci }
+    }
+}
+
+impl SimRankEngine for LocalEngine {
+    fn name(&self) -> &'static str {
+        "local"
+    }
+
+    fn build_diagonal(&self, cfg: &SimRankConfig) -> Result<BuildOutcome, SimRankError> {
+        Ok(build_diagonal(&self.graph, cfg))
+    }
+
+    fn query_cohort(&self, cfg: &SimRankConfig, source: NodeId) -> StepDistributions {
+        queries::query_cohort(&self.graph, cfg, source)
+    }
+
+    fn single_pair(&self, diag: &[f64], cfg: &SimRankConfig, i: NodeId, j: NodeId) -> f64 {
+        queries::single_pair(&self.graph, diag, cfg, i, j)
+    }
+
+    fn single_source(&self, diag: &[f64], cfg: &SimRankConfig, i: NodeId) -> Vec<f64> {
+        queries::single_source(&self.graph, &self.rci, diag, cfg, i)
+    }
+
+    fn single_source_topk(
+        &self,
+        diag: &[f64],
+        cfg: &SimRankConfig,
+        i: NodeId,
+        k: usize,
+    ) -> Vec<(NodeId, f64)> {
+        queries::single_source_topk(&self.graph, &self.rci, diag, cfg, i, k)
+    }
+
+    fn cluster_report(&self) -> Option<ClusterReport> {
+        None
+    }
+
+    fn memory_footprint(&self) -> EngineFootprint {
+        EngineFootprint {
+            per_worker_bytes: self.graph.memory_bytes() + self.rci.memory_bytes(),
+            partitioned: false,
+        }
+    }
+}
+
+impl std::fmt::Debug for LocalEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LocalEngine")
+            .field("nodes", &self.graph.node_count())
+            .finish_non_exhaustive()
+    }
 }
 
 /// Builds the diagonal index in-process.
@@ -27,14 +84,13 @@ pub struct LocalBuildOutcome {
 /// Solve phase: `L` parallel Jacobi sweeps on `A x = 1` starting from
 /// `x⁰ = (1 − c)·1` (the diagonal of the *first-order* correction, a good
 /// warm start).
-pub fn build_diagonal(graph: &CsrGraph, cfg: &SimRankConfig) -> LocalBuildOutcome {
+pub fn build_diagonal(graph: &CsrGraph, cfg: &SimRankConfig) -> BuildOutcome {
     let n = graph.node_count();
     let params = WalkParams::new(cfg.t, cfg.r);
     let strategy = cfg.resolve_ai_strategy(n);
     let b = vec![1.0; n as usize];
     let x0 = vec![1.0 - cfg.c; n as usize];
-    let jacobi_cfg =
-        JacobiConfig { iterations: cfg.l, tolerance: None, record_residuals: true };
+    let jacobi_cfg = JacobiConfig { iterations: cfg.l, tolerance: None, record_residuals: true };
 
     let (result, rows_bytes) = match strategy {
         AiStrategy::Store | AiStrategy::Auto { .. } => {
@@ -51,11 +107,12 @@ pub fn build_diagonal(graph: &CsrGraph, cfg: &SimRankConfig) -> LocalBuildOutcom
             (jacobi::solve(&rows, &b, &x0, &jacobi_cfg), None)
         }
     };
-    LocalBuildOutcome {
+    BuildOutcome {
         diag: DiagonalIndex::new(result.x),
         strategy,
         residuals: result.residuals,
         rows_bytes,
+        cluster: None,
     }
 }
 
@@ -65,7 +122,7 @@ pub fn build_diagonal_with_strategy(
     graph: &CsrGraph,
     cfg: &SimRankConfig,
     strategy: AiStrategy,
-) -> LocalBuildOutcome {
+) -> BuildOutcome {
     let cfg = cfg.with_ai_strategy(strategy);
     build_diagonal(graph, &cfg)
 }
@@ -133,6 +190,7 @@ mod tests {
             }
         }
         assert_eq!(out.residuals.len(), cfg.l);
+        assert!(out.cluster.is_none());
     }
 
     #[test]
@@ -160,5 +218,24 @@ mod tests {
             .map(|(a, b)| (a - b).abs())
             .fold(0.0f64, f64::max);
         assert!(worst < 0.05, "worst |x_mc - x_exact| = {worst}");
+    }
+
+    #[test]
+    fn engine_trait_matches_free_functions() {
+        let g = Arc::new(generators::barabasi_albert(130, 3, 2));
+        let rci = Arc::new(ReverseChainIndex::build(&g));
+        let cfg = SimRankConfig::fast().with_seed(12);
+        let eng = LocalEngine::new(Arc::clone(&g), Arc::clone(&rci));
+        let out = eng.build_diagonal(&cfg).unwrap();
+        assert_eq!(out.diag, build_diagonal(&g, &cfg).diag);
+        let diag = out.diag.as_slice();
+        assert_eq!(eng.single_pair(diag, &cfg, 3, 90), queries::single_pair(&g, diag, &cfg, 3, 90));
+        assert_eq!(
+            eng.single_source_topk(diag, &cfg, 3, 5),
+            queries::single_source_topk(&g, &rci, diag, &cfg, 3, 5)
+        );
+        let fp = eng.memory_footprint();
+        assert!(!fp.partitioned);
+        assert!(fp.per_worker_bytes >= g.memory_bytes());
     }
 }

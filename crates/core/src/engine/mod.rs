@@ -8,6 +8,11 @@
 //! * [`rdd`] — the simulated cluster with the graph **partitioned** and
 //!   walker state shuffled between steps (the paper's scalable model).
 //!
+//! Each substrate implements the object-safe [`SimRankEngine`] trait, so
+//! [`crate::CloudWalker`] holds a `Box<dyn SimRankEngine>` and never
+//! branches on the execution mode in a query path; new substrates (async,
+//! sharded, persistent) plug in without touching query code.
+//!
 //! Because each walk step's randomness is a pure function of
 //! `(seed, source, walker, step)`, all engines produce identical walker
 //! trajectories; integration tests assert Local ≡ Broadcast ≡ RDD.
@@ -16,7 +21,14 @@ pub mod broadcast;
 pub mod local;
 pub mod rdd;
 
-use pasco_cluster::ClusterConfig;
+pub use local::LocalEngine;
+
+use crate::config::{AiStrategy, SimRankConfig};
+use crate::diag::DiagonalIndex;
+use crate::error::SimRankError;
+use pasco_cluster::{ClusterConfig, ClusterReport};
+use pasco_graph::NodeId;
+use pasco_mc::walks::StepDistributions;
 
 /// Selects the execution engine for index construction and queries.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -31,4 +43,87 @@ pub enum ExecMode {
     /// Simulated cluster, RDD model: the graph is range-partitioned and
     /// walker state is shuffled to the owner of its next node every step.
     Rdd(ClusterConfig),
+}
+
+/// Everything the offline phase produces, in one shape shared by every
+/// engine (the engines used to return three ad-hoc tuples).
+#[derive(Clone, Debug)]
+pub struct BuildOutcome {
+    /// The solved diagonal `x = [D₁₁ … D_nn]`.
+    pub diag: DiagonalIndex,
+    /// The row-provisioning strategy actually used.
+    pub strategy: AiStrategy,
+    /// `‖Ax − 1‖∞` after each Jacobi sweep.
+    pub residuals: Vec<f64>,
+    /// Stored-row footprint, if rows were materialised per node.
+    pub rows_bytes: Option<u64>,
+    /// Cluster accounting for the build (`None` on the local engine).
+    pub cluster: Option<ClusterReport>,
+}
+
+/// Per-worker memory demanded by an engine at query time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EngineFootprint {
+    /// Resident bytes one worker needs to serve queries (the whole graph
+    /// for local/broadcast execution, the largest partition for RDD).
+    pub per_worker_bytes: u64,
+    /// True when the engine splits the graph across workers, i.e.
+    /// `per_worker_bytes` shrinks as workers are added.
+    pub partitioned: bool,
+}
+
+/// One execution substrate for CloudWalker's offline build and online
+/// queries.
+///
+/// The trait is object-safe: [`crate::CloudWalker`] dispatches every query
+/// through `Box<dyn SimRankEngine>`. Implementations must be deterministic
+/// — for a fixed [`SimRankConfig`] every engine answers bitwise-identically
+/// on the index and single-pair paths and within float-accumulation order
+/// on single-source paths (the walks themselves are identical; only the
+/// summation order differs).
+pub trait SimRankEngine: Send + Sync + std::fmt::Debug {
+    /// A short, stable substrate name (`"local"`, `"broadcast"`, `"rdd"`).
+    fn name(&self) -> &'static str;
+
+    /// Runs the offline phase: estimate the rows `aᵢ` by Monte-Carlo
+    /// walks, then solve `A x = 1` with `L` Jacobi sweeps.
+    fn build_diagonal(&self, cfg: &SimRankConfig) -> Result<BuildOutcome, SimRankError>;
+
+    /// Simulates the `R'`-walker query cohort of `source` on this
+    /// substrate (bitwise identical across engines; cluster engines
+    /// account the work in their [`ClusterReport`]). The serving layer's
+    /// cohort cache sits on top of this.
+    fn query_cohort(&self, cfg: &SimRankConfig, source: NodeId) -> StepDistributions;
+
+    /// MCSP: the similarity of one node pair (raw estimate, not clamped).
+    fn single_pair(&self, diag: &[f64], cfg: &SimRankConfig, i: NodeId, j: NodeId) -> f64;
+
+    /// MCSS: the similarity of every node to `i` (raw estimates).
+    fn single_source(&self, diag: &[f64], cfg: &SimRankConfig, i: NodeId) -> Vec<f64>;
+
+    /// Top-`k` MCSS: the `k` nodes most similar to `i` (query node
+    /// excluded), sorted by descending score with node-id tie-breaks.
+    /// Scores are clamped into `[0, 1]`.
+    fn single_source_topk(
+        &self,
+        diag: &[f64],
+        cfg: &SimRankConfig,
+        i: NodeId,
+        k: usize,
+    ) -> Vec<(NodeId, f64)>;
+
+    /// Cluster accounting so far (`None` on the local engine).
+    fn cluster_report(&self) -> Option<ClusterReport>;
+
+    /// Query-time memory demand per worker.
+    fn memory_footprint(&self) -> EngineFootprint;
+}
+
+/// Derives a top-`k` ranking from a dense score vector — shared by the
+/// cluster engines, whose top-`k` runs on their own distributed
+/// single-source path. Ranks through [`crate::queries::rank_topk`], the
+/// same tail as the sparse local estimator, so output shapes and
+/// tie-breaks match across engines.
+pub(crate) fn topk_from_dense(scores: &[f64], i: NodeId, k: usize) -> Vec<(NodeId, f64)> {
+    crate::queries::rank_topk(scores.iter().enumerate().map(|(v, &s)| (v as NodeId, s)), i, k)
 }

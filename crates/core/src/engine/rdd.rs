@@ -18,8 +18,10 @@
 
 use crate::config::SimRankConfig;
 use crate::diag::DiagonalIndex;
+use crate::engine::{topk_from_dense, BuildOutcome, EngineFootprint, SimRankEngine};
+use crate::error::SimRankError;
 use crate::queries::{forward_seed, query_seed, score_pair, weighted_support};
-use pasco_cluster::{Cluster, ClusterConfig, DistVec};
+use pasco_cluster::{Cluster, ClusterConfig, ClusterReport, DistVec};
 use pasco_graph::partition::Partitioner;
 use pasco_graph::partitioned::{partition_graph, GraphPartition};
 use pasco_graph::{CsrGraph, NodeId};
@@ -89,7 +91,7 @@ impl RddEngine {
     /// steps, shuffling both walker state and row contributions each step.
     /// Rows are then materialised per partition and `L` Jacobi sweeps run
     /// with the iterate `x` held by the driver (re-broadcast each sweep).
-    pub fn build_diagonal(&self, cfg: &SimRankConfig) -> (DiagonalIndex, Vec<f64>) {
+    fn build_diagonal_impl(&self, cfg: &SimRankConfig) -> (DiagonalIndex, Vec<f64>) {
         let n = self.n;
         let nparts = self.nparts();
         let parts = Arc::clone(&self.parts);
@@ -150,12 +152,10 @@ impl RddEngine {
                     },
                 );
                 // Shuffle to the owner of the new position.
-                walkers = walkers.shuffle(
-                    &self.cluster,
-                    "index/walkers",
-                    nparts,
-                    move |&(_, _, pos)| partitioner.owner(pos) as usize,
-                );
+                walkers =
+                    walkers.shuffle(&self.cluster, "index/walkers", nparts, move |&(_, _, pos)| {
+                        partitioner.owner(pos) as usize
+                    });
                 // All walkers on a node are now co-located: counts per
                 // (source, position) are globally complete. The stage
                 // threads the walker partitions through so the next step
@@ -206,9 +206,7 @@ impl RddEngine {
                         while i < contribs.len() {
                             let (src, pos, mut cnt) = contribs[i];
                             i += 1;
-                            while i < contribs.len()
-                                && contribs[i].0 == src
-                                && contribs[i].1 == pos
+                            while i < contribs.len() && contribs[i].0 == src && contribs[i].1 == pos
                             {
                                 cnt += contribs[i].2;
                                 i += 1;
@@ -225,22 +223,17 @@ impl RddEngine {
         }
 
         // Materialise sorted rows per partition.
-        let finalized: Vec<Vec<Vec<(u32, f64)>>> = self.cluster.run_stage(
-            "index/finalize",
-            rows,
-            |_, maps: Vec<MassMap>| maps.into_iter().map(|m| m.into_sorted_vec()).collect(),
-        );
+        let finalized: Vec<Vec<Vec<(u32, f64)>>> =
+            self.cluster.run_stage("index/finalize", rows, |_, maps: Vec<MassMap>| {
+                maps.into_iter().map(|m| m.into_sorted_vec()).collect()
+            });
         let finalized = Arc::new(finalized);
 
         // Jacobi sweeps with the driver-held iterate.
         let mut x = vec![1.0 - cfg.c; n as usize];
         let mut residuals = Vec::with_capacity(cfg.l);
-        let ranges: Vec<(usize, u32, u32)> = self
-            .parts
-            .iter()
-            .enumerate()
-            .map(|(i, gp)| (i, gp.start, gp.end))
-            .collect();
+        let ranges: Vec<(usize, u32, u32)> =
+            self.parts.iter().enumerate().map(|(i, gp)| (i, gp.start, gp.end)).collect();
         for _ in 0..cfg.l {
             let x_ref = &x;
             let fin = Arc::clone(&finalized);
@@ -267,8 +260,10 @@ impl RddEngine {
             x = new_parts.into_iter().flatten().collect();
             let x_ref = &x;
             let fin = Arc::clone(&finalized);
-            let partial: Vec<f64> =
-                self.cluster.run_stage("index/residual", ranges.clone(), move |_, (pidx, lo, hi)| {
+            let partial: Vec<f64> = self.cluster.run_stage(
+                "index/residual",
+                ranges.clone(),
+                move |_, (pidx, lo, hi)| {
                     let rows = &fin[pidx];
                     let mut worst = 0.0f64;
                     for i in lo..hi {
@@ -279,7 +274,8 @@ impl RddEngine {
                         worst = worst.max((ax - 1.0).abs());
                     }
                     worst
-                });
+                },
+            );
             residuals.push(partial.into_iter().fold(0.0, f64::max));
         }
         (DiagonalIndex::new(x), residuals)
@@ -321,12 +317,9 @@ impl RddEngine {
                         .collect()
                 },
             );
-            walkers = walkers.shuffle(
-                &self.cluster,
-                "query/walkers",
-                nparts,
-                move |&(_, pos)| partitioner.owner(pos) as usize,
-            );
+            walkers = walkers.shuffle(&self.cluster, "query/walkers", nparts, move |&(_, pos)| {
+                partitioner.owner(pos) as usize
+            });
             // Per-partition histograms cover disjoint node ranges; merging
             // is a concatenation + sort. The stage threads the walker
             // partitions through for the next step.
@@ -355,20 +348,10 @@ impl RddEngine {
         StepDistributions { source, walkers: cfg.r_query, counts }
     }
 
-    /// MCSP in the RDD model.
-    pub fn single_pair(&self, diag: &[f64], cfg: &SimRankConfig, i: NodeId, j: NodeId) -> f64 {
-        if i == j {
-            return 1.0;
-        }
-        let di = self.query_cohort(cfg, i);
-        let dj = self.query_cohort(cfg, j);
-        score_pair(&di, &dj, diag, cfg.c)
-    }
-
     /// MCSS in the RDD model: the cohort stage, then all `T` forward-walk
     /// waves launched together, each carrying its remaining step budget so
     /// one shuffled pass per global step retires wave `t` at step `t`.
-    pub fn single_source(&self, diag: &[f64], cfg: &SimRankConfig, i: NodeId) -> Vec<f64> {
+    fn single_source_impl(&self, diag: &[f64], cfg: &SimRankConfig, i: NodeId) -> Vec<f64> {
         let dists = self.query_cohort(cfg, i);
         let n = self.n as usize;
         let nparts = self.nparts();
@@ -451,6 +434,61 @@ impl RddEngine {
     }
 }
 
+impl SimRankEngine for RddEngine {
+    fn name(&self) -> &'static str {
+        "rdd"
+    }
+
+    fn build_diagonal(&self, cfg: &SimRankConfig) -> Result<BuildOutcome, SimRankError> {
+        let strategy = cfg.resolve_ai_strategy(self.n);
+        let (diag, residuals) = self.build_diagonal_impl(cfg);
+        Ok(BuildOutcome {
+            diag,
+            strategy,
+            residuals,
+            rows_bytes: None,
+            cluster: Some(self.cluster.report()),
+        })
+    }
+
+    fn query_cohort(&self, cfg: &SimRankConfig, source: NodeId) -> StepDistributions {
+        // Resolves to the inherent shuffled-stage implementation.
+        RddEngine::query_cohort(self, cfg, source)
+    }
+
+    fn single_pair(&self, diag: &[f64], cfg: &SimRankConfig, i: NodeId, j: NodeId) -> f64 {
+        if i == j {
+            return 1.0;
+        }
+        let di = self.query_cohort(cfg, i);
+        let dj = self.query_cohort(cfg, j);
+        score_pair(&di, &dj, diag, cfg.c)
+    }
+
+    fn single_source(&self, diag: &[f64], cfg: &SimRankConfig, i: NodeId) -> Vec<f64> {
+        self.single_source_impl(diag, cfg, i)
+    }
+
+    fn single_source_topk(
+        &self,
+        diag: &[f64],
+        cfg: &SimRankConfig,
+        i: NodeId,
+        k: usize,
+    ) -> Vec<(NodeId, f64)> {
+        let scores = self.single_source_impl(diag, cfg, i);
+        topk_from_dense(&scores, i, k)
+    }
+
+    fn cluster_report(&self) -> Option<ClusterReport> {
+        Some(self.cluster.report())
+    }
+
+    fn memory_footprint(&self) -> EngineFootprint {
+        EngineFootprint { per_worker_bytes: self.max_partition_bytes(), partitioned: true }
+    }
+}
+
 impl std::fmt::Debug for RddEngine {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("RddEngine")
@@ -477,10 +515,11 @@ mod tests {
         let g = generators::barabasi_albert(180, 3, 4);
         let cfg = SimRankConfig::fast().with_seed(21);
         let eng = engine(&g, 3);
-        let (diag_r, res_r) = eng.build_diagonal(&cfg);
+        let out_r = eng.build_diagonal(&cfg).unwrap();
         let out_l = local::build_diagonal(&g, &cfg);
-        assert_eq!(diag_r, out_l.diag, "RDD D must equal local D bitwise");
-        assert_eq!(res_r, out_l.residuals);
+        assert_eq!(out_r.diag, out_l.diag, "RDD D must equal local D bitwise");
+        assert_eq!(out_r.residuals, out_l.residuals);
+        assert!(out_r.cluster.is_some());
     }
 
     #[test]
@@ -517,7 +556,7 @@ mod tests {
         let g = generators::barabasi_albert(100, 3, 8);
         let cfg = SimRankConfig::fast();
         let eng = engine(&g, 2);
-        let _ = eng.build_diagonal(&cfg);
+        let _ = eng.build_diagonal(&cfg).unwrap();
         let report = eng.cluster().report();
         assert!(report.shuffle_bytes > 0, "RDD indexing must shuffle");
         assert!(report.shuffle_records > 0);

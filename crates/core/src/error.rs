@@ -58,8 +58,7 @@ mod tests {
     fn displays_are_descriptive() {
         let e = SimRankError::InvalidConfig("c out of range".into());
         assert!(e.to_string().contains("c out of range"));
-        let e: SimRankError =
-            ClusterError::BroadcastExceedsMemory { needed: 2, budget: 1 }.into();
+        let e: SimRankError = ClusterError::BroadcastExceedsMemory { needed: 2, budget: 1 }.into();
         assert!(e.to_string().contains("broadcast"));
     }
 

@@ -25,9 +25,18 @@
 //! pool, or on the simulated Spark cluster in the paper's two models —
 //! [`ExecMode::Broadcast`] (graph replicated per worker; fails when it does
 //! not fit the per-worker budget) and [`ExecMode::Rdd`] (graph partitioned;
-//! walker state shuffled every step). All three produce **bitwise identical
-//! results** for the same seed, because every walk step's randomness is a
-//! pure function of `(seed, source, walker, step)`.
+//! walker state shuffled every step). Each substrate implements the
+//! object-safe [`SimRankEngine`] trait and [`CloudWalker`] dispatches every
+//! query through `Box<dyn SimRankEngine>`. All three produce **bitwise
+//! identical results** for the same seed, because every walk step's
+//! randomness is a pure function of `(seed, source, walker, step)`.
+//!
+//! # Serving
+//!
+//! [`QuerySession`] wraps an `Arc<CloudWalker>` into a `Send + Sync`
+//! serving layer: queries take `&self`, cohorts are memoised in a sharded
+//! O(1) LRU, and batch entry points fan out over rayon — one index serves
+//! many concurrent clients with answers identical to the engine's.
 //!
 //! The [`exact`] module provides the `O(n²)` ground truth used by the
 //! effectiveness experiments, and [`metrics`] the error/ranking measures.
@@ -45,8 +54,8 @@ pub mod queries;
 pub mod session;
 
 pub use cloudwalker::{CloudWalker, IndexBuildStats};
-pub use session::QuerySession;
 pub use config::{AiStrategy, SimRankConfig};
 pub use diag::DiagonalIndex;
-pub use engine::ExecMode;
+pub use engine::{BuildOutcome, EngineFootprint, ExecMode, LocalEngine, SimRankEngine};
 pub use error::SimRankError;
+pub use session::QuerySession;

@@ -49,11 +49,8 @@ pub fn ndcg_at_k(
         .map(|(pos, &v)| true_scores[v as usize] / ((pos + 2) as f64).log2())
         .sum();
     let ideal = top_k(true_scores, k, exclude);
-    let idcg: f64 = ideal
-        .iter()
-        .enumerate()
-        .map(|(pos, &(_, s))| s / ((pos + 2) as f64).log2())
-        .sum();
+    let idcg: f64 =
+        ideal.iter().enumerate().map(|(pos, &(_, s))| s / ((pos + 2) as f64).log2()).sum();
     if idcg == 0.0 {
         1.0
     } else {

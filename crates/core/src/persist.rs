@@ -32,9 +32,7 @@ pub fn load_index(path: impl AsRef<Path>) -> Result<DiagonalIndex, SimRankError>
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(SimRankError::BadIndex(format!(
-            "bad magic {magic:?}, expected {MAGIC:?}"
-        )));
+        return Err(SimRankError::BadIndex(format!("bad magic {magic:?}, expected {MAGIC:?}")));
     }
     let mut len_buf = [0u8; 8];
     r.read_exact(&mut len_buf)?;

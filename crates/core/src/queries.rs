@@ -20,7 +20,6 @@ use pasco_graph::{CsrGraph, NodeId, ReverseChainIndex};
 use pasco_mc::forward::{forward_walk, push_measure};
 use pasco_mc::rng::mix;
 use pasco_mc::walks::{reverse_walk_distributions, StepDistributions, WalkParams};
-use rayon::prelude::*;
 
 /// Salt distinguishing query walks from index walks.
 pub const QUERY_SALT: u64 = 0x0009_a5c0_9e71;
@@ -42,22 +41,12 @@ pub fn forward_seed(cfg: &SimRankConfig, source: NodeId, t: usize) -> u64 {
 
 /// Simulates the query cohort (`R'` walkers, `T` steps) for `source`.
 pub fn query_cohort(graph: &CsrGraph, cfg: &SimRankConfig, source: NodeId) -> StepDistributions {
-    reverse_walk_distributions(
-        graph,
-        source,
-        WalkParams::new(cfg.t, cfg.r_query),
-        query_seed(cfg),
-    )
+    reverse_walk_distributions(graph, source, WalkParams::new(cfg.t, cfg.r_query), query_seed(cfg))
 }
 
 /// Scores a pair from two cohorts' distributions:
 /// `Σ_t cᵗ Σ_k x_k ûₜ(k) v̂ₜ(k)` (merge over the sorted histograms).
-pub fn score_pair(
-    di: &StepDistributions,
-    dj: &StepDistributions,
-    diag: &[f64],
-    c: f64,
-) -> f64 {
+pub fn score_pair(di: &StepDistributions, dj: &StepDistributions, diag: &[f64], c: f64) -> f64 {
     debug_assert_eq!(di.steps(), dj.steps());
     let ri = di.walkers as f64;
     let rj = dj.walkers as f64;
@@ -104,16 +93,9 @@ pub fn single_pair(
 }
 
 /// The weighted support `yₜ = D ûₜ` of a cohort's step-`t` histogram.
-pub fn weighted_support(
-    dists: &StepDistributions,
-    t: usize,
-    diag: &[f64],
-) -> Vec<(NodeId, f64)> {
+pub fn weighted_support(dists: &StepDistributions, t: usize, diag: &[f64]) -> Vec<(NodeId, f64)> {
     let r = dists.walkers as f64;
-    dists.counts[t]
-        .iter()
-        .map(|&(k, cnt)| (k, diag[k as usize] * cnt as f64 / r))
-        .collect()
+    dists.counts[t].iter().map(|&(k, cnt)| (k, diag[k as usize] * cnt as f64 / r)).collect()
 }
 
 /// Mass-proportional walker allocation for the forward stage: entry `k`
@@ -163,9 +145,7 @@ pub fn single_source_from_dists(
                 let per = yk / nk as f64;
                 for w in 0..nk {
                     let key = mix(&[seed, k as u64, w as u64, t as u64]);
-                    if let Some((node, mass)) =
-                        forward_walk(graph, rci, k, per, t, key)
-                    {
+                    if let Some((node, mass)) = forward_walk(graph, rci, k, per, t, key) {
                         out[node as usize] += ct * mass;
                     }
                 }
@@ -265,36 +245,28 @@ pub fn single_source_topk(
         }
         ct *= cfg.c;
     }
-    let mut items: Vec<(NodeId, f64)> = acc
-        .iter()
-        .filter(|&(node, _)| node != i)
-        .map(|(node, s)| (node, s.clamp(0.0, 1.0)))
-        .collect();
-    items.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
-    items.truncate(k);
-    items
+    rank_topk(acc.iter(), i, k)
 }
 
-/// MCAP: top-`k` similar nodes for every node, by running MCSS everywhere
-/// (paper: "use MCSS repeatedly"). Parallel over sources. The query node
-/// itself (similarity 1) is excluded from its own list.
-pub fn all_pairs_topk(
-    graph: &CsrGraph,
-    rci: &ReverseChainIndex,
-    diag: &[f64],
-    cfg: &SimRankConfig,
+/// The shared ranking tail of every top-`k` path: clamp into `[0, 1]`,
+/// drop the query node and unreached (zero-score) entries, sort by
+/// descending score with node-id tie-breaks, truncate to `k`. Local
+/// sparse and cluster dense top-`k` both rank through here, so the
+/// cross-mode ranking-equality guarantee depends on exactly one
+/// tie-break implementation.
+pub(crate) fn rank_topk(
+    items: impl IntoIterator<Item = (NodeId, f64)>,
+    exclude: NodeId,
     k: usize,
-) -> Vec<Vec<(NodeId, f64)>> {
-    (0..graph.node_count())
-        .into_par_iter()
-        .map(|i| {
-            let mut scores = single_source(graph, rci, diag, cfg, i);
-            for s in &mut scores {
-                *s = s.clamp(0.0, 1.0);
-            }
-            crate::metrics::top_k(&scores, k, Some(i))
-        })
-        .collect()
+) -> Vec<(NodeId, f64)> {
+    let mut out: Vec<(NodeId, f64)> = items
+        .into_iter()
+        .map(|(v, s)| (v, s.clamp(0.0, 1.0)))
+        .filter(|&(v, s)| v != exclude && s > 0.0)
+        .collect();
+    out.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    out.truncate(k);
+    out
 }
 
 #[cfg(test)]
@@ -303,10 +275,7 @@ mod tests {
     use crate::exact::{exact_diagonal, ExactSimRank};
     use pasco_graph::generators;
 
-    fn setup(
-        g: &CsrGraph,
-        cfg: &SimRankConfig,
-    ) -> (ReverseChainIndex, Vec<f64>) {
+    fn setup(g: &CsrGraph, cfg: &SimRankConfig) -> (ReverseChainIndex, Vec<f64>) {
         let rci = ReverseChainIndex::build(g);
         let diag = exact_diagonal(g, cfg.c, cfg.t, 50);
         (rci, diag.as_slice().to_vec())
@@ -354,8 +323,7 @@ mod tests {
         let mc = single_source(&g, &rci, &diag, &cfg, i);
         let push = single_source_push(&g, &diag, &cfg, i);
         let truth = exact.row(i);
-        let mean_err_mc: f64 =
-            mc.iter().zip(truth).map(|(a, b)| (a - b).abs()).sum::<f64>() / 80.0;
+        let mean_err_mc: f64 = mc.iter().zip(truth).map(|(a, b)| (a - b).abs()).sum::<f64>() / 80.0;
         let mean_err_push: f64 =
             push.iter().zip(truth).map(|(a, b)| (a - b).abs()).sum::<f64>() / 80.0;
         assert!(mean_err_mc < 0.03, "MC mean err {mean_err_mc}");
@@ -371,10 +339,7 @@ mod tests {
         let g = generators::rmat(8, 1200, generators::RmatParams::default(), 2);
         let cfg = SimRankConfig::fast();
         let (rci, diag) = setup(&g, &cfg);
-        assert_eq!(
-            single_pair(&g, &diag, &cfg, 3, 99),
-            single_pair(&g, &diag, &cfg, 3, 99)
-        );
+        assert_eq!(single_pair(&g, &diag, &cfg, 3, 99), single_pair(&g, &diag, &cfg, 3, 99));
         assert_eq!(
             single_source(&g, &rci, &diag, &cfg, 3),
             single_source(&g, &rci, &diag, &cfg, 3)
@@ -388,10 +353,7 @@ mod tests {
         let (_, diag) = setup(&g, &cfg);
         // The estimator reuses per-node cohorts, so swapping arguments uses
         // the same two cohorts and must give the identical score.
-        assert_eq!(
-            single_pair(&g, &diag, &cfg, 10, 20),
-            single_pair(&g, &diag, &cfg, 20, 10)
-        );
+        assert_eq!(single_pair(&g, &diag, &cfg, 10, 20), single_pair(&g, &diag, &cfg, 20, 10));
     }
 
     #[test]
@@ -412,15 +374,14 @@ mod tests {
     }
 
     #[test]
-    fn all_pairs_topk_ranks_self_out_and_sorts() {
+    fn topk_ranks_self_out_and_sorts_for_every_source() {
         let g = generators::two_communities(40, 150, 4, 5);
         let cfg = SimRankConfig::fast();
         let (rci, diag) = setup(&g, &cfg);
-        let top = all_pairs_topk(&g, &rci, &diag, &cfg, 5);
-        assert_eq!(top.len(), 40);
-        for (i, list) in top.iter().enumerate() {
+        for i in g.nodes() {
+            let list = single_source_topk(&g, &rci, &diag, &cfg, i, 5);
             assert!(list.len() <= 5);
-            assert!(list.iter().all(|&(j, _)| j != i as u32), "self excluded");
+            assert!(list.iter().all(|&(j, _)| j != i), "self excluded");
             assert!(list.windows(2).all(|w| w[0].1 >= w[1].1), "sorted desc");
         }
     }

@@ -1,100 +1,307 @@
-//! Query sessions: cohort caching and batch APIs on top of the local
-//! engine.
+//! Query sessions: a thread-safe serving layer with cohort caching and
+//! parallel batch APIs on top of a shared [`CloudWalker`].
 //!
 //! Both MCSP and MCSS start by simulating the `R'`-walker cohort of the
 //! query node — and the cohort depends only on `(seed, node)`. A workload
-//! that touches the same nodes repeatedly (pairwise matrices, top-k fan-out,
-//! A/B probes) re-simulates identical walks over and over. [`QuerySession`]
-//! memoises cohorts in a bounded LRU so repeated queries pay only the
+//! that touches the same nodes repeatedly (pairwise matrices, top-k
+//! fan-out, A/B probes) re-simulates identical walks over and over.
+//! [`QuerySession`] memoises cohorts so repeated queries pay only the
 //! scoring merge, and exposes batch entry points that exploit sharing
-//! explicitly (`pairs_matrix` simulates each distinct node once).
+//! explicitly (`pairs_matrix` warms each distinct node through the cache
+//! at most once per block).
+//!
+//! The session is `Send + Sync` and every query takes `&self`: one session
+//! serves many concurrent clients. The cohort cache is sharded — each
+//! shard is an independently locked O(1) LRU (hash-indexed doubly linked
+//! list, no per-hit scans, no O(n)-in-graph-size allocation) — so
+//! concurrent queries for different nodes rarely contend. Results are
+//! bitwise identical to the underlying engine's; caching and concurrency
+//! only remove re-simulation.
 
 use crate::cloudwalker::CloudWalker;
-use crate::queries::{query_cohort, score_pair};
+use crate::queries::score_pair;
 use pasco_graph::NodeId;
 use pasco_mc::walks::StepDistributions;
-use std::collections::VecDeque;
-use std::sync::Arc;
+use rayon::prelude::*;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
-/// A bounded cohort cache wrapping a [`CloudWalker`] for read-heavy query
-/// workloads. Results are identical to the underlying engine's — caching
-/// only removes re-simulation.
-pub struct QuerySession<'a> {
-    engine: &'a CloudWalker,
-    capacity: usize,
-    /// LRU: most recently used at the back.
-    order: VecDeque<NodeId>,
-    cohorts: Vec<Option<Arc<StepDistributions>>>,
-    hits: u64,
-    misses: u64,
+const NONE: usize = usize::MAX;
+
+/// Splits `0..len` into consecutive index ranges of at most `block`.
+fn chunked_indices(
+    len: usize,
+    block: usize,
+) -> impl Iterator<Item = std::ops::Range<usize>> + Clone {
+    (0..len.div_ceil(block)).map(move |b| (b * block)..((b + 1) * block).min(len))
 }
 
-impl<'a> QuerySession<'a> {
-    /// A session caching up to `capacity` cohorts (each ≈ `T·R'` entries).
-    pub fn new(engine: &'a CloudWalker, capacity: usize) -> Self {
-        assert!(capacity > 0, "cache capacity must be positive");
-        let n = engine.graph().node_count() as usize;
+struct Slot {
+    node: NodeId,
+    value: Arc<StepDistributions>,
+    prev: usize,
+    next: usize,
+}
+
+/// One independently locked O(1) LRU over cohorts: a slot slab threaded
+/// into a doubly linked recency list, indexed by a `HashMap`. Hits relink
+/// in O(1); eviction pops the list tail in O(1).
+struct LruShard {
+    capacity: usize,
+    map: HashMap<NodeId, usize>,
+    slots: Vec<Slot>,
+    head: usize,
+    tail: usize,
+}
+
+impl LruShard {
+    fn new(capacity: usize) -> Self {
         Self {
-            engine,
             capacity,
-            order: VecDeque::with_capacity(capacity + 1),
-            cohorts: vec![None; n],
-            hits: 0,
-            misses: 0,
+            map: HashMap::with_capacity(capacity.min(1024)),
+            slots: Vec::new(),
+            head: NONE,
+            tail: NONE,
         }
+    }
+
+    fn detach(&mut self, slot: usize) {
+        let (prev, next) = (self.slots[slot].prev, self.slots[slot].next);
+        if prev == NONE {
+            self.head = next;
+        } else {
+            self.slots[prev].next = next;
+        }
+        if next == NONE {
+            self.tail = prev;
+        } else {
+            self.slots[next].prev = prev;
+        }
+    }
+
+    fn attach_front(&mut self, slot: usize) {
+        self.slots[slot].prev = NONE;
+        self.slots[slot].next = self.head;
+        if self.head != NONE {
+            self.slots[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NONE {
+            self.tail = slot;
+        }
+    }
+
+    fn get(&mut self, node: NodeId) -> Option<Arc<StepDistributions>> {
+        let slot = *self.map.get(&node)?;
+        self.detach(slot);
+        self.attach_front(slot);
+        Some(Arc::clone(&self.slots[slot].value))
+    }
+
+    fn insert(&mut self, node: NodeId, value: Arc<StepDistributions>) {
+        if let Some(&slot) = self.map.get(&node) {
+            // Raced with another miss on the same node; keep the resident
+            // entry (identical by determinism) and refresh recency.
+            self.detach(slot);
+            self.attach_front(slot);
+            return;
+        }
+        let slot = if self.slots.len() < self.capacity {
+            self.slots.push(Slot { node, value, prev: NONE, next: NONE });
+            self.slots.len() - 1
+        } else {
+            let victim = self.tail;
+            self.detach(victim);
+            self.map.remove(&self.slots[victim].node);
+            self.slots[victim] = Slot { node, value, prev: NONE, next: NONE };
+            victim
+        };
+        self.map.insert(node, slot);
+        self.attach_front(slot);
+    }
+
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+/// A thread-safe, bounded cohort cache wrapping a shared [`CloudWalker`]
+/// for read-heavy query workloads. Cheap to create (cost independent of
+/// graph size) and safe to share: queries take `&self`.
+pub struct QuerySession {
+    walker: Arc<CloudWalker>,
+    shards: Vec<Mutex<LruShard>>,
+    /// Effective total capacity (`shards × per-shard`, ≥ the requested
+    /// capacity after round-up).
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl QuerySession {
+    /// Default shard count for [`QuerySession::new`].
+    pub const DEFAULT_SHARDS: usize = 16;
+
+    /// Minimum per-shard capacity [`QuerySession::new`] maintains, so a
+    /// small total capacity never degenerates into one-entry shards where
+    /// hash-colliding hot nodes would evict each other on every query.
+    const MIN_SHARD_CAPACITY: usize = 4;
+
+    /// A session caching up to `capacity` cohorts (each ≈ `T·R'` entries)
+    /// across up to [`QuerySession::DEFAULT_SHARDS`] shards (fewer when
+    /// `capacity` is smaller, keeping each shard at least
+    /// [`QuerySession::MIN_SHARD_CAPACITY`] deep).
+    pub fn new(walker: Arc<CloudWalker>, capacity: usize) -> Self {
+        let shards = (capacity / Self::MIN_SHARD_CAPACITY).clamp(1, Self::DEFAULT_SHARDS);
+        Self::with_shards(walker, capacity, shards)
+    }
+
+    /// A session with an explicit shard count. `shards = 1` gives exact
+    /// global-LRU eviction; more shards trade eviction exactness for lower
+    /// lock contention. Total capacity is split evenly (rounded up).
+    pub fn with_shards(walker: Arc<CloudWalker>, capacity: usize, shards: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        assert!(shards > 0, "need at least one shard");
+        let per_shard = capacity.div_ceil(shards);
+        Self {
+            walker,
+            shards: (0..shards).map(|_| Mutex::new(LruShard::new(per_shard))).collect(),
+            capacity: per_shard * shards,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The shared engine this session serves from.
+    pub fn walker(&self) -> &Arc<CloudWalker> {
+        &self.walker
     }
 
     /// `(hits, misses)` since the session started.
     pub fn cache_stats(&self) -> (u64, u64) {
-        (self.hits, self.misses)
+        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
     }
 
-    fn cohort(&mut self, v: NodeId) -> Arc<StepDistributions> {
-        if let Some(c) = &self.cohorts[v as usize] {
-            self.hits += 1;
-            // Refresh LRU position.
-            if let Some(pos) = self.order.iter().position(|&x| x == v) {
-                self.order.remove(pos);
-            }
-            self.order.push_back(v);
-            return Arc::clone(c);
+    /// Number of cohorts currently resident across all shards.
+    pub fn cached_cohorts(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("shard poisoned").len()).sum()
+    }
+
+    #[inline]
+    fn shard_of(&self, v: NodeId) -> &Mutex<LruShard> {
+        // Fibonacci hashing spreads consecutive node ids across shards.
+        let h = (v as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        &self.shards[(h >> 32) as usize % self.shards.len()]
+    }
+
+    fn cohort(&self, v: NodeId) -> Arc<StepDistributions> {
+        let shard = self.shard_of(v);
+        if let Some(c) = shard.lock().expect("shard poisoned").get(v) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return c;
         }
-        self.misses += 1;
-        let c = Arc::new(query_cohort(self.engine.graph(), self.engine.config(), v));
-        self.cohorts[v as usize] = Some(Arc::clone(&c));
-        self.order.push_back(v);
-        if self.order.len() > self.capacity {
-            if let Some(evict) = self.order.pop_front() {
-                self.cohorts[evict as usize] = None;
-            }
-        }
+        // Simulate outside the lock so concurrent misses on other nodes of
+        // the same shard do not serialise behind the walk simulation. The
+        // simulation runs on the configured engine, so cluster modes
+        // account cohort work in their ClusterReport.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let c = Arc::new(self.walker.query_cohort(v));
+        shard.lock().expect("shard poisoned").insert(v, Arc::clone(&c));
         c
     }
 
     /// MCSP through the cache; numerically identical to
     /// [`CloudWalker::single_pair`].
-    pub fn single_pair(&mut self, i: NodeId, j: NodeId) -> f64 {
+    pub fn single_pair(&self, i: NodeId, j: NodeId) -> f64 {
         if i == j {
             return 1.0;
         }
         let di = self.cohort(i);
         let dj = self.cohort(j);
-        let cfg = self.engine.config();
-        score_pair(&di, &dj, self.engine.diagonal().as_slice(), cfg.c).clamp(0.0, 1.0)
+        let cfg = self.walker.config();
+        score_pair(&di, &dj, self.walker.diagonal().as_slice(), cfg.c).clamp(0.0, 1.0)
     }
 
-    /// Scores every pair from `rows × cols`, simulating each distinct node
-    /// exactly once. Entry `[r][c]` is `s(rows[r], cols[c])`.
-    pub fn pairs_matrix(&mut self, rows: &[NodeId], cols: &[NodeId]) -> Vec<Vec<f64>> {
-        rows.iter()
-            .map(|&i| cols.iter().map(|&j| self.single_pair(i, j)).collect())
-            .collect()
+    /// Scores every pair from `rows × cols` in parallel. Each distinct
+    /// cohort is warmed through the cache at most once per block (when
+    /// everything fits one block and no shard overflows from hash skew,
+    /// that is exactly once); larger requests are processed in cache-sized
+    /// blocks so pinned cohorts never exceed the session's configured
+    /// capacity. Entry `[r][c]` is `s(rows[r], cols[c])`.
+    pub fn pairs_matrix(&self, rows: &[NodeId], cols: &[NodeId]) -> Vec<Vec<f64>> {
+        let capacity = self.capacity;
+        let mut out = vec![vec![0.0f64; cols.len()]; rows.len()];
+        // Block the matrix so at most ~capacity cohorts are pinned at once.
+        let block = (capacity / 2).max(1);
+        for row_block in chunked_indices(rows.len(), block) {
+            for col_block in chunked_indices(cols.len(), block) {
+                // Warm each distinct cohort of this block once, in
+                // parallel, then score from the pinned Arcs so eviction
+                // during the scoring pass cannot force a re-simulation.
+                let distinct: Vec<NodeId> = row_block
+                    .clone()
+                    .map(|r| rows[r])
+                    .chain(col_block.clone().map(|c| cols[c]))
+                    .collect::<BTreeSet<_>>()
+                    .into_iter()
+                    .collect();
+                let cohorts: HashMap<NodeId, Arc<StepDistributions>> = distinct
+                    .par_iter()
+                    .map(|&v| (v, self.cohort(v)))
+                    .collect::<Vec<_>>()
+                    .into_iter()
+                    .collect();
+                let diag = self.walker.diagonal().as_slice();
+                let c = self.walker.config().c;
+                let scored: Vec<Vec<f64>> = row_block
+                    .clone()
+                    .collect::<Vec<_>>()
+                    .par_iter()
+                    .map(|&r| {
+                        let i = rows[r];
+                        col_block
+                            .clone()
+                            .map(|cc| {
+                                let j = cols[cc];
+                                if i == j {
+                                    1.0
+                                } else {
+                                    score_pair(&cohorts[&i], &cohorts[&j], diag, c).clamp(0.0, 1.0)
+                                }
+                            })
+                            .collect()
+                    })
+                    .collect();
+                for (r, row_scores) in row_block.clone().zip(scored) {
+                    for (cc, s) in col_block.clone().zip(row_scores) {
+                        out[r][cc] = s;
+                    }
+                }
+            }
+        }
+        out
     }
 
     /// MCSS through the engine (cohort caching does not apply to the
-    /// forward stage; listed here for one-stop batch workloads).
-    pub fn single_source(&mut self, i: NodeId) -> Vec<f64> {
-        self.engine.single_source(i)
+    /// forward stage; listed here for one-stop serving workloads).
+    pub fn single_source(&self, i: NodeId) -> Vec<f64> {
+        self.walker.single_source(i)
+    }
+
+    /// MCSS for every source in `sources`, in parallel on the engine.
+    pub fn single_source_batch(&self, sources: &[NodeId]) -> Vec<Vec<f64>> {
+        sources.par_iter().map(|&i| self.walker.single_source(i)).collect()
+    }
+
+    /// Top-`k` MCSS for every source in `sources`, in parallel on the
+    /// engine.
+    pub fn single_source_topk_batch(
+        &self,
+        sources: &[NodeId],
+        k: usize,
+    ) -> Vec<Vec<(NodeId, f64)>> {
+        sources.par_iter().map(|&i| self.walker.single_source_topk(i, k)).collect()
     }
 }
 
@@ -105,15 +312,15 @@ mod tests {
     use crate::SimRankConfig;
     use pasco_graph::generators;
 
-    fn engine() -> CloudWalker {
+    fn engine() -> Arc<CloudWalker> {
         let g = Arc::new(generators::barabasi_albert(120, 3, 5));
-        CloudWalker::build(g, SimRankConfig::fast(), ExecMode::Local).unwrap()
+        Arc::new(CloudWalker::build(g, SimRankConfig::fast(), ExecMode::Local).unwrap())
     }
 
     #[test]
     fn cached_answers_match_engine_answers() {
         let cw = engine();
-        let mut session = QuerySession::new(&cw, 16);
+        let session = QuerySession::new(Arc::clone(&cw), 16);
         for &(i, j) in &[(1u32, 2u32), (5, 80), (2, 1), (80, 5), (7, 7)] {
             assert_eq!(session.single_pair(i, j), cw.single_pair(i, j), "({i},{j})");
         }
@@ -121,8 +328,7 @@ mod tests {
 
     #[test]
     fn repeated_queries_hit_the_cache() {
-        let cw = engine();
-        let mut session = QuerySession::new(&cw, 16);
+        let session = QuerySession::new(engine(), 16);
         session.single_pair(1, 2); // 2 misses
         session.single_pair(1, 3); // 1 hit (1), 1 miss (3)
         session.single_pair(2, 3); // 2 hits
@@ -133,8 +339,8 @@ mod tests {
 
     #[test]
     fn eviction_respects_lru_order() {
-        let cw = engine();
-        let mut session = QuerySession::new(&cw, 2);
+        // One shard = exact global LRU, the easiest shape to reason about.
+        let session = QuerySession::with_shards(engine(), 2, 1);
         session.single_pair(1, 2); // cache {1, 2}
         session.single_pair(1, 3); // touch 1, insert 3 -> evict 2
         let (_, misses_before) = session.cache_stats();
@@ -149,9 +355,50 @@ mod tests {
     }
 
     #[test]
+    fn small_capacity_hot_set_stays_resident() {
+        // Regression: capacity <= DEFAULT_SHARDS used to degenerate into
+        // one-entry shards, so hash-colliding hot nodes evicted each other
+        // on every query. A hot set within capacity must reach 100% hits.
+        let session = QuerySession::new(engine(), 8);
+        for _ in 0..3 {
+            session.single_pair(1, 2);
+            session.single_pair(3, 4);
+        }
+        let (hits, misses) = session.cache_stats();
+        assert_eq!(misses, 4, "each hot node simulated once");
+        assert_eq!(hits, 8);
+    }
+
+    #[test]
+    fn pairs_matrix_larger_than_cache_is_correct_and_bounded() {
+        let cw = engine();
+        let session = QuerySession::new(Arc::clone(&cw), 8);
+        let nodes: Vec<u32> = (0..30).collect();
+        let m = session.pairs_matrix(&nodes, &nodes);
+        // Pinned cohorts are blocked by cache size, never beyond capacity.
+        assert!(session.cached_cohorts() <= 8);
+        for (r, &i) in nodes.iter().enumerate() {
+            for (c, &j) in nodes.iter().enumerate() {
+                assert_eq!(m[r][c], cw.single_pair(i, j), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_cache_stays_within_capacity() {
+        let session = QuerySession::new(engine(), 32);
+        for i in 0..120u32 {
+            session.single_pair(i, (i + 1) % 120);
+        }
+        assert!(session.cached_cohorts() <= 32 + QuerySession::DEFAULT_SHARDS);
+        let (hits, misses) = session.cache_stats();
+        assert_eq!(hits + misses, 240);
+    }
+
+    #[test]
     fn pairs_matrix_matches_pointwise_queries() {
         let cw = engine();
-        let mut session = QuerySession::new(&cw, 32);
+        let session = QuerySession::new(Arc::clone(&cw), 32);
         let rows = [1u32, 5, 9];
         let cols = [2u32, 5];
         let m = session.pairs_matrix(&rows, &cols);
@@ -163,5 +410,44 @@ mod tests {
         // 4 distinct nodes simulated once each.
         let (_, misses) = session.cache_stats();
         assert_eq!(misses, 4);
+    }
+
+    #[test]
+    fn batch_entry_points_match_engine() {
+        let cw = engine();
+        let session = QuerySession::new(Arc::clone(&cw), 8);
+        let sources = [3u32, 50, 99];
+        let batch = session.single_source_batch(&sources);
+        let topk = session.single_source_topk_batch(&sources, 5);
+        for (idx, &s) in sources.iter().enumerate() {
+            assert_eq!(batch[idx], cw.single_source(s), "source {s}");
+            assert_eq!(topk[idx], cw.single_source_topk(s, 5), "topk {s}");
+        }
+    }
+
+    #[test]
+    fn session_cohorts_route_through_the_engine() {
+        use pasco_cluster::ClusterConfig;
+        let g = Arc::new(generators::barabasi_albert(80, 3, 4));
+        let cw = Arc::new(
+            CloudWalker::build(
+                g,
+                SimRankConfig::fast(),
+                ExecMode::Broadcast(ClusterConfig::local(2)),
+            )
+            .unwrap(),
+        );
+        let before = cw.cluster_report().unwrap().stages;
+        let session = QuerySession::new(Arc::clone(&cw), 8);
+        let s = session.single_pair(1, 2);
+        let after = cw.cluster_report().unwrap().stages;
+        assert!(after > before, "cohort simulation must be accounted: {before} -> {after}");
+        assert_eq!(s, cw.single_pair(1, 2), "cached answer still matches the engine");
+    }
+
+    #[test]
+    fn session_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<QuerySession>();
     }
 }

@@ -108,8 +108,7 @@ impl CsrGraph {
 
     /// Iterator over all directed edges `(u, v)`.
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.nodes()
-            .flat_map(move |u| self.out_neighbors(u).iter().map(move |&v| (u, v)))
+        self.nodes().flat_map(move |u| self.out_neighbors(u).iter().map(move |&v| (u, v)))
     }
 
     /// Approximate resident size of the CSR arrays in bytes. Used by the

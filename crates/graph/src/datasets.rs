@@ -130,8 +130,7 @@ mod tests {
     #[test]
     fn sizes_are_strictly_increasing() {
         // Only the two smallest: generating the big ones is a bench concern.
-        let sizes: Vec<u64> =
-            SPECS.iter().take(2).map(|s| s.generate().memory_bytes()).collect();
+        let sizes: Vec<u64> = SPECS.iter().take(2).map(|s| s.generate().memory_bytes()).collect();
         assert!(sizes[0] < sizes[1]);
     }
 

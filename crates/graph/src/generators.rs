@@ -66,7 +66,12 @@ pub fn barabasi_albert(n: u32, m_per_node: u32, seed: u64) -> CsrGraph {
                 chosen.insert(v);
             }
         }
-        for v in chosen {
+        // HashSet iteration order is hasher-dependent; the endpoints list
+        // feeds later sampling, so drain in sorted order to keep the
+        // generator deterministic in its seed across threads and runs.
+        let mut picked: Vec<NodeId> = chosen.into_iter().collect();
+        picked.sort_unstable();
+        for v in picked {
             b.add_edge(u, v);
             endpoints.push(u);
             endpoints.push(v);
@@ -220,13 +225,13 @@ pub fn two_communities(n: u32, intra_m: u64, bridges: u64, seed: u64) -> CsrGrap
     b.ensure_nodes(n);
     let mut seen = HashSet::new();
     let add_unique = |b: &mut GraphBuilder,
-                          rng: &mut StdRng,
-                          seen: &mut HashSet<(u32, u32)>,
-                          lo: u32,
-                          hi: u32,
-                          lo2: u32,
-                          hi2: u32,
-                          count: u64| {
+                      rng: &mut StdRng,
+                      seen: &mut HashSet<(u32, u32)>,
+                      lo: u32,
+                      hi: u32,
+                      lo2: u32,
+                      hi2: u32,
+                      count: u64| {
         let mut added = 0;
         while added < count {
             let u = rng.random_range(lo..hi);

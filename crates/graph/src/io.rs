@@ -141,10 +141,7 @@ pub fn read_binary(path: impl AsRef<Path>) -> Result<CsrGraph, GraphError> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != MAGIC {
-        return Err(GraphError::BadFormat(format!(
-            "bad magic {:?}, expected {:?}",
-            magic, MAGIC
-        )));
+        return Err(GraphError::BadFormat(format!("bad magic {:?}, expected {:?}", magic, MAGIC)));
     }
     let n = read_u64(&mut r)?;
     if n > u32::MAX as u64 {

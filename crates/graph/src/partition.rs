@@ -115,9 +115,7 @@ mod tests {
         let p = Partitioner::range(2, 8);
         assert!(p.owner(0) < 8);
         assert!(p.owner(1) < 8);
-        let total: u32 = (0..8)
-            .map(|part| p.range_of(part).map(|(s, e)| e - s).unwrap_or(0))
-            .sum();
+        let total: u32 = (0..8).map(|part| p.range_of(part).map(|(s, e)| e - s).unwrap_or(0)).sum();
         assert_eq!(total, 2);
     }
 

@@ -108,9 +108,8 @@ pub fn partition_graph(graph: &CsrGraph, partitioner: &Partitioner) -> Vec<Graph
     let parts = partitioner.parts();
     (0..parts)
         .map(|p| {
-            let (start, end) = partitioner
-                .range_of(p)
-                .expect("partition_graph requires a range partitioner");
+            let (start, end) =
+                partitioner.range_of(p).expect("partition_graph requires a range partitioner");
             let count = (end - start) as usize;
             let mut in_offsets = Vec::with_capacity(count + 1);
             let mut in_sources = Vec::new();

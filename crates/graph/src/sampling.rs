@@ -48,20 +48,16 @@ impl ReverseChainIndex {
                 rest = tail;
             }
         }
-        chunks
-            .par_iter_mut()
-            .zip(total.par_iter_mut())
-            .enumerate()
-            .for_each(|(k, (chunk, tk))| {
-                let mut acc = 0.0;
-                for (slot, &j) in chunk.iter_mut().zip(graph.out_neighbors(k as NodeId)) {
-                    let d = graph.in_degree(j);
-                    debug_assert!(d > 0, "out-edge target must have an in-edge");
-                    acc += 1.0 / d as f64;
-                    *slot = acc;
-                }
-                *tk = acc;
-            });
+        chunks.par_iter_mut().zip(total.par_iter_mut()).enumerate().for_each(|(k, (chunk, tk))| {
+            let mut acc = 0.0;
+            for (slot, &j) in chunk.iter_mut().zip(graph.out_neighbors(k as NodeId)) {
+                let d = graph.in_degree(j);
+                debug_assert!(d > 0, "out-edge target must have an in-edge");
+                acc += 1.0 / d as f64;
+                *slot = acc;
+            }
+            *tk = acc;
+        });
         drop(chunks);
         Self { cum, total }
     }

@@ -86,25 +86,17 @@ pub fn largest_wcc(graph: &CsrGraph) -> (CsrGraph, Vec<NodeId>) {
         }
         sizes[l as usize] += 1;
     }
-    let biggest = sizes
-        .iter()
-        .enumerate()
-        .max_by_key(|&(_, &s)| s)
-        .map(|(l, _)| l as u32)
-        .unwrap();
-    let keep: Vec<NodeId> = (0..graph.node_count())
-        .filter(|&v| labels[v as usize] == biggest)
-        .collect();
+    let biggest = sizes.iter().enumerate().max_by_key(|&(_, &s)| s).map(|(l, _)| l as u32).unwrap();
+    let keep: Vec<NodeId> =
+        (0..graph.node_count()).filter(|&v| labels[v as usize] == biggest).collect();
     induced_subgraph(graph, &keep)
 }
 
 /// Drops isolated nodes (no edges in either direction) and compacts ids;
 /// returns the graph and the `new → old` mapping.
 pub fn drop_isolated(graph: &CsrGraph) -> (CsrGraph, Vec<NodeId>) {
-    let keep: Vec<NodeId> = graph
-        .nodes()
-        .filter(|&v| graph.in_degree(v) + graph.out_degree(v) > 0)
-        .collect();
+    let keep: Vec<NodeId> =
+        graph.nodes().filter(|&v| graph.in_degree(v) + graph.out_degree(v) > 0).collect();
     induced_subgraph(graph, &keep)
 }
 

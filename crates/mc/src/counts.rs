@@ -118,11 +118,7 @@ impl<V: Accumulate> OpenMap<V> {
 
     /// Iterates `(key, value)` pairs in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, V)> + '_ {
-        self.keys
-            .iter()
-            .zip(self.vals.iter())
-            .filter(|(&k, _)| k != EMPTY)
-            .map(|(&k, &v)| (k, v))
+        self.keys.iter().zip(self.vals.iter()).filter(|(&k, _)| k != EMPTY).map(|(&k, &v)| (k, v))
     }
 
     /// Drains into a `(key, value)` vector sorted by key. Sorting makes

@@ -196,18 +196,10 @@ mod tests {
         let approx = propagate_measure(&g, &idx, &y, 3, 20_000, 77);
         // Compare total mass and a few heavy coordinates.
         assert!((total(&exact) - total(&approx)).abs() < 0.05 * total(&exact).max(1e-9));
-        let exact_max = exact.iter().cloned().fold((0u32, 0.0f64), |a, b| {
-            if b.1 > a.1 {
-                b
-            } else {
-                a
-            }
-        });
-        let approx_at: f64 = approx
-            .iter()
-            .find(|&&(n, _)| n == exact_max.0)
-            .map(|&(_, m)| m)
-            .unwrap_or(0.0);
+        let exact_max =
+            exact.iter().cloned().fold((0u32, 0.0f64), |a, b| if b.1 > a.1 { b } else { a });
+        let approx_at: f64 =
+            approx.iter().find(|&&(n, _)| n == exact_max.0).map(|&(_, m)| m).unwrap_or(0.0);
         assert!(
             (approx_at - exact_max.1).abs() < 0.1 * exact_max.1.max(1e-9),
             "exact {exact_max:?} vs approx {approx_at}"

@@ -17,10 +17,7 @@ pub fn batch_distributions(
     params: WalkParams,
     seed: u64,
 ) -> Vec<StepDistributions> {
-    sources
-        .par_iter()
-        .map(|&s| reverse_walk_distributions(graph, s, params, seed))
-        .collect()
+    sources.par_iter().map(|&s| reverse_walk_distributions(graph, s, params, seed)).collect()
 }
 
 /// Applies `f` to the cohort of every node `0..n` in parallel, collecting
@@ -58,14 +55,12 @@ mod tests {
     fn map_all_nodes_is_in_node_order_and_deterministic() {
         let g = generators::cycle(50);
         let params = WalkParams::new(3, 4);
-        let ends: Vec<NodeId> =
-            map_all_nodes(&g, params, 1, |_, d| d.counts[3][0].0);
+        let ends: Vec<NodeId> = map_all_nodes(&g, params, 1, |_, d| d.counts[3][0].0);
         // Cycle reverse walk: after 3 steps from v you are at (v - 3) mod n.
         for (v, &e) in ends.iter().enumerate() {
             assert_eq!(e, ((v as u32) + 50 - 3) % 50);
         }
-        let again: Vec<NodeId> =
-            map_all_nodes(&g, params, 1, |_, d| d.counts[3][0].0);
+        let again: Vec<NodeId> = map_all_nodes(&g, params, 1, |_, d| d.counts[3][0].0);
         assert_eq!(ends, again);
     }
 }

@@ -1,0 +1,174 @@
+//! Offline shim for `criterion`: runs each benchmark a small fixed number
+//! of iterations and prints median wall time. No statistics, plots, or
+//! baselines — just enough for `cargo bench` to execute the workspace's
+//! benchmark suites and report comparable numbers.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup { _parent: self, name, sample_size: 10 }
+    }
+
+    /// Benchmarks `f` under `id` (ungrouped).
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.to_string(), 10, &mut f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares the work per iteration (recorded, not yet reported).
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.sample_size, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.0);
+        run_one(&label, self.sample_size, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id naming only the swept parameter.
+    pub fn from_parameter(p: impl Display) -> Self {
+        Self(p.to_string())
+    }
+
+    /// An id with a function name and parameter.
+    pub fn new(name: impl Display, p: impl Display) -> Self {
+        Self(format!("{name}/{p}"))
+    }
+}
+
+/// Work-per-iteration declarations.
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Passed to every benchmark closure; `iter` does the timing.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    per_sample: usize,
+}
+
+impl Bencher {
+    /// Times `f`, recording one sample per configured iteration.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // One warmup iteration, then timed samples.
+        black_box(f());
+        for _ in 0..self.per_sample {
+            let t0 = Instant::now();
+            black_box(f());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, sample_size: usize, f: &mut F) {
+    let mut b = Bencher { samples: Vec::new(), per_sample: sample_size };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("  {label}: no samples");
+        return;
+    }
+    b.samples.sort_unstable();
+    let median = b.samples[b.samples.len() / 2];
+    let min = b.samples[0];
+    println!("  {label}: median {median:?} (min {min:?}, {} samples)", b.samples.len());
+}
+
+/// Groups benchmark functions under one entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_machinery_runs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        let mut runs = 0u32;
+        group.bench_function("counts", |b| b.iter(|| runs += 1));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+        assert!(runs >= 3);
+    }
+}

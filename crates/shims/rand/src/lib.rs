@@ -1,0 +1,177 @@
+//! Offline shim for the `rand` crate.
+//!
+//! Provides `StdRng`, `SeedableRng::seed_from_u64`, and the `RngExt`
+//! convenience trait (`random`, `random_range`) used by the graph
+//! generators. The generator is xoshiro256** seeded through SplitMix64 —
+//! high quality, deterministic, and stable across platforms, which is all
+//! the workspace requires (generators promise determinism in their seed,
+//! not bit-compatibility with upstream rand).
+
+/// A word-at-a-time random generator.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The standard generator: xoshiro256**.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion, per the xoshiro authors' recommendation.
+        let mut x = seed ^ 0x6a09_e667_f3bc_c909;
+        let mut next = || {
+            x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        Self { s: [next(), next(), next(), next()] }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.s;
+        let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s1 << 17;
+        let mut s = [s0, s1, s2, s3];
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        self.s = s;
+        result
+    }
+}
+
+/// Generators module mirroring `rand::rngs`.
+pub mod rngs {
+    pub use crate::StdRng;
+}
+
+/// Types producible by [`RngExt::random`].
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn draw(rng: &mut impl RngCore) -> Self;
+}
+
+impl Standard for f64 {
+    fn draw(rng: &mut impl RngCore) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    fn draw(rng: &mut impl RngCore) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn draw(rng: &mut impl RngCore) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn draw(rng: &mut impl RngCore) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Integer types usable with [`RngExt::random_range`].
+pub trait UniformInt: Copy + PartialOrd {
+    /// Draws uniformly from `[lo, hi)`.
+    fn draw_range(rng: &mut impl RngCore, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($ty:ty) => {
+        impl UniformInt for $ty {
+            fn draw_range(rng: &mut impl RngCore, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "empty random_range");
+                let span = (hi - lo) as u64;
+                // Lemire-style widening multiply keeps bias negligible for
+                // the small spans the generators use.
+                let hi128 = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                lo + hi128 as Self
+            }
+        }
+    };
+}
+
+impl_uniform_int!(u32);
+impl_uniform_int!(u64);
+impl_uniform_int!(usize);
+
+/// Convenience sampling methods (mirrors rand 0.9's `Rng`).
+pub trait RngExt: RngCore {
+    /// A value of type `T` from its standard distribution.
+    fn random<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::draw(self)
+    }
+
+    /// A uniform draw from a half-open integer range.
+    fn random_range<T: UniformInt>(&mut self, range: std::ops::Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::draw_range(self, range.start, range.end)
+    }
+}
+
+impl<R: RngCore> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_are_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = rng.random_range(3u32..17);
+            assert!((3..17).contains(&v));
+            let f: f64 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn range_hits_all_values() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[rng.random_range(0usize..8)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

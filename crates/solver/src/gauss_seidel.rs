@@ -97,7 +97,11 @@ mod tests {
             &rows,
             &b,
             &[0.0; 3],
-            &crate::JacobiConfig { iterations: 100, tolerance: Some(1e-12), record_residuals: false },
+            &crate::JacobiConfig {
+                iterations: 100,
+                tolerance: Some(1e-12),
+                record_residuals: false,
+            },
         );
         assert!(gs.residual < 1e-12);
         assert!(

@@ -34,9 +34,7 @@ pub struct DenseRows {
 impl DenseRows {
     /// Wraps materialised rows (each sorted by column).
     pub fn new(rows: Vec<Vec<(u32, f64)>>) -> Self {
-        debug_assert!(rows
-            .iter()
-            .all(|r| r.windows(2).all(|w| w[0].0 < w[1].0)));
+        debug_assert!(rows.iter().all(|r| r.windows(2).all(|w| w[0].0 < w[1].0)));
         Self { rows }
     }
 }
@@ -214,8 +212,7 @@ mod tests {
         // Cross-check one sweep against a hand-rolled sequential update.
         let (rows, b, _) = diag_dominant_system();
         let x0 = vec![0.3, -0.7, 1.1];
-        let res =
-            solve(&rows, &b, &x0, &JacobiConfig { iterations: 1, ..Default::default() });
+        let res = solve(&rows, &b, &x0, &JacobiConfig { iterations: 1, ..Default::default() });
         let expected = [
             (3.0 - 1.0 * -0.7) / 4.0,
             (0.0 - (1.0 * 0.3 + 2.0 * 1.1)) / 5.0,

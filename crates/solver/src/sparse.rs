@@ -223,8 +223,9 @@ mod tests {
         let a = sv(&[(1, 2.0), (3, 1.0)]);
         let b = sv(&[(1, 0.5), (2, 9.0), (3, 2.0)]);
         let w = vec![0.0, 10.0, 0.0, 100.0];
-        assert!((a.dot_sparse_weighted(&b, &w) - (2.0 * 0.5 * 10.0 + 1.0 * 2.0 * 100.0)).abs()
-            < 1e-12);
+        assert!(
+            (a.dot_sparse_weighted(&b, &w) - (2.0 * 0.5 * 10.0 + 1.0 * 2.0 * 100.0)).abs() < 1e-12
+        );
     }
 
     #[test]

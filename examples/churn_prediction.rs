@@ -52,12 +52,8 @@ fn main() {
 
     // Quantitative check: the at-risk cohort (A) must dominate the top
     // decile.
-    let top30: Vec<u32> = ranked
-        .iter()
-        .filter(|&&(u, _)| !churned.contains(&u))
-        .take(30)
-        .map(|&(u, _)| u)
-        .collect();
+    let top30: Vec<u32> =
+        ranked.iter().filter(|&&(u, _)| !churned.contains(&u)).take(30).map(|&(u, _)| u).collect();
     let in_a = top30.iter().filter(|&&u| u < 150).count();
     println!("\n{in_a}/30 of the highest-risk users are in the churned community");
     assert!(in_a >= 24, "churn risk should concentrate in community A");

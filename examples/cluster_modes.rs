@@ -24,13 +24,11 @@ fn main() {
     let cfg = SimRankConfig::default_paper().with_r(50).with_r_query(2_000);
     let cluster = ClusterConfig::local(4);
 
-    for (name, mode) in [
-        ("broadcast", ExecMode::Broadcast(cluster)),
-        ("rdd", ExecMode::Rdd(cluster)),
-    ] {
+    for (name, mode) in
+        [("broadcast", ExecMode::Broadcast(cluster)), ("rdd", ExecMode::Rdd(cluster))]
+    {
         let t0 = Instant::now();
-        let (cw, stats) =
-            CloudWalker::build_with_stats(Arc::clone(&graph), cfg, mode).unwrap();
+        let (cw, stats) = CloudWalker::build_with_stats(Arc::clone(&graph), cfg, mode).unwrap();
         let d_time = t0.elapsed();
         let t0 = Instant::now();
         let s = cw.single_pair(17, 912);
@@ -46,8 +44,11 @@ fn main() {
             report.shuffles
         );
         if let Some(bytes) = cw.max_partition_bytes() {
-            println!("  per-worker memory: {:.1} MB (vs {:.1} MB full graph)",
-                bytes as f64 / 1e6, graph.memory_bytes() as f64 / 1e6);
+            println!(
+                "  per-worker memory: {:.1} MB (vs {:.1} MB full graph)",
+                bytes as f64 / 1e6,
+                graph.memory_bytes() as f64 / 1e6
+            );
         }
         let _ = stats;
         println!();

@@ -16,8 +16,7 @@ fn main() {
     // 2. Offline indexing: estimate the diagonal correction matrix D with
     //    the paper's default parameters (c=0.6, T=10, L=3, R=100).
     let cfg = SimRankConfig::default_paper().with_r_query(2_000);
-    let (cw, stats) =
-        CloudWalker::build_with_stats(graph.into(), cfg, ExecMode::Local).unwrap();
+    let (cw, stats) = CloudWalker::build_with_stats(graph.into(), cfg, ExecMode::Local).unwrap();
     println!(
         "indexed in {:?} (strategy {:?}, final Jacobi residual {:.2e})",
         stats.wall,
@@ -31,8 +30,7 @@ fn main() {
 
     // 3b. Single-source query (MCSS): the most similar nodes to node 10.
     let scores = cw.single_source(10);
-    let mut top: Vec<(u32, f64)> =
-        scores.iter().enumerate().map(|(i, &v)| (i as u32, v)).collect();
+    let mut top: Vec<(u32, f64)> = scores.iter().enumerate().map(|(i, &v)| (i as u32, v)).collect();
     top.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
     println!("top-5 similar to node 10:");
     for &(v, s) in top.iter().filter(|&&(v, _)| v != 10).take(5) {

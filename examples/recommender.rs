@@ -11,7 +11,8 @@
 //! ```
 
 use pasco::graph::generators;
-use pasco::simrank::{CloudWalker, ExecMode, SimRankConfig};
+use pasco::simrank::{CloudWalker, ExecMode, QuerySession, SimRankConfig};
+use std::sync::Arc;
 
 fn main() {
     let n = 400u32;
@@ -23,12 +24,15 @@ fn main() {
     );
 
     let cfg = SimRankConfig::default_paper().with_r_query(4_000);
-    let cw = CloudWalker::build(graph.into(), cfg, ExecMode::Local).unwrap();
+    let cw = Arc::new(CloudWalker::build(graph.into(), cfg, ExecMode::Local).unwrap());
 
-    // Recommend for one item per community.
+    // Recommend for one item per community, served through the batch API
+    // (one parallel MCSS per distinct item).
+    let session = QuerySession::new(Arc::clone(&cw), 32);
     let half = n / 2;
-    for &item in &[10u32, half + 10] {
-        let scores = cw.single_source(item);
+    let items = [10u32, half + 10];
+    let rows = session.single_source_batch(&items);
+    for (&item, scores) in items.iter().zip(&rows) {
         let mut ranked: Vec<(u32, f64)> = scores
             .iter()
             .enumerate()

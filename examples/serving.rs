@@ -1,6 +1,6 @@
-//! A serving-shaped workload: capacity planning with walk profiles, then a
-//! query session with cohort caching answering a stream of repeated
-//! queries.
+//! A serving-shaped workload: capacity planning with walk profiles, then
+//! one shared, thread-safe query session answering a concurrent stream of
+//! repeated queries.
 //!
 //! ```text
 //! cargo run --release --example serving
@@ -30,35 +30,82 @@ fn main() {
         println!("  95% of walk mass is gone by step {h} — T beyond that buys little");
     }
 
-    let cw = CloudWalker::build(Arc::clone(&graph), cfg, ExecMode::Local).unwrap();
+    let cw = Arc::new(CloudWalker::build(Arc::clone(&graph), cfg, ExecMode::Local).unwrap());
+    let fp = cw.memory_footprint();
+    println!("\nengine: {} ({} bytes/worker)", cw.mode_name(), fp.per_worker_bytes);
 
     // A query stream with a skewed working set (hot nodes repeat), served
-    // through the caching session.
+    // through one shared caching session.
     let hot: Vec<u32> = (0..8).map(|i| i * 1000 + 3).collect();
-    let mut session = QuerySession::new(&cw, 64);
+    let session = Arc::new(QuerySession::new(Arc::clone(&cw), 64));
+    let stream = |round: u32| {
+        let i = hot[(round % 8) as usize];
+        let j = hot[((round / 2 + 3) % 8) as usize];
+        (i, j)
+    };
+
     let t0 = Instant::now();
     let mut checksum = 0.0;
     for round in 0..50u32 {
-        let i = hot[(round % 8) as usize];
-        let j = hot[((round / 2 + 3) % 8) as usize];
+        let (i, j) = stream(round);
         checksum += session.single_pair(i, j);
     }
     let with_cache = t0.elapsed();
     let (hits, misses) = session.cache_stats();
-    println!("\n50 pair queries over 8 hot nodes: {with_cache:?} (cache: {hits} hits / {misses} misses)");
+    println!(
+        "\n50 pair queries over 8 hot nodes: {with_cache:?} (cache: {hits} hits / {misses} misses)"
+    );
 
     let t0 = Instant::now();
     let mut checksum2 = 0.0;
     for round in 0..50u32 {
-        let i = hot[(round % 8) as usize];
-        let j = hot[((round / 2 + 3) % 8) as usize];
+        let (i, j) = stream(round);
         checksum2 += cw.single_pair(i, j);
     }
     let without = t0.elapsed();
     println!("same stream without caching:    {without:?}");
     assert!((checksum - checksum2).abs() < 1e-9, "caching must not change answers");
 
-    // Top-k retrieval without materialising a dense score vector.
-    let top = cw.single_source_topk(hot[0], 5);
-    println!("\ntop-5 similar to node {}: {:?}", hot[0], top);
+    // The same stream again, but from four concurrent clients sharing the
+    // session — queries take &self, so this is just thread::scope + clones
+    // of one Arc. Every client runs the identical stream, so all four
+    // sums must equal the sequential checksum exactly.
+    let t0 = Instant::now();
+    let sums: Vec<f64> = std::thread::scope(|scope| {
+        (0..4)
+            .map(|_| {
+                let session = Arc::clone(&session);
+                scope.spawn(move || {
+                    let mut sum = 0.0;
+                    for round in 0..50u32 {
+                        let (i, j) = stream(round);
+                        sum += session.single_pair(i, j);
+                    }
+                    sum
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect()
+    });
+    let concurrent = t0.elapsed();
+    let (hits, misses) = session.cache_stats();
+    println!(
+        "4 clients × 50 queries, one shared session: {concurrent:?} \
+         (cache now: {hits} hits / {misses} misses, sums {sums:?})"
+    );
+    assert!(
+        sums.iter().all(|&s| (s - checksum).abs() < 1e-12),
+        "shared session must not change answers"
+    );
+
+    // Batch APIs fan out over rayon: a pairwise matrix simulates each
+    // distinct node once; a top-k batch runs sources in parallel.
+    let m = session.pairs_matrix(&hot, &hot);
+    println!("\npairwise matrix over the hot set (row 0): {:?}", m[0]);
+    let top = session.single_source_topk_batch(&hot[..2], 5);
+    for (src, ranked) in hot.iter().zip(&top) {
+        println!("top-5 similar to node {src}: {ranked:?}");
+    }
 }

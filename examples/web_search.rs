@@ -28,8 +28,11 @@ fn main() {
 
     let index_path = std::env::temp_dir().join("pasco_web_search.idx");
     persist::save_index(cw.diagonal(), &index_path).unwrap();
-    println!("index saved: {} ({} bytes)", index_path.display(),
-        std::fs::metadata(&index_path).unwrap().len());
+    println!(
+        "index saved: {} ({} bytes)",
+        index_path.display(),
+        std::fs::metadata(&index_path).unwrap().len()
+    );
 
     // Online phase: a fresh query server loads graph + index only.
     let loaded: DiagonalIndex = persist::load_index(&index_path).unwrap();

@@ -6,6 +6,7 @@
 //! pasco index    --graph g.bin --out g.idx [--mode local|broadcast|rdd] [--seed N]
 //! pasco sp       --graph g.bin --index g.idx --i 3 --j 99
 //! pasco ss       --graph g.bin --index g.idx --i 3 [--top 10]
+//! pasco pairs    --graph g.bin --index g.idx --nodes 1,5,9 [--cache 1024]
 //! pasco convert  --in edges.txt --out g.bin      (edge list -> binary, or back)
 //! ```
 //!
@@ -33,6 +34,7 @@ fn main() -> ExitCode {
         "index" => cmd_index(&flags),
         "sp" => cmd_sp(&flags),
         "ss" => cmd_ss(&flags),
+        "pairs" => cmd_pairs(&flags),
         "convert" => cmd_convert(&flags),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
@@ -60,6 +62,7 @@ USAGE:
                  [--seed N] [--c F] [--t N] [--l N] [--r N]
   pasco sp       --graph <file> --index <file> --i <node> --j <node>
   pasco ss       --graph <file> --index <file> --i <node> [--top K]
+  pasco pairs    --graph <file> --index <file> --nodes <a,b,c,...> [--cache N]
   pasco convert  --in <file> --out <file>   (.txt <-> .bin by extension)
 ";
 
@@ -173,13 +176,13 @@ fn cmd_index(flags: &Flags) -> Result<(), String> {
         other => return Err(format!("unknown mode `{other}`")),
     };
     let t0 = Instant::now();
-    let (cw, stats) =
-        CloudWalker::build_with_stats(graph, cfg, mode).map_err(|e| e.to_string())?;
+    let (cw, stats) = CloudWalker::build_with_stats(graph, cfg, mode).map_err(|e| e.to_string())?;
     persist::save_index(cw.diagonal(), out).map_err(|e| e.to_string())?;
     println!(
-        "indexed {} nodes in {:.2?} (strategy {:?}, residual {:.2e}); index -> {out}",
+        "indexed {} nodes in {:.2?} on the {} engine (strategy {:?}, residual {:.2e}); index -> {out}",
         cw.diagonal().len(),
         t0.elapsed(),
+        cw.mode_name(),
         stats.strategy,
         stats.jacobi_residuals.last().copied().unwrap_or(0.0)
     );
@@ -193,6 +196,14 @@ fn load_engine(flags: &Flags) -> Result<CloudWalker, String> {
     CloudWalker::from_index(graph, cfg, index).map_err(|e| e.to_string())
 }
 
+fn check_node(cw: &CloudWalker, flag: &str, v: u32) -> Result<(), String> {
+    let n = cw.graph().node_count();
+    if v >= n {
+        return Err(format!("--{flag}: node {v} out of range (graph has {n} nodes)"));
+    }
+    Ok(())
+}
+
 fn cmd_sp(flags: &Flags) -> Result<(), String> {
     let cw = load_engine(flags)?;
     let i: u32 = get_num(flags, "i", u32::MAX)?;
@@ -200,6 +211,8 @@ fn cmd_sp(flags: &Flags) -> Result<(), String> {
     if i == u32::MAX || j == u32::MAX {
         return Err("sp needs --i and --j".into());
     }
+    check_node(&cw, "i", i)?;
+    check_node(&cw, "j", j)?;
     let t0 = Instant::now();
     let s = cw.single_pair(i, j);
     println!("s({i}, {j}) = {s:.6}   [{:?}]", t0.elapsed());
@@ -212,6 +225,7 @@ fn cmd_ss(flags: &Flags) -> Result<(), String> {
     if i == u32::MAX {
         return Err("ss needs --i".into());
     }
+    check_node(&cw, "i", i)?;
     let top: usize = get_num(flags, "top", 10)?;
     let t0 = Instant::now();
     let ranked = cw.single_source_topk(i, top);
@@ -219,6 +233,49 @@ fn cmd_ss(flags: &Flags) -> Result<(), String> {
     println!("top-{top} similar to {i}   [{latency:?}]");
     for (node, s) in ranked {
         println!("  {node:>10}  {s:.6}");
+    }
+    Ok(())
+}
+
+fn cmd_pairs(flags: &Flags) -> Result<(), String> {
+    use pasco::simrank::QuerySession;
+    let cw = Arc::new(load_engine(flags)?);
+    let nodes: Vec<u32> = get(flags, "nodes")?
+        .split(',')
+        .map(|s| s.trim().parse().map_err(|_| format!("--nodes: cannot parse `{s}`")))
+        .collect::<Result<_, _>>()?;
+    if nodes.is_empty() {
+        return Err("pairs needs at least one node".into());
+    }
+    let n = cw.graph().node_count();
+    if let Some(&bad) = nodes.iter().find(|&&v| v >= n) {
+        return Err(format!("--nodes: node {bad} out of range (graph has {n} nodes)"));
+    }
+    let cache: usize = get_num(flags, "cache", 1024)?;
+    if cache == 0 {
+        return Err("--cache must be positive".into());
+    }
+    let session = QuerySession::new(Arc::clone(&cw), cache);
+    let t0 = Instant::now();
+    let m = session.pairs_matrix(&nodes, &nodes);
+    let latency = t0.elapsed();
+    let (hits, misses) = session.cache_stats();
+    println!(
+        "{}x{} similarity matrix   [{latency:?}, {misses} cohorts simulated, {hits} cache hits]",
+        nodes.len(),
+        nodes.len()
+    );
+    print!("{:>10}", "");
+    for j in &nodes {
+        print!(" {j:>8}");
+    }
+    println!();
+    for (r, &i) in nodes.iter().enumerate() {
+        print!("{i:>10}");
+        for v in &m[r] {
+            print!(" {v:>8.5}");
+        }
+        println!();
     }
     Ok(())
 }

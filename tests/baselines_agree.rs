@@ -19,11 +19,8 @@ fn three_systems_approximate_the_same_truth() {
         ExecMode::Local,
     )
     .unwrap();
-    let fmt = Fmt::build(
-        Arc::clone(&g),
-        FmtConfig { r: 3_000, ..FmtConfig::default_paper() },
-    )
-    .unwrap();
+    let fmt =
+        Fmt::build(Arc::clone(&g), FmtConfig { r: 3_000, ..FmtConfig::default_paper() }).unwrap();
     let lin = Lin::build(Arc::clone(&g), LinConfig::default_paper()).unwrap();
 
     for &(i, j) in &[(0u32, 1u32), (10, 50), (44, 45), (70, 3)] {
@@ -83,11 +80,7 @@ fn failure_modes_match_the_papers_table() {
     );
     assert!(matches!(lin, Err(BaselineError::WorkBudget { .. })));
 
-    let cw = CloudWalker::build(
-        Arc::clone(&g),
-        SimRankConfig::fast(),
-        ExecMode::Local,
-    );
+    let cw = CloudWalker::build(Arc::clone(&g), SimRankConfig::fast(), ExecMode::Local);
     assert!(cw.is_ok());
 }
 

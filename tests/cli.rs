@@ -52,6 +52,17 @@ fn generate_index_query_pipeline() {
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("top-3 similar to 3"), "{stdout}");
+
+    let out = bin()
+        .args(["pairs", "--graph", graph.to_str().unwrap()])
+        .args(["--index", index.to_str().unwrap()])
+        .args(["--nodes", "1,5,9", "--r-query", "500", "--t", "5"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("3x3 similarity matrix"), "{stdout}");
+    assert!(stdout.contains("3 cohorts simulated"), "{stdout}");
 }
 
 #[test]

@@ -49,13 +49,41 @@ fn mcss_matches_across_modes_to_float_tolerance() {
         let expect = l.single_source(s);
         for (name, row) in [("broadcast", b.single_source(s)), ("rdd", r.single_source(s))] {
             for (v, (a, e)) in row.iter().zip(&expect).enumerate() {
-                assert!(
-                    (a - e).abs() < 1e-12,
-                    "{name} source {s} node {v}: {a} vs {e}"
-                );
+                assert!((a - e).abs() < 1e-12, "{name} source {s} node {v}: {a} vs {e}");
             }
         }
     }
+}
+
+#[test]
+fn topk_rankings_are_identical_across_modes() {
+    // Top-k now routes through the engine trait: cluster modes run it on
+    // their own distributed single-source path (and account the work in
+    // their ClusterReport) yet must produce the same ranking as the local
+    // sparse estimator, with scores equal to float accumulation order.
+    let g = Arc::new(generators::barabasi_albert(140, 3, 13));
+    let cfg = SimRankConfig::fast().with_seed(31);
+    let [l, b, r] = build_all(&g, cfg);
+    for &s in &[2u32, 40, 70] {
+        let expect = l.single_source_topk(s, 10);
+        assert!(!expect.is_empty(), "source {s} must reach someone");
+        for (name, got) in
+            [("broadcast", b.single_source_topk(s, 10)), ("rdd", r.single_source_topk(s, 10))]
+        {
+            assert_eq!(
+                got.iter().map(|&(v, _)| v).collect::<Vec<_>>(),
+                expect.iter().map(|&(v, _)| v).collect::<Vec<_>>(),
+                "{name} ranking, source {s}"
+            );
+            for ((gn, gs), (en, es)) in got.iter().zip(&expect) {
+                assert_eq!(gn, en, "{name} source {s}");
+                assert!((gs - es).abs() < 1e-12, "{name} source {s}: {gs} vs {es}");
+            }
+        }
+    }
+    // The distributed top-k paths must be accounted in the cluster logs.
+    assert!(b.cluster_report().unwrap().stages > 0);
+    assert!(r.cluster_report().unwrap().shuffle_bytes > 0);
 }
 
 #[test]
@@ -65,15 +93,11 @@ fn result_is_independent_of_cluster_shape() {
     let g = Arc::new(generators::rmat(8, 1_500, generators::RmatParams::default(), 4));
     let cfg = SimRankConfig::fast().with_seed(40);
     let reference =
-        CloudWalker::build(Arc::clone(&g), cfg, ExecMode::Rdd(ClusterConfig::local(2)))
-            .unwrap();
+        CloudWalker::build(Arc::clone(&g), cfg, ExecMode::Rdd(ClusterConfig::local(2))).unwrap();
     for workers in [1usize, 3, 7] {
-        let other = CloudWalker::build(
-            Arc::clone(&g),
-            cfg,
-            ExecMode::Rdd(ClusterConfig::local(workers)),
-        )
-        .unwrap();
+        let other =
+            CloudWalker::build(Arc::clone(&g), cfg, ExecMode::Rdd(ClusterConfig::local(workers)))
+                .unwrap();
         assert_eq!(reference.diagonal(), other.diagonal(), "workers {workers}");
     }
 }

@@ -34,6 +34,44 @@ fn full_offline_online_roundtrip() {
 }
 
 #[test]
+fn roundtripped_index_serves_identically_for_every_build_mode() {
+    // The deployment contract behind persist: whichever substrate built the
+    // index, a query server that loads it from disk must answer
+    // single-pair and single-source queries bitwise-identically to the
+    // freshly built engine.
+    use pasco::cluster::ClusterConfig;
+    let g = Arc::new(generators::barabasi_albert(180, 3, 55));
+    let cfg = SimRankConfig::fast().with_seed(19);
+    let modes = [
+        ("local", ExecMode::Local),
+        ("broadcast", ExecMode::Broadcast(ClusterConfig::local(3))),
+        ("rdd", ExecMode::Rdd(ClusterConfig::local(4))),
+    ];
+    for (name, mode) in modes {
+        let built = CloudWalker::build(Arc::clone(&g), cfg, mode).unwrap();
+        let path = tmp(&format!("parity-{name}.idx"));
+        persist::save_index(built.diagonal(), &path).unwrap();
+        let loaded = persist::load_index(&path).unwrap();
+        assert_eq!(&loaded, built.diagonal(), "{name}: index must roundtrip bitwise");
+        let server = CloudWalker::from_index(Arc::clone(&g), cfg, loaded).unwrap();
+        for &(i, j) in &[(0u32, 1u32), (17, 130), (90, 91), (179, 3)] {
+            assert_eq!(
+                built.single_pair(i, j),
+                server.single_pair(i, j),
+                "{name}: single_pair({i},{j})"
+            );
+        }
+        for &s in &[5u32, 120] {
+            let a = built.single_source(s);
+            let b = server.single_source(s);
+            for (v, (x, y)) in a.iter().zip(&b).enumerate() {
+                assert!((x - y).abs() < 1e-12, "{name}: single_source({s}) node {v}: {x} vs {y}");
+            }
+        }
+    }
+}
+
+#[test]
 fn index_graph_mismatch_is_rejected() {
     let g = Arc::new(generators::cycle(10));
     let other = Arc::new(generators::cycle(12));
