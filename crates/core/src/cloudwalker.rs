@@ -1,5 +1,6 @@
 //! The public CloudWalker API: build the index once, query forever.
 
+use crate::api::QueryError;
 use crate::config::{AiStrategy, SimRankConfig};
 use crate::diag::DiagonalIndex;
 use crate::engine::broadcast::BroadcastEngine;
@@ -116,62 +117,115 @@ impl CloudWalker {
 
     /// MCSP — similarity of one node pair, `O(T·R′)`. Estimates are
     /// clamped into SimRank's `[0, 1]` range (Monte-Carlo noise can push a
-    /// raw estimate slightly outside).
-    ///
-    /// # Panics
-    /// Panics if `i` or `j` is not a node of the graph.
-    pub fn single_pair(&self, i: NodeId, j: NodeId) -> f64 {
-        self.check_node(i);
-        self.check_node(j);
-        self.engine.single_pair(self.diag.as_slice(), &self.cfg, i, j).clamp(0.0, 1.0)
+    /// raw estimate slightly outside). Fails with
+    /// [`QueryError::NodeOutOfRange`] instead of panicking; the serving
+    /// stack ([`crate::api::QueryService`], [`crate::QuerySession`]) routes
+    /// every query through these checked variants.
+    pub fn try_single_pair(&self, i: NodeId, j: NodeId) -> Result<f64, QueryError> {
+        self.check_node(i)?;
+        self.check_node(j)?;
+        Ok(self.engine.single_pair(self.diag.as_slice(), &self.cfg, i, j).clamp(0.0, 1.0))
     }
 
     /// MCSS — similarity of every node to `i`, `O(T²·R′·log d)`. Estimates
-    /// are clamped into SimRank's `[0, 1]` range.
-    ///
-    /// # Panics
-    /// Panics if `i` is not a node of the graph.
-    pub fn single_source(&self, i: NodeId) -> Vec<f64> {
-        self.check_node(i);
+    /// are clamped into SimRank's `[0, 1]` range; fails with
+    /// [`QueryError::NodeOutOfRange`] on a bad node.
+    pub fn try_single_source(&self, i: NodeId) -> Result<Vec<f64>, QueryError> {
+        self.check_node(i)?;
         let mut out = self.engine.single_source(self.diag.as_slice(), &self.cfg, i);
         for v in &mut out {
             *v = v.clamp(0.0, 1.0);
         }
-        out
+        Ok(out)
     }
 
     /// Sparse top-`k` MCSS: returns only the `k` most similar nodes
     /// (query node excluded) — the right call for big graphs when only a
     /// ranking is needed. Runs on the configured engine, so cluster modes
-    /// account the work in their [`ClusterReport`].
-    ///
-    /// # Panics
-    /// Panics if `i` is not a node of the graph.
-    pub fn single_source_topk(&self, i: NodeId, k: usize) -> Vec<(NodeId, f64)> {
-        self.check_node(i);
-        self.engine.single_source_topk(self.diag.as_slice(), &self.cfg, i, k)
+    /// account the work in their [`ClusterReport`]. Fails with
+    /// [`QueryError::NodeOutOfRange`] on a bad node and
+    /// [`QueryError::InvalidK`] on `k = 0`.
+    pub fn try_single_source_topk(
+        &self,
+        i: NodeId,
+        k: usize,
+    ) -> Result<Vec<(NodeId, f64)>, QueryError> {
+        self.check_node(i)?;
+        if k == 0 {
+            return Err(QueryError::InvalidK { k: k as u64 });
+        }
+        Ok(self.engine.single_source_topk(self.diag.as_slice(), &self.cfg, i, k))
     }
 
     /// Simulates the `R'`-walker query cohort of `v` on the configured
     /// engine (the building block [`crate::QuerySession`] caches; cluster
-    /// modes account the work in their [`ClusterReport`]).
-    ///
-    /// # Panics
-    /// Panics if `v` is not a node of the graph.
-    pub fn query_cohort(&self, v: NodeId) -> pasco_mc::walks::StepDistributions {
-        self.check_node(v);
-        self.engine.query_cohort(&self.cfg, v)
+    /// modes account the work in their [`ClusterReport`]). Fails with
+    /// [`QueryError::NodeOutOfRange`] on a bad node.
+    pub fn try_query_cohort(
+        &self,
+        v: NodeId,
+    ) -> Result<pasco_mc::walks::StepDistributions, QueryError> {
+        self.check_node(v)?;
+        Ok(self.engine.query_cohort(&self.cfg, v))
     }
 
     /// The deterministic-push variant of MCSS (ablation A1); local
-    /// execution regardless of mode.
-    pub fn single_source_push(&self, i: NodeId) -> Vec<f64> {
-        self.check_node(i);
+    /// execution regardless of mode. Fails with
+    /// [`QueryError::NodeOutOfRange`] on a bad node.
+    pub fn try_single_source_push(&self, i: NodeId) -> Result<Vec<f64>, QueryError> {
+        self.check_node(i)?;
         let mut out = queries::single_source_push(&self.graph, self.diag.as_slice(), &self.cfg, i);
         for v in &mut out {
             *v = v.clamp(0.0, 1.0);
         }
-        out
+        Ok(out)
+    }
+
+    /// Infallible [`CloudWalker::try_single_pair`].
+    ///
+    /// # Panics
+    /// Panics if `i` or `j` is not a node of the graph; call the checked
+    /// variant to get a typed [`QueryError`] instead.
+    pub fn single_pair(&self, i: NodeId, j: NodeId) -> f64 {
+        self.try_single_pair(i, j).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Infallible [`CloudWalker::try_single_source`].
+    ///
+    /// # Panics
+    /// Panics if `i` is not a node of the graph.
+    pub fn single_source(&self, i: NodeId) -> Vec<f64> {
+        self.try_single_source(i).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Infallible [`CloudWalker::try_single_source_topk`]. `k = 0` returns
+    /// an empty ranking (the checked variant treats it as
+    /// [`QueryError::InvalidK`]).
+    ///
+    /// # Panics
+    /// Panics if `i` is not a node of the graph.
+    pub fn single_source_topk(&self, i: NodeId, k: usize) -> Vec<(NodeId, f64)> {
+        if k == 0 {
+            self.check_node(i).unwrap_or_else(|e| panic!("{e}"));
+            return Vec::new();
+        }
+        self.try_single_source_topk(i, k).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Infallible [`CloudWalker::try_query_cohort`].
+    ///
+    /// # Panics
+    /// Panics if `v` is not a node of the graph.
+    pub fn query_cohort(&self, v: NodeId) -> pasco_mc::walks::StepDistributions {
+        self.try_query_cohort(v).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Infallible [`CloudWalker::try_single_source_push`].
+    ///
+    /// # Panics
+    /// Panics if `i` is not a node of the graph.
+    pub fn single_source_push(&self, i: NodeId) -> Vec<f64> {
+        self.try_single_source_push(i).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// MCAP — top-`k` similar nodes for every node (`O(n·T²·R′·log d)`;
@@ -229,12 +283,8 @@ impl CloudWalker {
     }
 
     #[inline]
-    fn check_node(&self, v: NodeId) {
-        assert!(
-            v < self.graph.node_count(),
-            "node {v} out of range (graph has {} nodes)",
-            self.graph.node_count()
-        );
+    fn check_node(&self, v: NodeId) -> Result<(), QueryError> {
+        crate::api::check_node(v, self.graph.node_count())
     }
 }
 
@@ -301,6 +351,23 @@ mod tests {
         let g = Arc::new(generators::cycle(4));
         let cw = CloudWalker::build(g, SimRankConfig::fast(), ExecMode::Local).unwrap();
         cw.single_pair(0, 4);
+    }
+
+    #[test]
+    fn checked_queries_surface_typed_errors() {
+        let g = Arc::new(generators::cycle(4));
+        let cw = CloudWalker::build(g, SimRankConfig::fast(), ExecMode::Local).unwrap();
+        let oob = QueryError::NodeOutOfRange { node: 4, node_count: 4 };
+        assert_eq!(cw.try_single_pair(0, 4).unwrap_err(), oob);
+        assert_eq!(cw.try_single_source(4).unwrap_err(), oob);
+        assert_eq!(cw.try_single_source_topk(4, 3).unwrap_err(), oob);
+        assert_eq!(cw.try_single_source_push(4).unwrap_err(), oob);
+        assert_eq!(cw.try_query_cohort(4).unwrap_err(), oob);
+        assert_eq!(cw.try_single_source_topk(1, 0).unwrap_err(), QueryError::InvalidK { k: 0 });
+        // Checked and infallible variants agree on valid input.
+        assert_eq!(cw.try_single_pair(0, 2).unwrap(), cw.single_pair(0, 2));
+        assert_eq!(cw.try_single_source_topk(0, 2).unwrap(), cw.single_source_topk(0, 2));
+        assert_eq!(cw.single_source_topk(0, 0), Vec::new());
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Error type for CloudWalker operations.
 
+use crate::api::QueryError;
 use pasco_cluster::ClusterError;
 use std::fmt;
 
@@ -15,6 +16,9 @@ pub enum SimRankError {
     Io(std::io::Error),
     /// A persisted index file is malformed or does not match the graph.
     BadIndex(String),
+    /// A malformed query (see [`QueryError`]) bubbled through an
+    /// operation that also has other failure modes.
+    Query(QueryError),
 }
 
 impl fmt::Display for SimRankError {
@@ -24,6 +28,7 @@ impl fmt::Display for SimRankError {
             SimRankError::Cluster(e) => write!(f, "cluster error: {e}"),
             SimRankError::Io(e) => write!(f, "I/O error: {e}"),
             SimRankError::BadIndex(msg) => write!(f, "bad index: {msg}"),
+            SimRankError::Query(e) => write!(f, "query error: {e}"),
         }
     }
 }
@@ -33,6 +38,7 @@ impl std::error::Error for SimRankError {
         match self {
             SimRankError::Cluster(e) => Some(e),
             SimRankError::Io(e) => Some(e),
+            SimRankError::Query(e) => Some(e),
             _ => None,
         }
     }
@@ -41,6 +47,12 @@ impl std::error::Error for SimRankError {
 impl From<ClusterError> for SimRankError {
     fn from(e: ClusterError) -> Self {
         SimRankError::Cluster(e)
+    }
+}
+
+impl From<QueryError> for SimRankError {
+    fn from(e: QueryError) -> Self {
+        SimRankError::Query(e)
     }
 }
 
@@ -67,5 +79,8 @@ mod tests {
         use std::error::Error;
         let e: SimRankError = std::io::Error::other("disk").into();
         assert!(e.source().is_some());
+        let e: SimRankError = QueryError::NodeOutOfRange { node: 9, node_count: 4 }.into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("out of range"));
     }
 }

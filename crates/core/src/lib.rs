@@ -38,10 +38,17 @@
 //! O(1) LRU, and batch entry points fan out over rayon — one index serves
 //! many concurrent clients with answers identical to the engine's.
 //!
+//! The [`api`] module is the typed front door over both layers: a
+//! [`QueryRequest`]/[`QueryResponse`] protocol with a binary wire codec
+//! ([`api::wire`]), typed [`QueryError`]s instead of panics, and the
+//! object-safe [`QueryService`] trait implemented by [`QuerySession`] and
+//! [`CloudWalker`].
+//!
 //! The [`exact`] module provides the `O(n²)` ground truth used by the
 //! effectiveness experiments, and [`metrics`] the error/ranking measures.
 
 pub mod ai;
+pub mod api;
 pub mod cloudwalker;
 pub mod config;
 pub mod diag;
@@ -53,9 +60,10 @@ pub mod persist;
 pub mod queries;
 pub mod session;
 
+pub use api::{QueryError, QueryRequest, QueryResponse, QueryService};
 pub use cloudwalker::{CloudWalker, IndexBuildStats};
 pub use config::{AiStrategy, SimRankConfig};
 pub use diag::DiagonalIndex;
 pub use engine::{BuildOutcome, EngineFootprint, ExecMode, LocalEngine, SimRankEngine};
 pub use error::SimRankError;
-pub use session::QuerySession;
+pub use session::{CacheStats, QuerySession};

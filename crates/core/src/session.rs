@@ -18,6 +18,7 @@
 //! bitwise identical to the underlying engine's; caching and concurrency
 //! only remove re-simulation.
 
+use crate::api::QueryError;
 use crate::cloudwalker::CloudWalker;
 use crate::queries::score_pair;
 use pasco_graph::NodeId;
@@ -126,6 +127,43 @@ impl LruShard {
     }
 }
 
+/// Cohort-cache accounting since a session started.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Cohort lookups answered from the cache.
+    pub hits: u64,
+    /// Cohort lookups that had to simulate.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total cohort lookups (`hits + misses`).
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups served from the cache (0.0 when none happened).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+}
+
+impl std::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} hits / {} misses ({:.1}% hit rate)",
+            self.hits,
+            self.misses,
+            100.0 * self.hit_rate()
+        )
+    }
+}
+
 /// A thread-safe, bounded cohort cache wrapping a shared [`CloudWalker`]
 /// for read-heavy query workloads. Cheap to create (cost independent of
 /// graph size) and safe to share: queries take `&self`.
@@ -151,7 +189,7 @@ impl QuerySession {
     /// A session caching up to `capacity` cohorts (each ≈ `T·R'` entries)
     /// across up to [`QuerySession::DEFAULT_SHARDS`] shards (fewer when
     /// `capacity` is smaller, keeping each shard at least
-    /// [`QuerySession::MIN_SHARD_CAPACITY`] deep).
+    /// `MIN_SHARD_CAPACITY` (4) deep).
     pub fn new(walker: Arc<CloudWalker>, capacity: usize) -> Self {
         let shards = (capacity / Self::MIN_SHARD_CAPACITY).clamp(1, Self::DEFAULT_SHARDS);
         Self::with_shards(walker, capacity, shards)
@@ -178,9 +216,12 @@ impl QuerySession {
         &self.walker
     }
 
-    /// `(hits, misses)` since the session started.
-    pub fn cache_stats(&self) -> (u64, u64) {
-        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    /// Hit/miss accounting since the session started.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
     }
 
     /// Number of cohorts currently resident across all shards.
@@ -211,9 +252,13 @@ impl QuerySession {
         c
     }
 
-    /// MCSP through the cache; numerically identical to
-    /// [`CloudWalker::single_pair`].
-    pub fn single_pair(&self, i: NodeId, j: NodeId) -> f64 {
+    #[inline]
+    fn check_node(&self, v: NodeId) -> Result<(), QueryError> {
+        crate::api::check_node(v, self.walker.graph().node_count())
+    }
+
+    /// Both nodes already checked; `s(i, i) = 1` by definition.
+    fn single_pair_unchecked(&self, i: NodeId, j: NodeId) -> f64 {
         if i == j {
             return 1.0;
         }
@@ -221,6 +266,46 @@ impl QuerySession {
         let dj = self.cohort(j);
         let cfg = self.walker.config();
         score_pair(&di, &dj, self.walker.diagonal().as_slice(), cfg.c).clamp(0.0, 1.0)
+    }
+
+    /// MCSP through the cache; numerically identical to
+    /// [`CloudWalker::single_pair`].
+    ///
+    /// # Panics
+    /// Panics if `i` or `j` is not a node of the graph (including when
+    /// `i == j`); use [`QuerySession::try_single_pair`] for a typed error.
+    pub fn single_pair(&self, i: NodeId, j: NodeId) -> f64 {
+        self.try_single_pair(i, j).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Checked [`QuerySession::single_pair`]: fails with
+    /// [`QueryError::NodeOutOfRange`] instead of panicking.
+    pub fn try_single_pair(&self, i: NodeId, j: NodeId) -> Result<f64, QueryError> {
+        self.check_node(i)?;
+        self.check_node(j)?;
+        Ok(self.single_pair_unchecked(i, j))
+    }
+
+    /// Checked [`QuerySession::pairs_matrix`]: every node of `rows` and
+    /// `cols` is validated before any cohort is simulated, and both sets
+    /// must be non-empty ([`QueryError::EmptyNodeSet`]).
+    pub fn try_pairs_matrix(
+        &self,
+        rows: &[NodeId],
+        cols: &[NodeId],
+    ) -> Result<Vec<Vec<f64>>, QueryError> {
+        if rows.is_empty() || cols.is_empty() {
+            return Err(QueryError::EmptyNodeSet);
+        }
+        rows.iter().chain(cols).try_for_each(|&v| self.check_node(v))?;
+        Ok(self.pairs_matrix(rows, cols))
+    }
+
+    /// The (cached) query cohort of `v` — checked access to the building
+    /// block both MCSP and MCSS start from.
+    pub fn try_cohort(&self, v: NodeId) -> Result<Arc<StepDistributions>, QueryError> {
+        self.check_node(v)?;
+        Ok(self.cohort(v))
     }
 
     /// Scores every pair from `rows × cols` in parallel. Each distinct
@@ -332,9 +417,12 @@ mod tests {
         session.single_pair(1, 2); // 2 misses
         session.single_pair(1, 3); // 1 hit (1), 1 miss (3)
         session.single_pair(2, 3); // 2 hits
-        let (hits, misses) = session.cache_stats();
-        assert_eq!(misses, 3);
-        assert_eq!(hits, 3);
+        let stats = session.cache_stats();
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.hits, 3);
+        assert_eq!(stats.lookups(), 6);
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-12);
+        assert!(stats.to_string().contains("50.0% hit rate"), "{stats}");
     }
 
     #[test]
@@ -343,14 +431,14 @@ mod tests {
         let session = QuerySession::with_shards(engine(), 2, 1);
         session.single_pair(1, 2); // cache {1, 2}
         session.single_pair(1, 3); // touch 1, insert 3 -> evict 2
-        let (_, misses_before) = session.cache_stats();
+        let misses_before = session.cache_stats().misses;
         session.single_pair(1, 3); // both cached
-        let (_, misses_mid) = session.cache_stats();
+        let misses_mid = session.cache_stats().misses;
         assert_eq!(misses_before, misses_mid, "no new misses for cached pair");
         // 2 was evicted: miss on 2, whose insertion evicts 1, so 1 misses
         // too — a capacity-2 cache thrashes on a 3-node working set.
         session.single_pair(2, 1);
-        let (_, misses_after) = session.cache_stats();
+        let misses_after = session.cache_stats().misses;
         assert_eq!(misses_after, misses_mid + 2);
     }
 
@@ -364,9 +452,9 @@ mod tests {
             session.single_pair(1, 2);
             session.single_pair(3, 4);
         }
-        let (hits, misses) = session.cache_stats();
-        assert_eq!(misses, 4, "each hot node simulated once");
-        assert_eq!(hits, 8);
+        let stats = session.cache_stats();
+        assert_eq!(stats.misses, 4, "each hot node simulated once");
+        assert_eq!(stats.hits, 8);
     }
 
     #[test]
@@ -391,8 +479,7 @@ mod tests {
             session.single_pair(i, (i + 1) % 120);
         }
         assert!(session.cached_cohorts() <= 32 + QuerySession::DEFAULT_SHARDS);
-        let (hits, misses) = session.cache_stats();
-        assert_eq!(hits + misses, 240);
+        assert_eq!(session.cache_stats().lookups(), 240);
     }
 
     #[test]
@@ -408,8 +495,7 @@ mod tests {
             }
         }
         // 4 distinct nodes simulated once each.
-        let (_, misses) = session.cache_stats();
-        assert_eq!(misses, 4);
+        assert_eq!(session.cache_stats().misses, 4);
     }
 
     #[test]
@@ -423,6 +509,28 @@ mod tests {
             assert_eq!(batch[idx], cw.single_source(s), "source {s}");
             assert_eq!(topk[idx], cw.single_source_topk(s, 5), "topk {s}");
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn equal_out_of_range_pair_panics_not_one() {
+        // Regression: the i == j shortcut must not skip the bounds check.
+        let session = QuerySession::new(engine(), 8);
+        session.single_pair(500, 500);
+    }
+
+    #[test]
+    fn checked_session_queries_surface_typed_errors() {
+        let session = QuerySession::new(engine(), 8);
+        let oob = QueryError::NodeOutOfRange { node: 500, node_count: 120 };
+        assert_eq!(session.try_single_pair(1, 500).unwrap_err(), oob);
+        assert_eq!(session.try_single_pair(500, 500).unwrap_err(), oob);
+        assert_eq!(session.try_cohort(500).unwrap_err(), oob);
+        assert_eq!(session.try_pairs_matrix(&[1, 500], &[2]).unwrap_err(), oob);
+        assert_eq!(session.try_pairs_matrix(&[], &[2]).unwrap_err(), QueryError::EmptyNodeSet);
+        // Validation happens before simulation: no cohort was cached.
+        assert_eq!(session.cached_cohorts(), 0);
+        assert_eq!(session.try_single_pair(1, 2).unwrap(), session.single_pair(1, 2));
     }
 
     #[test]

@@ -17,6 +17,13 @@ pub trait Buf {
         self.remaining() > 0
     }
 
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
     /// Reads a little-endian `u32`.
     fn get_u32_le(&mut self) -> u32 {
         let mut b = [0u8; 4];
@@ -62,6 +69,11 @@ pub trait BufMut {
     /// Appends raw bytes.
     fn put_slice(&mut self, src: &[u8]);
 
+    /// Writes one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
     /// Writes a little-endian `u32`.
     fn put_u32_le(&mut self, v: u32) {
         self.put_slice(&v.to_le_bytes());
@@ -96,12 +108,14 @@ mod tests {
     #[test]
     fn roundtrip_all_widths() {
         let mut buf: Vec<u8> = Vec::new();
+        buf.put_u8(0x5a);
         buf.put_u32_le(0xdead_beef);
         buf.put_u64_le(42);
         buf.put_i64_le(-7);
         buf.put_f64_le(1.5);
         let mut r: &[u8] = &buf;
-        assert_eq!(r.remaining(), 4 + 8 + 8 + 8);
+        assert_eq!(r.remaining(), 1 + 4 + 8 + 8 + 8);
+        assert_eq!(r.get_u8(), 0x5a);
         assert_eq!(r.get_u32_le(), 0xdead_beef);
         assert_eq!(r.get_u64_le(), 42);
         assert_eq!(r.get_i64_le(), -7);

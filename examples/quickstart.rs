@@ -1,10 +1,12 @@
-//! Quickstart: index a graph, ask the three query types.
+//! Quickstart: index a graph, ask the three query types — directly and
+//! through the typed [`QueryService`] API.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
 use pasco::graph::generators;
+use pasco::simrank::api::{QueryRequest, QueryResponse, QueryService};
 use pasco::simrank::{CloudWalker, ExecMode, SimRankConfig};
 
 fn main() {
@@ -40,4 +42,24 @@ fn main() {
     // 3c. All-pairs (MCAP): top-3 lists for every node (small graphs only).
     let all = cw.all_pairs_topk(3);
     println!("node 0's top-3: {:?}", all[0]);
+
+    // 4. The same queries as typed requests through the QueryService
+    //    front door — the shape a network front-end would speak (the
+    //    requests also serialize: see pasco::simrank::api::wire).
+    let svc: &dyn QueryService = &cw;
+    let resp = svc
+        .execute(QueryRequest::Batch(vec![
+            QueryRequest::SinglePair { i: 10, j: 11 },
+            QueryRequest::SingleSourceTopK { i: 10, k: 5 },
+        ]))
+        .expect("nodes 10 and 11 exist");
+    if let QueryResponse::Batch(items) = resp {
+        if let [QueryResponse::Score(s2), QueryResponse::Ranked(top5)] = items.as_slice() {
+            assert_eq!(*s2, s, "typed API answers match the direct calls");
+            println!("via QueryService: s(10, 11) = {s2:.4}, top-5 = {top5:?}");
+        }
+    }
+    // Malformed requests are typed errors, not panics.
+    let err = svc.execute(QueryRequest::SingleSource { i: 1_000_000 }).unwrap_err();
+    println!("out-of-range query -> {err}");
 }

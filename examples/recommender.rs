@@ -11,6 +11,7 @@
 //! ```
 
 use pasco::graph::generators;
+use pasco::simrank::api::{QueryRequest, QueryResponse, QueryService};
 use pasco::simrank::{CloudWalker, ExecMode, QuerySession, SimRankConfig};
 use std::sync::Arc;
 
@@ -26,12 +27,23 @@ fn main() {
     let cfg = SimRankConfig::default_paper().with_r_query(4_000);
     let cw = Arc::new(CloudWalker::build(graph.into(), cfg, ExecMode::Local).unwrap());
 
-    // Recommend for one item per community, served through the batch API
-    // (one parallel MCSS per distinct item).
+    // Recommend for one item per community, served as one typed batch
+    // request through the QueryService front door (one MCSS per item).
     let session = QuerySession::new(Arc::clone(&cw), 32);
     let half = n / 2;
     let items = [10u32, half + 10];
-    let rows = session.single_source_batch(&items);
+    let batch =
+        QueryRequest::Batch(items.iter().map(|&i| QueryRequest::SingleSource { i }).collect());
+    let QueryResponse::Batch(responses) = session.execute(batch).expect("items exist") else {
+        panic!("Batch answers with Batch");
+    };
+    let rows: Vec<Vec<f64>> = responses
+        .into_iter()
+        .map(|r| match r {
+            QueryResponse::Scores(row) => row,
+            other => panic!("SingleSource answered with {other:?}"),
+        })
+        .collect();
     for (&item, scores) in items.iter().zip(&rows) {
         let mut ranked: Vec<(u32, f64)> = scores
             .iter()

@@ -5,18 +5,25 @@
 //! pasco stats    --graph g.bin
 //! pasco index    --graph g.bin --out g.idx [--mode local|broadcast|rdd] [--seed N]
 //! pasco sp       --graph g.bin --index g.idx --i 3 --j 99
-//! pasco ss       --graph g.bin --index g.idx --i 3 [--top 10]
+//! pasco ss       --graph g.bin --index g.idx --i 3 [--top 10] [--estimator walk|push]
+//! pasco topk     --graph g.bin --index g.idx --i 3 --k 10
 //! pasco pairs    --graph g.bin --index g.idx --nodes 1,5,9 [--cache 1024]
 //! pasco convert  --in edges.txt --out g.bin      (edge list -> binary, or back)
 //! ```
 //!
 //! Graphs are read as the binary format when the file starts with the
 //! `PASCOGR1` magic, otherwise as a whitespace edge list.
+//!
+//! Every query subcommand goes through the typed
+//! [`QueryService`] front door: the CLI builds a [`QueryRequest`],
+//! executes it, and matches the [`QueryResponse`] — bounds checking lives
+//! in the API layer ([`pasco::simrank::QueryError`]), not here.
 
 use pasco::cluster::ClusterConfig;
 use pasco::graph::stats::{degree_stats, human_bytes, Direction};
 use pasco::graph::{io, CsrGraph};
-use pasco::simrank::{persist, CloudWalker, ExecMode, SimRankConfig};
+use pasco::simrank::api::{QueryRequest, QueryResponse, QueryService};
+use pasco::simrank::{metrics, persist, CloudWalker, ExecMode, QuerySession, SimRankConfig};
 use std::collections::HashMap;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -34,6 +41,7 @@ fn main() -> ExitCode {
         "index" => cmd_index(&flags),
         "sp" => cmd_sp(&flags),
         "ss" => cmd_ss(&flags),
+        "topk" => cmd_topk(&flags),
         "pairs" => cmd_pairs(&flags),
         "convert" => cmd_convert(&flags),
         "help" | "--help" | "-h" => {
@@ -62,6 +70,8 @@ USAGE:
                  [--seed N] [--c F] [--t N] [--l N] [--r N]
   pasco sp       --graph <file> --index <file> --i <node> --j <node>
   pasco ss       --graph <file> --index <file> --i <node> [--top K]
+                 [--estimator walk|push]
+  pasco topk     --graph <file> --index <file> --i <node> --k <K>   (TSV out)
   pasco pairs    --graph <file> --index <file> --nodes <a,b,c,...> [--cache N]
   pasco convert  --in <file> --out <file>   (.txt <-> .bin by extension)
 ";
@@ -196,12 +206,10 @@ fn load_engine(flags: &Flags) -> Result<CloudWalker, String> {
     CloudWalker::from_index(graph, cfg, index).map_err(|e| e.to_string())
 }
 
-fn check_node(cw: &CloudWalker, flag: &str, v: u32) -> Result<(), String> {
-    let n = cw.graph().node_count();
-    if v >= n {
-        return Err(format!("--{flag}: node {v} out of range (graph has {n} nodes)"));
-    }
-    Ok(())
+/// Executes one request through the typed front door; a `QueryError`
+/// (out-of-range node, bad k, …) becomes the CLI's error string.
+fn execute(svc: &dyn QueryService, req: QueryRequest) -> Result<QueryResponse, String> {
+    svc.execute(req).map_err(|e| e.to_string())
 }
 
 fn cmd_sp(flags: &Flags) -> Result<(), String> {
@@ -211,10 +219,10 @@ fn cmd_sp(flags: &Flags) -> Result<(), String> {
     if i == u32::MAX || j == u32::MAX {
         return Err("sp needs --i and --j".into());
     }
-    check_node(&cw, "i", i)?;
-    check_node(&cw, "j", j)?;
     let t0 = Instant::now();
-    let s = cw.single_pair(i, j);
+    let QueryResponse::Score(s) = execute(&cw, QueryRequest::SinglePair { i, j })? else {
+        unreachable!("SinglePair answers with Score");
+    };
     println!("s({i}, {j}) = {s:.6}   [{:?}]", t0.elapsed());
     Ok(())
 }
@@ -225,10 +233,30 @@ fn cmd_ss(flags: &Flags) -> Result<(), String> {
     if i == u32::MAX {
         return Err("ss needs --i".into());
     }
-    check_node(&cw, "i", i)?;
     let top: usize = get_num(flags, "top", 10)?;
+    if top == 0 {
+        // Same typed error for both estimators (the push path would
+        // otherwise run a full query just to rank nothing).
+        return Err(pasco::simrank::QueryError::InvalidK { k: 0 }.to_string());
+    }
     let t0 = Instant::now();
-    let ranked = cw.single_source_topk(i, top);
+    let ranked = match flags.get("estimator").map(|s| s.as_str()).unwrap_or("walk") {
+        "walk" => {
+            let resp = execute(&cw, QueryRequest::SingleSourceTopK { i, k: top as u64 })?;
+            let QueryResponse::Ranked(ranked) = resp else {
+                unreachable!("SingleSourceTopK answers with Ranked");
+            };
+            ranked
+        }
+        "push" => {
+            let resp = execute(&cw, QueryRequest::SingleSourcePush { i })?;
+            let QueryResponse::Scores(scores) = resp else {
+                unreachable!("SingleSourcePush answers with Scores");
+            };
+            metrics::top_k(&scores, top, Some(i))
+        }
+        other => return Err(format!("unknown estimator `{other}` (walk|push)")),
+    };
     let latency = t0.elapsed();
     println!("top-{top} similar to {i}   [{latency:?}]");
     for (node, s) in ranked {
@@ -237,33 +265,48 @@ fn cmd_ss(flags: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_topk(flags: &Flags) -> Result<(), String> {
+    let cw = load_engine(flags)?;
+    let i: u32 = get_num(flags, "i", u32::MAX)?;
+    if i == u32::MAX {
+        return Err("topk needs --i".into());
+    }
+    let k: u64 = get_num(flags, "k", 10)?;
+    let QueryResponse::Ranked(ranked) = execute(&cw, QueryRequest::SingleSourceTopK { i, k })?
+    else {
+        unreachable!("SingleSourceTopK answers with Ranked");
+    };
+    // Machine-readable: one `node<TAB>score` line per neighbour.
+    for (node, s) in ranked {
+        println!("{node}\t{s:.6}");
+    }
+    Ok(())
+}
+
 fn cmd_pairs(flags: &Flags) -> Result<(), String> {
-    use pasco::simrank::QuerySession;
     let cw = Arc::new(load_engine(flags)?);
     let nodes: Vec<u32> = get(flags, "nodes")?
         .split(',')
         .map(|s| s.trim().parse().map_err(|_| format!("--nodes: cannot parse `{s}`")))
         .collect::<Result<_, _>>()?;
-    if nodes.is_empty() {
-        return Err("pairs needs at least one node".into());
-    }
-    let n = cw.graph().node_count();
-    if let Some(&bad) = nodes.iter().find(|&&v| v >= n) {
-        return Err(format!("--nodes: node {bad} out of range (graph has {n} nodes)"));
-    }
     let cache: usize = get_num(flags, "cache", 1024)?;
     if cache == 0 {
         return Err("--cache must be positive".into());
     }
     let session = QuerySession::new(Arc::clone(&cw), cache);
     let t0 = Instant::now();
-    let m = session.pairs_matrix(&nodes, &nodes);
+    let req = QueryRequest::PairsMatrix { rows: nodes.clone(), cols: nodes.clone() };
+    let QueryResponse::Matrix(m) = execute(&session, req)? else {
+        unreachable!("PairsMatrix answers with Matrix");
+    };
     let latency = t0.elapsed();
-    let (hits, misses) = session.cache_stats();
+    let stats = session.cache_stats();
     println!(
-        "{}x{} similarity matrix   [{latency:?}, {misses} cohorts simulated, {hits} cache hits]",
+        "{}x{} similarity matrix   [{latency:?}, {} cohorts simulated, {} cache hits]",
         nodes.len(),
-        nodes.len()
+        nodes.len(),
+        stats.misses,
+        stats.hits
     );
     print!("{:>10}", "");
     for j in &nodes {

@@ -1,0 +1,264 @@
+//! Integration: the typed query API. (a) Every `QueryRequest` /
+//! `QueryResponse` round-trips bit-exactly through the binary wire codec
+//! on randomly generated values; (b) `QueryService::execute` answers —
+//! on both `QuerySession` and the bare `CloudWalker` adapter — are
+//! identical to the direct method calls for every query kind; (c) the
+//! old out-of-range panic is gone from the service path.
+
+use pasco::graph::generators;
+use pasco::simrank::api::wire::WireCodec;
+use pasco::simrank::api::{QueryError, QueryRequest, QueryResponse, QueryService};
+use pasco::simrank::{CloudWalker, ExecMode, QuerySession, SimRankConfig};
+use proptest::prelude::*;
+use proptest::TestRng;
+use std::sync::{Arc, OnceLock};
+
+const NODES: u32 = 80;
+
+fn walker() -> &'static Arc<CloudWalker> {
+    static WALKER: OnceLock<Arc<CloudWalker>> = OnceLock::new();
+    WALKER.get_or_init(|| {
+        let g = Arc::new(generators::barabasi_albert(NODES, 3, 11));
+        Arc::new(CloudWalker::build(g, SimRankConfig::fast(), ExecMode::Local).unwrap())
+    })
+}
+
+// ---- random value generators ------------------------------------------
+
+fn gen_f64(rng: &mut TestRng) -> f64 {
+    // Mixed population: unit-interval scores plus exact edge values.
+    match rng.next_u64() % 8 {
+        0 => 0.0,
+        1 => -0.0,
+        2 => 1.0,
+        3 => f64::MIN_POSITIVE,
+        _ => (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64,
+    }
+}
+
+fn gen_nodes(rng: &mut TestRng, max_len: usize) -> Vec<u32> {
+    let len = rng.next_u64() as usize % (max_len + 1);
+    (0..len).map(|_| (rng.next_u64() >> 32) as u32).collect()
+}
+
+/// One random request, spanning every variant; `batch_ok` gates whether
+/// a (flat) batch may be drawn.
+fn gen_request(rng: &mut TestRng, batch_ok: bool) -> QueryRequest {
+    match rng.next_u64() % if batch_ok { 7 } else { 6 } {
+        0 => QueryRequest::SinglePair {
+            i: (rng.next_u64() >> 32) as u32,
+            j: (rng.next_u64() >> 32) as u32,
+        },
+        1 => QueryRequest::SingleSource { i: (rng.next_u64() >> 32) as u32 },
+        2 => QueryRequest::SingleSourcePush { i: (rng.next_u64() >> 32) as u32 },
+        3 => QueryRequest::SingleSourceTopK { i: (rng.next_u64() >> 32) as u32, k: rng.next_u64() },
+        4 => QueryRequest::Cohort { v: (rng.next_u64() >> 32) as u32 },
+        5 => QueryRequest::PairsMatrix { rows: gen_nodes(rng, 6), cols: gen_nodes(rng, 6) },
+        _ => {
+            let len = 1 + rng.next_u64() as usize % 4;
+            QueryRequest::Batch((0..len).map(|_| gen_request(rng, false)).collect())
+        }
+    }
+}
+
+fn gen_response(rng: &mut TestRng, batch_ok: bool) -> QueryResponse {
+    match rng.next_u64() % if batch_ok { 6 } else { 5 } {
+        0 => QueryResponse::Score(gen_f64(rng)),
+        1 => {
+            let len = rng.next_u64() as usize % 8;
+            QueryResponse::Scores((0..len).map(|_| gen_f64(rng)).collect())
+        }
+        2 => {
+            let len = rng.next_u64() as usize % 8;
+            QueryResponse::Ranked(
+                (0..len).map(|_| ((rng.next_u64() >> 32) as u32, gen_f64(rng))).collect(),
+            )
+        }
+        3 => {
+            let rows = rng.next_u64() as usize % 5;
+            QueryResponse::Matrix(
+                (0..rows)
+                    .map(|_| {
+                        let cols = rng.next_u64() as usize % 5;
+                        (0..cols).map(|_| gen_f64(rng)).collect()
+                    })
+                    .collect(),
+            )
+        }
+        4 => {
+            let steps = rng.next_u64() as usize % 5;
+            QueryResponse::Cohort(pasco::mc::walks::StepDistributions {
+                source: (rng.next_u64() >> 32) as u32,
+                walkers: (rng.next_u64() >> 32) as u32,
+                counts: (0..=steps)
+                    .map(|_| {
+                        let len = rng.next_u64() as usize % 6;
+                        (0..len).map(|_| ((rng.next_u64() >> 32) as u32, rng.next_u64())).collect()
+                    })
+                    .collect(),
+            })
+        }
+        _ => {
+            let len = rng.next_u64() as usize % 4;
+            QueryResponse::Batch((0..len).map(|_| gen_response(rng, false)).collect())
+        }
+    }
+}
+
+/// Strategy adapters so the generators plug into `proptest!`.
+struct AnyRequest;
+impl Strategy for AnyRequest {
+    type Value = QueryRequest;
+    fn generate(&self, rng: &mut TestRng) -> QueryRequest {
+        gen_request(rng, true)
+    }
+}
+
+struct AnyResponse;
+impl Strategy for AnyResponse {
+    type Value = QueryResponse;
+    fn generate(&self, rng: &mut TestRng) -> QueryResponse {
+        gen_response(rng, true)
+    }
+}
+
+/// Round trip plus bit-exactness: decoding and re-encoding must
+/// reproduce the original byte string exactly (catches -0.0 vs 0.0 and
+/// any lossy field), and `encoded_len` must match reality.
+fn assert_exact_roundtrip<T: WireCodec + PartialEq + std::fmt::Debug>(value: &T) {
+    let bytes = value.to_bytes();
+    assert_eq!(bytes.len(), value.encoded_len(), "{value:?}");
+    let back = T::from_bytes(&bytes).unwrap();
+    assert_eq!(&back, value);
+    assert_eq!(back.to_bytes(), bytes, "re-encode must be byte-identical");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary requests survive the wire bit-exactly.
+    #[test]
+    fn request_wire_roundtrip_is_exact(req in AnyRequest) {
+        assert_exact_roundtrip(&req);
+    }
+
+    /// Arbitrary responses survive the wire bit-exactly.
+    #[test]
+    fn response_wire_roundtrip_is_exact(resp in AnyResponse) {
+        assert_exact_roundtrip(&resp);
+    }
+
+    /// Corrupting any single byte of an encoded request never panics the
+    /// decoder: it either fails typed or decodes to some (other) value.
+    #[test]
+    fn decoder_tolerates_single_byte_corruption(req in AnyRequest, flip in 0u64..1_000) {
+        let mut bytes = req.to_bytes();
+        let pos = flip as usize % bytes.len();
+        bytes[pos] ^= 0xff;
+        let _ = QueryRequest::from_bytes(&bytes); // must return, not panic
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `QueryService::execute` equals the direct method calls for every
+    /// query kind, on both implementations, for random in-range inputs.
+    #[test]
+    fn execute_matches_direct_methods(seed in proptest::any::<u64>()) {
+        let cw = walker();
+        let session = QuerySession::new(Arc::clone(cw), 16);
+        let mut rng = TestRng::for_case("api::execute_matches", seed as u32);
+        let node = |rng: &mut TestRng| (rng.next_u64() % NODES as u64) as u32;
+        let (i, j) = (node(&mut rng), node(&mut rng));
+        let k = 1 + rng.next_u64() % 10;
+        for svc in [cw.as_ref() as &dyn QueryService, &session] {
+            prop_assert_eq!(
+                svc.execute(QueryRequest::SinglePair { i, j }).unwrap(),
+                QueryResponse::Score(cw.single_pair(i, j))
+            );
+            prop_assert_eq!(
+                svc.execute(QueryRequest::SingleSource { i }).unwrap(),
+                QueryResponse::Scores(cw.single_source(i))
+            );
+            prop_assert_eq!(
+                svc.execute(QueryRequest::SingleSourcePush { i }).unwrap(),
+                QueryResponse::Scores(cw.single_source_push(i))
+            );
+            prop_assert_eq!(
+                svc.execute(QueryRequest::SingleSourceTopK { i, k }).unwrap(),
+                QueryResponse::Ranked(cw.single_source_topk(i, k as usize))
+            );
+            prop_assert_eq!(
+                svc.execute(QueryRequest::Cohort { v: i }).unwrap(),
+                QueryResponse::Cohort(cw.query_cohort(i))
+            );
+            prop_assert_eq!(
+                svc.execute(QueryRequest::PairsMatrix { rows: vec![i], cols: vec![j] }).unwrap(),
+                QueryResponse::Matrix(vec![vec![cw.single_pair(i, j)]])
+            );
+        }
+    }
+}
+
+/// Regression: the panic on out-of-range nodes is gone from the whole
+/// service path — every request kind referencing a bad node returns
+/// `QueryError::NodeOutOfRange` from both implementations.
+#[test]
+fn service_path_never_panics_on_bad_nodes() {
+    let cw = walker();
+    let session = QuerySession::new(Arc::clone(cw), 16);
+    let bad = NODES + 7;
+    let requests = vec![
+        QueryRequest::SinglePair { i: 0, j: bad },
+        QueryRequest::SinglePair { i: bad, j: bad },
+        QueryRequest::SingleSource { i: bad },
+        QueryRequest::SingleSourcePush { i: bad },
+        QueryRequest::SingleSourceTopK { i: bad, k: 3 },
+        QueryRequest::PairsMatrix { rows: vec![0, bad], cols: vec![1] },
+        QueryRequest::Cohort { v: bad },
+        QueryRequest::Batch(vec![
+            QueryRequest::SinglePair { i: 0, j: 1 },
+            QueryRequest::Cohort { v: bad },
+        ]),
+    ];
+    for svc in [cw.as_ref() as &dyn QueryService, &session] {
+        for req in &requests {
+            assert_eq!(
+                svc.execute(req.clone()).unwrap_err(),
+                QueryError::NodeOutOfRange { node: bad, node_count: NODES },
+                "{req:?}"
+            );
+        }
+    }
+    // The checked engine variants too (the layer the service routes through).
+    assert!(cw.try_single_pair(0, bad).is_err());
+    assert!(cw.try_single_source(bad).is_err());
+    assert!(cw.try_single_source_topk(bad, 3).is_err());
+}
+
+/// A request executed on one side of the wire and a response shipped
+/// back decode to exactly what was computed — the end-to-end shape a
+/// network front-end will use.
+#[test]
+fn wire_request_execute_wire_response_end_to_end() {
+    let cw = walker();
+    let req = QueryRequest::Batch(vec![
+        QueryRequest::SinglePair { i: 2, j: 9 },
+        QueryRequest::SingleSourceTopK { i: 2, k: 4 },
+    ]);
+    // Client encodes; server decodes, executes, encodes; client decodes.
+    let server_req = QueryRequest::from_bytes(&req.to_bytes()).unwrap();
+    let resp = cw.execute(server_req).unwrap();
+    let client_resp = QueryResponse::from_bytes(&resp.to_bytes()).unwrap();
+    assert_eq!(
+        client_resp,
+        QueryResponse::Batch(vec![
+            QueryResponse::Score(cw.single_pair(2, 9)),
+            QueryResponse::Ranked(cw.single_source_topk(2, 4)),
+        ])
+    );
+    // Typed errors cross the wire the same way.
+    let err = cw.execute(QueryRequest::Cohort { v: 10_000 }).unwrap_err();
+    assert_eq!(QueryError::from_bytes(&err.to_bytes()).unwrap(), err);
+}

@@ -54,6 +54,33 @@ fn generate_index_query_pipeline() {
     assert!(stdout.contains("top-3 similar to 3"), "{stdout}");
 
     let out = bin()
+        .args(["topk", "--graph", graph.to_str().unwrap()])
+        .args(["--index", index.to_str().unwrap()])
+        .args(["--i", "3", "--k", "4", "--r-query", "500", "--t", "5"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // TSV: every line is `node<TAB>score`, at most k of them.
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert!(!lines.is_empty() && lines.len() <= 4, "{stdout}");
+    for line in &lines {
+        let (node, score) = line.split_once('\t').expect("tab-separated");
+        node.parse::<u32>().unwrap();
+        score.parse::<f64>().unwrap();
+    }
+
+    let out = bin()
+        .args(["ss", "--graph", graph.to_str().unwrap()])
+        .args(["--index", index.to_str().unwrap()])
+        .args(["--i", "3", "--top", "3", "--estimator", "push"])
+        .args(["--r-query", "500", "--t", "5"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("top-3 similar to 3"));
+
+    let out = bin()
         .args(["pairs", "--graph", graph.to_str().unwrap()])
         .args(["--index", index.to_str().unwrap()])
         .args(["--nodes", "1,5,9", "--r-query", "500", "--t", "5"])
@@ -63,6 +90,50 @@ fn generate_index_query_pipeline() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("3x3 similarity matrix"), "{stdout}");
     assert!(stdout.contains("3 cohorts simulated"), "{stdout}");
+}
+
+/// Out-of-range nodes surface as the typed `QueryError` rendered on
+/// stderr — a clean nonzero exit, never the old panic/abort.
+#[test]
+fn out_of_range_queries_fail_cleanly_with_typed_errors() {
+    let graph = tmp("oob.bin");
+    let index = tmp("oob.idx");
+    assert!(bin()
+        .args(["generate", "--model", "er", "--nodes", "50", "--edges", "200"])
+        .args(["--out", graph.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    assert!(bin()
+        .args(["index", "--graph", graph.to_str().unwrap()])
+        .args(["--out", index.to_str().unwrap(), "--r", "16", "--t", "4"])
+        .status()
+        .unwrap()
+        .success());
+    let common = [
+        "--graph".to_string(),
+        graph.to_str().unwrap().to_string(),
+        "--index".to_string(),
+        index.to_str().unwrap().to_string(),
+        "--t".to_string(),
+        "4".to_string(),
+    ];
+    for args in [
+        vec!["sp", "--i", "0", "--j", "50"],
+        vec!["ss", "--i", "50"],
+        vec!["topk", "--i", "99", "--k", "5"],
+        vec!["pairs", "--nodes", "1,50"],
+    ] {
+        let out = bin().args(&args).args(&common).output().unwrap();
+        assert!(!out.status.success(), "{args:?} must fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("out of range"), "{args:?}: {stderr}");
+        assert!(!stderr.contains("panicked"), "{args:?} panicked: {stderr}");
+    }
+    // InvalidK is typed too.
+    let out = bin().args(["topk", "--i", "1", "--k", "0"]).args(&common).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("invalid k"));
 }
 
 #[test]

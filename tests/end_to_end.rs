@@ -1,9 +1,11 @@
 //! End-to-end integration: CloudWalker against exact SimRank, across
-//! crates.
+//! crates — and the typed `QueryService` front door against the direct
+//! engine methods.
 
 use pasco::graph::generators;
+use pasco::simrank::api::{QueryRequest, QueryResponse, QueryService};
 use pasco::simrank::exact::ExactSimRank;
-use pasco::simrank::{metrics, CloudWalker, ExecMode, SimRankConfig};
+use pasco::simrank::{metrics, CloudWalker, ExecMode, QuerySession, SimRankConfig};
 use std::sync::Arc;
 
 /// The headline correctness property: with paper parameters, CloudWalker's
@@ -35,6 +37,50 @@ fn cloudwalker_tracks_exact_simrank() {
             metrics::top_k(&est, 10, Some(s)).into_iter().map(|(i, _)| i).collect();
         let ndcg = metrics::ndcg_at_k(truth, &ranking, 10, Some(s));
         assert!(ndcg > 0.85, "source {s}: NDCG@10 = {ndcg}");
+    }
+}
+
+/// The typed front door is a faithful façade: every query kind executed
+/// through `QueryService` — on both the bare engine and a caching
+/// session — answers bitwise-identically to the direct method calls.
+#[test]
+fn query_service_facade_matches_direct_methods_end_to_end() {
+    let g = Arc::new(generators::barabasi_albert(120, 3, 17));
+    let cw = Arc::new(
+        CloudWalker::build(Arc::clone(&g), SimRankConfig::fast(), ExecMode::Local).unwrap(),
+    );
+    let session = QuerySession::new(Arc::clone(&cw), 32);
+    let requests = vec![
+        QueryRequest::SinglePair { i: 5, j: 80 },
+        QueryRequest::SingleSource { i: 5 },
+        QueryRequest::SingleSourcePush { i: 5 },
+        QueryRequest::SingleSourceTopK { i: 5, k: 7 },
+        QueryRequest::PairsMatrix { rows: vec![1, 5], cols: vec![5, 9] },
+        QueryRequest::Cohort { v: 5 },
+    ];
+    for svc in [cw.as_ref() as &dyn QueryService, &session] {
+        for req in &requests {
+            match svc.execute(req.clone()).unwrap() {
+                QueryResponse::Score(s) => assert_eq!(s, cw.single_pair(5, 80)),
+                QueryResponse::Scores(row) => {
+                    let direct = match req {
+                        QueryRequest::SingleSource { .. } => cw.single_source(5),
+                        _ => cw.single_source_push(5),
+                    };
+                    assert_eq!(row, direct, "{req:?}");
+                }
+                QueryResponse::Ranked(list) => assert_eq!(list, cw.single_source_topk(5, 7)),
+                QueryResponse::Matrix(m) => {
+                    for (r, &i) in [1u32, 5].iter().enumerate() {
+                        for (c, &j) in [5u32, 9].iter().enumerate() {
+                            assert_eq!(m[r][c], cw.single_pair(i, j), "({i},{j})");
+                        }
+                    }
+                }
+                QueryResponse::Cohort(d) => assert_eq!(d, cw.query_cohort(5)),
+                QueryResponse::Batch(_) => unreachable!("no batch request sent"),
+            }
+        }
     }
 }
 

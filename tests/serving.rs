@@ -63,13 +63,19 @@ fn shared_session_matches_sequential_replay() {
 
     // Counter consistency: every cohort lookup is either a hit or a miss,
     // and misses can never exceed the number of lookups that happened.
-    let (hits, misses) = shared.cache_stats();
-    assert_eq!(hits + misses, lookups, "concurrent session counters");
-    let (rhits, rmisses) = replay.cache_stats();
-    assert_eq!(rhits + rmisses, lookups, "replay session counters");
+    let stats = shared.cache_stats();
+    assert_eq!(stats.lookups(), lookups, "concurrent session counters");
+    let replay_stats = replay.cache_stats();
+    assert_eq!(replay_stats.lookups(), lookups, "replay session counters");
     // The replay is single-threaded, so its miss count is the working-set
     // optimum; racing clients may at worst duplicate a miss in flight.
-    assert!(misses >= rmisses, "concurrent misses {misses} < sequential {rmisses}");
+    assert!(
+        stats.misses >= replay_stats.misses,
+        "concurrent misses {} < sequential {}",
+        stats.misses,
+        replay_stats.misses
+    );
+    assert!(stats.hit_rate() <= replay_stats.hit_rate() + 1e-12);
     // Answers equal the uncached engine too.
     let (i, j) = client_stream(0, n)[17];
     assert_eq!(shared.single_pair(i, j), cw.single_pair(i, j));
@@ -110,31 +116,62 @@ fn lru_hit_path_regression_at_capacity_1024() {
     for p in 0..(CAP as u32 / 2) {
         session.single_pair(2 * p, 2 * p + 1);
     }
-    let (hits, misses) = session.cache_stats();
-    assert_eq!((hits, misses), (0, CAP as u64));
+    let stats = session.cache_stats();
+    assert_eq!((stats.hits, stats.misses), (0, CAP as u64));
     assert_eq!(session.cached_cohorts(), CAP);
 
     // Re-run the same stream: pure hits, nothing evicted, nothing re-simulated.
     for p in 0..(CAP as u32 / 2) {
         session.single_pair(2 * p, 2 * p + 1);
     }
-    let (hits, misses) = session.cache_stats();
-    assert_eq!((hits, misses), (CAP as u64, CAP as u64));
+    let stats = session.cache_stats();
+    assert_eq!((stats.hits, stats.misses), (CAP as u64, CAP as u64));
     assert_eq!(session.cached_cohorts(), CAP);
 
     // Two fresh nodes evict exactly the two least recently used (0 and 1).
     session.single_pair(2000, 2001);
-    let (_, misses) = session.cache_stats();
-    assert_eq!(misses, CAP as u64 + 2);
+    assert_eq!(session.cache_stats().misses, CAP as u64 + 2);
     assert_eq!(session.cached_cohorts(), CAP);
     // 2 and 3 are still resident...
-    let (hits_before, _) = session.cache_stats();
+    let hits_before = session.cache_stats().hits;
     session.single_pair(2, 3);
-    let (hits_after, misses_after) = session.cache_stats();
-    assert_eq!(hits_after, hits_before + 2);
-    assert_eq!(misses_after, CAP as u64 + 2);
+    let stats = session.cache_stats();
+    assert_eq!(stats.hits, hits_before + 2);
+    assert_eq!(stats.misses, CAP as u64 + 2);
     // ...while 0 and 1 were evicted and must re-simulate.
     session.single_pair(0, 1);
-    let (_, misses_final) = session.cache_stats();
-    assert_eq!(misses_final, CAP as u64 + 4);
+    assert_eq!(session.cache_stats().misses, CAP as u64 + 4);
+}
+
+/// The typed front door under concurrency: N clients hammer one shared
+/// `&dyn QueryService`, answers must equal the direct session calls, and
+/// malformed requests come back as typed errors from every thread.
+#[test]
+fn shared_query_service_is_safe_and_consistent() {
+    use pasco::simrank::api::{QueryError, QueryRequest, QueryResponse, QueryService};
+    let cw = build(150, 9);
+    let session = QuerySession::new(Arc::clone(&cw), 32);
+    let svc: &dyn QueryService = &session;
+    std::thread::scope(|scope| {
+        for t in 0..4u32 {
+            let cw = &cw;
+            scope.spawn(move || {
+                for q in 0..40u32 {
+                    let i = (t * 17 + q) % 150;
+                    let mut j = (q * 7 + 3) % 150;
+                    if i == j {
+                        // Distinct nodes keep the lookup count exact below.
+                        j = (j + 1) % 150;
+                    }
+                    match svc.execute(QueryRequest::SinglePair { i, j }).unwrap() {
+                        QueryResponse::Score(s) => assert_eq!(s, cw.single_pair(i, j)),
+                        other => panic!("wrong variant {other:?}"),
+                    }
+                    let bad = svc.execute(QueryRequest::Cohort { v: 150 + q }).unwrap_err();
+                    assert_eq!(bad, QueryError::NodeOutOfRange { node: 150 + q, node_count: 150 });
+                }
+            });
+        }
+    });
+    assert_eq!(session.cache_stats().lookups(), 4 * 40 * 2);
 }
