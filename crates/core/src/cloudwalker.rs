@@ -6,6 +6,7 @@ use crate::diag::DiagonalIndex;
 use crate::engine::broadcast::BroadcastEngine;
 use crate::engine::local::LocalEngine;
 use crate::engine::rdd::RddEngine;
+use crate::engine::sharded::ShardedEngine;
 use crate::engine::{ExecMode, SimRankEngine};
 use crate::error::SimRankError;
 use crate::queries;
@@ -76,14 +77,7 @@ impl CloudWalker {
         }
         let start = Instant::now();
         let rci = Arc::new(ReverseChainIndex::build(&graph));
-        // The one place execution modes are matched: engine construction.
-        let engine: Box<dyn SimRankEngine> = match mode {
-            ExecMode::Local => Box::new(LocalEngine::new(Arc::clone(&graph), Arc::clone(&rci))),
-            ExecMode::Broadcast(cluster_cfg) => {
-                Box::new(BroadcastEngine::new(cluster_cfg, Arc::clone(&graph), Arc::clone(&rci))?)
-            }
-            ExecMode::Rdd(cluster_cfg) => Box::new(RddEngine::new(cluster_cfg, &graph)),
-        };
+        let engine = make_engine(mode, &graph, &rci)?;
         let out = engine.build_diagonal(&cfg)?;
         let stats = IndexBuildStats {
             wall: start.elapsed(),
@@ -102,6 +96,19 @@ impl CloudWalker {
         cfg: SimRankConfig,
         diag: DiagonalIndex,
     ) -> Result<Self, SimRankError> {
+        Self::from_index_with_mode(graph, cfg, diag, ExecMode::Local)
+    }
+
+    /// [`CloudWalker::from_index`] on an explicit execution substrate: the
+    /// offline build is skipped, but queries run (and are accounted) on
+    /// the chosen engine — e.g. a persisted index served shard-parallel
+    /// with `ExecMode::Sharded`.
+    pub fn from_index_with_mode(
+        graph: Arc<CsrGraph>,
+        cfg: SimRankConfig,
+        diag: DiagonalIndex,
+        mode: ExecMode,
+    ) -> Result<Self, SimRankError> {
         cfg.validate()?;
         if diag.len() != graph.node_count() as usize {
             return Err(SimRankError::BadIndex(format!(
@@ -111,7 +118,7 @@ impl CloudWalker {
             )));
         }
         let rci = Arc::new(ReverseChainIndex::build(&graph));
-        let engine = Box::new(LocalEngine::new(Arc::clone(&graph), Arc::clone(&rci)));
+        let engine = make_engine(mode, &graph, &rci)?;
         Ok(Self { graph, rci, cfg, diag, engine })
     }
 
@@ -260,9 +267,16 @@ impl CloudWalker {
         &self.rci
     }
 
-    /// The engine's substrate name (`"local"`, `"broadcast"`, `"rdd"`).
+    /// The engine's substrate name (`"local"`, `"sharded"`, `"broadcast"`,
+    /// `"rdd"`).
     pub fn mode_name(&self) -> &'static str {
         self.engine.name()
+    }
+
+    /// Per-shard resident bytes for in-process partitioned engines
+    /// (`ExecMode::Sharded`); `None` on unsharded substrates.
+    pub fn shard_footprints(&self) -> Option<Vec<u64>> {
+        self.engine.shard_footprints()
     }
 
     /// Cluster accounting so far (None in local mode).
@@ -286,6 +300,31 @@ impl CloudWalker {
     fn check_node(&self, v: NodeId) -> Result<(), QueryError> {
         crate::api::check_node(v, self.graph.node_count())
     }
+}
+
+/// The one place execution modes are matched: engine construction, shared
+/// by [`CloudWalker::build_with_stats`] and
+/// [`CloudWalker::from_index_with_mode`].
+fn make_engine(
+    mode: ExecMode,
+    graph: &Arc<CsrGraph>,
+    rci: &Arc<ReverseChainIndex>,
+) -> Result<Box<dyn SimRankEngine>, SimRankError> {
+    Ok(match mode {
+        ExecMode::Local => Box::new(LocalEngine::new(Arc::clone(graph), Arc::clone(rci))),
+        ExecMode::Broadcast(cluster_cfg) => {
+            Box::new(BroadcastEngine::new(cluster_cfg, Arc::clone(graph), Arc::clone(rci))?)
+        }
+        ExecMode::Rdd(cluster_cfg) => Box::new(RddEngine::new(cluster_cfg, graph)),
+        ExecMode::Sharded { shards } => {
+            if shards == 0 {
+                return Err(SimRankError::InvalidConfig(
+                    "sharded mode needs at least one shard".into(),
+                ));
+            }
+            Box::new(ShardedEngine::new(graph, shards))
+        }
+    })
 }
 
 impl std::fmt::Debug for CloudWalker {

@@ -1,8 +1,11 @@
 //! Execution engines: where CloudWalker's walks and sweeps actually run.
 //!
-//! The same algorithm executes in three places:
+//! The same algorithm executes in four places:
 //!
 //! * [`local`] — a rayon pool in-process (the single-machine reference);
+//! * [`sharded`] — the graph range-partitioned across in-process shards,
+//!   queries routed to the shard owning their source (the single-box
+//!   analogue of partition-by-source parallel SimRank);
 //! * [`broadcast`] — the simulated cluster with the graph **replicated** to
 //!   every worker (the paper's faster model, bounded by per-worker RAM);
 //! * [`rdd`] — the simulated cluster with the graph **partitioned** and
@@ -11,17 +14,20 @@
 //! Each substrate implements the object-safe [`SimRankEngine`] trait, so
 //! [`crate::CloudWalker`] holds a `Box<dyn SimRankEngine>` and never
 //! branches on the execution mode in a query path; new substrates (async,
-//! sharded, persistent) plug in without touching query code.
+//! persistent/mmap, real-RPC) plug in without touching query code.
 //!
 //! Because each walk step's randomness is a pure function of
 //! `(seed, source, walker, step)`, all engines produce identical walker
-//! trajectories; integration tests assert Local ≡ Broadcast ≡ RDD.
+//! trajectories; integration tests assert Local ≡ Sharded ≡ Broadcast ≡
+//! RDD.
 
 pub mod broadcast;
 pub mod local;
 pub mod rdd;
+pub mod sharded;
 
 pub use local::LocalEngine;
+pub use sharded::ShardedEngine;
 
 use crate::config::{AiStrategy, SimRankConfig};
 use crate::diag::DiagonalIndex;
@@ -43,6 +49,14 @@ pub enum ExecMode {
     /// Simulated cluster, RDD model: the graph is range-partitioned and
     /// walker state is shuffled to the owner of its next node every step.
     Rdd(ClusterConfig),
+    /// In-process sharded execution: the graph range-partitioned into
+    /// `shards` shards, builds shard-parallel, queries routed to the shard
+    /// owning their source. Bit-identical to [`ExecMode::Local`] at every
+    /// shard count; per-shard memory shrinks as shards are added.
+    Sharded {
+        /// Number of shards (capped at the node count; must be positive).
+        shards: u32,
+    },
 }
 
 /// Everything the offline phase produces, in one shape shared by every
@@ -82,7 +96,8 @@ pub struct EngineFootprint {
 /// on single-source paths (the walks themselves are identical; only the
 /// summation order differs).
 pub trait SimRankEngine: Send + Sync + std::fmt::Debug {
-    /// A short, stable substrate name (`"local"`, `"broadcast"`, `"rdd"`).
+    /// A short, stable substrate name (`"local"`, `"sharded"`,
+    /// `"broadcast"`, `"rdd"`).
     fn name(&self) -> &'static str;
 
     /// Runs the offline phase: estimate the rows `aᵢ` by Monte-Carlo
@@ -117,6 +132,13 @@ pub trait SimRankEngine: Send + Sync + std::fmt::Debug {
 
     /// Query-time memory demand per worker.
     fn memory_footprint(&self) -> EngineFootprint;
+
+    /// Per-shard resident bytes, in shard order, for substrates that
+    /// partition the graph in-process; `None` for unsharded substrates
+    /// (the default).
+    fn shard_footprints(&self) -> Option<Vec<u64>> {
+        None
+    }
 }
 
 /// Derives a top-`k` ranking from a dense score vector — shared by the

@@ -1,0 +1,434 @@
+//! Sharded in-process execution: the graph partitioned across rayon shards.
+//!
+//! The paper's thesis is that SimRank scales by partitioning random-walk
+//! work; PRSim and the MPC single-source line of work refine that to
+//! *partition by source, keep reverse-walk state local*. This engine is
+//! that decomposition on one box: nodes are range-partitioned into
+//! `shards` sub-views (each a [`pasco_graph::partitioned::GraphPartition`]
+//! plus its slice of the materialised system rows during the build), the
+//! offline build runs
+//! shard-parallel under rayon with a merged [`BuildOutcome`], and every
+//! query is routed to the shard owning its source node. A walker that
+//! wanders off its shard follows the [`PartitionedView`] to the owning
+//! partition — on one box a slice index, on the NUMA/mmap/RPC substrates
+//! this engine is the stepping stone for, a remote access.
+//!
+//! The engine is **bit-identical** to
+//! [`LocalEngine`](crate::engine::local::LocalEngine) on every query kind
+//! at every shard count, *structurally*: walks and accumulations execute
+//! the very same generic kernels
+//! ([`pasco_mc::walks::reverse_walk_distributions_on`],
+//! [`pasco_mc::forward::forward_walk_on`],
+//! [`crate::queries::single_source_from_dists_on`],
+//! [`crate::queries::sparse_masses_on`]) and the build solves through
+//! [`pasco_solver::jacobi::solve`] — only the adjacency source differs
+//! (routed view vs resident graph). Top-`k` additionally exercises the
+//! distributed plan: per-shard rankings k-way merged with the exact
+//! `rank_topk` tie-break order.
+
+use crate::ai::ai_row;
+use crate::config::{AiStrategy, SimRankConfig};
+use crate::diag::DiagonalIndex;
+use crate::engine::{BuildOutcome, EngineFootprint, SimRankEngine};
+use crate::error::SimRankError;
+use crate::queries::{
+    query_seed, rank_topk, ranking_cmp, score_pair, single_source_from_dists_on, sparse_masses_on,
+};
+use pasco_cluster::ClusterReport;
+use pasco_graph::partition::Partitioner;
+use pasco_graph::partitioned::{partition_graph, PartitionedView};
+use pasco_graph::{CsrGraph, NodeId};
+use pasco_mc::walks::{reverse_walk_distributions_on, StepDistributions, WalkParams};
+use pasco_solver::jacobi::{self, JacobiConfig, RowSource};
+use rayon::prelude::*;
+use std::sync::Arc;
+
+/// One sparse row of the linear system, sorted by column.
+type Row = Vec<(u32, f64)>;
+
+/// The sharded single-box substrate: a range partition of the graph per
+/// shard, shard-parallel builds, and source-routed queries.
+pub struct ShardedEngine {
+    view: PartitionedView,
+    n: u32,
+}
+
+impl ShardedEngine {
+    /// Partitions `graph` into at most `shards` range shards. The
+    /// effective count is capped so that **every shard owns at least one
+    /// node**: requesting 4 shards of a 5-node graph yields 3 shards of
+    /// ⌈5/4⌉ = 2, 2 and 1 nodes rather than a fourth, empty shard.
+    ///
+    /// # Panics
+    /// Panics when `shards == 0`; [`crate::CloudWalker::build`] rejects
+    /// that with a typed error before reaching here.
+    pub fn new(graph: &CsrGraph, shards: u32) -> Self {
+        assert!(shards > 0, "need at least one shard");
+        let n = graph.node_count();
+        let chunk = n.max(1).div_ceil(shards.min(n.max(1)));
+        let nshards = n.max(1).div_ceil(chunk);
+        let partitioner = Partitioner::range(n, nshards);
+        let parts = Arc::new(partition_graph(graph, &partitioner));
+        Self { view: PartitionedView::new(parts, partitioner), n }
+    }
+
+    /// Number of shards actually materialised (each owns ≥ 1 node).
+    pub fn shards(&self) -> usize {
+        self.view.partitions().len()
+    }
+
+    /// Resident bytes of each shard's partition, in shard order — the
+    /// per-shard breakdown behind [`SimRankEngine::memory_footprint`].
+    pub fn shard_bytes(&self) -> Vec<u64> {
+        self.view.partitions().iter().map(|gp| gp.memory_bytes()).collect()
+    }
+
+    /// The reverse-walk cohort of `source` through the routed view: the
+    /// same kernel the local engine runs, so counts are bit-identical.
+    /// Runs on the caller's thread — one cohort is one shard's unit of
+    /// work in the partition-by-source decomposition, and parallelism
+    /// comes from the sources (builds, batch APIs, concurrent clients).
+    fn cohort(&self, source: NodeId, params: WalkParams, seed: u64) -> StepDistributions {
+        reverse_walk_distributions_on(&self.view, source, params, seed)
+    }
+
+    /// Shard-parallel offline build: each shard walks and materialises the
+    /// rows of its owned sources (its slice of the system) in parallel,
+    /// then the sweeps run through [`jacobi::solve`] — the *same* solver
+    /// call as the local engine, over shard-resident rows — so the
+    /// produced diagonal is bitwise equal by construction.
+    fn build_diagonal_impl(&self, cfg: &SimRankConfig) -> (DiagonalIndex, Vec<f64>, Option<u64>) {
+        let n = self.n;
+        let params = WalkParams::new(cfg.t, cfg.r);
+        let strategy = cfg.resolve_ai_strategy(n);
+        let b = vec![1.0; n as usize];
+        let x0 = vec![1.0 - cfg.c; n as usize];
+        let jacobi_cfg =
+            JacobiConfig { iterations: cfg.l, tolerance: None, record_residuals: true };
+
+        let (result, rows_bytes) = match strategy {
+            AiStrategy::Store | AiStrategy::Auto { .. } => {
+                let shard_rows: Vec<Vec<Row>> = self
+                    .view
+                    .partitions()
+                    .par_iter()
+                    .map(|gp| {
+                        (gp.start..gp.end)
+                            .into_par_iter()
+                            .map(|i| ai_row(&self.cohort(i, params, cfg.seed), cfg.c))
+                            .collect::<Vec<_>>()
+                    })
+                    .collect();
+                let bytes =
+                    shard_rows.iter().flatten().map(|r| 24 + 12 * r.len() as u64).sum::<u64>();
+                let rows = ShardStoredRows { engine: self, shard_rows: &shard_rows };
+                (jacobi::solve(&rows, &b, &x0, &jacobi_cfg), Some(bytes))
+            }
+            AiStrategy::Recompute => {
+                let rows = ShardRecomputedRows { engine: self, params, seed: cfg.seed, c: cfg.c };
+                (jacobi::solve(&rows, &b, &x0, &jacobi_cfg), None)
+            }
+        };
+        (DiagonalIndex::new(result.x), result.residuals, rows_bytes)
+    }
+
+    /// Dense MCSS on the owning shard: the cohort stage, then the shared
+    /// dense-MCSS kernel with every walk routed through the view.
+    fn single_source_impl(&self, diag: &[f64], cfg: &SimRankConfig, i: NodeId) -> Vec<f64> {
+        let dists = self.cohort(i, WalkParams::new(cfg.t, cfg.r_query), query_seed(cfg));
+        single_source_from_dists_on(self.n as usize, &self.view, &dists, diag, cfg)
+    }
+
+    /// Sparse top-`k` MCSS: the owning shard accumulates the reached-node
+    /// masses through the shared kernel, the candidates are split by
+    /// owner, each shard ranks its own through [`rank_topk`], and the
+    /// per-shard rankings are k-way merged with the identical comparator.
+    /// A single global `rank_topk` would give the same answer (the tests
+    /// assert exactly that); the split-rank-merge shape is deliberate —
+    /// it is the distributed top-`k` plan, where each shard ranks locally
+    /// and only `k` candidates ever cross the wire, exercised here on one
+    /// box so the RPC substrate inherits a proven merge.
+    fn single_source_topk_impl(
+        &self,
+        diag: &[f64],
+        cfg: &SimRankConfig,
+        i: NodeId,
+        k: usize,
+    ) -> Vec<(NodeId, f64)> {
+        let dists = self.cohort(i, WalkParams::new(cfg.t, cfg.r_query), query_seed(cfg));
+        let acc = sparse_masses_on(&self.view, &dists, diag, cfg);
+        let partitioner = self.view.partitioner();
+        let mut by_shard: Vec<Vec<(NodeId, f64)>> = vec![Vec::new(); self.shards()];
+        for (node, mass) in acc.iter() {
+            by_shard[partitioner.owner(node) as usize].push((node, mass));
+        }
+        let ranked: Vec<Vec<(NodeId, f64)>> =
+            by_shard.into_par_iter().map(|entries| rank_topk(entries, i, k)).collect();
+        merge_ranked(&ranked, k)
+    }
+}
+
+/// [`RowSource`] over rows materialised per shard: row `i` lives in the
+/// shard owning node `i`. The solver's own parallel sweep then *is* the
+/// shard-parallel sweep — rows never leave their shard.
+struct ShardStoredRows<'a> {
+    engine: &'a ShardedEngine,
+    shard_rows: &'a [Vec<Row>],
+}
+
+impl RowSource for ShardStoredRows<'_> {
+    fn dim(&self) -> usize {
+        self.engine.n as usize
+    }
+
+    fn row(&self, i: u32, row: &mut Vec<(u32, f64)>) {
+        let owner = self.engine.view.partitioner().owner(i) as usize;
+        let start = self.engine.view.partitions()[owner].start;
+        row.clear();
+        row.extend_from_slice(&self.shard_rows[owner][(i - start) as usize]);
+    }
+}
+
+/// [`RowSource`] that regenerates rows from routed walks on demand — the
+/// `Recompute` strategy on the sharded substrate. Identical rows to the
+/// stored source because walk randomness is pure in
+/// `(seed, source, walker, step)`.
+struct ShardRecomputedRows<'a> {
+    engine: &'a ShardedEngine,
+    params: WalkParams,
+    seed: u64,
+    c: f64,
+}
+
+impl RowSource for ShardRecomputedRows<'_> {
+    fn dim(&self) -> usize {
+        self.engine.n as usize
+    }
+
+    fn row(&self, i: u32, row: &mut Vec<(u32, f64)>) {
+        row.clear();
+        row.extend(ai_row(&self.engine.cohort(i, self.params, self.seed), self.c));
+    }
+}
+
+/// K-way merge of per-shard rankings, each already sorted by
+/// [`ranking_cmp`]; picks the globally best head until `k` entries are out.
+/// Equivalent to ranking the union through [`rank_topk`] because the
+/// comparator is a total order over unique node ids.
+fn merge_ranked(lists: &[Vec<(NodeId, f64)>], k: usize) -> Vec<(NodeId, f64)> {
+    let mut heads = vec![0usize; lists.len()];
+    let mut out = Vec::with_capacity(k.min(lists.iter().map(Vec::len).sum()));
+    while out.len() < k {
+        let mut best: Option<usize> = None;
+        for (s, list) in lists.iter().enumerate() {
+            if heads[s] >= list.len() {
+                continue;
+            }
+            best = match best {
+                None => Some(s),
+                Some(b) => {
+                    if ranking_cmp(&list[heads[s]], &lists[b][heads[b]]).is_lt() {
+                        Some(s)
+                    } else {
+                        Some(b)
+                    }
+                }
+            };
+        }
+        match best {
+            None => break,
+            Some(b) => {
+                out.push(lists[b][heads[b]]);
+                heads[b] += 1;
+            }
+        }
+    }
+    out
+}
+
+impl SimRankEngine for ShardedEngine {
+    fn name(&self) -> &'static str {
+        "sharded"
+    }
+
+    fn build_diagonal(&self, cfg: &SimRankConfig) -> Result<BuildOutcome, SimRankError> {
+        let strategy = cfg.resolve_ai_strategy(self.n);
+        let (diag, residuals, rows_bytes) = self.build_diagonal_impl(cfg);
+        Ok(BuildOutcome { diag, strategy, residuals, rows_bytes, cluster: None })
+    }
+
+    fn query_cohort(&self, cfg: &SimRankConfig, source: NodeId) -> StepDistributions {
+        self.cohort(source, WalkParams::new(cfg.t, cfg.r_query), query_seed(cfg))
+    }
+
+    fn single_pair(&self, diag: &[f64], cfg: &SimRankConfig, i: NodeId, j: NodeId) -> f64 {
+        if i == j {
+            return 1.0;
+        }
+        let di = self.query_cohort(cfg, i);
+        let dj = self.query_cohort(cfg, j);
+        score_pair(&di, &dj, diag, cfg.c)
+    }
+
+    fn single_source(&self, diag: &[f64], cfg: &SimRankConfig, i: NodeId) -> Vec<f64> {
+        self.single_source_impl(diag, cfg, i)
+    }
+
+    fn single_source_topk(
+        &self,
+        diag: &[f64],
+        cfg: &SimRankConfig,
+        i: NodeId,
+        k: usize,
+    ) -> Vec<(NodeId, f64)> {
+        self.single_source_topk_impl(diag, cfg, i, k)
+    }
+
+    fn cluster_report(&self) -> Option<ClusterReport> {
+        None
+    }
+
+    fn memory_footprint(&self) -> EngineFootprint {
+        EngineFootprint {
+            per_worker_bytes: self.shard_bytes().into_iter().max().unwrap_or(0),
+            partitioned: true,
+        }
+    }
+
+    fn shard_footprints(&self) -> Option<Vec<u64>> {
+        Some(self.shard_bytes())
+    }
+}
+
+impl std::fmt::Debug for ShardedEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedEngine")
+            .field("nodes", &self.n)
+            .field("shards", &self.shards())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::local;
+    use crate::queries;
+    use pasco_graph::generators;
+    use pasco_graph::partitioned::GraphPartition;
+    use pasco_graph::ReverseChainIndex;
+
+    #[test]
+    fn sharded_diagonal_matches_local_bitwise() {
+        let g = generators::barabasi_albert(170, 3, 6);
+        let cfg = SimRankConfig::fast().with_seed(33);
+        for shards in [1u32, 3, 8] {
+            let eng = ShardedEngine::new(&g, shards);
+            let out_s = eng.build_diagonal(&cfg).unwrap();
+            let out_l = local::build_diagonal(&g, &cfg);
+            assert_eq!(out_s.diag, out_l.diag, "{shards} shards");
+            assert_eq!(out_s.residuals, out_l.residuals, "{shards} shards");
+            assert_eq!(out_s.rows_bytes, out_l.rows_bytes, "{shards} shards");
+            assert!(out_s.cluster.is_none());
+        }
+    }
+
+    #[test]
+    fn sharded_recompute_strategy_matches_store() {
+        let g = generators::rmat(8, 1_200, generators::RmatParams::default(), 3);
+        let cfg = SimRankConfig::fast().with_seed(9);
+        let eng = ShardedEngine::new(&g, 4);
+        let store = eng.build_diagonal(&cfg.with_ai_strategy(AiStrategy::Store)).unwrap();
+        let recompute = eng.build_diagonal(&cfg.with_ai_strategy(AiStrategy::Recompute)).unwrap();
+        assert_eq!(store.diag, recompute.diag);
+        assert!(store.rows_bytes.is_some());
+        assert!(recompute.rows_bytes.is_none());
+    }
+
+    #[test]
+    fn sharded_cohort_matches_local_cohort() {
+        let g = generators::rmat(8, 1_500, generators::RmatParams::default(), 6);
+        let cfg = SimRankConfig::fast();
+        for shards in [1u32, 2, 5] {
+            let eng = ShardedEngine::new(&g, shards);
+            assert_eq!(
+                SimRankEngine::query_cohort(&eng, &cfg, 9),
+                queries::query_cohort(&g, &cfg, 9),
+                "{shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_queries_are_bit_identical_to_local() {
+        let g = generators::barabasi_albert(130, 3, 2);
+        let cfg = SimRankConfig::fast();
+        let out = local::build_diagonal(&g, &cfg);
+        let diag = out.diag.as_slice();
+        let rci = ReverseChainIndex::build(&g);
+        for shards in [1u32, 4] {
+            let eng = ShardedEngine::new(&g, shards);
+            assert_eq!(
+                eng.single_pair(diag, &cfg, 4, 70),
+                queries::single_pair(&g, diag, &cfg, 4, 70),
+                "MCSP, {shards} shards"
+            );
+            assert_eq!(
+                eng.single_source(diag, &cfg, 4),
+                queries::single_source(&g, &rci, diag, &cfg, 4),
+                "MCSS, {shards} shards"
+            );
+            assert_eq!(
+                eng.single_source_topk(diag, &cfg, 4, 10),
+                queries::single_source_topk(&g, &rci, diag, &cfg, 4, 10),
+                "top-k, {shards} shards"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_count_caps_at_node_count() {
+        let g = generators::cycle(3);
+        let eng = ShardedEngine::new(&g, 16);
+        assert_eq!(eng.shards(), 3);
+        let fp = eng.memory_footprint();
+        assert!(fp.partitioned);
+        assert_eq!(eng.shard_footprints().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn every_shard_owns_at_least_one_node() {
+        // Regression: ceil-division range partitioning used to leave empty
+        // trailing shards (4 shards of a 5-node graph -> [2, 2, 1, 0]).
+        for (n, shards) in [(5u32, 4u32), (7, 5), (9, 8), (3, 3), (100, 7)] {
+            let g = generators::cycle(n);
+            let eng = ShardedEngine::new(&g, shards);
+            let owned: Vec<u32> = eng.view.partitions().iter().map(GraphPartition::len).collect();
+            assert!(owned.iter().all(|&c| c > 0), "n={n} shards={shards}: {owned:?}");
+            assert_eq!(owned.iter().sum::<u32>(), n);
+            assert!(eng.shards() <= shards as usize);
+        }
+    }
+
+    #[test]
+    fn footprint_shrinks_with_shards() {
+        let g = generators::rmat(10, 10_000, generators::RmatParams::default(), 3);
+        let one = ShardedEngine::new(&g, 1).memory_footprint().per_worker_bytes;
+        let eight = ShardedEngine::new(&g, 8).memory_footprint().per_worker_bytes;
+        assert!(eight < one, "8 shards {eight} vs 1 shard {one}");
+        let per: u64 = ShardedEngine::new(&g, 8).shard_footprints().unwrap().iter().sum();
+        assert!(per >= eight);
+    }
+
+    #[test]
+    fn merge_ranked_equals_global_ranking() {
+        // Hand-built shard lists with a cross-shard tie: node ids break it.
+        let lists =
+            vec![vec![(0u32, 0.9), (2, 0.5), (4, 0.1)], vec![(5u32, 0.9), (1, 0.5), (3, 0.2)]];
+        let merged = merge_ranked(&lists, 5);
+        let all: Vec<(u32, f64)> = lists.concat();
+        assert_eq!(merged, rank_topk(all, u32::MAX, 5));
+        // Exhausting every list stops early.
+        assert_eq!(merge_ranked(&lists, 100).len(), 6);
+    }
+}

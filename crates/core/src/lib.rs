@@ -64,6 +64,8 @@ pub use api::{QueryError, QueryRequest, QueryResponse, QueryService};
 pub use cloudwalker::{CloudWalker, IndexBuildStats};
 pub use config::{AiStrategy, SimRankConfig};
 pub use diag::DiagonalIndex;
-pub use engine::{BuildOutcome, EngineFootprint, ExecMode, LocalEngine, SimRankEngine};
+pub use engine::{
+    BuildOutcome, EngineFootprint, ExecMode, LocalEngine, ShardedEngine, SimRankEngine,
+};
 pub use error::SimRankError;
 pub use session::{CacheStats, QuerySession};

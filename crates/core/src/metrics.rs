@@ -5,7 +5,8 @@ pub use pasco_solver::norms::{max_abs_diff, mean_abs_diff, rmse};
 
 /// Top-`k` entries of `scores` by value (descending), optionally excluding
 /// one index (the query node itself). Ties break toward the smaller node id
-/// so results are deterministic.
+/// so results are deterministic. Sorts with [`f64::total_cmp`], so a NaN
+/// score cannot panic the ranking (NaN orders above every finite score).
 pub fn top_k(scores: &[f64], k: usize, exclude: Option<NodeId>) -> Vec<(NodeId, f64)> {
     let mut items: Vec<(NodeId, f64)> = scores
         .iter()
@@ -13,7 +14,7 @@ pub fn top_k(scores: &[f64], k: usize, exclude: Option<NodeId>) -> Vec<(NodeId, 
         .map(|(i, &s)| (i as NodeId, s))
         .filter(|&(i, _)| Some(i) != exclude)
         .collect();
-    items.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    items.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     items.truncate(k);
     items
 }

@@ -16,8 +16,9 @@
 //! sampling error.
 
 use crate::config::SimRankConfig;
-use pasco_graph::{CsrGraph, NodeId, ReverseChainIndex};
-use pasco_mc::forward::{forward_walk, push_measure};
+use pasco_graph::{CsrGraph, ForwardSampler, GraphSampler, NodeId, ReverseChainIndex};
+use pasco_mc::counts::MassMap;
+use pasco_mc::forward::{forward_walk, forward_walk_on, push_measure};
 use pasco_mc::rng::mix;
 use pasco_mc::walks::{reverse_walk_distributions, StepDistributions, WalkParams};
 
@@ -130,7 +131,25 @@ pub fn single_source_from_dists(
     diag: &[f64],
     cfg: &SimRankConfig,
 ) -> Vec<f64> {
-    let n = graph.node_count() as usize;
+    single_source_from_dists_on(
+        graph.node_count() as usize,
+        &GraphSampler::new(graph, rci),
+        dists,
+        diag,
+        cfg,
+    )
+}
+
+/// [`single_source_from_dists`] generic over the forward-sampling source —
+/// the one dense-MCSS kernel behind the resident-graph engines and the
+/// sharded engine's routed view, so their bit-equality is structural.
+pub fn single_source_from_dists_on<S: ForwardSampler>(
+    n: usize,
+    sampler: &S,
+    dists: &StepDistributions,
+    diag: &[f64],
+    cfg: &SimRankConfig,
+) -> Vec<f64> {
     let mut out = vec![0.0f64; n];
     let mut ct = 1.0;
     for t in 0..=cfg.t {
@@ -145,7 +164,7 @@ pub fn single_source_from_dists(
                 let per = yk / nk as f64;
                 for w in 0..nk {
                     let key = mix(&[seed, k as u64, w as u64, t as u64]);
-                    if let Some((node, mass)) = forward_walk(graph, rci, k, per, t, key) {
+                    if let Some((node, mass)) = forward_walk_on(sampler, k, per, t, key) {
                         out[node as usize] += ct * mass;
                     }
                 }
@@ -223,10 +242,25 @@ pub fn single_source_topk(
     k: usize,
 ) -> Vec<(NodeId, f64)> {
     let dists = query_cohort(graph, cfg, i);
-    let mut acc = pasco_mc::counts::MassMap::with_capacity(cfg.r_forward as usize);
+    let acc = sparse_masses_on(&GraphSampler::new(graph, rci), &dists, diag, cfg);
+    rank_topk(acc.iter(), i, k)
+}
+
+/// The sparse accumulation stage shared by every top-`k` path: the
+/// reached-node masses of the MCSS series for one cohort, as a
+/// [`MassMap`] over the (at most `O(T²·R')`) nodes any walker lands on.
+/// Generic over the forward-sampling source so the local and sharded
+/// engines accumulate through the identical kernel.
+pub fn sparse_masses_on<S: ForwardSampler>(
+    sampler: &S,
+    dists: &StepDistributions,
+    diag: &[f64],
+    cfg: &SimRankConfig,
+) -> MassMap {
+    let mut acc = MassMap::with_capacity(cfg.r_forward as usize);
     let mut ct = 1.0;
     for t in 0..=cfg.t {
-        let y = weighted_support(&dists, t, diag);
+        let y = weighted_support(dists, t, diag);
         if t == 0 {
             for &(kk, m) in &y {
                 acc.add(kk, ct * m);
@@ -237,7 +271,7 @@ pub fn single_source_topk(
                 let per = yk / nk as f64;
                 for w in 0..nk {
                     let key = mix(&[seed, kk as u64, w as u64, t as u64]);
-                    if let Some((node, mass)) = forward_walk(graph, rci, kk, per, t, key) {
+                    if let Some((node, mass)) = forward_walk_on(sampler, kk, per, t, key) {
                         acc.add(node, ct * mass);
                     }
                 }
@@ -245,15 +279,26 @@ pub fn single_source_topk(
         }
         ct *= cfg.c;
     }
-    rank_topk(acc.iter(), i, k)
+    acc
+}
+
+/// The total order every ranking path sorts by: descending score, node-id
+/// tie-break. Uses [`f64::total_cmp`] so a NaN score (e.g. from a poisoned
+/// diagonal entry) can never panic a query; NaN orders above every finite
+/// score under `total_cmp`, deterministically. The sharded engine's k-way
+/// merge and [`rank_topk`] share this comparator — the cross-engine
+/// ranking-equality guarantee depends on there being exactly one.
+#[inline]
+pub(crate) fn ranking_cmp(a: &(NodeId, f64), b: &(NodeId, f64)) -> std::cmp::Ordering {
+    b.1.total_cmp(&a.1).then(a.0.cmp(&b.0))
 }
 
 /// The shared ranking tail of every top-`k` path: clamp into `[0, 1]`,
-/// drop the query node and unreached (zero-score) entries, sort by
-/// descending score with node-id tie-breaks, truncate to `k`. Local
-/// sparse and cluster dense top-`k` both rank through here, so the
-/// cross-mode ranking-equality guarantee depends on exactly one
-/// tie-break implementation.
+/// drop the query node, unreached (zero-score) and NaN entries, sort by
+/// [`ranking_cmp`], truncate to `k`. Local sparse, sharded merged and
+/// cluster dense top-`k` all rank through here, so the cross-mode
+/// ranking-equality guarantee depends on exactly one tie-break
+/// implementation.
 pub(crate) fn rank_topk(
     items: impl IntoIterator<Item = (NodeId, f64)>,
     exclude: NodeId,
@@ -264,7 +309,7 @@ pub(crate) fn rank_topk(
         .map(|(v, s)| (v, s.clamp(0.0, 1.0)))
         .filter(|&(v, s)| v != exclude && s > 0.0)
         .collect();
-    out.sort_unstable_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then(a.0.cmp(&b.0)));
+    out.sort_unstable_by(ranking_cmp);
     out.truncate(k);
     out
 }
@@ -371,6 +416,32 @@ mod tests {
             assert_eq!(gn, en);
             assert!((gs - es).abs() < 1e-12, "{gs} vs {es}");
         }
+    }
+
+    #[test]
+    fn rank_topk_tolerates_nan_scores() {
+        // Regression: the comparator used `partial_cmp(..).unwrap()`, so a
+        // single NaN score (e.g. a poisoned diagonal entry) could panic the
+        // whole query. total_cmp ranks without panicking; NaN entries are
+        // dropped by the zero-score filter after the clamp.
+        let items = vec![(1u32, f64::NAN), (2, 0.5), (3, 0.5), (4, 0.9), (5, f64::NAN)];
+        let ranked = rank_topk(items, 0, 10);
+        assert_eq!(ranked, vec![(4, 0.9), (2, 0.5), (3, 0.5)]);
+    }
+
+    #[test]
+    fn queries_with_poisoned_diagonal_do_not_panic() {
+        // End-to-end version of the NaN regression: a NaN diagonal entry
+        // must degrade the ranking, never panic the serving path.
+        let g = generators::barabasi_albert(60, 3, 17);
+        let cfg = SimRankConfig::fast();
+        let (rci, mut diag) = setup(&g, &cfg);
+        diag[7] = f64::NAN;
+        let ranked = single_source_topk(&g, &rci, &diag, &cfg, 3, 5);
+        assert!(ranked.len() <= 5);
+        assert!(ranked.iter().all(|&(_, s)| s.is_finite()));
+        let scores = single_source(&g, &rci, &diag, &cfg, 3);
+        let _ = crate::metrics::top_k(&scores, 5, Some(3)); // must not panic
     }
 
     #[test]

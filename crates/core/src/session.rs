@@ -14,9 +14,11 @@
 //! serves many concurrent clients. The cohort cache is sharded — each
 //! shard is an independently locked O(1) LRU (hash-indexed doubly linked
 //! list, no per-hit scans, no O(n)-in-graph-size allocation) — so
-//! concurrent queries for different nodes rarely contend. Results are
-//! bitwise identical to the underlying engine's; caching and concurrency
-//! only remove re-simulation.
+//! concurrent queries for different nodes rarely contend, and a
+//! single-flight registry guarantees concurrent misses on the *same* node
+//! simulate its cohort exactly once. Results are bitwise identical to the
+//! underlying engine's; caching and concurrency only remove
+//! re-simulation.
 
 use crate::api::QueryError;
 use crate::cloudwalker::CloudWalker;
@@ -24,9 +26,10 @@ use crate::queries::score_pair;
 use pasco_graph::NodeId;
 use pasco_mc::walks::StepDistributions;
 use rayon::prelude::*;
+use std::collections::hash_map::Entry;
 use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 const NONE: usize = usize::MAX;
 
@@ -127,12 +130,59 @@ impl LruShard {
     }
 }
 
+/// Where one in-flight cohort simulation stands.
+#[derive(Default)]
+enum FlightState {
+    /// The leader is still simulating.
+    #[default]
+    Pending,
+    /// The leader published its cohort.
+    Done(Arc<StepDistributions>),
+    /// The leader unwound without publishing; waiters must retry.
+    Abandoned,
+}
+
+/// One in-flight cohort simulation: the leader publishes the result and
+/// notifies; followers block on the condvar instead of re-simulating. If
+/// the leader panics, its drop guard marks the flight [`FlightState::
+/// Abandoned`] and wakes the followers so a panicking engine can never
+/// wedge a node's lookups.
+#[derive(Default)]
+struct InFlight {
+    state: Mutex<FlightState>,
+    ready: Condvar,
+}
+
+/// Unwind protection for a single-flight leader: unless disarmed by a
+/// successful publish, dropping the guard abandons the flight (waking all
+/// followers into a retry) and clears the registry entry.
+struct FlightGuard<'a> {
+    session: &'a QuerySession,
+    node: NodeId,
+    flight: &'a Arc<InFlight>,
+    published: bool,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if self.published {
+            return;
+        }
+        // Unwinding: never double-panic on a poisoned lock here.
+        *self.flight.state.lock().unwrap_or_else(|e| e.into_inner()) = FlightState::Abandoned;
+        self.flight.ready.notify_all();
+        self.session.inflight.lock().unwrap_or_else(|e| e.into_inner()).remove(&self.node);
+    }
+}
+
 /// Cohort-cache accounting since a session started.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Cohort lookups answered from the cache.
+    /// Cohort lookups answered without simulating: cache hits plus
+    /// lookups coalesced onto a concurrent in-flight simulation.
     pub hits: u64,
-    /// Cohort lookups that had to simulate.
+    /// Cohort lookups that ran a simulation. With the single-flight
+    /// guard, concurrent misses on one node cost exactly one miss.
     pub misses: u64,
 }
 
@@ -173,6 +223,11 @@ pub struct QuerySession {
     /// Effective total capacity (`shards × per-shard`, ≥ the requested
     /// capacity after round-up).
     capacity: usize,
+    /// Single-flight registry: at most one simulation per node is ever in
+    /// flight; concurrent misses on the same node wait for it instead of
+    /// simulating again. Only touched on the miss path, so one map (not
+    /// per-shard) is enough — simulation time dwarfs the lock.
+    inflight: Mutex<HashMap<NodeId, Arc<InFlight>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -206,6 +261,7 @@ impl QuerySession {
             walker,
             shards: (0..shards).map(|_| Mutex::new(LruShard::new(per_shard))).collect(),
             capacity: per_shard * shards,
+            inflight: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -237,19 +293,80 @@ impl QuerySession {
     }
 
     fn cohort(&self, v: NodeId) -> Arc<StepDistributions> {
+        loop {
+            if let Some(c) = self.cohort_once(v) {
+                return c;
+            }
+            // The flight this lookup joined was abandoned (its leader
+            // panicked); retry — the next round hits the cache, joins a
+            // newer flight, or becomes the leader itself.
+        }
+    }
+
+    /// One attempt at a cached cohort lookup; `None` when the joined
+    /// in-flight simulation was abandoned by a panicking leader.
+    fn cohort_once(&self, v: NodeId) -> Option<Arc<StepDistributions>> {
         let shard = self.shard_of(v);
         if let Some(c) = shard.lock().expect("shard poisoned").get(v) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return c;
+            return Some(c);
         }
-        // Simulate outside the lock so concurrent misses on other nodes of
-        // the same shard do not serialise behind the walk simulation. The
-        // simulation runs on the configured engine, so cluster modes
-        // account cohort work in their ClusterReport.
+        // Miss: join the in-flight simulation for this node, or become it.
+        // Without this guard, N concurrent misses on one node simulated
+        // the cohort N times before the first insert landed.
+        let (flight, leader) = {
+            let mut inflight = self.inflight.lock().expect("inflight poisoned");
+            // Re-check the cache under the registry lock: a completing
+            // leader inserts into the cache *before* clearing its entry, so
+            // an empty registry here means the cache check below is
+            // authoritative.
+            if let Some(c) = shard.lock().expect("shard poisoned").get(v) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Some(c);
+            }
+            match inflight.entry(v) {
+                Entry::Occupied(e) => (Arc::clone(e.get()), false),
+                Entry::Vacant(e) => {
+                    let f = Arc::new(InFlight::default());
+                    e.insert(Arc::clone(&f));
+                    (f, true)
+                }
+            }
+        };
+        if !leader {
+            let mut state = flight.state.lock().expect("flight poisoned");
+            loop {
+                match &*state {
+                    FlightState::Done(c) => {
+                        // Coalesced onto the in-flight simulation: no walk
+                        // work done by this lookup, so it counts as a hit.
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return Some(Arc::clone(c));
+                    }
+                    FlightState::Abandoned => return None,
+                    FlightState::Pending => {
+                        state = flight.ready.wait(state).expect("flight poisoned");
+                    }
+                }
+            }
+        }
+        // Leader: simulate outside every lock so concurrent misses on other
+        // nodes never serialise behind the walk simulation. The simulation
+        // runs on the configured engine, so cluster modes account cohort
+        // work in their ClusterReport. The guard abandons the flight if
+        // anything below unwinds.
+        let mut guard = FlightGuard { session: self, node: v, flight: &flight, published: false };
         self.misses.fetch_add(1, Ordering::Relaxed);
         let c = Arc::new(self.walker.query_cohort(v));
+        // Publish to the cache first (insert keeps a raced resident entry
+        // and just refreshes recency), then release the followers and
+        // clear the registry entry.
         shard.lock().expect("shard poisoned").insert(v, Arc::clone(&c));
-        c
+        *flight.state.lock().expect("flight poisoned") = FlightState::Done(Arc::clone(&c));
+        flight.ready.notify_all();
+        self.inflight.lock().expect("inflight poisoned").remove(&v);
+        guard.published = true;
+        Some(c)
     }
 
     #[inline]
@@ -509,6 +626,64 @@ mod tests {
             assert_eq!(batch[idx], cw.single_source(s), "source {s}");
             assert_eq!(topk[idx], cw.single_source_topk(s, 5), "topk {s}");
         }
+    }
+
+    #[test]
+    fn concurrent_misses_on_one_node_simulate_once() {
+        // Regression: without the single-flight guard, N concurrent misses
+        // on the same node simulated the cohort N times before the first
+        // insert landed.
+        let cw = engine();
+        let session = QuerySession::new(Arc::clone(&cw), 16);
+        let clients = 8;
+        let barrier = std::sync::Barrier::new(clients);
+        let cohorts: Vec<Arc<_>> = std::thread::scope(|scope| {
+            (0..clients)
+                .map(|_| {
+                    let session = &session;
+                    let barrier = &barrier;
+                    scope.spawn(move || {
+                        barrier.wait();
+                        session.try_cohort(7).unwrap()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        let stats = session.cache_stats();
+        assert_eq!(stats.misses, 1, "one simulation for {clients} concurrent misses");
+        assert_eq!(stats.lookups(), clients as u64);
+        for c in &cohorts {
+            assert_eq!(**c, cw.query_cohort(7), "coalesced answers match the engine");
+        }
+    }
+
+    #[test]
+    fn single_flight_does_not_leak_registry_entries() {
+        let session = QuerySession::new(engine(), 8);
+        for v in 0..20u32 {
+            session.try_cohort(v).unwrap();
+        }
+        assert_eq!(session.inflight.lock().unwrap().len(), 0, "registry drains after each flight");
+    }
+
+    #[test]
+    fn panicking_leader_does_not_wedge_the_node() {
+        // Regression: a leader that unwinds mid-simulation must abandon
+        // its flight (waking followers into a retry) and clear its
+        // registry entry — not leave the node permanently in flight. The
+        // private `cohort` path bypasses the bounds check, so an
+        // out-of-range node makes the engine panic exactly where a
+        // poisoned simulation would.
+        let session = QuerySession::new(engine(), 8);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| session.cohort(10_000)));
+        assert!(r.is_err(), "out-of-range simulation must panic");
+        assert_eq!(session.inflight.lock().unwrap().len(), 0, "no stale flight entry");
+        // The session still serves: a fresh lookup becomes a fresh leader.
+        session.try_cohort(5).unwrap();
+        assert_eq!(session.cache_stats().misses, 2, "failed flight counted, then a clean one");
     }
 
     #[test]

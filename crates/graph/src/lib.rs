@@ -22,6 +22,7 @@
 //! * [`partition`] and [`stats`] support the distributed runtime and the
 //!   dataset tables.
 
+pub mod adjacency;
 pub mod builder;
 pub mod csr;
 pub mod datasets;
@@ -34,6 +35,7 @@ pub mod sampling;
 pub mod stats;
 pub mod transform;
 
+pub use adjacency::{ForwardSampler, GraphSampler, WalkAdjacency};
 pub use builder::GraphBuilder;
 pub use csr::{CsrGraph, NodeId};
 pub use error::GraphError;

@@ -14,6 +14,7 @@
 
 use crate::csr::{CsrGraph, NodeId};
 use crate::partition::Partitioner;
+use std::sync::Arc;
 
 /// One range partition of a graph.
 #[derive(Clone, Debug)]
@@ -145,6 +146,86 @@ pub fn partition_graph(graph: &CsrGraph, partitioner: &Partitioner) -> Vec<Graph
         .collect()
 }
 
+/// A whole-graph adjacency view assembled from range partitions: every
+/// lookup routes to the partition owning the node, so holders of one
+/// partition can follow walks that wander across partition boundaries
+/// without materialising the full graph twice. On one box the "route" is a
+/// slice index; on NUMA or RPC substrates it becomes the remote access the
+/// sharded decomposition is designed to localise.
+///
+/// Lookups return exactly what [`CsrGraph`] would (the partition tests
+/// assert slice-level equality), so walk kernels driven through a view take
+/// bit-identical trajectories to walks on the resident graph.
+#[derive(Clone, Debug)]
+pub struct PartitionedView {
+    parts: Arc<Vec<GraphPartition>>,
+    partitioner: Partitioner,
+}
+
+impl PartitionedView {
+    /// A view over `parts` as produced by [`partition_graph`] with
+    /// `partitioner`.
+    ///
+    /// # Panics
+    /// Panics when `partitioner` is not a range partitioner or its
+    /// partition count disagrees with `parts`.
+    pub fn new(parts: Arc<Vec<GraphPartition>>, partitioner: Partitioner) -> Self {
+        assert_eq!(
+            parts.len(),
+            partitioner.parts() as usize,
+            "view needs one partition per partitioner slot"
+        );
+        assert!(partitioner.range_of(0).is_some(), "PartitionedView requires a range partitioner");
+        Self { parts, partitioner }
+    }
+
+    /// The partition owning node `v`.
+    #[inline]
+    pub fn part_of(&self, v: NodeId) -> &GraphPartition {
+        &self.parts[self.partitioner.owner(v) as usize]
+    }
+
+    /// All partitions backing this view, in partition order.
+    pub fn partitions(&self) -> &Arc<Vec<GraphPartition>> {
+        &self.parts
+    }
+
+    /// The partitioner mapping nodes to partitions.
+    pub fn partitioner(&self) -> Partitioner {
+        self.partitioner
+    }
+
+    /// Total node count across all partitions.
+    pub fn node_count(&self) -> u32 {
+        self.parts.last().map(|gp| gp.end).unwrap_or(0)
+    }
+
+    /// In-neighbours of `v` (routes to the owning partition).
+    #[inline]
+    pub fn in_neighbors(&self, v: NodeId) -> &[NodeId] {
+        self.part_of(v).in_neighbors(v)
+    }
+
+    /// Out-neighbours of `v` (routes to the owning partition).
+    #[inline]
+    pub fn out_neighbors(&self, v: NodeId) -> &[NodeId] {
+        self.part_of(v).out_neighbors(v)
+    }
+
+    /// Total reverse-chain outflow `W_v` of `v`.
+    #[inline]
+    pub fn outflow(&self, v: NodeId) -> f64 {
+        self.part_of(v).outflow(v)
+    }
+
+    /// Samples an out-neighbour of `v` with probability `∝ 1/|In(j)|`;
+    /// `None` when `v` has no out-edges.
+    #[inline]
+    pub fn sample_out(&self, v: NodeId, r: f64) -> Option<NodeId> {
+        self.part_of(v).sample_out(v, r)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -182,6 +263,31 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn view_routes_to_the_full_graph_adjacency() {
+        let g = generators::rmat(9, 4_000, generators::RmatParams::default(), 8);
+        let p = Partitioner::range(g.node_count(), 5);
+        let view = PartitionedView::new(Arc::new(partition_graph(&g, &p)), p);
+        let rci = ReverseChainIndex::build(&g);
+        assert_eq!(view.node_count(), g.node_count());
+        for v in (0..g.node_count()).step_by(17) {
+            assert_eq!(view.in_neighbors(v), g.in_neighbors(v), "in {v}");
+            assert_eq!(view.out_neighbors(v), g.out_neighbors(v), "out {v}");
+            assert!((view.outflow(v) - rci.outflow(v)).abs() < 1e-12, "outflow {v}");
+            for &r in &[0.0, 0.42, 0.999] {
+                assert_eq!(view.sample_out(v, r), rci.sample(&g, v, r), "sample {v} r {r}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "range partitioner")]
+    fn view_rejects_hash_partitioners() {
+        let g = generators::cycle(9);
+        let parts = Arc::new(partition_graph(&g, &Partitioner::range(9, 3)));
+        let _ = PartitionedView::new(parts, Partitioner::hash(3));
     }
 
     #[test]

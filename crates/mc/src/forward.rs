@@ -12,7 +12,7 @@
 
 use crate::counts::MassMap;
 use crate::rng::SplitMix64;
-use pasco_graph::{CsrGraph, NodeId, ReverseChainIndex};
+use pasco_graph::{CsrGraph, ForwardSampler, GraphSampler, NodeId, ReverseChainIndex};
 
 /// The uniform in `[0, 1)` consumed by a forward walker at its `step`-th
 /// move — a pure function of `(key, step)`, so a walk can be resumed on any
@@ -35,16 +35,30 @@ pub fn forward_walk(
     steps: usize,
     key: u64,
 ) -> Option<(NodeId, f64)> {
+    forward_walk_on(&GraphSampler::new(graph, index), start, mass, steps, key)
+}
+
+/// [`forward_walk`] generic over the sampling source — the one kernel
+/// behind the resident-graph engines *and* the sharded engine's routed
+/// [`pasco_graph::partitioned::PartitionedView`].
+#[inline]
+pub fn forward_walk_on<S: ForwardSampler>(
+    sampler: &S,
+    start: NodeId,
+    mass: f64,
+    steps: usize,
+    key: u64,
+) -> Option<(NodeId, f64)> {
     let mut pos = start;
     let mut m = mass;
     for t in 1..=steps {
-        let w = index.outflow(pos);
+        let w = sampler.outflow(pos);
         if w == 0.0 {
             return None;
         }
         let r = forward_step_r(key, t as u32);
         // outflow > 0 implies at least one out-edge, so sample succeeds.
-        pos = index.sample(graph, pos, r).expect("outflow > 0 implies out-edges");
+        pos = sampler.sample_out(pos, r).expect("outflow > 0 implies out-edges");
         m *= w;
     }
     Some((pos, m))

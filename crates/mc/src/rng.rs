@@ -88,9 +88,15 @@ impl Xoshiro256pp {
 
     /// Uniform integer in `[0, bound)` by Lemire's multiply-shift (no
     /// modulo bias worth caring about at walk scales, no division).
+    ///
+    /// # Panics
+    /// Panics when `bound == 0`, in release builds too: a zero bound means
+    /// the caller sampled from an empty set (e.g. a walk step taken from a
+    /// node with no neighbours), and silently returning 0 — what the old
+    /// `debug_assert!` allowed in release — would mask that bug.
     #[inline]
     pub fn next_below(&mut self, bound: u32) -> u32 {
-        debug_assert!(bound > 0);
+        assert!(bound > 0, "next_below: bound must be positive");
         (((self.next_u64() >> 32) * bound as u64) >> 32) as u32
     }
 }
@@ -148,6 +154,16 @@ mod tests {
         for &c in &counts {
             assert!((c as i64 - 10_000).abs() < 600, "{counts:?}");
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn next_below_zero_bound_panics_in_every_profile() {
+        // Regression: this was a debug_assert!, so release builds silently
+        // returned 0 for an empty sampling set. The contract must hold in
+        // release too — CI's release-mode test job exercises this.
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        let _ = rng.next_below(0);
     }
 
     #[test]

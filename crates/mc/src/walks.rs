@@ -13,7 +13,7 @@
 
 use crate::counts::CountMap;
 use crate::rng::{mix, SplitMix64};
-use pasco_graph::{CsrGraph, NodeId};
+use pasco_graph::{CsrGraph, NodeId, WalkAdjacency};
 
 /// Walk-cohort parameters: `steps` is the paper's `T`, `walkers` its `R`
 /// (indexing) or `R'` (queries).
@@ -106,6 +106,19 @@ pub fn reverse_walk_distributions(
     params: WalkParams,
     seed: u64,
 ) -> StepDistributions {
+    reverse_walk_distributions_on(graph, source, params, seed)
+}
+
+/// [`reverse_walk_distributions`] generic over the adjacency source —
+/// the one kernel behind the resident-graph engines *and* the sharded
+/// engine's routed [`pasco_graph::partitioned::PartitionedView`], so
+/// cross-engine bit-equality is structural, not merely test-enforced.
+pub fn reverse_walk_distributions_on<G: WalkAdjacency>(
+    graph: &G,
+    source: NodeId,
+    params: WalkParams,
+    seed: u64,
+) -> StepDistributions {
     assert!(source < graph.node_count(), "source out of range");
     let mut maps: Vec<CountMap> =
         (0..params.steps).map(|_| CountMap::with_capacity(params.walkers as usize)).collect();
@@ -113,13 +126,12 @@ pub fn reverse_walk_distributions(
         let key = walker_key(seed, source, w);
         let mut pos = source;
         for t in 1..=params.steps {
-            match reverse_step(graph, pos, key, t as u32) {
-                Some(next) => {
-                    pos = next;
-                    maps[t - 1].add(pos, 1);
-                }
-                None => break,
+            let ins = graph.in_neighbors(pos);
+            if ins.is_empty() {
+                break;
             }
+            pos = ins[pick(step_u64(key, t as u32), ins.len())];
+            maps[t - 1].add(pos, 1);
         }
     }
     let mut counts = Vec::with_capacity(params.steps + 1);

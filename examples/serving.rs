@@ -41,9 +41,17 @@ fn main() {
         println!("  95% of walk mass is gone by step {h} — T beyond that buys little");
     }
 
-    let cw = Arc::new(CloudWalker::build(Arc::clone(&graph), cfg, ExecMode::Local).unwrap());
+    // Serve from the sharded substrate: the graph is range-partitioned
+    // across 4 in-process shards, queries route to the shard owning their
+    // source, and answers stay bit-identical to the local engine's.
+    let cw = Arc::new(
+        CloudWalker::build(Arc::clone(&graph), cfg, ExecMode::Sharded { shards: 4 }).unwrap(),
+    );
     let fp = cw.memory_footprint();
     println!("\nengine: {} ({} bytes/worker)", cw.mode_name(), fp.per_worker_bytes);
+    if let Some(per_shard) = cw.shard_footprints() {
+        println!("per-shard bytes: {per_shard:?}");
+    }
 
     // A query stream with a skewed working set (hot nodes repeat), served
     // through one shared caching session.

@@ -3,13 +3,17 @@
 //! ```text
 //! pasco generate --model rmat --scale 14 --edges 100000 --seed 7 --out g.bin
 //! pasco stats    --graph g.bin
-//! pasco index    --graph g.bin --out g.idx [--mode local|broadcast|rdd] [--seed N]
+//! pasco index    --graph g.bin --out g.idx [--mode local|sharded|broadcast|rdd]
+//!                [--shards N] [--seed N]
 //! pasco sp       --graph g.bin --index g.idx --i 3 --j 99
 //! pasco ss       --graph g.bin --index g.idx --i 3 [--top 10] [--estimator walk|push]
 //! pasco topk     --graph g.bin --index g.idx --i 3 --k 10
 //! pasco pairs    --graph g.bin --index g.idx --nodes 1,5,9 [--cache 1024]
 //! pasco convert  --in edges.txt --out g.bin      (edge list -> binary, or back)
 //! ```
+//!
+//! Query subcommands also accept `--mode`/`--shards`, so a persisted index
+//! can be served from any substrate (e.g. `--mode sharded --shards 8`).
 //!
 //! Graphs are read as the binary format when the file starts with the
 //! `PASCOGR1` magic, otherwise as a whitespace edge list.
@@ -66,14 +70,17 @@ USAGE:
   pasco generate --model <er|ba|rmat|ws> --out <file> [--nodes N] [--scale S]
                  [--edges M] [--seed N]
   pasco stats    --graph <file>
-  pasco index    --graph <file> --out <file> [--mode local|broadcast|rdd]
-                 [--seed N] [--c F] [--t N] [--l N] [--r N]
+  pasco index    --graph <file> --out <file> [--mode local|sharded|broadcast|rdd]
+                 [--shards N] [--seed N] [--c F] [--t N] [--l N] [--r N]
   pasco sp       --graph <file> --index <file> --i <node> --j <node>
   pasco ss       --graph <file> --index <file> --i <node> [--top K]
                  [--estimator walk|push]
   pasco topk     --graph <file> --index <file> --i <node> --k <K>   (TSV out)
   pasco pairs    --graph <file> --index <file> --nodes <a,b,c,...> [--cache N]
   pasco convert  --in <file> --out <file>   (.txt <-> .bin by extension)
+
+  Query subcommands (sp/ss/topk/pairs) also accept --mode/--shards to pick
+  the serving substrate; results are bit-identical across substrates.
 ";
 
 type Flags = HashMap<String, String>;
@@ -175,16 +182,28 @@ fn sim_config(flags: &Flags) -> Result<SimRankConfig, String> {
     Ok(cfg)
 }
 
+/// Parses `--mode` (with `--shards` for the sharded substrate).
+fn exec_mode(flags: &Flags) -> Result<ExecMode, String> {
+    match flags.get("mode").map(|s| s.as_str()).unwrap_or("local") {
+        "local" => Ok(ExecMode::Local),
+        "broadcast" => Ok(ExecMode::Broadcast(ClusterConfig::paper_like())),
+        "rdd" => Ok(ExecMode::Rdd(ClusterConfig::paper_like())),
+        "sharded" => {
+            let shards: u32 = get_num(flags, "shards", 4)?;
+            if shards == 0 {
+                return Err("--shards must be positive".into());
+            }
+            Ok(ExecMode::Sharded { shards })
+        }
+        other => Err(format!("unknown mode `{other}` (local|sharded|broadcast|rdd)")),
+    }
+}
+
 fn cmd_index(flags: &Flags) -> Result<(), String> {
     let graph = Arc::new(load_graph(get(flags, "graph")?)?);
     let out = get(flags, "out")?;
     let cfg = sim_config(flags)?;
-    let mode = match flags.get("mode").map(|s| s.as_str()).unwrap_or("local") {
-        "local" => ExecMode::Local,
-        "broadcast" => ExecMode::Broadcast(ClusterConfig::paper_like()),
-        "rdd" => ExecMode::Rdd(ClusterConfig::paper_like()),
-        other => return Err(format!("unknown mode `{other}`")),
-    };
+    let mode = exec_mode(flags)?;
     let t0 = Instant::now();
     let (cw, stats) = CloudWalker::build_with_stats(graph, cfg, mode).map_err(|e| e.to_string())?;
     persist::save_index(cw.diagonal(), out).map_err(|e| e.to_string())?;
@@ -196,6 +215,15 @@ fn cmd_index(flags: &Flags) -> Result<(), String> {
         stats.strategy,
         stats.jacobi_residuals.last().copied().unwrap_or(0.0)
     );
+    if let Some(per_shard) = cw.shard_footprints() {
+        let max = per_shard.iter().copied().max().unwrap_or(0);
+        println!(
+            "shards: {} ({} total, {} max/shard)",
+            per_shard.len(),
+            human_bytes(per_shard.iter().sum()),
+            human_bytes(max)
+        );
+    }
     Ok(())
 }
 
@@ -203,7 +231,8 @@ fn load_engine(flags: &Flags) -> Result<CloudWalker, String> {
     let graph = Arc::new(load_graph(get(flags, "graph")?)?);
     let index = persist::load_index(get(flags, "index")?).map_err(|e| e.to_string())?;
     let cfg = sim_config(flags)?;
-    CloudWalker::from_index(graph, cfg, index).map_err(|e| e.to_string())
+    let mode = exec_mode(flags)?;
+    CloudWalker::from_index_with_mode(graph, cfg, index, mode).map_err(|e| e.to_string())
 }
 
 /// Executes one request through the typed front door; a `QueryError`

@@ -92,6 +92,74 @@ fn generate_index_query_pipeline() {
     assert!(stdout.contains("3 cohorts simulated"), "{stdout}");
 }
 
+/// The sharded substrate end to end: indexing with `--mode sharded`
+/// produces the identical index, and serving queries with any shard count
+/// yields byte-identical TSV output to local serving.
+#[test]
+fn sharded_pipeline_matches_local_output() {
+    let graph = tmp("sharded.bin");
+    let idx_local = tmp("sharded_local.idx");
+    let idx_sharded = tmp("sharded_sharded.idx");
+    assert!(bin()
+        .args(["generate", "--model", "ba", "--nodes", "400", "--edges-per-node", "4"])
+        .args(["--out", graph.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    let cheap = ["--r", "16", "--t", "4", "--r-query", "400"];
+    let out = bin()
+        .args(["index", "--graph", graph.to_str().unwrap()])
+        .args(["--out", idx_local.to_str().unwrap()])
+        .args(cheap)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = bin()
+        .args(["index", "--graph", graph.to_str().unwrap()])
+        .args(["--out", idx_sharded.to_str().unwrap()])
+        .args(["--mode", "sharded", "--shards", "3"])
+        .args(cheap)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("sharded engine"), "{stdout}");
+    assert!(stdout.contains("shards: 3"), "{stdout}");
+    assert_eq!(
+        std::fs::read(&idx_local).unwrap(),
+        std::fs::read(&idx_sharded).unwrap(),
+        "sharded index must be byte-identical to local"
+    );
+
+    // Serve the same top-k through local and sharded substrates: the TSV
+    // output must match byte for byte.
+    let query = |mode_args: &[&str]| {
+        let out = bin()
+            .args(["topk", "--graph", graph.to_str().unwrap()])
+            .args(["--index", idx_local.to_str().unwrap()])
+            .args(["--i", "7", "--k", "5"])
+            .args(cheap)
+            .args(mode_args)
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+        out.stdout
+    };
+    let local = query(&[]);
+    assert_eq!(local, query(&["--mode", "sharded", "--shards", "2"]));
+    assert_eq!(local, query(&["--mode", "sharded", "--shards", "5"]));
+
+    // Zero shards is a clean CLI error.
+    let out = bin()
+        .args(["topk", "--graph", graph.to_str().unwrap()])
+        .args(["--index", idx_local.to_str().unwrap()])
+        .args(["--i", "7", "--k", "5", "--mode", "sharded", "--shards", "0"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--shards must be positive"));
+}
+
 /// Out-of-range nodes surface as the typed `QueryError` rendered on
 /// stderr — a clean nonzero exit, never the old panic/abort.
 #[test]

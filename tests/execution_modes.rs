@@ -1,7 +1,8 @@
-//! The reproduction's strongest guarantee: the three execution engines
-//! (Local, Broadcasting, RDD) are observationally equivalent under a fixed
-//! seed — indexes bitwise equal, MCSP bitwise equal, MCSS equal to float
-//! accumulation order.
+//! The reproduction's strongest guarantee: the four execution engines
+//! (Local, Sharded, Broadcasting, RDD) are observationally equivalent
+//! under a fixed seed — indexes bitwise equal, MCSP bitwise equal, MCSS
+//! equal to float accumulation order (bitwise for Sharded, whose
+//! accumulation order matches Local's exactly).
 
 use pasco::cluster::{ClusterConfig, ClusterError};
 use pasco::graph::generators;
@@ -84,6 +85,67 @@ fn topk_rankings_are_identical_across_modes() {
     // The distributed top-k paths must be accounted in the cluster logs.
     assert!(b.cluster_report().unwrap().stages > 0);
     assert!(r.cluster_report().unwrap().shuffle_bytes > 0);
+}
+
+#[test]
+fn sharded_engine_is_bit_identical_to_local_for_every_query_kind() {
+    // The sharded engine routes walks through per-shard partition views;
+    // since the routed adjacency equals the resident graph's and the
+    // accumulation order matches the local kernels, every query kind is
+    // *bitwise* equal at shard counts 1, 2 and 4 — including dense MCSS,
+    // where the cluster engines only promise float-tolerance equality.
+    for (gname, g) in [
+        ("ba", Arc::new(generators::barabasi_albert(150, 3, 7))),
+        ("rmat", Arc::new(generators::rmat(8, 1_600, generators::RmatParams::default(), 5))),
+    ] {
+        let cfg = SimRankConfig::fast().with_seed(17);
+        let local = CloudWalker::build(Arc::clone(&g), cfg, ExecMode::Local).unwrap();
+        for shards in [1u32, 2, 4] {
+            let sh = CloudWalker::build(Arc::clone(&g), cfg, ExecMode::Sharded { shards }).unwrap();
+            assert_eq!(sh.mode_name(), "sharded");
+            assert_eq!(local.diagonal(), sh.diagonal(), "{gname}: index, {shards} shards");
+            for &(i, j) in &[(0u32, 1u32), (5, 70), (33, 32)] {
+                assert_eq!(
+                    local.single_pair(i, j),
+                    sh.single_pair(i, j),
+                    "{gname}: MCSP ({i},{j}), {shards} shards"
+                );
+            }
+            for &s in &[0u32, 64, 149] {
+                assert_eq!(
+                    local.single_source(s),
+                    sh.single_source(s),
+                    "{gname}: MCSS source {s}, {shards} shards"
+                );
+                assert_eq!(
+                    local.single_source_topk(s, 10),
+                    sh.single_source_topk(s, 10),
+                    "{gname}: top-k source {s}, {shards} shards"
+                );
+                assert_eq!(
+                    local.query_cohort(s),
+                    sh.query_cohort(s),
+                    "{gname}: cohort {s}, {shards} shards"
+                );
+            }
+            // Footprint accounting: partitioned, with a per-shard breakdown
+            // whose max is the per-worker demand.
+            let fp = sh.memory_footprint();
+            assert!(fp.partitioned);
+            let per_shard = sh.shard_footprints().expect("sharded breakdown");
+            assert_eq!(per_shard.len(), shards as usize);
+            assert_eq!(per_shard.iter().copied().max().unwrap(), fp.per_worker_bytes);
+            assert!(local.shard_footprints().is_none());
+        }
+    }
+}
+
+#[test]
+fn sharded_mode_rejects_zero_shards() {
+    let g = Arc::new(generators::cycle(8));
+    let err =
+        CloudWalker::build(g, SimRankConfig::fast(), ExecMode::Sharded { shards: 0 }).unwrap_err();
+    assert!(matches!(err, SimRankError::InvalidConfig(_)), "{err}");
 }
 
 #[test]

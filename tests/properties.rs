@@ -177,6 +177,32 @@ proptest! {
         prop_assert_eq!(l.single_pair(1, 2), r.single_pair(1, 2));
     }
 
+    /// The shard count of the sharded engine never changes any answer:
+    /// for arbitrary graphs, seeds and shard counts, the index, MCSP,
+    /// dense MCSS and top-k equal the local engine's bitwise.
+    #[test]
+    fn shard_count_never_changes_results(
+        edges in prop::collection::vec((0u32..40, 0u32..40), 0..160),
+        shards in 1u32..7,
+        seed in 0u64..1000,
+    ) {
+        use pasco::simrank::{CloudWalker, ExecMode, SimRankConfig};
+        use std::sync::Arc;
+        let mut b = GraphBuilder::new();
+        b.ensure_nodes(40);
+        for &(u, v) in &edges {
+            b.add_edge(u, v);
+        }
+        let g = Arc::new(b.build());
+        let cfg = SimRankConfig::fast().with_seed(seed).with_t(4).with_r(16).with_r_query(64);
+        let l = CloudWalker::build(Arc::clone(&g), cfg, ExecMode::Local).unwrap();
+        let s = CloudWalker::build(Arc::clone(&g), cfg, ExecMode::Sharded { shards }).unwrap();
+        prop_assert_eq!(l.diagonal(), s.diagonal());
+        prop_assert_eq!(l.single_pair(3, 17), s.single_pair(3, 17));
+        prop_assert_eq!(l.single_source(5), s.single_source(5));
+        prop_assert_eq!(l.single_source_topk(9, 6), s.single_source_topk(9, 6));
+    }
+
     /// Shuffles are permutations: nothing lost, nothing duplicated, routing
     /// respected — for arbitrary record sets and partition counts.
     #[test]
