@@ -16,7 +16,11 @@
 //!   [`CloudWalker`] itself;
 //! * [`wire`] — a compact binary codec with exact round-trip guarantees,
 //!   so a network front-end and a real-cluster RPC engine share one wire
-//!   format.
+//!   format;
+//! * [`envelope`] — the versioned frame wrapper around [`wire`] messages
+//!   (magic + protocol version, request ids for pipelining, first-class
+//!   error frames, frame-size limits) that the `pasco_server` TCP front
+//!   end speaks.
 //!
 //! ```
 //! use pasco_simrank::api::{QueryRequest, QueryResponse, QueryService};
@@ -34,6 +38,7 @@
 //! assert!(svc.execute(QueryRequest::SinglePair { i: 0, j: 999 }).is_err());
 //! ```
 
+pub mod envelope;
 pub mod wire;
 
 use crate::cloudwalker::CloudWalker;
@@ -111,8 +116,10 @@ pub enum QueryResponse {
     Batch(Vec<QueryResponse>),
 }
 
-/// Typed failure of a query. Every variant is a caller error: the index
-/// itself never fails at query time.
+/// Typed failure of a query. The index itself never fails at query
+/// time: every variant is either a caller error (bad node, bad `k`,
+/// malformed batch) or a serving limit ([`QueryError::
+/// ResponseTooLarge`]).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum QueryError {
     /// A requested node is not a node of the indexed graph.
@@ -133,6 +140,16 @@ pub enum QueryError {
     EmptyNodeSet,
     /// A [`QueryRequest::Batch`] nested inside another batch.
     NestedBatch,
+    /// The answer was computed but its encoding exceeds the serving
+    /// frame-size limit, so it cannot be shipped to this caller. Ask for
+    /// less (top-`k` instead of a dense row, a smaller batch) or raise
+    /// the server's limit.
+    ResponseTooLarge {
+        /// The encoded response size that was refused.
+        bytes: u64,
+        /// The frame-size limit in force.
+        max_frame: u32,
+    },
 }
 
 impl fmt::Display for QueryError {
@@ -145,6 +162,9 @@ impl fmt::Display for QueryError {
             QueryError::EmptyBatch => write!(f, "batch request contains no queries"),
             QueryError::EmptyNodeSet => write!(f, "pairs matrix needs at least one row and column"),
             QueryError::NestedBatch => write!(f, "batch requests cannot be nested"),
+            QueryError::ResponseTooLarge { bytes, max_frame } => {
+                write!(f, "response of {bytes} bytes exceeds the {max_frame}-byte frame limit")
+            }
         }
     }
 }
@@ -226,6 +246,12 @@ impl QueryRequest {
 pub trait QueryService: Send + Sync {
     /// Executes one request, returning the variant-matched response.
     fn execute(&self, req: QueryRequest) -> Result<QueryResponse, QueryError>;
+
+    /// How many nodes the served graph has — the bound every node id in
+    /// a request must respect. A network front door advertises this in
+    /// its handshake ([`envelope::ServerInfo`]) so clients can
+    /// pre-validate requests without a round trip.
+    fn node_count(&self) -> u32;
 }
 
 /// Shared batch tail of both service implementations: `req` is already
@@ -268,6 +294,10 @@ impl QueryService for CloudWalker {
             QueryRequest::Batch(reqs) => return execute_batch(self, reqs),
         })
     }
+
+    fn node_count(&self) -> u32 {
+        self.graph().node_count()
+    }
 }
 
 impl QueryService for QuerySession {
@@ -296,6 +326,10 @@ impl QueryService for QuerySession {
             }
             QueryRequest::Batch(reqs) => return execute_batch(self, reqs),
         })
+    }
+
+    fn node_count(&self) -> u32 {
+        self.walker().graph().node_count()
     }
 }
 

@@ -127,7 +127,7 @@ fn read_u8(buf: &mut impl Buf, decoding: &'static str) -> Result<u8, WireError> 
     Ok(buf.get_u8())
 }
 
-fn read_u32(buf: &mut impl Buf, decoding: &'static str) -> Result<u32, WireError> {
+pub(super) fn read_u32(buf: &mut impl Buf, decoding: &'static str) -> Result<u32, WireError> {
     need(buf, 4, decoding)?;
     Ok(buf.get_u32_le())
 }
@@ -145,6 +145,16 @@ fn read_f64(buf: &mut impl Buf, decoding: &'static str) -> Result<f64, WireError
 /// Reads a `u32` length prefix for elements of at least `elem_min` bytes,
 /// refusing lengths the remaining buffer cannot possibly satisfy — a
 /// corrupt prefix must fail cleanly, not allocate gigabytes.
+///
+/// INVARIANT (audited; enforced by the adversarial proptests in
+/// `tests/api.rs`): every repeated-field decode in this module goes
+/// through here with `elem_min` = the smallest possible encoding of one
+/// element, *before* any collection is built. Collection allocations are
+/// then bounded by `remaining / elem_min`, so a hostile peer can corrupt
+/// a length prefix to at most "the rest of the buffer", never to an
+/// OOM-sized reservation. The envelope layer upholds the same rule for
+/// its payload length (`EnvelopeHeader::decode` checks the frame limit
+/// and, when decoding from a buffer, the bytes actually present).
 fn read_len(
     buf: &mut impl Buf,
     elem_min: usize,
@@ -419,6 +429,7 @@ const ERR_INVALID_K: u8 = 1;
 const ERR_EMPTY_BATCH: u8 = 2;
 const ERR_EMPTY_NODE_SET: u8 = 3;
 const ERR_NESTED_BATCH: u8 = 4;
+const ERR_RESPONSE_TOO_LARGE: u8 = 5;
 
 impl WireCodec for QueryError {
     fn encode(&self, buf: &mut impl BufMut) {
@@ -435,6 +446,11 @@ impl WireCodec for QueryError {
             QueryError::EmptyBatch => buf.put_u8(ERR_EMPTY_BATCH),
             QueryError::EmptyNodeSet => buf.put_u8(ERR_EMPTY_NODE_SET),
             QueryError::NestedBatch => buf.put_u8(ERR_NESTED_BATCH),
+            QueryError::ResponseTooLarge { bytes, max_frame } => {
+                buf.put_u8(ERR_RESPONSE_TOO_LARGE);
+                buf.put_u64_le(*bytes);
+                buf.put_u32_le(*max_frame);
+            }
         }
     }
 
@@ -449,6 +465,10 @@ impl WireCodec for QueryError {
             ERR_EMPTY_BATCH => QueryError::EmptyBatch,
             ERR_EMPTY_NODE_SET => QueryError::EmptyNodeSet,
             ERR_NESTED_BATCH => QueryError::NestedBatch,
+            ERR_RESPONSE_TOO_LARGE => QueryError::ResponseTooLarge {
+                bytes: read_u64(buf, WHAT)?,
+                max_frame: read_u32(buf, WHAT)?,
+            },
             tag => return Err(WireError::UnknownTag { decoding: WHAT, tag }),
         })
     }
@@ -458,6 +478,7 @@ impl WireCodec for QueryError {
             QueryError::NodeOutOfRange { .. } => 8,
             QueryError::InvalidK { .. } => 8,
             QueryError::EmptyBatch | QueryError::EmptyNodeSet | QueryError::NestedBatch => 0,
+            QueryError::ResponseTooLarge { .. } => 12,
         }
     }
 }
@@ -510,6 +531,7 @@ mod tests {
         roundtrip(QueryError::EmptyBatch);
         roundtrip(QueryError::EmptyNodeSet);
         roundtrip(QueryError::NestedBatch);
+        roundtrip(QueryError::ResponseTooLarge { bytes: u64::MAX, max_frame: 1 << 20 });
     }
 
     #[test]

@@ -60,6 +60,7 @@ pub mod persist;
 pub mod queries;
 pub mod session;
 
+pub use api::envelope::{Envelope, FrameError, FrameKind, ServerInfo};
 pub use api::{QueryError, QueryRequest, QueryResponse, QueryService};
 pub use cloudwalker::{CloudWalker, IndexBuildStats};
 pub use config::{AiStrategy, SimRankConfig};
@@ -68,4 +69,4 @@ pub use engine::{
     BuildOutcome, EngineFootprint, ExecMode, LocalEngine, ShardedEngine, SimRankEngine,
 };
 pub use error::SimRankError;
-pub use session::{CacheStats, QuerySession};
+pub use session::{CacheStats, QuerySession, SessionConfig};

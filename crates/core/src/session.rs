@@ -19,7 +19,14 @@
 //! simulate its cohort exactly once. Results are bitwise identical to the
 //! underlying engine's; caching and concurrency only remove
 //! re-simulation.
+//!
+//! Long-running servers configure eviction through [`SessionConfig`]: an
+//! optional TTL (expired entries are evicted on lookup, never served as
+//! hits) and an optional byte budget over resident cohorts (wire-encoded
+//! size, enforced from each shard's cold tail). [`CacheStats`] accounts
+//! every eviction alongside hits and misses.
 
+use crate::api::wire::WireCodec;
 use crate::api::QueryError;
 use crate::cloudwalker::CloudWalker;
 use crate::queries::score_pair;
@@ -30,6 +37,7 @@ use std::collections::hash_map::Entry;
 use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 const NONE: usize = usize::MAX;
 
@@ -44,51 +52,79 @@ fn chunked_indices(
 struct Slot {
     node: NodeId,
     value: Arc<StepDistributions>,
+    /// Wire-encoded size of the cohort — the byte-budget unit.
+    bytes: usize,
+    /// When the cohort was cached; entries older than the configured TTL
+    /// are evicted on lookup instead of counting as hits.
+    inserted: Instant,
     prev: usize,
     next: usize,
 }
 
 /// One independently locked O(1) LRU over cohorts: a slot slab threaded
 /// into a doubly linked recency list, indexed by a `HashMap`. Hits relink
-/// in O(1); eviction pops the list tail in O(1).
+/// in O(1); eviction pops the list tail in O(1). Beyond the entry-count
+/// capacity, a shard optionally enforces a TTL (expired entries are
+/// evicted on lookup, not served) and a byte budget (inserting past it
+/// evicts from the cold tail until the shard fits).
 struct LruShard {
     capacity: usize,
+    ttl: Option<Duration>,
+    max_bytes: Option<usize>,
+    /// Wire bytes currently resident.
+    bytes: usize,
+    /// Entries removed before natural replacement: capacity evictions,
+    /// byte-budget evictions, and TTL expiries.
+    evictions: u64,
     map: HashMap<NodeId, usize>,
-    slots: Vec<Slot>,
+    slots: Vec<Option<Slot>>,
+    free: Vec<usize>,
     head: usize,
     tail: usize,
 }
 
 impl LruShard {
-    fn new(capacity: usize) -> Self {
+    fn new(capacity: usize, ttl: Option<Duration>, max_bytes: Option<usize>) -> Self {
         Self {
             capacity,
+            ttl,
+            max_bytes,
+            bytes: 0,
+            evictions: 0,
             map: HashMap::with_capacity(capacity.min(1024)),
             slots: Vec::new(),
+            free: Vec::new(),
             head: NONE,
             tail: NONE,
         }
     }
 
+    fn slot(&self, slot: usize) -> &Slot {
+        self.slots[slot].as_ref().expect("linked slot must be occupied")
+    }
+
     fn detach(&mut self, slot: usize) {
-        let (prev, next) = (self.slots[slot].prev, self.slots[slot].next);
+        let (prev, next) = (self.slot(slot).prev, self.slot(slot).next);
         if prev == NONE {
             self.head = next;
         } else {
-            self.slots[prev].next = next;
+            self.slots[prev].as_mut().expect("linked").next = next;
         }
         if next == NONE {
             self.tail = prev;
         } else {
-            self.slots[next].prev = prev;
+            self.slots[next].as_mut().expect("linked").prev = prev;
         }
     }
 
     fn attach_front(&mut self, slot: usize) {
-        self.slots[slot].prev = NONE;
-        self.slots[slot].next = self.head;
+        {
+            let s = self.slots[slot].as_mut().expect("linked");
+            s.prev = NONE;
+            s.next = self.head;
+        }
         if self.head != NONE {
-            self.slots[self.head].prev = slot;
+            self.slots[self.head].as_mut().expect("linked").prev = slot;
         }
         self.head = slot;
         if self.tail == NONE {
@@ -96,33 +132,77 @@ impl LruShard {
         }
     }
 
+    /// Unlinks and frees a slot, releasing its value and byte account.
+    fn remove(&mut self, slot: usize) {
+        self.detach(slot);
+        let s = self.slots[slot].take().expect("linked slot must be occupied");
+        self.map.remove(&s.node);
+        self.bytes -= s.bytes;
+        self.free.push(slot);
+    }
+
+    fn expired(&self, slot: usize) -> bool {
+        self.ttl.is_some_and(|ttl| self.slot(slot).inserted.elapsed() >= ttl)
+    }
+
     fn get(&mut self, node: NodeId) -> Option<Arc<StepDistributions>> {
         let slot = *self.map.get(&node)?;
+        if self.expired(slot) {
+            // An expired entry is not a hit: evict it and let the caller
+            // take the miss path (fresh simulation, fresh timestamp).
+            self.remove(slot);
+            self.evictions += 1;
+            return None;
+        }
         self.detach(slot);
         self.attach_front(slot);
-        Some(Arc::clone(&self.slots[slot].value))
+        Some(Arc::clone(&self.slot(slot).value))
     }
 
     fn insert(&mut self, node: NodeId, value: Arc<StepDistributions>) {
         if let Some(&slot) = self.map.get(&node) {
             // Raced with another miss on the same node; keep the resident
-            // entry (identical by determinism) and refresh recency.
+            // entry (identical by determinism), refresh recency and TTL.
             self.detach(slot);
             self.attach_front(slot);
+            self.slots[slot].as_mut().expect("linked").inserted = Instant::now();
             return;
         }
-        let slot = if self.slots.len() < self.capacity {
-            self.slots.push(Slot { node, value, prev: NONE, next: NONE });
-            self.slots.len() - 1
-        } else {
-            let victim = self.tail;
-            self.detach(victim);
-            self.map.remove(&self.slots[victim].node);
-            self.slots[victim] = Slot { node, value, prev: NONE, next: NONE };
-            victim
+        let bytes = value.encoded_len();
+        // A cohort that alone exceeds the byte budget can never stay
+        // resident: refuse it up front (counted as an eviction-on-arrival)
+        // instead of letting the budget loop below flush every warm entry
+        // before evicting the newcomer anyway.
+        if self.max_bytes.is_some_and(|budget| bytes > budget) {
+            self.evictions += 1;
+            return;
+        }
+        let slot_value =
+            Slot { node, value, bytes, inserted: Instant::now(), prev: NONE, next: NONE };
+        let slot = match self.free.pop() {
+            Some(i) => {
+                self.slots[i] = Some(slot_value);
+                i
+            }
+            None => {
+                self.slots.push(Some(slot_value));
+                self.slots.len() - 1
+            }
         };
+        self.bytes += bytes;
         self.map.insert(node, slot);
         self.attach_front(slot);
+        // Enforce the entry-count capacity and the byte budget from the
+        // cold tail. The new entry fits the budget on its own (checked
+        // above), so this loop only trims colder entries until it fits
+        // alongside them.
+        while !self.map.is_empty()
+            && (self.map.len() > self.capacity
+                || self.max_bytes.is_some_and(|budget| self.bytes > budget))
+        {
+            self.remove(self.tail);
+            self.evictions += 1;
+        }
     }
 
     fn len(&self) -> usize {
@@ -184,6 +264,9 @@ pub struct CacheStats {
     /// Cohort lookups that ran a simulation. With the single-flight
     /// guard, concurrent misses on one node cost exactly one miss.
     pub misses: u64,
+    /// Entries removed before natural replacement: LRU capacity
+    /// evictions, byte-budget evictions, and TTL expiries.
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -206,11 +289,76 @@ impl std::fmt::Display for CacheStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{} hits / {} misses ({:.1}% hit rate)",
+            "{} hits / {} misses ({:.1}% hit rate, {} evictions)",
             self.hits,
             self.misses,
-            100.0 * self.hit_rate()
+            100.0 * self.hit_rate(),
+            self.evictions
         )
+    }
+}
+
+/// How a [`QuerySession`] caches: entry-count capacity, shard count, and
+/// the optional freshness/size bounds a long-running server needs.
+///
+/// ```
+/// use pasco_simrank::SessionConfig;
+/// use std::time::Duration;
+///
+/// let cfg = SessionConfig::new(4096)
+///     .with_ttl(Duration::from_secs(300))
+///     .with_max_bytes(256 << 20);
+/// assert_eq!(cfg.capacity, 4096);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SessionConfig {
+    /// Maximum number of cached cohorts (split across shards, rounded
+    /// up per shard). Must be positive.
+    pub capacity: usize,
+    /// Explicit shard count, or `None` to derive one from `capacity`
+    /// (at most [`QuerySession::DEFAULT_SHARDS`], keeping every shard at
+    /// least 4 entries deep). `1` gives exact global-LRU eviction.
+    pub shards: Option<usize>,
+    /// Maximum age of a served cache entry. An entry older than this is
+    /// evicted on lookup — it does not count as a hit — and the lookup
+    /// re-simulates. `None` (the default) never expires.
+    pub ttl: Option<Duration>,
+    /// Byte budget over resident cohorts, measured as their wire-encoded
+    /// size ([`crate::api::wire::WireCodec::encoded_len`]) and split
+    /// evenly across shards. Inserting past the budget evicts from each
+    /// shard's cold tail; a single cohort larger than a shard's slice of
+    /// the budget is served but never cached. `None` is unbounded.
+    pub max_bytes: Option<usize>,
+}
+
+impl Default for SessionConfig {
+    fn default() -> Self {
+        Self { capacity: 1024, shards: None, ttl: None, max_bytes: None }
+    }
+}
+
+impl SessionConfig {
+    /// A config caching up to `capacity` cohorts, no TTL, no byte bound.
+    pub fn new(capacity: usize) -> Self {
+        Self { capacity, ..Self::default() }
+    }
+
+    /// Sets an explicit shard count.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = Some(shards);
+        self
+    }
+
+    /// Bounds how long a cached cohort may be served.
+    pub fn with_ttl(mut self, ttl: Duration) -> Self {
+        self.ttl = Some(ttl);
+        self
+    }
+
+    /// Bounds the total wire bytes of resident cohorts.
+    pub fn with_max_bytes(mut self, max_bytes: usize) -> Self {
+        self.max_bytes = Some(max_bytes);
+        self
     }
 }
 
@@ -246,20 +394,33 @@ impl QuerySession {
     /// `capacity` is smaller, keeping each shard at least
     /// `MIN_SHARD_CAPACITY` (4) deep).
     pub fn new(walker: Arc<CloudWalker>, capacity: usize) -> Self {
-        let shards = (capacity / Self::MIN_SHARD_CAPACITY).clamp(1, Self::DEFAULT_SHARDS);
-        Self::with_shards(walker, capacity, shards)
+        Self::with_config(walker, SessionConfig::new(capacity))
     }
 
     /// A session with an explicit shard count. `shards = 1` gives exact
     /// global-LRU eviction; more shards trade eviction exactness for lower
     /// lock contention. Total capacity is split evenly (rounded up).
     pub fn with_shards(walker: Arc<CloudWalker>, capacity: usize, shards: usize) -> Self {
-        assert!(capacity > 0, "cache capacity must be positive");
+        Self::with_config(walker, SessionConfig::new(capacity).with_shards(shards))
+    }
+
+    /// A session from a full [`SessionConfig`]: capacity, shard count,
+    /// and the optional TTL / byte-budget eviction bounds.
+    pub fn with_config(walker: Arc<CloudWalker>, cfg: SessionConfig) -> Self {
+        assert!(cfg.capacity > 0, "cache capacity must be positive");
+        let shards = cfg.shards.unwrap_or_else(|| {
+            (cfg.capacity / Self::MIN_SHARD_CAPACITY).clamp(1, Self::DEFAULT_SHARDS)
+        });
         assert!(shards > 0, "need at least one shard");
-        let per_shard = capacity.div_ceil(shards);
+        let per_shard = cfg.capacity.div_ceil(shards);
+        // Floor division: the per-shard slices must never sum past the
+        // requested byte budget.
+        let per_shard_bytes = cfg.max_bytes.map(|b| (b / shards).max(1));
         Self {
             walker,
-            shards: (0..shards).map(|_| Mutex::new(LruShard::new(per_shard))).collect(),
+            shards: (0..shards)
+                .map(|_| Mutex::new(LruShard::new(per_shard, cfg.ttl, per_shard_bytes)))
+                .collect(),
             capacity: per_shard * shards,
             inflight: Mutex::new(HashMap::new()),
             hits: AtomicU64::new(0),
@@ -272,17 +433,28 @@ impl QuerySession {
         &self.walker
     }
 
-    /// Hit/miss accounting since the session started.
+    /// Hit/miss/eviction accounting since the session started.
     pub fn cache_stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            evictions: self
+                .shards
+                .iter()
+                .map(|s| s.lock().expect("shard poisoned").evictions)
+                .sum(),
         }
     }
 
     /// Number of cohorts currently resident across all shards.
     pub fn cached_cohorts(&self) -> usize {
         self.shards.iter().map(|s| s.lock().expect("shard poisoned").len()).sum()
+    }
+
+    /// Wire-encoded bytes of the cohorts currently resident — the
+    /// quantity [`SessionConfig::max_bytes`] bounds.
+    pub fn cached_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("shard poisoned").bytes).sum()
     }
 
     #[inline]
@@ -732,5 +904,109 @@ mod tests {
     fn session_is_send_and_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<QuerySession>();
+    }
+
+    #[test]
+    fn zero_ttl_expires_everything_and_counts_evictions() {
+        // ttl = 0: every resident entry is already expired at lookup, so
+        // nothing is ever served from the cache — and none of those
+        // lookups may count as hits.
+        let cw = engine();
+        let session = QuerySession::with_config(
+            Arc::clone(&cw),
+            SessionConfig::new(16).with_ttl(Duration::ZERO),
+        );
+        for _ in 0..3 {
+            assert_eq!(session.single_pair(1, 2), cw.single_pair(1, 2));
+        }
+        let stats = session.cache_stats();
+        assert_eq!(stats.hits, 0, "expired entries must not count as hits");
+        assert_eq!(stats.misses, 6);
+        assert!(stats.evictions >= 4, "expiries are evictions: {stats:?}");
+    }
+
+    #[test]
+    fn long_ttl_is_transparent() {
+        let session = QuerySession::with_config(
+            engine(),
+            SessionConfig::new(16).with_ttl(Duration::from_secs(3600)),
+        );
+        session.single_pair(1, 2);
+        session.single_pair(1, 2);
+        let stats = session.cache_stats();
+        assert_eq!((stats.hits, stats.misses, stats.evictions), (2, 2, 0));
+    }
+
+    #[test]
+    fn expired_entries_resimulate_with_a_fresh_timestamp() {
+        let ttl = Duration::from_millis(40);
+        let session = QuerySession::with_config(engine(), SessionConfig::new(16).with_ttl(ttl));
+        session.try_cohort(3).unwrap();
+        std::thread::sleep(ttl * 4);
+        session.try_cohort(3).unwrap(); // expired: evict + re-simulate
+        session.try_cohort(3).unwrap(); // fresh again: a real hit
+        let stats = session.cache_stats();
+        assert_eq!(stats.misses, 2, "{stats:?}");
+        assert_eq!(stats.hits, 1, "{stats:?}");
+        assert_eq!(stats.evictions, 1, "{stats:?}");
+    }
+
+    #[test]
+    fn byte_budget_bounds_residency() {
+        let cw = engine();
+        // Learn one cohort's wire size, then budget for about three of
+        // them on a single shard (exact global LRU).
+        let probe = QuerySession::new(Arc::clone(&cw), 4);
+        let cohort_bytes = WireCodec::encoded_len(&*probe.try_cohort(0).unwrap());
+        let budget = cohort_bytes * 3 + cohort_bytes / 2;
+        let session = QuerySession::with_config(
+            Arc::clone(&cw),
+            SessionConfig::new(64).with_shards(1).with_max_bytes(budget),
+        );
+        for v in 0..20u32 {
+            assert_eq!(*session.try_cohort(v).unwrap(), cw.query_cohort(v), "node {v}");
+        }
+        assert!(session.cached_bytes() <= budget, "{} > {budget}", session.cached_bytes());
+        assert!(session.cached_cohorts() < 20, "budget must have evicted");
+        assert!(session.cache_stats().evictions > 0);
+    }
+
+    #[test]
+    fn oversize_insert_does_not_flush_warm_entries() {
+        // Regression: a cohort that alone exceeds the byte budget must be
+        // refused on arrival, not admitted and then evicted last — the
+        // latter flushed every warm entry through the cold-tail loop.
+        let mk = |source: u32, pairs: usize| {
+            Arc::new(StepDistributions {
+                source,
+                walkers: 10,
+                counts: vec![(0..pairs).map(|p| (p as u32, 1u64)).collect()],
+            })
+        };
+        let small_bytes = WireCodec::encoded_len(&*mk(0, 4));
+        let mut shard = LruShard::new(16, None, Some(small_bytes * 3));
+        for v in 0..3u32 {
+            shard.insert(v, mk(v, 4));
+        }
+        assert_eq!((shard.len(), shard.evictions), (3, 0));
+        shard.insert(99, mk(99, 400)); // alone larger than the whole budget
+        assert_eq!(shard.len(), 3, "warm entries must survive an oversize insert");
+        assert_eq!(shard.evictions, 1, "the refusal itself is the only eviction");
+        for v in 0..3u32 {
+            assert!(shard.get(v).is_some(), "node {v} still resident");
+        }
+    }
+
+    #[test]
+    fn oversize_cohorts_are_served_but_never_cached() {
+        let cw = engine();
+        let session = QuerySession::with_config(
+            Arc::clone(&cw),
+            SessionConfig::new(16).with_shards(1).with_max_bytes(1),
+        );
+        assert_eq!(session.single_pair(1, 2), cw.single_pair(1, 2));
+        assert_eq!(session.cached_cohorts(), 0, "1-byte budget caches nothing");
+        assert_eq!(session.cached_bytes(), 0);
+        assert!(session.cache_stats().evictions >= 2, "self-evictions count");
     }
 }

@@ -1,0 +1,285 @@
+//! [`PascoClient`]: a blocking, pipelining-capable client for the PASCO
+//! envelope protocol.
+//!
+//! The client separates the two failure planes the protocol separates:
+//!
+//! * a **typed query failure** ([`pasco_simrank::QueryError`], e.g. an
+//!   out-of-range node) arrives as an error frame, surfaces as
+//!   [`ClientError::Query`], and leaves the connection fully usable;
+//! * a **transport fault** (socket error, protocol violation, server
+//!   goodbye) poisons the client — every later call returns
+//!   [`ClientError::Poisoned`] instead of writing onto a stream whose
+//!   framing can no longer be trusted. Recovery is explicit:
+//!   [`PascoClient::connect`] a fresh client.
+//!
+//! Pipelining is first-class: [`PascoClient::send`] puts a request on
+//! the wire and returns its id immediately; [`PascoClient::wait`]
+//! collects a specific id, buffering any other responses that arrive
+//! first (the server answers in completion order, not request order).
+//! [`PascoClient::query_batch`] pipelines a whole slice this way in one
+//! round trip.
+
+use crate::transport::{read_envelope, write_envelope, TransportError};
+use pasco_simrank::api::envelope::{
+    Envelope, FrameError, FrameKind, ServerInfo, DEFAULT_MAX_FRAME,
+};
+use pasco_simrank::{QueryError, QueryRequest, QueryResponse};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::io::{self, BufReader};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A client-side failure. Only [`ClientError::Query`] leaves the
+/// connection usable; everything else poisons the client until it is
+/// reconnected.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The socket failed.
+    Io(io::Error),
+    /// The server broke protocol (bad frame, unexpected kind, payload
+    /// that would not decode).
+    Protocol(FrameError),
+    /// The server answered with a typed query error. The connection
+    /// stays usable.
+    Query(QueryError),
+    /// The server said goodbye (drain) or closed the stream.
+    Closed,
+    /// A previous transport fault left this client unusable; reconnect
+    /// with [`PascoClient::connect`].
+    Poisoned,
+    /// [`PascoClient::wait`] was given an id this client never issued
+    /// (or already delivered) — waiting on it would block forever.
+    UnknownId {
+        /// The id that matches no in-flight request.
+        id: u64,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Protocol(e) => write!(f, "server broke protocol: {e}"),
+            ClientError::Query(e) => write!(f, "query failed: {e}"),
+            ClientError::Closed => write!(f, "server closed the connection"),
+            ClientError::Poisoned => {
+                write!(f, "connection unusable after an earlier fault; reconnect")
+            }
+            ClientError::UnknownId { id } => {
+                write!(f, "request id {id} is not in flight on this connection")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<TransportError> for ClientError {
+    fn from(e: TransportError) -> Self {
+        match e {
+            TransportError::Io(e) => ClientError::Io(e),
+            TransportError::Frame(e) => ClientError::Protocol(e),
+            TransportError::Closed => ClientError::Closed,
+        }
+    }
+}
+
+/// A blocking connection to a [`PascoServer`](crate::PascoServer).
+pub struct PascoClient {
+    writer: TcpStream,
+    reader: BufReader<TcpStream>,
+    info: ServerInfo,
+    next_id: u64,
+    /// Responses that arrived while waiting for a different id — the
+    /// out-of-order buffer pipelining requires.
+    pending: HashMap<u64, Result<QueryResponse, QueryError>>,
+    /// Ids sent but not yet delivered to the caller: the set a
+    /// [`PascoClient::wait`] id must belong to, so waiting on a bogus
+    /// (or already-collected) id fails fast instead of blocking forever.
+    in_flight: HashSet<u64>,
+    open: bool,
+}
+
+impl PascoClient {
+    /// Connects and completes the handshake: sends the protocol-version
+    /// hello, receives the server's [`ServerInfo`].
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let writer = TcpStream::connect(addr).map_err(ClientError::Io)?;
+        let _ = writer.set_nodelay(true);
+        let reader_half = writer.try_clone().map_err(ClientError::Io)?;
+        let mut client = PascoClient {
+            writer,
+            reader: BufReader::new(reader_half),
+            info: ServerInfo { node_count: 0, max_frame_bytes: 0 },
+            next_id: 1,
+            pending: HashMap::new(),
+            in_flight: HashSet::new(),
+            open: true,
+        };
+        write_envelope(&mut client.writer, &Envelope::hello()).map_err(ClientError::Io)?;
+        // The server's limit is not known yet, so the handshake read is
+        // bounded by the protocol default — a rogue endpoint announcing
+        // a u32::MAX payload must not make us allocate gigabytes.
+        let ack = read_envelope(&mut client.reader, DEFAULT_MAX_FRAME)?;
+        if ack.kind != FrameKind::HelloAck {
+            return Err(ClientError::Protocol(FrameError::UnexpectedKind {
+                got: ack.kind,
+                expected: "HelloAck",
+            }));
+        }
+        client.info = ack.decode_server_info().map_err(ClientError::Protocol)?;
+        Ok(client)
+    }
+
+    /// What the server announced in its handshake: graph size (for
+    /// client-side validation) and its frame-size limit.
+    pub fn server_info(&self) -> ServerInfo {
+        self.info
+    }
+
+    /// Whether the connection is still usable (no transport fault, no
+    /// goodbye seen).
+    pub fn is_open(&self) -> bool {
+        self.open
+    }
+
+    fn guard_open(&self) -> Result<(), ClientError> {
+        if self.open {
+            Ok(())
+        } else {
+            Err(ClientError::Poisoned)
+        }
+    }
+
+    /// Marks the connection unusable and returns the fault.
+    fn poison<T>(&mut self, err: ClientError) -> Result<T, ClientError> {
+        self.open = false;
+        Err(err)
+    }
+
+    /// Puts one request on the wire without waiting, returning the id to
+    /// [`wait`](PascoClient::wait) on. The send respects the server's
+    /// advertised frame limit — an over-large request fails here, client
+    /// side, instead of getting the connection closed on it.
+    pub fn send(&mut self, req: &QueryRequest) -> Result<u64, ClientError> {
+        self.guard_open()?;
+        let id = self.next_id;
+        let env = Envelope::request(id, req);
+        if env.payload.len() as u64 > u64::from(self.info.max_frame_bytes) {
+            // The connection carried nothing: no need to poison it.
+            return Err(ClientError::Protocol(FrameError::Oversize {
+                len: env.payload.len().min(u32::MAX as usize) as u32,
+                max: self.info.max_frame_bytes,
+            }));
+        }
+        self.next_id += 1;
+        match write_envelope(&mut self.writer, &env) {
+            Ok(()) => {
+                self.in_flight.insert(id);
+                Ok(id)
+            }
+            Err(e) => self.poison(ClientError::Io(e)),
+        }
+    }
+
+    /// Collects the answer to request `id`, buffering responses to other
+    /// in-flight ids as they arrive. The inner result is the request's
+    /// own outcome: a typed [`QueryError`] is a *delivered answer* and
+    /// leaves the connection open.
+    pub fn wait(&mut self, id: u64) -> Result<Result<QueryResponse, QueryError>, ClientError> {
+        self.guard_open()?;
+        if !self.in_flight.contains(&id) && !self.pending.contains_key(&id) {
+            // Never issued, or already delivered: blocking on it would
+            // wait for a frame the server will never send.
+            return Err(ClientError::UnknownId { id });
+        }
+        loop {
+            if let Some(result) = self.pending.remove(&id) {
+                return Ok(result);
+            }
+            let env = match read_envelope(&mut self.reader, self.info.max_frame_bytes) {
+                Ok(env) => env,
+                Err(TransportError::Closed) => return self.poison(ClientError::Closed),
+                Err(e) => return self.poison(e.into()),
+            };
+            // An answer must consume exactly one in-flight id (it moves
+            // to the pending buffer until the caller collects it). An
+            // unsolicited or duplicate id is a protocol fault, not
+            // something to buffer: a hostile server could otherwise grow
+            // `pending` without bound or overwrite a buffered answer.
+            if matches!(env.kind, FrameKind::Response | FrameKind::Error)
+                && !self.in_flight.remove(&env.request_id)
+            {
+                return self.poison(ClientError::Protocol(FrameError::UnexpectedKind {
+                    got: env.kind,
+                    expected: "a frame for an in-flight request id",
+                }));
+            }
+            match env.kind {
+                FrameKind::Response => match env.decode_response() {
+                    Ok(resp) => {
+                        self.pending.insert(env.request_id, Ok(resp));
+                    }
+                    Err(e) => return self.poison(ClientError::Protocol(e)),
+                },
+                FrameKind::Error => match env.decode_error() {
+                    Ok(err) => {
+                        self.pending.insert(env.request_id, Err(err));
+                    }
+                    Err(e) => return self.poison(ClientError::Protocol(e)),
+                },
+                FrameKind::Goodbye => return self.poison(ClientError::Closed),
+                other => {
+                    return self.poison(ClientError::Protocol(FrameError::UnexpectedKind {
+                        got: other,
+                        expected: "Response, Error or Goodbye",
+                    }))
+                }
+            }
+        }
+    }
+
+    /// One request, one answer: [`send`](PascoClient::send) then
+    /// [`wait`](PascoClient::wait), with the typed error flattened into
+    /// [`ClientError::Query`].
+    pub fn query(&mut self, req: QueryRequest) -> Result<QueryResponse, ClientError> {
+        let id = self.send(&req)?;
+        self.wait(id)?.map_err(ClientError::Query)
+    }
+
+    /// Pipelines every request before collecting any answer: one wire
+    /// round trip for the whole slice, with per-request typed outcomes
+    /// (one failing request does not fail its neighbours).
+    pub fn query_batch(
+        &mut self,
+        reqs: &[QueryRequest],
+    ) -> Result<Vec<Result<QueryResponse, QueryError>>, ClientError> {
+        let ids = reqs.iter().map(|req| self.send(req)).collect::<Result<Vec<_>, _>>()?;
+        ids.into_iter().map(|id| self.wait(id)).collect()
+    }
+
+    /// Asks the server to drain and stop, consuming the client: returns
+    /// once the server's goodbye (written after every in-flight response
+    /// on this connection) has arrived.
+    pub fn shutdown_server(mut self) -> Result<(), ClientError> {
+        self.guard_open()?;
+        write_envelope(&mut self.writer, &Envelope::shutdown()).map_err(ClientError::Io)?;
+        loop {
+            match read_envelope(&mut self.reader, self.info.max_frame_bytes) {
+                // In-flight responses the caller never waited on may
+                // still be draining; discard them.
+                Ok(env) if env.kind == FrameKind::Response || env.kind == FrameKind::Error => {}
+                Ok(env) if env.kind == FrameKind::Goodbye => return Ok(()),
+                Ok(env) => {
+                    return Err(ClientError::Protocol(FrameError::UnexpectedKind {
+                        got: env.kind,
+                        expected: "Goodbye",
+                    }))
+                }
+                // A close without goodbye still means the server is gone.
+                Err(TransportError::Closed) => return Ok(()),
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+}

@@ -1,0 +1,61 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! **The PASCO network front door**: a blocking TCP server and client
+//! speaking the versioned envelope protocol
+//! ([`pasco_simrank::api::envelope`]) over any
+//! [`QueryService`](pasco_simrank::QueryService).
+//!
+//! The paper's end state is SimRank *served* at scale: single-source and
+//! top-`k` similarity as an online query service. This crate is that
+//! service boundary:
+//!
+//! * [`PascoServer`] — binds a `std::net::TcpListener` and serves any
+//!   `Arc<dyn QueryService>`, so the caching `QuerySession`, a bare
+//!   `CloudWalker`, and the sharded engine all plug in unchanged. Each
+//!   connection gets a framed read loop and a dedicated writer thread;
+//!   query execution runs on a bounded worker pool shared by all
+//!   connections, and responses are written as they finish — possibly
+//!   out of request order, matched by request id.
+//! * [`PascoClient`] — a blocking client with typed
+//!   [`query`](PascoClient::query) / [`query_batch`](PascoClient::query_batch)
+//!   entry points, explicit [`send`](PascoClient::send) /
+//!   [`wait`](PascoClient::wait) pipelining primitives, and a
+//!   reconnect-safe error surface: a typed
+//!   [`QueryError`](pasco_simrank::QueryError) leaves the connection
+//!   usable, while transport faults poison the client until it is
+//!   reconnected.
+//! * [`transport`] — the shared frame I/O (header-validated reads that
+//!   never allocate for an oversize or malformed frame).
+//!
+//! Protocol violations — bad magic, an unsupported version, a payload
+//! over the negotiated limit, an undecodable payload — close the
+//! connection: after a framing fault the byte stream cannot be trusted
+//! to resynchronise. Typed query failures never do; they travel back as
+//! error frames.
+//!
+//! ```no_run
+//! use pasco_server::{PascoClient, PascoServer, ServerConfig};
+//! use pasco_simrank::{CloudWalker, ExecMode, SimRankConfig, QueryRequest, QueryResponse};
+//! use std::sync::Arc;
+//!
+//! let g = Arc::new(pasco_graph::generators::barabasi_albert(1000, 4, 7));
+//! let cw = Arc::new(CloudWalker::build(g, SimRankConfig::fast(), ExecMode::Local).unwrap());
+//! let server = PascoServer::bind("127.0.0.1:0", cw, ServerConfig::default()).unwrap();
+//! let addr = server.local_addr();
+//! std::thread::spawn(move || server.run().unwrap());
+//!
+//! let mut client = PascoClient::connect(addr).unwrap();
+//! match client.query(QueryRequest::SinglePair { i: 3, j: 4 }).unwrap() {
+//!     QueryResponse::Score(s) => println!("s(3,4) = {s}"),
+//!     other => panic!("unexpected {other:?}"),
+//! }
+//! client.shutdown_server().unwrap();
+//! ```
+
+pub mod client;
+pub mod server;
+pub mod transport;
+
+pub use client::{ClientError, PascoClient};
+pub use server::{PascoServer, ServerConfig, ServerHandle};
+pub use transport::TransportError;

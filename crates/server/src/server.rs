@@ -1,0 +1,372 @@
+//! [`PascoServer`]: the TCP front door over any [`QueryService`].
+//!
+//! Architecture per the crate docs: one accept loop, one reader thread
+//! per connection (frames in), one writer thread per connection (frames
+//! out), and a single bounded worker pool shared by every connection for
+//! query execution. The pool is the concurrency limit — a flood of
+//! connections cannot oversubscribe the engine — and its queue provides
+//! backpressure: when it is full, readers stop pulling requests off
+//! their sockets.
+//!
+//! Responses carry the id of the request they answer and are written in
+//! *completion* order, not arrival order: a cheap query overtakes an
+//! expensive one on the same connection, and the client matches them
+//! back up by id.
+
+use crate::transport::{poll_envelope, write_envelope, TransportError};
+use pasco_simrank::api::envelope::{Envelope, FrameKind, ServerInfo, DEFAULT_MAX_FRAME};
+use pasco_simrank::{QueryError, QueryRequest, QueryService};
+use std::io::{BufReader, BufWriter, Write as _};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender, SyncSender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Duration;
+
+/// Tunables of a [`PascoServer`].
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Size of the shared query-execution pool: at most this many
+    /// queries run concurrently across *all* connections.
+    pub workers: usize,
+    /// Largest frame payload accepted (and advertised in the
+    /// handshake). Frames announcing more are rejected before any
+    /// allocation and the offending connection is closed.
+    pub max_frame_bytes: u32,
+    /// How often an idle connection checks for a server drain.
+    pub poll_interval: Duration,
+    /// Once a frame has started, each read must make progress within
+    /// this long; a peer stalling mid-frame is dropped instead of
+    /// pinning a connection thread forever.
+    pub io_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            workers: 4,
+            max_frame_bytes: DEFAULT_MAX_FRAME,
+            poll_interval: Duration::from_millis(25),
+            io_timeout: Duration::from_secs(10),
+        }
+    }
+}
+
+/// One unit of pool work: a decoded request plus the route back to its
+/// connection's writer.
+struct Job {
+    id: u64,
+    req: QueryRequest,
+    out: Sender<Envelope>,
+    progress: Arc<Progress>,
+}
+
+/// Counts completed jobs of one connection so its reader can drain
+/// before acknowledging a shutdown.
+#[derive(Default)]
+struct Progress {
+    done: Mutex<u64>,
+    changed: Condvar,
+}
+
+impl Progress {
+    fn complete(&self) {
+        *self.done.lock().expect("progress poisoned") += 1;
+        self.changed.notify_all();
+    }
+
+    /// Blocks until `issued` jobs have completed.
+    fn wait_for(&self, issued: u64) {
+        let mut done = self.done.lock().expect("progress poisoned");
+        while *done < issued {
+            done = self.changed.wait(done).expect("progress poisoned");
+        }
+    }
+}
+
+/// A clonable remote control for a running server: its bound address and
+/// a way to stop it programmatically (the wire equivalent is a client
+/// [`FrameKind::Shutdown`] frame).
+#[derive(Clone)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+}
+
+impl ServerHandle {
+    /// The address the server accepts on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Requests a drain: in-flight queries finish, connected clients get
+    /// a goodbye frame, the accept loop stops, and
+    /// [`PascoServer::run`] returns.
+    pub fn shutdown(&self) {
+        self.stop.store(true, Ordering::Release);
+        // Unblock the accept loop; the no-op connection is discarded by
+        // the stop check at the top of the loop. A wildcard bind
+        // (0.0.0.0 / ::) is not connectable everywhere, so wake through
+        // loopback on the bound port — and never block the caller on an
+        // unresponsive route.
+        let mut wake = self.addr;
+        if wake.ip().is_unspecified() {
+            wake.set_ip(match self.addr {
+                SocketAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
+                SocketAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
+            });
+        }
+        let _ = TcpStream::connect_timeout(&wake, Duration::from_secs(1));
+    }
+
+    fn is_stopping(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+}
+
+/// Why a connection's read loop ended; decides the close-out behaviour.
+enum ConnEnd {
+    /// The client asked the whole server to drain: goodbye after the
+    /// drain, then stop accepting.
+    ClientShutdown,
+    /// Another connection (or [`ServerHandle::shutdown`]) is draining
+    /// the server: goodbye after the drain.
+    ServerStopping,
+    /// The client went away or broke protocol: close without ceremony.
+    Dropped,
+}
+
+/// A bound, not-yet-running TCP server over one [`QueryService`].
+pub struct PascoServer {
+    listener: TcpListener,
+    svc: Arc<dyn QueryService>,
+    cfg: ServerConfig,
+    handle: ServerHandle,
+}
+
+impl PascoServer {
+    /// Binds `addr` (use port 0 for an ephemeral port; read it back with
+    /// [`PascoServer::local_addr`]). The listener is live immediately —
+    /// connections queue in the OS backlog until [`PascoServer::run`].
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        svc: Arc<dyn QueryService>,
+        cfg: ServerConfig,
+    ) -> std::io::Result<Self> {
+        assert!(cfg.workers > 0, "need at least one worker");
+        let listener = TcpListener::bind(addr)?;
+        let handle =
+            ServerHandle { addr: listener.local_addr()?, stop: Arc::new(AtomicBool::new(false)) };
+        Ok(PascoServer { listener, svc, cfg, handle })
+    }
+
+    /// The address the server accepts on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.handle.addr
+    }
+
+    /// A remote control for this server (clonable, sendable to the
+    /// thread that will stop it).
+    pub fn handle(&self) -> ServerHandle {
+        self.handle.clone()
+    }
+
+    /// Serves until drained: accepts connections, runs their queries on
+    /// the shared pool, and returns once a shutdown frame (or
+    /// [`ServerHandle::shutdown`]) has stopped the accept loop and every
+    /// connection has closed out.
+    pub fn run(self) -> std::io::Result<()> {
+        let info = ServerInfo {
+            node_count: self.svc.node_count(),
+            max_frame_bytes: self.cfg.max_frame_bytes,
+        };
+        // The bounded job queue all readers feed and all workers drain.
+        let (job_tx, job_rx) = mpsc::sync_channel::<Job>(self.cfg.workers.saturating_mul(4));
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let workers: Vec<_> = (0..self.cfg.workers)
+            .map(|_| {
+                let rx = Arc::clone(&job_rx);
+                let svc = Arc::clone(&self.svc);
+                let max_frame = self.cfg.max_frame_bytes;
+                thread::spawn(move || worker_loop(&rx, svc.as_ref(), max_frame))
+            })
+            .collect();
+
+        let mut conns = Vec::new();
+        for stream in self.listener.incoming() {
+            if self.handle.is_stopping() {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let jobs = job_tx.clone();
+            let handle = self.handle.clone();
+            let cfg = self.cfg;
+            conns.push(thread::spawn(move || handle_conn(stream, info, &jobs, &handle, cfg)));
+        }
+        // Readers drain their in-flight work before exiting; workers exit
+        // once every job sender (one per connection, plus ours) is gone.
+        for conn in conns {
+            let _ = conn.join();
+        }
+        drop(job_tx);
+        for worker in workers {
+            let _ = worker.join();
+        }
+        Ok(())
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<Job>>, svc: &dyn QueryService, max_frame: u32) {
+    loop {
+        // Standard pool pickup: the mutex serialises only the dequeue,
+        // execution runs unlocked and in parallel.
+        let job = match rx.lock() {
+            Ok(rx) => rx.recv(),
+            Err(_) => return,
+        };
+        let Ok(Job { id, req, out, progress }) = job else { return };
+        let mut env = match svc.execute(req) {
+            Ok(resp) => Envelope::response(id, &resp),
+            // A typed failure is an answer, not a fault: it travels back
+            // as an error frame on the same connection.
+            Err(err) => Envelope::error(id, &err),
+        };
+        // The limit the server advertises binds its own frames too: an
+        // answer that would not fit (the client reads with this limit
+        // and would poison itself) degrades into a typed error the
+        // caller can act on. Error frames are a few bytes, always under
+        // any sane limit.
+        if env.payload.len() as u64 > u64::from(max_frame) {
+            let err = QueryError::ResponseTooLarge { bytes: env.payload.len() as u64, max_frame };
+            env = Envelope::error(id, &err);
+        }
+        // The connection may have closed while we computed; that loses
+        // the response, never the server.
+        let _ = out.send(env);
+        progress.complete();
+    }
+}
+
+/// Serves one connection: handshake, then the read loop. Returns when
+/// the connection is fully closed out.
+fn handle_conn(
+    stream: TcpStream,
+    info: ServerInfo,
+    jobs: &SyncSender<Job>,
+    handle: &ServerHandle,
+    cfg: ServerConfig,
+) {
+    let _ = stream.set_nodelay(true);
+    let Ok(write_half) = stream.try_clone() else { return };
+    // The write side gets the same progress deadline as the read side: a
+    // peer that stops reading (full kernel send buffer) kills its writer
+    // thread after io_timeout instead of pinning it — and with it the
+    // drain — forever.
+    let _ = write_half.set_write_timeout(Some(cfg.io_timeout));
+    let mut reader = BufReader::new(stream);
+
+    // Handshake: the first frame must be a Hello of our protocol version
+    // (the header check enforces the version), and it must arrive within
+    // the I/O deadline — a peer that connects and sends nothing would
+    // otherwise pin this thread and its socket until server shutdown.
+    // Anything else — including bytes that are not a frame at all —
+    // closes the connection.
+    let deadline = std::time::Instant::now() + cfg.io_timeout;
+    let hello = loop {
+        match poll_envelope(&mut reader, cfg.max_frame_bytes, cfg.poll_interval, cfg.io_timeout) {
+            Ok(None) => {
+                if handle.is_stopping() || std::time::Instant::now() >= deadline {
+                    return;
+                }
+            }
+            Ok(Some(env)) => break env,
+            Err(_) => return,
+        }
+    };
+    if hello.kind != FrameKind::Hello {
+        return;
+    }
+
+    // Writer thread: the single owner of the write half. Everything the
+    // connection sends — handshake ack, responses (in completion order),
+    // errors, goodbye — funnels through this channel.
+    let (out_tx, out_rx) = mpsc::channel::<Envelope>();
+    let writer = thread::spawn(move || {
+        let mut w = BufWriter::new(write_half);
+        while let Ok(env) = out_rx.recv() {
+            if write_envelope(&mut w, &env).is_err() {
+                break;
+            }
+        }
+        // Whether this is a clean close-out or a dead peer (write error /
+        // timeout), take the socket down with the writer: the reader gets
+        // EOF instead of serving a connection whose answers can no longer
+        // be delivered, and the peer gets a close instead of a hang.
+        let _ = w.flush();
+        let _ = w.get_ref().shutdown(std::net::Shutdown::Both);
+    });
+    if out_tx.send(Envelope::hello_ack(&info)).is_err() {
+        return;
+    }
+
+    let progress = Arc::new(Progress::default());
+    let mut issued: u64 = 0;
+    let end = loop {
+        match poll_envelope(&mut reader, cfg.max_frame_bytes, cfg.poll_interval, cfg.io_timeout) {
+            Ok(None) => {
+                if handle.is_stopping() {
+                    break ConnEnd::ServerStopping;
+                }
+            }
+            Ok(Some(env)) => match env.kind {
+                FrameKind::Request => match env.decode_request() {
+                    Ok(req) => {
+                        let job = Job {
+                            id: env.request_id,
+                            req,
+                            out: out_tx.clone(),
+                            progress: Arc::clone(&progress),
+                        };
+                        if jobs.send(job).is_err() {
+                            break ConnEnd::ServerStopping;
+                        }
+                        issued += 1;
+                        // Re-check after every accepted frame, not just on
+                        // idle ticks: a client streaming back-to-back
+                        // requests must not be able to outrun a drain and
+                        // keep the server alive indefinitely.
+                        if handle.is_stopping() {
+                            break ConnEnd::ServerStopping;
+                        }
+                    }
+                    // A valid envelope around an undecodable request is a
+                    // protocol violation, not a query error: close.
+                    Err(_) => break ConnEnd::Dropped,
+                },
+                FrameKind::Shutdown => break ConnEnd::ClientShutdown,
+                // Clients may only send Hello (already consumed),
+                // requests, and shutdown.
+                _ => break ConnEnd::Dropped,
+            },
+            Err(TransportError::Closed) => break ConnEnd::Dropped,
+            Err(_) => break ConnEnd::Dropped,
+        }
+    };
+
+    // Drain: every request this connection put in flight gets its
+    // response (or error frame) written before any goodbye or close.
+    progress.wait_for(issued);
+    match end {
+        ConnEnd::ClientShutdown => {
+            let _ = out_tx.send(Envelope::goodbye());
+            handle.shutdown();
+        }
+        ConnEnd::ServerStopping => {
+            let _ = out_tx.send(Envelope::goodbye());
+        }
+        ConnEnd::Dropped => {}
+    }
+    drop(out_tx);
+    let _ = writer.join();
+}

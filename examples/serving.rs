@@ -1,6 +1,8 @@
-//! A serving-shaped workload: capacity planning with walk profiles, then
-//! one shared, thread-safe query session answering a concurrent stream of
-//! typed [`QueryRequest`]s through the [`QueryService`] front door.
+//! A serving-shaped workload, end to end over the network: capacity
+//! planning with walk profiles, then a `PascoServer` on a loopback TCP
+//! port serving one shared caching session, queried by real
+//! `PascoClient`s — sequentially, pipelined, and from four concurrent
+//! connections — with every answer checked against in-process serving.
 //!
 //! ```text
 //! cargo run --release --example serving
@@ -9,15 +11,16 @@
 use pasco::graph::generators;
 use pasco::mc::stats::{profile_walks, sample_sources};
 use pasco::mc::walks::WalkParams;
+use pasco::server::{PascoClient, PascoServer, ServerConfig};
 use pasco::simrank::api::{QueryRequest, QueryResponse, QueryService};
-use pasco::simrank::{CloudWalker, ExecMode, QuerySession, SimRankConfig};
+use pasco::simrank::{CloudWalker, ExecMode, QuerySession, SessionConfig, SimRankConfig};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-/// Serves one single-pair request through the typed front door (what a
-/// network handler would do with a decoded wire request).
-fn serve_pair(svc: &dyn QueryService, i: u32, j: u32) -> f64 {
-    match svc.execute(QueryRequest::SinglePair { i, j }) {
+/// Serves one single-pair request through a network client (what any
+/// real caller of the front door does).
+fn serve_pair(client: &mut PascoClient, i: u32, j: u32) -> f64 {
+    match client.query(QueryRequest::SinglePair { i, j }) {
         Ok(QueryResponse::Score(s)) => s,
         Ok(other) => panic!("SinglePair answered with {other:?}"),
         Err(e) => panic!("in-range query refused: {e}"),
@@ -53,54 +56,92 @@ fn main() {
         println!("per-shard bytes: {per_shard:?}");
     }
 
-    // A query stream with a skewed working set (hot nodes repeat), served
-    // through one shared caching session.
+    // One shared caching session behind the network front door: cohorts
+    // expire after 10 minutes and residency is byte-bounded, the eviction
+    // policy a long-running server wants.
+    let session = Arc::new(QuerySession::with_config(
+        Arc::clone(&cw),
+        SessionConfig::new(64).with_ttl(Duration::from_secs(600)).with_max_bytes(64 << 20),
+    ));
+    let server = PascoServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&session) as Arc<dyn QueryService>,
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let server_thread = std::thread::spawn(move || server.run().unwrap());
+    println!("\nserving on {addr} (versioned envelope protocol over TCP)");
+
+    // A query stream with a skewed working set (hot nodes repeat).
     let hot: Vec<u32> = (0..8).map(|i| i * 1000 + 3).collect();
-    let session = Arc::new(QuerySession::new(Arc::clone(&cw), 64));
     let stream = |round: u32| {
         let i = hot[(round % 8) as usize];
         let j = hot[((round / 2 + 3) % 8) as usize];
         (i, j)
     };
 
+    let mut client = PascoClient::connect(addr).unwrap();
+    println!(
+        "handshake: {} nodes, {}-byte frame limit",
+        client.server_info().node_count,
+        client.server_info().max_frame_bytes
+    );
     let t0 = Instant::now();
     let mut checksum = 0.0;
     for round in 0..50u32 {
         let (i, j) = stream(round);
-        checksum += serve_pair(session.as_ref(), i, j);
+        checksum += serve_pair(&mut client, i, j);
     }
-    let with_cache = t0.elapsed();
+    let over_wire = t0.elapsed();
     println!(
-        "\n50 pair queries over 8 hot nodes: {with_cache:?} (cache: {})",
+        "\n50 pair queries over 8 hot nodes, one TCP client: {over_wire:?} (cache: {})",
         session.cache_stats()
     );
 
-    // The same stream against the engine adapter: also a QueryService,
-    // but with no cache — every cohort simulates fresh.
+    // The same stream served in process: the network layer must be pure
+    // transport — bit-identical sums.
     let t0 = Instant::now();
     let mut checksum2 = 0.0;
     for round in 0..50u32 {
         let (i, j) = stream(round);
-        checksum2 += serve_pair(cw.as_ref(), i, j);
+        match session.execute(QueryRequest::SinglePair { i, j }).unwrap() {
+            QueryResponse::Score(s) => checksum2 += s,
+            other => panic!("SinglePair answered with {other:?}"),
+        }
     }
-    let without = t0.elapsed();
-    println!("same stream without caching:    {without:?}");
-    assert!((checksum - checksum2).abs() < 1e-9, "caching must not change answers");
+    println!("same stream in process:                     {:?}", t0.elapsed());
+    assert!(checksum == checksum2, "the wire must not change answers");
 
-    // The same stream again, but from four concurrent clients sharing the
-    // session — queries take &self, so this is just thread::scope + clones
-    // of one Arc. Every client runs the identical stream, so all four
-    // sums must equal the sequential checksum exactly.
+    // Pipelining: put a whole batch on the wire before reading anything;
+    // responses come back in completion order and match up by id.
+    let reqs: Vec<QueryRequest> =
+        hot.iter().map(|&i| QueryRequest::SingleSourceTopK { i, k: 5 }).collect();
+    let t0 = Instant::now();
+    let outcomes = client.query_batch(&reqs).unwrap();
+    println!("\npipelined top-5 for all {} hot nodes: {:?}", hot.len(), t0.elapsed());
+    for (src, outcome) in hot.iter().zip(&outcomes).take(2) {
+        match outcome {
+            Ok(QueryResponse::Ranked(ranked)) => {
+                println!("top-5 similar to node {src}: {ranked:?}")
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    // Four concurrent connections hammering the shared session: every
+    // client runs the identical stream, so all four sums must equal the
+    // sequential checksum exactly.
     let t0 = Instant::now();
     let sums: Vec<f64> = std::thread::scope(|scope| {
         (0..4)
             .map(|_| {
-                let session = Arc::clone(&session);
                 scope.spawn(move || {
+                    let mut c = PascoClient::connect(addr).unwrap();
                     let mut sum = 0.0;
                     for round in 0..50u32 {
                         let (i, j) = stream(round);
-                        sum += serve_pair(session.as_ref(), i, j);
+                        sum += serve_pair(&mut c, i, j);
                     }
                     sum
                 })
@@ -110,23 +151,23 @@ fn main() {
             .map(|h| h.join().unwrap())
             .collect()
     });
-    let concurrent = t0.elapsed();
     println!(
-        "4 clients × 50 queries, one shared session: {concurrent:?} \
-         (cache now: {}, sums {sums:?})",
+        "4 TCP clients × 50 queries, one shared session: {:?} (cache now: {}, sums {sums:?})",
+        t0.elapsed(),
         session.cache_stats()
     );
-    assert!(
-        sums.iter().all(|&s| (s - checksum).abs() < 1e-12),
-        "shared session must not change answers"
-    );
+    assert!(sums.iter().all(|&s| s == checksum), "shared serving must not change answers");
 
-    // Batch APIs fan out over rayon: a pairwise matrix simulates each
-    // distinct node once; a top-k batch runs sources in parallel.
-    let m = session.pairs_matrix(&hot, &hot);
-    println!("\npairwise matrix over the hot set (row 0): {:?}", m[0]);
-    let top = session.single_source_topk_batch(&hot[..2], 5);
-    for (src, ranked) in hot.iter().zip(&top) {
-        println!("top-5 similar to node {src}: {ranked:?}");
-    }
+    // Typed errors cross the wire without closing anything.
+    let err = client
+        .query(QueryRequest::SingleSource { i: graph.node_count() + 1 })
+        .expect_err("out of range");
+    println!("\nout-of-range over the wire: {err}");
+    assert!(client.is_open(), "typed errors leave the connection usable");
+
+    // Drain: the shutdown frame finishes in-flight work, answers
+    // goodbye, and `run()` returns.
+    client.shutdown_server().unwrap();
+    server_thread.join().unwrap();
+    println!("server drained cleanly");
 }

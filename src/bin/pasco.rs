@@ -10,6 +10,10 @@
 //! pasco topk     --graph g.bin --index g.idx --i 3 --k 10
 //! pasco pairs    --graph g.bin --index g.idx --nodes 1,5,9 [--cache 1024]
 //! pasco convert  --in edges.txt --out g.bin      (edge list -> binary, or back)
+//! pasco serve    --graph g.bin --index g.idx --addr 127.0.0.1:7878
+//!                [--mode local|sharded|broadcast|rdd] [--cache N] [--workers N]
+//! pasco query    --connect 127.0.0.1:7878 --kind sp --i 3 --j 99
+//! pasco query    --connect 127.0.0.1:7878 --kind shutdown   (drain the server)
 //! ```
 //!
 //! Query subcommands also accept `--mode`/`--shards`, so a persisted index
@@ -26,8 +30,11 @@
 use pasco::cluster::ClusterConfig;
 use pasco::graph::stats::{degree_stats, human_bytes, Direction};
 use pasco::graph::{io, CsrGraph};
+use pasco::server::{PascoClient, PascoServer, ServerConfig};
 use pasco::simrank::api::{QueryRequest, QueryResponse, QueryService};
-use pasco::simrank::{metrics, persist, CloudWalker, ExecMode, QuerySession, SimRankConfig};
+use pasco::simrank::{
+    metrics, persist, CloudWalker, ExecMode, QuerySession, SessionConfig, SimRankConfig,
+};
 use std::collections::HashMap;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -48,6 +55,8 @@ fn main() -> ExitCode {
         "topk" => cmd_topk(&flags),
         "pairs" => cmd_pairs(&flags),
         "convert" => cmd_convert(&flags),
+        "serve" => cmd_serve(&flags),
+        "query" => cmd_query(&flags),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
@@ -78,9 +87,17 @@ USAGE:
   pasco topk     --graph <file> --index <file> --i <node> --k <K>   (TSV out)
   pasco pairs    --graph <file> --index <file> --nodes <a,b,c,...> [--cache N]
   pasco convert  --in <file> --out <file>   (.txt <-> .bin by extension)
+  pasco serve    --graph <file> --index <file> --addr <host:port>
+                 [--mode local|sharded|broadcast|rdd] [--shards N]
+                 [--cache N] [--cache-ttl-secs S] [--cache-bytes B]
+                 [--workers N] [--max-frame BYTES]
+  pasco query    --connect <host:port> --kind <sp|ss|topk|shutdown>
+                 [--i N] [--j N] [--k K (topk)] [--top N (ss)]
 
   Query subcommands (sp/ss/topk/pairs) also accept --mode/--shards to pick
-  the serving substrate; results are bit-identical across substrates.
+  the serving substrate; results are bit-identical across substrates —
+  including over the network: `pasco serve` + `pasco query --connect`
+  speak the versioned envelope protocol over TCP.
 ";
 
 type Flags = HashMap<String, String>;
@@ -348,6 +365,118 @@ fn cmd_pairs(flags: &Flags) -> Result<(), String> {
             print!(" {v:>8.5}");
         }
         println!();
+    }
+    Ok(())
+}
+
+/// Boots the network front door: the engine (any substrate) wrapped in a
+/// caching `QuerySession`, served by `PascoServer` until a client sends
+/// the shutdown frame.
+fn cmd_serve(flags: &Flags) -> Result<(), String> {
+    use std::io::Write as _;
+    let cw = Arc::new(load_engine(flags)?);
+    let addr = get(flags, "addr")?;
+    let cache: usize = get_num(flags, "cache", 1024)?;
+    if cache == 0 {
+        return Err("--cache must be positive".into());
+    }
+    let mut session_cfg = SessionConfig::new(cache);
+    let workers: usize = get_num(flags, "workers", ServerConfig::default().workers)?;
+    if workers == 0 {
+        return Err("--workers must be positive".into());
+    }
+    if flags.contains_key("cache-ttl-secs") {
+        let secs: u64 = get_num(flags, "cache-ttl-secs", 0)?;
+        session_cfg = session_cfg.with_ttl(std::time::Duration::from_secs(secs));
+    }
+    if flags.contains_key("cache-bytes") {
+        session_cfg = session_cfg.with_max_bytes(get_num(flags, "cache-bytes", 0)?);
+    }
+    let session = Arc::new(QuerySession::with_config(Arc::clone(&cw), session_cfg));
+
+    let defaults = ServerConfig::default();
+    let server_cfg = ServerConfig {
+        workers,
+        max_frame_bytes: get_num(flags, "max-frame", defaults.max_frame_bytes)?,
+        ..defaults
+    };
+    let server = PascoServer::bind(addr, session as Arc<dyn QueryService>, server_cfg)
+        .map_err(|e| format!("bind {addr}: {e}"))?;
+    println!(
+        "listening on {} ({} engine, {} nodes, cohort cache {cache})",
+        server.local_addr(),
+        cw.mode_name(),
+        cw.graph().node_count()
+    );
+    // The line above is how scripts discover an ephemeral port: make sure
+    // it is on the wire even when stdout is a pipe.
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+    server.run().map_err(|e| e.to_string())?;
+    println!("drained, shutting down");
+    Ok(())
+}
+
+/// A network client for a running `pasco serve`: one typed query (or the
+/// shutdown frame) over the envelope protocol.
+fn cmd_query(flags: &Flags) -> Result<(), String> {
+    let addr = get(flags, "connect")?;
+    let mut client = PascoClient::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+    match get(flags, "kind")? {
+        "sp" => {
+            let i: u32 = get_num(flags, "i", u32::MAX)?;
+            let j: u32 = get_num(flags, "j", u32::MAX)?;
+            if i == u32::MAX || j == u32::MAX {
+                return Err("--kind sp needs --i and --j".into());
+            }
+            // Unlike the in-process commands, the response variant here
+            // is network input: a nonconforming server is a clean error,
+            // not a panic.
+            match client.query(QueryRequest::SinglePair { i, j }).map_err(|e| e.to_string())? {
+                QueryResponse::Score(s) => println!("s({i}, {j}) = {s:.6}"),
+                other => return Err(format!("server answered SinglePair with {other:?}")),
+            }
+        }
+        "ss" => {
+            let i: u32 = get_num(flags, "i", u32::MAX)?;
+            if i == u32::MAX {
+                return Err("--kind ss needs --i".into());
+            }
+            let top: usize = get_num(flags, "top", 10)?;
+            match client.query(QueryRequest::SingleSource { i }).map_err(|e| e.to_string())? {
+                QueryResponse::Scores(scores) => {
+                    println!("top-{top} similar to {i}");
+                    for (node, s) in metrics::top_k(&scores, top, Some(i)) {
+                        println!("  {node:>10}  {s:.6}");
+                    }
+                }
+                other => return Err(format!("server answered SingleSource with {other:?}")),
+            }
+        }
+        "topk" => {
+            let i: u32 = get_num(flags, "i", u32::MAX)?;
+            if i == u32::MAX {
+                return Err("--kind topk needs --i".into());
+            }
+            let k: u64 = get_num(flags, "k", 10)?;
+            match client
+                .query(QueryRequest::SingleSourceTopK { i, k })
+                .map_err(|e| e.to_string())?
+            {
+                // Same TSV as `pasco topk`: serving over the wire is
+                // byte-identical to serving in process.
+                QueryResponse::Ranked(ranked) => {
+                    for (node, s) in ranked {
+                        println!("{node}\t{s:.6}");
+                    }
+                }
+                other => return Err(format!("server answered SingleSourceTopK with {other:?}")),
+            }
+        }
+        "shutdown" => {
+            client.shutdown_server().map_err(|e| e.to_string())?;
+            println!("server drained");
+        }
+        other => return Err(format!("unknown query kind `{other}` (sp|ss|topk|shutdown)")),
     }
     Ok(())
 }

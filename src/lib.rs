@@ -18,6 +18,7 @@
 //! | [`solver`] | `pasco-solver` | sparse vectors, parallel Jacobi / Gauss-Seidel |
 //! | [`cluster`] | `pasco-cluster` | Spark-like runtime: broadcast, DistVec, shuffles |
 //! | [`simrank`] | `pasco-simrank` | CloudWalker indexing + MCSP/MCSS/MCAP queries, exact SimRank |
+//! | [`server`] | `pasco-server` | TCP front door: envelope protocol server + blocking client |
 //! | [`baselines`] | `pasco-baselines` | FMT (Fogaras-Racz) and LIN (Maehara) competitors |
 //!
 //! ## Quickstart
@@ -42,5 +43,6 @@ pub use pasco_baselines as baselines;
 pub use pasco_cluster as cluster;
 pub use pasco_graph as graph;
 pub use pasco_mc as mc;
+pub use pasco_server as server;
 pub use pasco_simrank as simrank;
 pub use pasco_solver as solver;

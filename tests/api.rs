@@ -6,6 +6,7 @@
 //! old out-of-range panic is gone from the service path.
 
 use pasco::graph::generators;
+use pasco::simrank::api::envelope::Envelope;
 use pasco::simrank::api::wire::WireCodec;
 use pasco::simrank::api::{QueryError, QueryRequest, QueryResponse, QueryService};
 use pasco::simrank::{CloudWalker, ExecMode, QuerySession, SimRankConfig};
@@ -156,6 +157,46 @@ proptest! {
         let pos = flip as usize % bytes.len();
         bytes[pos] ^= 0xff;
         let _ = QueryRequest::from_bytes(&bytes); // must return, not panic
+    }
+
+    /// Adversarial input: arbitrary byte soup into every decoder — wire
+    /// values and framed envelopes alike — must return (typed error or a
+    /// decoded value), never panic, and never reserve capacity from an
+    /// unvalidated length. A decoder that trusted a corrupt prefix would
+    /// OOM-abort here long before 512 cases finished.
+    #[test]
+    fn decoders_survive_arbitrary_byte_soup(seed in proptest::any::<u64>()) {
+        let mut rng = TestRng::for_case("api::byte_soup", seed as u32);
+        let len = (rng.next_u64() % 128) as usize;
+        let bytes: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+        let _ = QueryRequest::from_bytes(&bytes);
+        let _ = QueryResponse::from_bytes(&bytes);
+        let _ = QueryError::from_bytes(&bytes);
+        let _ = Envelope::from_bytes(&bytes, 1 << 20);
+    }
+
+    /// A hostile peer rewriting any aligned window of a valid encoding
+    /// into a maximal length prefix gets a clean failure (or a benign
+    /// reinterpretation), not a gigabyte allocation — on requests and on
+    /// responses, whose score rows are the largest repeated fields.
+    #[test]
+    fn hostile_length_prefixes_cannot_force_oom_allocations(
+        req in AnyRequest,
+        resp in AnyResponse,
+        pos in proptest::any::<u64>(),
+    ) {
+        let mut bytes = req.to_bytes();
+        if bytes.len() >= 4 {
+            let p = pos as usize % (bytes.len() - 3);
+            bytes[p..p + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+            let _ = QueryRequest::from_bytes(&bytes);
+        }
+        let mut bytes = resp.to_bytes();
+        if bytes.len() >= 4 {
+            let p = pos as usize % (bytes.len() - 3);
+            bytes[p..p + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+            let _ = QueryResponse::from_bytes(&bytes);
+        }
     }
 }
 

@@ -226,6 +226,82 @@ fn stats_and_convert_roundtrip() {
     assert!(stdout.contains("edges:  400"), "{stdout}");
 }
 
+/// The network pipeline end to end as a user runs it: `pasco serve` on
+/// an ephemeral port, `pasco query --connect` round trips (byte-identical
+/// TSV to in-process serving), then a clean drain on the shutdown frame.
+#[test]
+fn serve_and_query_over_loopback_with_clean_drain() {
+    use std::io::BufRead;
+
+    let graph = tmp("serve.bin");
+    let index = tmp("serve.idx");
+    let fast = ["--r", "32", "--t", "5", "--r-query", "500"];
+    assert!(bin()
+        .args(["generate", "--model", "ba", "--nodes", "400", "--edges-per-node", "4"])
+        .args(["--out", graph.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    assert!(bin()
+        .args(["index", "--graph", graph.to_str().unwrap()])
+        .args(["--out", index.to_str().unwrap()])
+        .args(fast)
+        .status()
+        .unwrap()
+        .success());
+
+    // Boot the server on port 0 and read the bound address off its
+    // first stdout line (flushed before the accept loop starts).
+    let mut server = bin()
+        .args(["serve", "--graph", graph.to_str().unwrap()])
+        .args(["--index", index.to_str().unwrap()])
+        .args(["--addr", "127.0.0.1:0", "--mode", "sharded", "--shards", "2"])
+        .args(fast)
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .unwrap();
+    let mut lines = std::io::BufReader::new(server.stdout.take().unwrap()).lines();
+    let banner = lines.next().unwrap().unwrap();
+    let addr = banner
+        .strip_prefix("listening on ")
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("unexpected banner {banner:?}"))
+        .to_string();
+
+    // A pair query over the wire answers in the usual format.
+    let out = bin()
+        .args(["query", "--connect", &addr, "--kind", "sp", "--i", "3", "--j", "99"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("s(3, 99)"));
+
+    // Top-k over the wire is byte-identical to in-process top-k.
+    let net = bin()
+        .args(["query", "--connect", &addr, "--kind", "topk", "--i", "3", "--k", "4"])
+        .output()
+        .unwrap();
+    assert!(net.status.success(), "{}", String::from_utf8_lossy(&net.stderr));
+    let local = bin()
+        .args(["topk", "--graph", graph.to_str().unwrap()])
+        .args(["--index", index.to_str().unwrap()])
+        .args(["--i", "3", "--k", "4"])
+        .args(fast)
+        .output()
+        .unwrap();
+    assert!(local.status.success());
+    assert_eq!(net.stdout, local.stdout, "wire TSV must equal in-process TSV");
+
+    // Shutdown frame: the server drains and exits 0.
+    let out = bin().args(["query", "--connect", &addr, "--kind", "shutdown"]).output().unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("server drained"));
+    let status = server.wait().unwrap();
+    assert!(status.success(), "server must exit cleanly after a drain");
+    let rest: Vec<String> = lines.map_while(Result::ok).collect();
+    assert!(rest.iter().any(|l| l.contains("drained")), "{rest:?}");
+}
+
 #[test]
 fn bad_invocations_fail_cleanly() {
     // Unknown command.
