@@ -27,8 +27,8 @@ fn bench_engines(c: &mut Criterion) {
     let mut group = c.benchmark_group("engines/build");
     group.sample_size(10);
     for (label, mode) in modes() {
-        group.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, &mode| {
-            b.iter(|| black_box(CloudWalker::build(Arc::clone(&g), cfg, mode).unwrap()));
+        group.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, mode| {
+            b.iter(|| black_box(CloudWalker::build(Arc::clone(&g), cfg, mode.clone()).unwrap()));
         });
     }
     group.finish();

@@ -40,6 +40,17 @@
 //! whole server) with [`FrameKind::Shutdown`]; the server acknowledges
 //! with [`FrameKind::Goodbye`] after every in-flight response has been
 //! written.
+//!
+//! ## Worker-control frames
+//!
+//! The distributed substrate rides the same envelope: kinds
+//! [`FrameKind::LoadPartition`] through [`FrameKind::WorkerStats`] carry
+//! the coordinator ⇄ worker protocol (payloads in [`super::worker`]).
+//! Extending the *kind space* is the envelope's backward-compatible
+//! evolution path that the version field guards: a version-1 peer that
+//! does not serve workers rejects the unknown kind and drops the
+//! connection, while a version bump remains reserved for changes that
+//! alter the meaning of existing frames.
 
 use super::wire::{WireCodec, WireError};
 use super::{QueryError, QueryRequest, QueryResponse};
@@ -88,6 +99,30 @@ pub enum FrameKind {
     /// Server → client: the connection is closing cleanly (shutdown
     /// acknowledged, or the server is draining). Empty payload.
     Goodbye = 6,
+    /// Coordinator → worker: one graph partition to load
+    /// ([`super::worker::LoadPartition`]); the worker echoes the kind
+    /// back with a [`super::worker::LoadAck`] payload. Every worker
+    /// receives every partition (walkers wander across partition
+    /// boundaries); the `owned_part` field of the payload tells the
+    /// worker which partition's sources it serves.
+    LoadPartition = 7,
+    /// Coordinator → worker: run the shard-local offline build
+    /// ([`super::worker::BuildShard`]); the worker echoes the kind back
+    /// with its owned rows ([`super::worker::BuildShardReply`]).
+    BuildShard = 8,
+    /// Coordinator → worker: one routed query
+    /// ([`super::worker::ShardQuery`]); the worker echoes the kind back
+    /// with a [`super::QueryResponse`] payload.
+    ShardQuery = 9,
+    /// Coordinator → worker: the sparse top-`k` plan
+    /// ([`super::worker::ShardTopK`]); the worker echoes the kind back
+    /// with per-partition rankings ([`super::worker::ShardTopKReply`])
+    /// for the coordinator's k-way merge.
+    ShardTopK = 10,
+    /// Coordinator → worker: report runtime statistics (empty request
+    /// payload); the worker echoes the kind back with a
+    /// [`super::worker::WorkerStats`] payload.
+    WorkerStats = 11,
 }
 
 impl FrameKind {
@@ -100,6 +135,11 @@ impl FrameKind {
             4 => FrameKind::Error,
             5 => FrameKind::Shutdown,
             6 => FrameKind::Goodbye,
+            7 => FrameKind::LoadPartition,
+            8 => FrameKind::BuildShard,
+            9 => FrameKind::ShardQuery,
+            10 => FrameKind::ShardTopK,
+            11 => FrameKind::WorkerStats,
             _ => return None,
         })
     }
@@ -303,6 +343,14 @@ impl Envelope {
     /// The clean-close control frame (empty payload).
     pub fn goodbye() -> Self {
         Envelope { kind: FrameKind::Goodbye, request_id: 0, payload: Vec::new() }
+    }
+
+    /// A worker-control frame: `payload` (already [`WireCodec`]-encoded)
+    /// under one of the worker kinds ([`FrameKind::LoadPartition`] …
+    /// [`FrameKind::WorkerStats`]). Requests and their replies share the
+    /// kind; the direction and the echoed `id` disambiguate.
+    pub fn worker(kind: FrameKind, id: u64, payload: &impl WireCodec) -> Self {
+        Envelope { kind, request_id: id, payload: payload.to_bytes() }
     }
 
     /// This frame's header.

@@ -39,7 +39,9 @@
 //! ```
 
 pub mod envelope;
+pub mod transport;
 pub mod wire;
+pub mod worker;
 
 use crate::cloudwalker::CloudWalker;
 use crate::session::QuerySession;
@@ -150,6 +152,15 @@ pub enum QueryError {
         /// The frame-size limit in force.
         max_frame: u32,
     },
+    /// A distributed-substrate query could not be answered because the
+    /// worker owning the routed partition is gone or broke protocol.
+    /// The index and the surviving workers are unaffected; retry once
+    /// the worker set is restored.
+    WorkerUnavailable {
+        /// What failed, e.g. `"worker 1 (127.0.0.1:40551): connection
+        /// closed"`.
+        detail: String,
+    },
 }
 
 impl fmt::Display for QueryError {
@@ -164,6 +175,9 @@ impl fmt::Display for QueryError {
             QueryError::NestedBatch => write!(f, "batch requests cannot be nested"),
             QueryError::ResponseTooLarge { bytes, max_frame } => {
                 write!(f, "response of {bytes} bytes exceeds the {max_frame}-byte frame limit")
+            }
+            QueryError::WorkerUnavailable { detail } => {
+                write!(f, "distributed worker unavailable: {detail}")
             }
         }
     }

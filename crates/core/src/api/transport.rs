@@ -1,0 +1,134 @@
+//! Frame I/O over blocking streams — the one read/write-frame path every
+//! PASCO network peer (query server, typed client, SimRank worker, the
+//! distributed coordinator) shares.
+//!
+//! Reads validate the envelope header — magic, version, kind, frame-size
+//! limit — *before* allocating for or reading the payload, and
+//! [`poll_envelope`] gives servers a polling read that notices a drain
+//! request while a connection is idle. This used to live in
+//! `pasco_server::transport`; it moved next to the envelope so the worker
+//! runtime and the coordinator engine speak frames through the identical
+//! code instead of a copy.
+
+use super::envelope::{Envelope, EnvelopeHeader, FrameError, HEADER_LEN, MAGIC};
+use std::fmt;
+use std::io::{self, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Why a frame could not be moved across a stream.
+#[derive(Debug)]
+pub enum TransportError {
+    /// The underlying stream failed (or ended mid-frame).
+    Io(io::Error),
+    /// The bytes read are not a valid frame (bad magic, unsupported
+    /// version, oversize payload, …). Fatal to the connection.
+    Frame(FrameError),
+    /// The peer closed the stream cleanly between frames.
+    Closed,
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Io(e) => write!(f, "stream error: {e}"),
+            TransportError::Frame(e) => write!(f, "protocol error: {e}"),
+            TransportError::Closed => write!(f, "connection closed"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<io::Error> for TransportError {
+    fn from(e: io::Error) -> Self {
+        TransportError::Io(e)
+    }
+}
+
+impl From<FrameError> for TransportError {
+    fn from(e: FrameError) -> Self {
+        TransportError::Frame(e)
+    }
+}
+
+/// Reads the first byte of a frame, distinguishing a clean close from an
+/// I/O fault; `Ok(None)` means the read timed out before any byte
+/// arrived (only possible when a read timeout is set on the stream).
+fn read_first_byte(r: &mut impl Read) -> Result<Option<u8>, TransportError> {
+    let mut first = [0u8; 1];
+    loop {
+        match r.read(&mut first) {
+            Ok(0) => return Err(TransportError::Closed),
+            Ok(_) => return Ok(Some(first[0])),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                return Ok(None)
+            }
+            Err(e) => return Err(TransportError::Io(e)),
+        }
+    }
+}
+
+/// Reads the rest of a frame once its first byte is in hand. The header
+/// is fully validated (including the `max_frame` payload limit) before a
+/// single payload byte is read or allocated.
+fn read_after_first(
+    first: u8,
+    r: &mut impl Read,
+    max_frame: u32,
+) -> Result<Envelope, TransportError> {
+    let mut head = [0u8; HEADER_LEN];
+    head[0] = first;
+    r.read_exact(&mut head[1..])?;
+    let header = EnvelopeHeader::decode(&head, max_frame)?;
+    let mut payload = vec![0u8; header.payload_len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(Envelope { kind: header.kind, request_id: header.request_id, payload })
+}
+
+/// Blocking frame read: waits for one complete envelope.
+pub fn read_envelope(r: &mut impl Read, max_frame: u32) -> Result<Envelope, TransportError> {
+    match read_first_byte(r)? {
+        // No timeout is set on this stream, so a None cannot happen; if a
+        // caller set one anyway, surface it as a timeout error.
+        None => Err(TransportError::Io(io::ErrorKind::TimedOut.into())),
+        Some(first) => read_after_first(first, r, max_frame),
+    }
+}
+
+/// Polling frame read for server connections: waits up to `poll` for a
+/// frame to *start*, returning `Ok(None)` on a quiet interval so the
+/// caller can check its stop flag.
+///
+/// Two defences against peers that are not real clients: a first byte
+/// that is not the first magic byte is rejected immediately (no waiting
+/// for a full header that will never come), and once a frame has
+/// started, each subsequent read must make progress within
+/// `frame_timeout` — a peer that stalls mid-frame is dropped instead of
+/// pinning a connection thread forever.
+pub fn poll_envelope(
+    reader: &mut BufReader<TcpStream>,
+    max_frame: u32,
+    poll: Duration,
+    frame_timeout: Duration,
+) -> Result<Option<Envelope>, TransportError> {
+    reader.get_ref().set_read_timeout(Some(poll))?;
+    let first = match read_first_byte(reader)? {
+        None => return Ok(None),
+        Some(b) => b,
+    };
+    if first != MAGIC[0] {
+        return Err(TransportError::Frame(FrameError::NotAFrame { first }));
+    }
+    reader.get_ref().set_read_timeout(Some(frame_timeout))?;
+    read_after_first(first, reader, max_frame).map(Some)
+}
+
+/// Writes one frame and flushes it onto the wire.
+pub fn write_envelope(w: &mut impl Write, env: &Envelope) -> io::Result<()> {
+    w.write_all(&env.to_bytes())?;
+    w.flush()
+}

@@ -55,6 +55,16 @@ pub enum WireError {
     /// deeper wire value is corruption, and an unbounded recursive decode
     /// would let a hostile buffer overflow the stack.
     TooDeep,
+    /// The bytes decoded to a value that violates the type's semantic
+    /// invariants (e.g. a shipped graph partition whose offset arrays do
+    /// not describe its adjacency arrays). Structurally readable,
+    /// logically corrupt.
+    Invalid {
+        /// What was being decoded.
+        decoding: &'static str,
+        /// Which invariant failed.
+        reason: &'static str,
+    },
 }
 
 /// How many levels of batch nesting the decoder accepts. The service
@@ -74,6 +84,9 @@ impl fmt::Display for WireError {
             }
             WireError::TooDeep => {
                 write!(f, "batches nested deeper than {MAX_BATCH_DEPTH} levels")
+            }
+            WireError::Invalid { decoding, reason } => {
+                write!(f, "invalid {decoding}: {reason}")
             }
         }
     }
@@ -122,7 +135,7 @@ fn need(buf: &impl Buf, n: usize, decoding: &'static str) -> Result<(), WireErro
     }
 }
 
-fn read_u8(buf: &mut impl Buf, decoding: &'static str) -> Result<u8, WireError> {
+pub(super) fn read_u8(buf: &mut impl Buf, decoding: &'static str) -> Result<u8, WireError> {
     need(buf, 1, decoding)?;
     Ok(buf.get_u8())
 }
@@ -132,12 +145,12 @@ pub(super) fn read_u32(buf: &mut impl Buf, decoding: &'static str) -> Result<u32
     Ok(buf.get_u32_le())
 }
 
-fn read_u64(buf: &mut impl Buf, decoding: &'static str) -> Result<u64, WireError> {
+pub(super) fn read_u64(buf: &mut impl Buf, decoding: &'static str) -> Result<u64, WireError> {
     need(buf, 8, decoding)?;
     Ok(buf.get_u64_le())
 }
 
-fn read_f64(buf: &mut impl Buf, decoding: &'static str) -> Result<f64, WireError> {
+pub(super) fn read_f64(buf: &mut impl Buf, decoding: &'static str) -> Result<f64, WireError> {
     need(buf, 8, decoding)?;
     Ok(buf.get_f64_le())
 }
@@ -155,7 +168,7 @@ fn read_f64(buf: &mut impl Buf, decoding: &'static str) -> Result<f64, WireError
 /// OOM-sized reservation. The envelope layer upholds the same rule for
 /// its payload length (`EnvelopeHeader::decode` checks the frame limit
 /// and, when decoding from a buffer, the bytes actually present).
-fn read_len(
+pub(super) fn read_len(
     buf: &mut impl Buf,
     elem_min: usize,
     decoding: &'static str,
@@ -165,33 +178,54 @@ fn read_len(
     Ok(len)
 }
 
+/// UTF-8 string as a `u32` byte-length prefix plus the bytes; invalid
+/// UTF-8 decodes lossily (the string fields are diagnostics, and a
+/// replacement character beats failing the frame that reports a fault).
+pub(super) fn encode_str(s: &str, buf: &mut impl BufMut) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+pub(super) fn decode_str(buf: &mut impl Buf, decoding: &'static str) -> Result<String, WireError> {
+    let len = read_len(buf, 1, decoding)?;
+    let mut bytes = vec![0u8; len];
+    buf.copy_to_slice(&mut bytes);
+    Ok(String::from_utf8_lossy(&bytes).into_owned())
+}
+
 // ---- repeated field shapes --------------------------------------------
 
-fn encode_nodes(nodes: &[u32], buf: &mut impl BufMut) {
+pub(super) fn encode_nodes(nodes: &[u32], buf: &mut impl BufMut) {
     buf.put_u32_le(nodes.len() as u32);
     for &v in nodes {
         buf.put_u32_le(v);
     }
 }
 
-fn decode_nodes(buf: &mut impl Buf, decoding: &'static str) -> Result<Vec<u32>, WireError> {
+pub(super) fn decode_nodes(
+    buf: &mut impl Buf,
+    decoding: &'static str,
+) -> Result<Vec<u32>, WireError> {
     let len = read_len(buf, 4, decoding)?;
     (0..len).map(|_| read_u32(buf, decoding)).collect()
 }
 
-fn encode_scores(scores: &[f64], buf: &mut impl BufMut) {
+pub(super) fn encode_scores(scores: &[f64], buf: &mut impl BufMut) {
     buf.put_u32_le(scores.len() as u32);
     for &s in scores {
         buf.put_f64_le(s);
     }
 }
 
-fn decode_scores(buf: &mut impl Buf, decoding: &'static str) -> Result<Vec<f64>, WireError> {
+pub(super) fn decode_scores(
+    buf: &mut impl Buf,
+    decoding: &'static str,
+) -> Result<Vec<f64>, WireError> {
     let len = read_len(buf, 8, decoding)?;
     (0..len).map(|_| read_f64(buf, decoding)).collect()
 }
 
-fn encode_ranked(ranked: &[(u32, f64)], buf: &mut impl BufMut) {
+pub(super) fn encode_ranked(ranked: &[(u32, f64)], buf: &mut impl BufMut) {
     buf.put_u32_le(ranked.len() as u32);
     for &(v, s) in ranked {
         buf.put_u32_le(v);
@@ -199,7 +233,10 @@ fn encode_ranked(ranked: &[(u32, f64)], buf: &mut impl BufMut) {
     }
 }
 
-fn decode_ranked(buf: &mut impl Buf, decoding: &'static str) -> Result<Vec<(u32, f64)>, WireError> {
+pub(super) fn decode_ranked(
+    buf: &mut impl Buf,
+    decoding: &'static str,
+) -> Result<Vec<(u32, f64)>, WireError> {
     let len = read_len(buf, 12, decoding)?;
     (0..len).map(|_| Ok((read_u32(buf, decoding)?, read_f64(buf, decoding)?))).collect()
 }
@@ -430,6 +467,7 @@ const ERR_EMPTY_BATCH: u8 = 2;
 const ERR_EMPTY_NODE_SET: u8 = 3;
 const ERR_NESTED_BATCH: u8 = 4;
 const ERR_RESPONSE_TOO_LARGE: u8 = 5;
+const ERR_WORKER_UNAVAILABLE: u8 = 6;
 
 impl WireCodec for QueryError {
     fn encode(&self, buf: &mut impl BufMut) {
@@ -451,6 +489,10 @@ impl WireCodec for QueryError {
                 buf.put_u64_le(*bytes);
                 buf.put_u32_le(*max_frame);
             }
+            QueryError::WorkerUnavailable { detail } => {
+                buf.put_u8(ERR_WORKER_UNAVAILABLE);
+                encode_str(detail, buf);
+            }
         }
     }
 
@@ -469,6 +511,9 @@ impl WireCodec for QueryError {
                 bytes: read_u64(buf, WHAT)?,
                 max_frame: read_u32(buf, WHAT)?,
             },
+            ERR_WORKER_UNAVAILABLE => {
+                QueryError::WorkerUnavailable { detail: decode_str(buf, WHAT)? }
+            }
             tag => return Err(WireError::UnknownTag { decoding: WHAT, tag }),
         })
     }
@@ -479,6 +524,7 @@ impl WireCodec for QueryError {
             QueryError::InvalidK { .. } => 8,
             QueryError::EmptyBatch | QueryError::EmptyNodeSet | QueryError::NestedBatch => 0,
             QueryError::ResponseTooLarge { .. } => 12,
+            QueryError::WorkerUnavailable { detail } => 4 + detail.len(),
         }
     }
 }

@@ -4,6 +4,7 @@ use crate::api::QueryError;
 use crate::config::{AiStrategy, SimRankConfig};
 use crate::diag::DiagonalIndex;
 use crate::engine::broadcast::BroadcastEngine;
+use crate::engine::distributed::DistributedEngine;
 use crate::engine::local::LocalEngine;
 use crate::engine::rdd::RddEngine;
 use crate::engine::sharded::ShardedEngine;
@@ -131,7 +132,7 @@ impl CloudWalker {
     pub fn try_single_pair(&self, i: NodeId, j: NodeId) -> Result<f64, QueryError> {
         self.check_node(i)?;
         self.check_node(j)?;
-        Ok(self.engine.single_pair(self.diag.as_slice(), &self.cfg, i, j).clamp(0.0, 1.0))
+        Ok(self.engine.single_pair(self.diag.as_slice(), &self.cfg, i, j)?.clamp(0.0, 1.0))
     }
 
     /// MCSS — similarity of every node to `i`, `O(T²·R′·log d)`. Estimates
@@ -139,7 +140,7 @@ impl CloudWalker {
     /// [`QueryError::NodeOutOfRange`] on a bad node.
     pub fn try_single_source(&self, i: NodeId) -> Result<Vec<f64>, QueryError> {
         self.check_node(i)?;
-        let mut out = self.engine.single_source(self.diag.as_slice(), &self.cfg, i);
+        let mut out = self.engine.single_source(self.diag.as_slice(), &self.cfg, i)?;
         for v in &mut out {
             *v = v.clamp(0.0, 1.0);
         }
@@ -161,7 +162,7 @@ impl CloudWalker {
         if k == 0 {
             return Err(QueryError::InvalidK { k: k as u64 });
         }
-        Ok(self.engine.single_source_topk(self.diag.as_slice(), &self.cfg, i, k))
+        self.engine.single_source_topk(self.diag.as_slice(), &self.cfg, i, k)
     }
 
     /// Simulates the `R'`-walker query cohort of `v` on the configured
@@ -173,7 +174,7 @@ impl CloudWalker {
         v: NodeId,
     ) -> Result<pasco_mc::walks::StepDistributions, QueryError> {
         self.check_node(v)?;
-        Ok(self.engine.query_cohort(&self.cfg, v))
+        self.engine.query_cohort(&self.cfg, v)
     }
 
     /// The deterministic-push variant of MCSS (ablation A1); local
@@ -239,11 +240,20 @@ impl CloudWalker {
     /// run it on graphs small enough to afford `n` single-source queries).
     /// Runs MCSS repeatedly (as in the paper) on the configured engine, in
     /// parallel over sources.
+    ///
+    /// # Panics
+    /// Panics if the engine fails a query mid-sweep (only possible on the
+    /// distributed substrate when a worker disappears); the per-source
+    /// checked queries are the fault-tolerant surface.
     pub fn all_pairs_topk(&self, k: usize) -> Vec<Vec<(NodeId, f64)>> {
         let diag = self.diag.as_slice();
         (0..self.graph.node_count())
             .into_par_iter()
-            .map(|i| self.engine.single_source_topk(diag, &self.cfg, i, k))
+            .map(|i| {
+                self.engine
+                    .single_source_topk(diag, &self.cfg, i, k)
+                    .unwrap_or_else(|e| panic!("{e}"))
+            })
             .collect()
     }
 
@@ -268,9 +278,17 @@ impl CloudWalker {
     }
 
     /// The engine's substrate name (`"local"`, `"sharded"`, `"broadcast"`,
-    /// `"rdd"`).
+    /// `"rdd"`, `"distributed"`).
     pub fn mode_name(&self) -> &'static str {
         self.engine.name()
+    }
+
+    /// Live per-worker statistics, polled over the wire
+    /// (`ExecMode::Distributed` only; `None` elsewhere). One entry per
+    /// worker in partition order; an unreachable worker is its typed
+    /// error, so fleet-health reports never shrink silently.
+    pub fn worker_stats(&self) -> Option<Vec<Result<crate::api::worker::WorkerStats, QueryError>>> {
+        self.engine.worker_stats()
     }
 
     /// Per-shard resident bytes for in-process partitioned engines
@@ -323,6 +341,14 @@ fn make_engine(
                 ));
             }
             Box::new(ShardedEngine::new(graph, shards))
+        }
+        ExecMode::Distributed { workers } => {
+            if workers.is_empty() {
+                return Err(SimRankError::InvalidConfig(
+                    "distributed mode needs at least one worker address".into(),
+                ));
+            }
+            Box::new(DistributedEngine::connect(graph, &workers)?)
         }
     })
 }

@@ -7,6 +7,7 @@
 //! (the paper's clue-web `N/A`).
 
 use crate::ai::ai_row;
+use crate::api::QueryError;
 use crate::config::{AiStrategy, SimRankConfig};
 use crate::diag::DiagonalIndex;
 use crate::engine::{topk_from_dense, BuildOutcome, EngineFootprint, SimRankEngine};
@@ -292,22 +293,37 @@ impl SimRankEngine for BroadcastEngine {
         })
     }
 
-    fn query_cohort(&self, cfg: &SimRankConfig, source: NodeId) -> StepDistributions {
+    fn query_cohort(
+        &self,
+        cfg: &SimRankConfig,
+        source: NodeId,
+    ) -> Result<StepDistributions, QueryError> {
         // Resolves to the inherent cluster-staged implementation.
-        BroadcastEngine::query_cohort(self, cfg, source)
+        Ok(BroadcastEngine::query_cohort(self, cfg, source))
     }
 
-    fn single_pair(&self, diag: &[f64], cfg: &SimRankConfig, i: NodeId, j: NodeId) -> f64 {
+    fn single_pair(
+        &self,
+        diag: &[f64],
+        cfg: &SimRankConfig,
+        i: NodeId,
+        j: NodeId,
+    ) -> Result<f64, QueryError> {
         if i == j {
-            return 1.0;
+            return Ok(1.0);
         }
-        let di = self.query_cohort(cfg, i);
-        let dj = self.query_cohort(cfg, j);
-        score_pair(&di, &dj, diag, cfg.c)
+        let di = BroadcastEngine::query_cohort(self, cfg, i);
+        let dj = BroadcastEngine::query_cohort(self, cfg, j);
+        Ok(score_pair(&di, &dj, diag, cfg.c))
     }
 
-    fn single_source(&self, diag: &[f64], cfg: &SimRankConfig, i: NodeId) -> Vec<f64> {
-        self.single_source_impl(diag, cfg, i)
+    fn single_source(
+        &self,
+        diag: &[f64],
+        cfg: &SimRankConfig,
+        i: NodeId,
+    ) -> Result<Vec<f64>, QueryError> {
+        Ok(self.single_source_impl(diag, cfg, i))
     }
 
     fn single_source_topk(
@@ -316,9 +332,9 @@ impl SimRankEngine for BroadcastEngine {
         cfg: &SimRankConfig,
         i: NodeId,
         k: usize,
-    ) -> Vec<(NodeId, f64)> {
+    ) -> Result<Vec<(NodeId, f64)>, QueryError> {
         let scores = self.single_source_impl(diag, cfg, i);
-        topk_from_dense(&scores, i, k)
+        Ok(topk_from_dense(&scores, i, k))
     }
 
     fn cluster_report(&self) -> Option<ClusterReport> {
@@ -385,12 +401,12 @@ mod tests {
         let out = local::build_diagonal(&g, &cfg);
         let diag = out.diag.as_slice();
 
-        let sp_b = eng.single_pair(diag, &cfg, 4, 70);
+        let sp_b = eng.single_pair(diag, &cfg, 4, 70).unwrap();
         let sp_l = crate::queries::single_pair(&g, diag, &cfg, 4, 70);
         assert_eq!(sp_b, sp_l, "MCSP must be bitwise identical");
 
         let rci = ReverseChainIndex::build(&g);
-        let ss_b = eng.single_source(diag, &cfg, 4);
+        let ss_b = eng.single_source(diag, &cfg, 4).unwrap();
         let ss_l = crate::queries::single_source(&g, &rci, diag, &cfg, 4);
         for (a, b) in ss_b.iter().zip(&ss_l) {
             assert!((a - b).abs() < 1e-12, "MCSS {a} vs {b}");

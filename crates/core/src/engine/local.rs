@@ -1,6 +1,7 @@
 //! In-process execution: rayon over nodes, no cluster accounting.
 
 use crate::ai::{ai_row, RecomputedRows, StoredRows};
+use crate::api::QueryError;
 use crate::config::{AiStrategy, SimRankConfig};
 use crate::diag::DiagonalIndex;
 use crate::engine::{BuildOutcome, EngineFootprint, SimRankEngine};
@@ -36,16 +37,31 @@ impl SimRankEngine for LocalEngine {
         Ok(build_diagonal(&self.graph, cfg))
     }
 
-    fn query_cohort(&self, cfg: &SimRankConfig, source: NodeId) -> StepDistributions {
-        queries::query_cohort(&self.graph, cfg, source)
+    fn query_cohort(
+        &self,
+        cfg: &SimRankConfig,
+        source: NodeId,
+    ) -> Result<StepDistributions, QueryError> {
+        Ok(queries::query_cohort(&self.graph, cfg, source))
     }
 
-    fn single_pair(&self, diag: &[f64], cfg: &SimRankConfig, i: NodeId, j: NodeId) -> f64 {
-        queries::single_pair(&self.graph, diag, cfg, i, j)
+    fn single_pair(
+        &self,
+        diag: &[f64],
+        cfg: &SimRankConfig,
+        i: NodeId,
+        j: NodeId,
+    ) -> Result<f64, QueryError> {
+        Ok(queries::single_pair(&self.graph, diag, cfg, i, j))
     }
 
-    fn single_source(&self, diag: &[f64], cfg: &SimRankConfig, i: NodeId) -> Vec<f64> {
-        queries::single_source(&self.graph, &self.rci, diag, cfg, i)
+    fn single_source(
+        &self,
+        diag: &[f64],
+        cfg: &SimRankConfig,
+        i: NodeId,
+    ) -> Result<Vec<f64>, QueryError> {
+        Ok(queries::single_source(&self.graph, &self.rci, diag, cfg, i))
     }
 
     fn single_source_topk(
@@ -54,8 +70,8 @@ impl SimRankEngine for LocalEngine {
         cfg: &SimRankConfig,
         i: NodeId,
         k: usize,
-    ) -> Vec<(NodeId, f64)> {
-        queries::single_source_topk(&self.graph, &self.rci, diag, cfg, i, k)
+    ) -> Result<Vec<(NodeId, f64)>, QueryError> {
+        Ok(queries::single_source_topk(&self.graph, &self.rci, diag, cfg, i, k))
     }
 
     fn cluster_report(&self) -> Option<ClusterReport> {
@@ -229,9 +245,12 @@ mod tests {
         let out = eng.build_diagonal(&cfg).unwrap();
         assert_eq!(out.diag, build_diagonal(&g, &cfg).diag);
         let diag = out.diag.as_slice();
-        assert_eq!(eng.single_pair(diag, &cfg, 3, 90), queries::single_pair(&g, diag, &cfg, 3, 90));
         assert_eq!(
-            eng.single_source_topk(diag, &cfg, 3, 5),
+            eng.single_pair(diag, &cfg, 3, 90).unwrap(),
+            queries::single_pair(&g, diag, &cfg, 3, 90)
+        );
+        assert_eq!(
+            eng.single_source_topk(diag, &cfg, 3, 5).unwrap(),
             queries::single_source_topk(&g, &rci, diag, &cfg, 3, 5)
         );
         let fp = eng.memory_footprint();

@@ -1,6 +1,6 @@
 //! Execution engines: where CloudWalker's walks and sweeps actually run.
 //!
-//! The same algorithm executes in four places:
+//! The same algorithm executes in five places:
 //!
 //! * [`local`] — a rayon pool in-process (the single-machine reference);
 //! * [`sharded`] — the graph range-partitioned across in-process shards,
@@ -9,12 +9,15 @@
 //! * [`broadcast`] — the simulated cluster with the graph **replicated** to
 //!   every worker (the paper's faster model, bounded by per-worker RAM);
 //! * [`rdd`] — the simulated cluster with the graph **partitioned** and
-//!   walker state shuffled between steps (the paper's scalable model).
+//!   walker state shuffled between steps (the paper's scalable model);
+//! * [`distributed`] — real `pasco worker` processes over TCP: the build
+//!   and every query routed to the worker owning its source through the
+//!   envelope protocol, with real wire bytes in the cluster accounting.
 //!
 //! Each substrate implements the object-safe [`SimRankEngine`] trait, so
 //! [`crate::CloudWalker`] holds a `Box<dyn SimRankEngine>` and never
 //! branches on the execution mode in a query path; new substrates (async,
-//! persistent/mmap, real-RPC) plug in without touching query code.
+//! persistent/mmap) plug in without touching query code.
 //!
 //! Because each walk step's randomness is a pure function of
 //! `(seed, source, walker, step)`, all engines produce identical walker
@@ -22,13 +25,16 @@
 //! RDD.
 
 pub mod broadcast;
+pub mod distributed;
 pub mod local;
 pub mod rdd;
 pub mod sharded;
 
+pub use distributed::{DistributedEngine, ShardWorkerCore};
 pub use local::LocalEngine;
 pub use sharded::ShardedEngine;
 
+use crate::api::QueryError;
 use crate::config::{AiStrategy, SimRankConfig};
 use crate::diag::DiagonalIndex;
 use crate::error::SimRankError;
@@ -37,7 +43,10 @@ use pasco_graph::NodeId;
 use pasco_mc::walks::StepDistributions;
 
 /// Selects the execution engine for index construction and queries.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+///
+/// `Clone` but deliberately not `Copy`: the distributed variant carries
+/// its worker address list.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ExecMode {
     /// In-process rayon execution.
     Local,
@@ -56,6 +65,16 @@ pub enum ExecMode {
     Sharded {
         /// Number of shards (capped at the node count; must be positive).
         shards: u32,
+    },
+    /// Real RPC workers over TCP: the graph range-partitioned across the
+    /// listed `pasco worker` processes, the offline walk phase and every
+    /// query routed to the worker owning its source over the envelope
+    /// protocol, top-`k` finished with the coordinator's k-way merge.
+    /// Bit-identical to [`ExecMode::Local`] at every worker count.
+    Distributed {
+        /// Worker addresses (`host:port`), one partition per worker
+        /// (capped at the node count; must be non-empty).
+        workers: Vec<String>,
     },
 }
 
@@ -108,13 +127,35 @@ pub trait SimRankEngine: Send + Sync + std::fmt::Debug {
     /// substrate (bitwise identical across engines; cluster engines
     /// account the work in their [`ClusterReport`]). The serving layer's
     /// cohort cache sits on top of this.
-    fn query_cohort(&self, cfg: &SimRankConfig, source: NodeId) -> StepDistributions;
+    ///
+    /// Queries are fallible at the trait so substrates with a failure
+    /// plane of their own — the distributed engine loses a worker, a
+    /// future mmap engine loses its mapping — surface a typed
+    /// [`QueryError`] instead of panicking the serving path. The
+    /// in-process engines (bounds already checked by the caller) never
+    /// return `Err`.
+    fn query_cohort(
+        &self,
+        cfg: &SimRankConfig,
+        source: NodeId,
+    ) -> Result<StepDistributions, QueryError>;
 
     /// MCSP: the similarity of one node pair (raw estimate, not clamped).
-    fn single_pair(&self, diag: &[f64], cfg: &SimRankConfig, i: NodeId, j: NodeId) -> f64;
+    fn single_pair(
+        &self,
+        diag: &[f64],
+        cfg: &SimRankConfig,
+        i: NodeId,
+        j: NodeId,
+    ) -> Result<f64, QueryError>;
 
     /// MCSS: the similarity of every node to `i` (raw estimates).
-    fn single_source(&self, diag: &[f64], cfg: &SimRankConfig, i: NodeId) -> Vec<f64>;
+    fn single_source(
+        &self,
+        diag: &[f64],
+        cfg: &SimRankConfig,
+        i: NodeId,
+    ) -> Result<Vec<f64>, QueryError>;
 
     /// Top-`k` MCSS: the `k` nodes most similar to `i` (query node
     /// excluded), sorted by descending score with node-id tie-breaks.
@@ -125,7 +166,7 @@ pub trait SimRankEngine: Send + Sync + std::fmt::Debug {
         cfg: &SimRankConfig,
         i: NodeId,
         k: usize,
-    ) -> Vec<(NodeId, f64)>;
+    ) -> Result<Vec<(NodeId, f64)>, QueryError>;
 
     /// Cluster accounting so far (`None` on the local engine).
     fn cluster_report(&self) -> Option<ClusterReport>;
@@ -137,6 +178,16 @@ pub trait SimRankEngine: Send + Sync + std::fmt::Debug {
     /// partition the graph in-process; `None` for unsharded substrates
     /// (the default).
     fn shard_footprints(&self) -> Option<Vec<u64>> {
+        None
+    }
+
+    /// Live per-worker statistics for substrates backed by real worker
+    /// processes; `None` elsewhere (the default). The distributed engine
+    /// polls its workers over the wire: one entry per worker, in
+    /// partition order, with an unreachable worker reported as its typed
+    /// error rather than silently missing — a fleet-health report must
+    /// not shrink when a worker dies.
+    fn worker_stats(&self) -> Option<Vec<Result<crate::api::worker::WorkerStats, QueryError>>> {
         None
     }
 }

@@ -16,6 +16,7 @@
 //! `(seed, source, walker, step)`, the produced index is **bitwise equal**
 //! to the Local and Broadcasting engines' output.
 
+use crate::api::QueryError;
 use crate::config::SimRankConfig;
 use crate::diag::DiagonalIndex;
 use crate::engine::{topk_from_dense, BuildOutcome, EngineFootprint, SimRankEngine};
@@ -451,22 +452,37 @@ impl SimRankEngine for RddEngine {
         })
     }
 
-    fn query_cohort(&self, cfg: &SimRankConfig, source: NodeId) -> StepDistributions {
+    fn query_cohort(
+        &self,
+        cfg: &SimRankConfig,
+        source: NodeId,
+    ) -> Result<StepDistributions, QueryError> {
         // Resolves to the inherent shuffled-stage implementation.
-        RddEngine::query_cohort(self, cfg, source)
+        Ok(RddEngine::query_cohort(self, cfg, source))
     }
 
-    fn single_pair(&self, diag: &[f64], cfg: &SimRankConfig, i: NodeId, j: NodeId) -> f64 {
+    fn single_pair(
+        &self,
+        diag: &[f64],
+        cfg: &SimRankConfig,
+        i: NodeId,
+        j: NodeId,
+    ) -> Result<f64, QueryError> {
         if i == j {
-            return 1.0;
+            return Ok(1.0);
         }
-        let di = self.query_cohort(cfg, i);
-        let dj = self.query_cohort(cfg, j);
-        score_pair(&di, &dj, diag, cfg.c)
+        let di = RddEngine::query_cohort(self, cfg, i);
+        let dj = RddEngine::query_cohort(self, cfg, j);
+        Ok(score_pair(&di, &dj, diag, cfg.c))
     }
 
-    fn single_source(&self, diag: &[f64], cfg: &SimRankConfig, i: NodeId) -> Vec<f64> {
-        self.single_source_impl(diag, cfg, i)
+    fn single_source(
+        &self,
+        diag: &[f64],
+        cfg: &SimRankConfig,
+        i: NodeId,
+    ) -> Result<Vec<f64>, QueryError> {
+        Ok(self.single_source_impl(diag, cfg, i))
     }
 
     fn single_source_topk(
@@ -475,9 +491,9 @@ impl SimRankEngine for RddEngine {
         cfg: &SimRankConfig,
         i: NodeId,
         k: usize,
-    ) -> Vec<(NodeId, f64)> {
+    ) -> Result<Vec<(NodeId, f64)>, QueryError> {
         let scores = self.single_source_impl(diag, cfg, i);
-        topk_from_dense(&scores, i, k)
+        Ok(topk_from_dense(&scores, i, k))
     }
 
     fn cluster_report(&self) -> Option<ClusterReport> {
@@ -539,12 +555,12 @@ mod tests {
         let diag = out.diag.as_slice();
 
         assert_eq!(
-            eng.single_pair(diag, &cfg, 4, 70),
+            eng.single_pair(diag, &cfg, 4, 70).unwrap(),
             crate::queries::single_pair(&g, diag, &cfg, 4, 70),
             "MCSP bitwise"
         );
         let rci = ReverseChainIndex::build(&g);
-        let ss_r = eng.single_source(diag, &cfg, 4);
+        let ss_r = eng.single_source(diag, &cfg, 4).unwrap();
         let ss_l = crate::queries::single_source(&g, &rci, diag, &cfg, 4);
         for (idx, (a, b)) in ss_r.iter().zip(&ss_l).enumerate() {
             assert!((a - b).abs() < 1e-12, "MCSS node {idx}: {a} vs {b}");

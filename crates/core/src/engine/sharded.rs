@@ -27,6 +27,7 @@
 //! `rank_topk` tie-break order.
 
 use crate::ai::ai_row;
+use crate::api::QueryError;
 use crate::config::{AiStrategy, SimRankConfig};
 use crate::diag::DiagonalIndex;
 use crate::engine::{BuildOutcome, EngineFootprint, SimRankEngine};
@@ -146,8 +147,9 @@ impl ShardedEngine {
     /// A single global `rank_topk` would give the same answer (the tests
     /// assert exactly that); the split-rank-merge shape is deliberate —
     /// it is the distributed top-`k` plan, where each shard ranks locally
-    /// and only `k` candidates ever cross the wire, exercised here on one
-    /// box so the RPC substrate inherits a proven merge.
+    /// and only `k` candidates ever cross the wire. [`topk_lists`] is the
+    /// per-shard half; the RPC substrate runs it worker-side and merges
+    /// on the coordinator with the very same [`merge_ranked`].
     fn single_source_topk_impl(
         &self,
         diag: &[f64],
@@ -155,17 +157,36 @@ impl ShardedEngine {
         i: NodeId,
         k: usize,
     ) -> Vec<(NodeId, f64)> {
-        let dists = self.cohort(i, WalkParams::new(cfg.t, cfg.r_query), query_seed(cfg));
-        let acc = sparse_masses_on(&self.view, &dists, diag, cfg);
-        let partitioner = self.view.partitioner();
-        let mut by_shard: Vec<Vec<(NodeId, f64)>> = vec![Vec::new(); self.shards()];
-        for (node, mass) in acc.iter() {
-            by_shard[partitioner.owner(node) as usize].push((node, mass));
-        }
-        let ranked: Vec<Vec<(NodeId, f64)>> =
-            by_shard.into_par_iter().map(|entries| rank_topk(entries, i, k)).collect();
-        merge_ranked(&ranked, k)
+        merge_ranked(&topk_lists(&self.view, diag, cfg, i, k), k)
     }
+}
+
+/// The routed stage of the distributed top-`k` plan: simulate `i`'s
+/// cohort on `view`, accumulate the sparse masses, split the candidates
+/// by owning partition, and rank each split with [`rank_topk`] — one
+/// already-sorted list per partition, ready for [`merge_ranked`].
+/// Shared verbatim by [`ShardedEngine`] (merge in the same call) and the
+/// distributed worker (lists cross the wire first).
+pub(crate) fn topk_lists(
+    view: &PartitionedView,
+    diag: &[f64],
+    cfg: &SimRankConfig,
+    i: NodeId,
+    k: usize,
+) -> Vec<Vec<(NodeId, f64)>> {
+    let dists = reverse_walk_distributions_on(
+        view,
+        i,
+        WalkParams::new(cfg.t, cfg.r_query),
+        query_seed(cfg),
+    );
+    let acc = sparse_masses_on(view, &dists, diag, cfg);
+    let partitioner = view.partitioner();
+    let mut by_shard: Vec<Vec<(NodeId, f64)>> = vec![Vec::new(); view.partitions().len()];
+    for (node, mass) in acc.iter() {
+        by_shard[partitioner.owner(node) as usize].push((node, mass));
+    }
+    by_shard.into_par_iter().map(|entries| rank_topk(entries, i, k)).collect()
 }
 
 /// [`RowSource`] over rows materialised per shard: row `i` lives in the
@@ -214,8 +235,10 @@ impl RowSource for ShardRecomputedRows<'_> {
 /// K-way merge of per-shard rankings, each already sorted by
 /// [`ranking_cmp`]; picks the globally best head until `k` entries are out.
 /// Equivalent to ranking the union through [`rank_topk`] because the
-/// comparator is a total order over unique node ids.
-fn merge_ranked(lists: &[Vec<(NodeId, f64)>], k: usize) -> Vec<(NodeId, f64)> {
+/// comparator is a total order over unique node ids. The distributed
+/// coordinator merges its workers' [`topk_lists`] through this exact
+/// function.
+pub(crate) fn merge_ranked(lists: &[Vec<(NodeId, f64)>], k: usize) -> Vec<(NodeId, f64)> {
     let mut heads = vec![0usize; lists.len()];
     let mut out = Vec::with_capacity(k.min(lists.iter().map(Vec::len).sum()));
     while out.len() < k {
@@ -257,21 +280,37 @@ impl SimRankEngine for ShardedEngine {
         Ok(BuildOutcome { diag, strategy, residuals, rows_bytes, cluster: None })
     }
 
-    fn query_cohort(&self, cfg: &SimRankConfig, source: NodeId) -> StepDistributions {
-        self.cohort(source, WalkParams::new(cfg.t, cfg.r_query), query_seed(cfg))
+    fn query_cohort(
+        &self,
+        cfg: &SimRankConfig,
+        source: NodeId,
+    ) -> Result<StepDistributions, QueryError> {
+        Ok(self.cohort(source, WalkParams::new(cfg.t, cfg.r_query), query_seed(cfg)))
     }
 
-    fn single_pair(&self, diag: &[f64], cfg: &SimRankConfig, i: NodeId, j: NodeId) -> f64 {
+    fn single_pair(
+        &self,
+        diag: &[f64],
+        cfg: &SimRankConfig,
+        i: NodeId,
+        j: NodeId,
+    ) -> Result<f64, QueryError> {
         if i == j {
-            return 1.0;
+            return Ok(1.0);
         }
-        let di = self.query_cohort(cfg, i);
-        let dj = self.query_cohort(cfg, j);
-        score_pair(&di, &dj, diag, cfg.c)
+        let params = WalkParams::new(cfg.t, cfg.r_query);
+        let di = self.cohort(i, params, query_seed(cfg));
+        let dj = self.cohort(j, params, query_seed(cfg));
+        Ok(score_pair(&di, &dj, diag, cfg.c))
     }
 
-    fn single_source(&self, diag: &[f64], cfg: &SimRankConfig, i: NodeId) -> Vec<f64> {
-        self.single_source_impl(diag, cfg, i)
+    fn single_source(
+        &self,
+        diag: &[f64],
+        cfg: &SimRankConfig,
+        i: NodeId,
+    ) -> Result<Vec<f64>, QueryError> {
+        Ok(self.single_source_impl(diag, cfg, i))
     }
 
     fn single_source_topk(
@@ -280,8 +319,8 @@ impl SimRankEngine for ShardedEngine {
         cfg: &SimRankConfig,
         i: NodeId,
         k: usize,
-    ) -> Vec<(NodeId, f64)> {
-        self.single_source_topk_impl(diag, cfg, i, k)
+    ) -> Result<Vec<(NodeId, f64)>, QueryError> {
+        Ok(self.single_source_topk_impl(diag, cfg, i, k))
     }
 
     fn cluster_report(&self) -> Option<ClusterReport> {
@@ -352,7 +391,7 @@ mod tests {
         for shards in [1u32, 2, 5] {
             let eng = ShardedEngine::new(&g, shards);
             assert_eq!(
-                SimRankEngine::query_cohort(&eng, &cfg, 9),
+                SimRankEngine::query_cohort(&eng, &cfg, 9).unwrap(),
                 queries::query_cohort(&g, &cfg, 9),
                 "{shards} shards"
             );
@@ -369,17 +408,17 @@ mod tests {
         for shards in [1u32, 4] {
             let eng = ShardedEngine::new(&g, shards);
             assert_eq!(
-                eng.single_pair(diag, &cfg, 4, 70),
+                eng.single_pair(diag, &cfg, 4, 70).unwrap(),
                 queries::single_pair(&g, diag, &cfg, 4, 70),
                 "MCSP, {shards} shards"
             );
             assert_eq!(
-                eng.single_source(diag, &cfg, 4),
+                eng.single_source(diag, &cfg, 4).unwrap(),
                 queries::single_source(&g, &rci, diag, &cfg, 4),
                 "MCSS, {shards} shards"
             );
             assert_eq!(
-                eng.single_source_topk(diag, &cfg, 4, 10),
+                eng.single_source_topk(diag, &cfg, 4, 10).unwrap(),
                 queries::single_source_topk(&g, &rci, diag, &cfg, 4, 10),
                 "top-k, {shards} shards"
             );

@@ -464,24 +464,29 @@ impl QuerySession {
         &self.shards[(h >> 32) as usize % self.shards.len()]
     }
 
-    fn cohort(&self, v: NodeId) -> Arc<StepDistributions> {
+    /// The cached cohort of `v`, fallible end to end: an engine failure
+    /// (a distributed worker dying mid-query) propagates as its typed
+    /// [`QueryError`] instead of panicking a serving thread.
+    fn cohort(&self, v: NodeId) -> Result<Arc<StepDistributions>, QueryError> {
         loop {
-            if let Some(c) = self.cohort_once(v) {
-                return c;
+            if let Some(c) = self.cohort_once(v)? {
+                return Ok(c);
             }
             // The flight this lookup joined was abandoned (its leader
-            // panicked); retry — the next round hits the cache, joins a
-            // newer flight, or becomes the leader itself.
+            // panicked or failed); retry — the next round hits the cache,
+            // joins a newer flight, or becomes the leader itself (and
+            // surfaces the leader's error as its own, if it persists).
         }
     }
 
-    /// One attempt at a cached cohort lookup; `None` when the joined
-    /// in-flight simulation was abandoned by a panicking leader.
-    fn cohort_once(&self, v: NodeId) -> Option<Arc<StepDistributions>> {
+    /// One attempt at a cached cohort lookup; `Ok(None)` when the joined
+    /// in-flight simulation was abandoned by a panicking or failing
+    /// leader.
+    fn cohort_once(&self, v: NodeId) -> Result<Option<Arc<StepDistributions>>, QueryError> {
         let shard = self.shard_of(v);
         if let Some(c) = shard.lock().expect("shard poisoned").get(v) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return Some(c);
+            return Ok(Some(c));
         }
         // Miss: join the in-flight simulation for this node, or become it.
         // Without this guard, N concurrent misses on one node simulated
@@ -494,7 +499,7 @@ impl QuerySession {
             // authoritative.
             if let Some(c) = shard.lock().expect("shard poisoned").get(v) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
-                return Some(c);
+                return Ok(Some(c));
             }
             match inflight.entry(v) {
                 Entry::Occupied(e) => (Arc::clone(e.get()), false),
@@ -513,9 +518,9 @@ impl QuerySession {
                         // Coalesced onto the in-flight simulation: no walk
                         // work done by this lookup, so it counts as a hit.
                         self.hits.fetch_add(1, Ordering::Relaxed);
-                        return Some(Arc::clone(c));
+                        return Ok(Some(Arc::clone(c)));
                     }
-                    FlightState::Abandoned => return None,
+                    FlightState::Abandoned => return Ok(None),
                     FlightState::Pending => {
                         state = flight.ready.wait(state).expect("flight poisoned");
                     }
@@ -526,10 +531,11 @@ impl QuerySession {
         // nodes never serialise behind the walk simulation. The simulation
         // runs on the configured engine, so cluster modes account cohort
         // work in their ClusterReport. The guard abandons the flight if
-        // anything below unwinds.
+        // anything below unwinds — or if the engine fails typed (`?`):
+        // followers wake into a retry either way.
         let mut guard = FlightGuard { session: self, node: v, flight: &flight, published: false };
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let c = Arc::new(self.walker.query_cohort(v));
+        let c = Arc::new(self.walker.try_query_cohort(v)?);
         // Publish to the cache first (insert keeps a raced resident entry
         // and just refreshes recency), then release the followers and
         // clear the registry entry.
@@ -538,7 +544,7 @@ impl QuerySession {
         flight.ready.notify_all();
         self.inflight.lock().expect("inflight poisoned").remove(&v);
         guard.published = true;
-        Some(c)
+        Ok(Some(c))
     }
 
     #[inline]
@@ -547,14 +553,14 @@ impl QuerySession {
     }
 
     /// Both nodes already checked; `s(i, i) = 1` by definition.
-    fn single_pair_unchecked(&self, i: NodeId, j: NodeId) -> f64 {
+    fn single_pair_unchecked(&self, i: NodeId, j: NodeId) -> Result<f64, QueryError> {
         if i == j {
-            return 1.0;
+            return Ok(1.0);
         }
-        let di = self.cohort(i);
-        let dj = self.cohort(j);
+        let di = self.cohort(i)?;
+        let dj = self.cohort(j)?;
         let cfg = self.walker.config();
-        score_pair(&di, &dj, self.walker.diagonal().as_slice(), cfg.c).clamp(0.0, 1.0)
+        Ok(score_pair(&di, &dj, self.walker.diagonal().as_slice(), cfg.c).clamp(0.0, 1.0))
     }
 
     /// MCSP through the cache; numerically identical to
@@ -572,7 +578,7 @@ impl QuerySession {
     pub fn try_single_pair(&self, i: NodeId, j: NodeId) -> Result<f64, QueryError> {
         self.check_node(i)?;
         self.check_node(j)?;
-        Ok(self.single_pair_unchecked(i, j))
+        self.single_pair_unchecked(i, j)
     }
 
     /// Checked [`QuerySession::pairs_matrix`]: every node of `rows` and
@@ -587,14 +593,14 @@ impl QuerySession {
             return Err(QueryError::EmptyNodeSet);
         }
         rows.iter().chain(cols).try_for_each(|&v| self.check_node(v))?;
-        Ok(self.pairs_matrix(rows, cols))
+        self.pairs_matrix_impl(rows, cols)
     }
 
     /// The (cached) query cohort of `v` — checked access to the building
     /// block both MCSP and MCSS start from.
     pub fn try_cohort(&self, v: NodeId) -> Result<Arc<StepDistributions>, QueryError> {
         self.check_node(v)?;
-        Ok(self.cohort(v))
+        self.cohort(v)
     }
 
     /// Scores every pair from `rows × cols` in parallel. Each distinct
@@ -603,7 +609,23 @@ impl QuerySession {
     /// that is exactly once); larger requests are processed in cache-sized
     /// blocks so pinned cohorts never exceed the session's configured
     /// capacity. Entry `[r][c]` is `s(rows[r], cols[c])`.
+    ///
+    /// # Panics
+    /// Panics on an out-of-range node or an engine failure (a
+    /// distributed worker dying mid-warm-up); use
+    /// [`QuerySession::try_pairs_matrix`] for typed errors.
     pub fn pairs_matrix(&self, rows: &[NodeId], cols: &[NodeId]) -> Vec<Vec<f64>> {
+        self.pairs_matrix_impl(rows, cols).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible core of [`QuerySession::pairs_matrix`] — an engine
+    /// failure during any cohort warm-up aborts the matrix with its
+    /// typed error.
+    fn pairs_matrix_impl(
+        &self,
+        rows: &[NodeId],
+        cols: &[NodeId],
+    ) -> Result<Vec<Vec<f64>>, QueryError> {
         let capacity = self.capacity;
         let mut out = vec![vec![0.0f64; cols.len()]; rows.len()];
         // Block the matrix so at most ~capacity cohorts are pinned at once.
@@ -622,8 +644,10 @@ impl QuerySession {
                     .collect();
                 let cohorts: HashMap<NodeId, Arc<StepDistributions>> = distinct
                     .par_iter()
-                    .map(|&v| (v, self.cohort(v)))
+                    .map(|&v| self.cohort(v).map(|c| (v, c)))
                     .collect::<Vec<_>>()
+                    .into_iter()
+                    .collect::<Result<Vec<_>, _>>()?
                     .into_iter()
                     .collect();
                 let diag = self.walker.diagonal().as_slice();
@@ -654,7 +678,7 @@ impl QuerySession {
                 }
             }
         }
-        out
+        Ok(out)
     }
 
     /// MCSS through the engine (cohort caching does not apply to the
@@ -842,16 +866,17 @@ mod tests {
     }
 
     #[test]
-    fn panicking_leader_does_not_wedge_the_node() {
-        // Regression: a leader that unwinds mid-simulation must abandon
-        // its flight (waking followers into a retry) and clear its
-        // registry entry — not leave the node permanently in flight. The
-        // private `cohort` path bypasses the bounds check, so an
-        // out-of-range node makes the engine panic exactly where a
-        // poisoned simulation would.
+    fn failing_leader_does_not_wedge_the_node() {
+        // Regression: a leader whose simulation fails — typed engine
+        // error (a dead distributed worker) or unwind — must abandon its
+        // flight through the same guard (waking followers into a retry)
+        // and clear its registry entry, not leave the node permanently
+        // in flight. The private `cohort` path bypasses the serving
+        // bounds check, so an out-of-range node makes the engine fail
+        // exactly where a dead worker would.
         let session = QuerySession::new(engine(), 8);
-        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| session.cohort(10_000)));
-        assert!(r.is_err(), "out-of-range simulation must panic");
+        let err = session.cohort(10_000).unwrap_err();
+        assert!(matches!(err, QueryError::NodeOutOfRange { .. }), "{err}");
         assert_eq!(session.inflight.lock().unwrap().len(), 0, "no stale flight entry");
         // The session still serves: a fresh lookup becomes a fresh leader.
         session.try_cohort(5).unwrap();

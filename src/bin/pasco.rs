@@ -11,13 +11,18 @@
 //! pasco pairs    --graph g.bin --index g.idx --nodes 1,5,9 [--cache 1024]
 //! pasco convert  --in edges.txt --out g.bin      (edge list -> binary, or back)
 //! pasco serve    --graph g.bin --index g.idx --addr 127.0.0.1:7878
-//!                [--mode local|sharded|broadcast|rdd] [--cache N] [--workers N]
+//!                [--mode local|sharded|broadcast|rdd|distributed] [--cache N]
+//!                [--workers N]
 //! pasco query    --connect 127.0.0.1:7878 --kind sp --i 3 --j 99
 //! pasco query    --connect 127.0.0.1:7878 --kind shutdown   (drain the server)
+//! pasco worker   --addr 127.0.0.1:9000    (a SimRank worker process; drain it
+//!                with `pasco query --connect 127.0.0.1:9000 --kind shutdown`)
 //! ```
 //!
 //! Query subcommands also accept `--mode`/`--shards`, so a persisted index
-//! can be served from any substrate (e.g. `--mode sharded --shards 8`).
+//! can be served from any substrate (e.g. `--mode sharded --shards 8`), and
+//! `--mode distributed --workers host:port,host:port` runs the build and
+//! every query on real worker processes over TCP — bit-identical output.
 //!
 //! Graphs are read as the binary format when the file starts with the
 //! `PASCOGR1` magic, otherwise as a whitespace edge list.
@@ -35,6 +40,7 @@ use pasco::simrank::api::{QueryRequest, QueryResponse, QueryService};
 use pasco::simrank::{
     metrics, persist, CloudWalker, ExecMode, QuerySession, SessionConfig, SimRankConfig,
 };
+use pasco::worker::{PascoWorker, WorkerConfig};
 use std::collections::HashMap;
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -57,6 +63,7 @@ fn main() -> ExitCode {
         "convert" => cmd_convert(&flags),
         "serve" => cmd_serve(&flags),
         "query" => cmd_query(&flags),
+        "worker" => cmd_worker(&flags),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");
             Ok(())
@@ -79,8 +86,10 @@ USAGE:
   pasco generate --model <er|ba|rmat|ws> --out <file> [--nodes N] [--scale S]
                  [--edges M] [--seed N]
   pasco stats    --graph <file>
-  pasco index    --graph <file> --out <file> [--mode local|sharded|broadcast|rdd]
-                 [--shards N] [--seed N] [--c F] [--t N] [--l N] [--r N]
+  pasco index    --graph <file> --out <file>
+                 [--mode local|sharded|broadcast|rdd|distributed]
+                 [--shards N] [--workers host:port,...]
+                 [--seed N] [--c F] [--t N] [--l N] [--r N]
   pasco sp       --graph <file> --index <file> --i <node> --j <node>
   pasco ss       --graph <file> --index <file> --i <node> [--top K]
                  [--estimator walk|push]
@@ -88,16 +97,25 @@ USAGE:
   pasco pairs    --graph <file> --index <file> --nodes <a,b,c,...> [--cache N]
   pasco convert  --in <file> --out <file>   (.txt <-> .bin by extension)
   pasco serve    --graph <file> --index <file> --addr <host:port>
-                 [--mode local|sharded|broadcast|rdd] [--shards N]
+                 [--mode local|sharded|broadcast|rdd|distributed] [--shards N]
                  [--cache N] [--cache-ttl-secs S] [--cache-bytes B]
                  [--workers N] [--max-frame BYTES]
+                 (distributed: --workers host:port,... and --pool N for the
+                 server's execution pool)
   pasco query    --connect <host:port> --kind <sp|ss|topk|shutdown>
                  [--i N] [--j N] [--k K (topk)] [--top N (ss)]
+  pasco worker   --addr <host:port> [--max-frame BYTES]
 
   Query subcommands (sp/ss/topk/pairs) also accept --mode/--shards to pick
   the serving substrate; results are bit-identical across substrates —
   including over the network: `pasco serve` + `pasco query --connect`
   speak the versioned envelope protocol over TCP.
+
+  A real cluster: start `pasco worker` processes, then run index/sp/ss/
+  topk/pairs/serve with `--mode distributed --workers host:port,host:port`.
+  The coordinator ships one graph partition per worker and routes every
+  query to its owner; answers stay bit-identical to --mode local. Drain a
+  worker with `pasco query --connect <worker> --kind shutdown`.
 ";
 
 type Flags = HashMap<String, String>;
@@ -212,7 +230,19 @@ fn exec_mode(flags: &Flags) -> Result<ExecMode, String> {
             }
             Ok(ExecMode::Sharded { shards })
         }
-        other => Err(format!("unknown mode `{other}` (local|sharded|broadcast|rdd)")),
+        "distributed" => {
+            let workers: Vec<String> = get(flags, "workers")
+                .map_err(|_| "--mode distributed needs --workers host:port,host:port,...")?
+                .split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect();
+            if workers.is_empty() {
+                return Err("--workers needs at least one address".into());
+            }
+            Ok(ExecMode::Distributed { workers })
+        }
+        other => Err(format!("unknown mode `{other}` (local|sharded|broadcast|rdd|distributed)")),
     }
 }
 
@@ -240,6 +270,28 @@ fn cmd_index(flags: &Flags) -> Result<(), String> {
             human_bytes(per_shard.iter().sum()),
             human_bytes(max)
         );
+    }
+    if let Some(stats) = cw.worker_stats() {
+        for (w, s) in stats.iter().enumerate() {
+            match s {
+                Ok(s) => println!(
+                    "worker {}: owns {} nodes ({}), {} resident, {} builds",
+                    s.owned_part,
+                    s.owned_nodes,
+                    human_bytes(s.owned_bytes),
+                    human_bytes(s.resident_bytes),
+                    s.builds
+                ),
+                Err(e) => println!("worker {w}: UNREACHABLE ({e})"),
+            }
+        }
+        if let Some(report) = cw.cluster_report() {
+            println!(
+                "wire: {} shuffled over {} messages",
+                human_bytes(report.shuffle_bytes),
+                report.shuffle_records
+            );
+        }
     }
     Ok(())
 }
@@ -381,9 +433,16 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         return Err("--cache must be positive".into());
     }
     let mut session_cfg = SessionConfig::new(cache);
-    let workers: usize = get_num(flags, "workers", ServerConfig::default().workers)?;
+    // `--workers` means the execution pool size — except under
+    // `--mode distributed`, where it is the worker address list and the
+    // pool size moves to `--pool`.
+    let pool_flag = match exec_mode(flags)? {
+        ExecMode::Distributed { .. } => "pool",
+        _ => "workers",
+    };
+    let workers: usize = get_num(flags, pool_flag, ServerConfig::default().workers)?;
     if workers == 0 {
-        return Err("--workers must be positive".into());
+        return Err(format!("--{pool_flag} must be positive"));
     }
     if flags.contains_key("cache-ttl-secs") {
         let secs: u64 = get_num(flags, "cache-ttl-secs", 0)?;
@@ -478,6 +537,27 @@ fn cmd_query(flags: &Flags) -> Result<(), String> {
         }
         other => return Err(format!("unknown query kind `{other}` (sp|ss|topk|shutdown)")),
     }
+    Ok(())
+}
+
+/// Boots a SimRank worker process: one partition owner of the
+/// distributed substrate, serving worker-control frames until a
+/// shutdown frame drains it.
+fn cmd_worker(flags: &Flags) -> Result<(), String> {
+    use std::io::Write as _;
+    let addr = get(flags, "addr")?;
+    let defaults = WorkerConfig::default();
+    let cfg = WorkerConfig {
+        max_frame_bytes: get_num(flags, "max-frame", defaults.max_frame_bytes)?,
+        ..defaults
+    };
+    let worker = PascoWorker::bind(addr, cfg).map_err(|e| format!("bind {addr}: {e}"))?;
+    println!("worker listening on {}", worker.local_addr());
+    // Scripts discover an ephemeral port from the line above: flush it
+    // even when stdout is a pipe.
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+    worker.run().map_err(|e| e.to_string())?;
+    println!("worker drained, shutting down");
     Ok(())
 }
 

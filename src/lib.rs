@@ -19,6 +19,7 @@
 //! | [`cluster`] | `pasco-cluster` | Spark-like runtime: broadcast, DistVec, shuffles |
 //! | [`simrank`] | `pasco-simrank` | CloudWalker indexing + MCSP/MCSS/MCAP queries, exact SimRank |
 //! | [`server`] | `pasco-server` | TCP front door: envelope protocol server + blocking client |
+//! | [`worker`] | `pasco-worker` | SimRank worker process: the distributed substrate's RPC half |
 //! | [`baselines`] | `pasco-baselines` | FMT (Fogaras-Racz) and LIN (Maehara) competitors |
 //!
 //! ## Quickstart
@@ -46,3 +47,4 @@ pub use pasco_mc as mc;
 pub use pasco_server as server;
 pub use pasco_simrank as simrank;
 pub use pasco_solver as solver;
+pub use pasco_worker as worker;

@@ -1,0 +1,383 @@
+//! Integration: the distributed substrate over **real loopback TCP**.
+//!
+//! The acceptance bar for the 5th engine: with `pasco_worker` processes
+//! spawned in-process on ephemeral loopback ports (same pattern as
+//! `tests/server.rs`), `ExecMode::Distributed` must produce results
+//! bit-identical to `ExecMode::Local` for every query kind — index,
+//! MCSP, dense MCSS, top-`k`, raw cohorts — at worker counts 1, 2 and
+//! 4, with the cluster accounting reporting real wire bytes. Worker
+//! death is a typed error (`QueryError::WorkerUnavailable` /
+//! `SimRankError::Query`), never a hang or a panic, and surviving
+//! workers keep answering.
+
+use pasco::graph::generators;
+use pasco::simrank::api::envelope::{Envelope, FrameKind, ServerInfo, DEFAULT_MAX_FRAME};
+use pasco::simrank::api::transport::{read_envelope, write_envelope};
+use pasco::simrank::api::wire::WireCodec;
+use pasco::simrank::api::worker::{LoadAck, LoadPartition};
+use pasco::simrank::{
+    CloudWalker, ExecMode, QueryError, QuerySession, SimRankConfig, SimRankError,
+};
+use pasco::worker::{PascoWorker, WorkerConfig, WorkerHandle};
+use proptest::prelude::*;
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A set of in-process loopback workers.
+struct Fleet {
+    addrs: Vec<String>,
+    handles: Vec<WorkerHandle>,
+    joins: Vec<JoinHandle<()>>,
+}
+
+fn spawn_fleet(count: usize) -> Fleet {
+    let mut fleet = Fleet { addrs: Vec::new(), handles: Vec::new(), joins: Vec::new() };
+    for _ in 0..count {
+        let worker = PascoWorker::bind("127.0.0.1:0", WorkerConfig::default()).unwrap();
+        fleet.addrs.push(worker.local_addr().to_string());
+        fleet.handles.push(worker.handle());
+        fleet.joins.push(std::thread::spawn(move || worker.run().unwrap()));
+    }
+    fleet
+}
+
+impl Fleet {
+    fn mode(&self) -> ExecMode {
+        ExecMode::Distributed { workers: self.addrs.clone() }
+    }
+
+    fn stop(self) {
+        for handle in &self.handles {
+            handle.shutdown();
+        }
+        for join in self.joins {
+            let _ = join.join();
+        }
+    }
+}
+
+#[test]
+fn distributed_is_bit_identical_to_local_at_worker_counts_1_2_4() {
+    for (gname, g) in [
+        ("ba", Arc::new(generators::barabasi_albert(150, 3, 7))),
+        ("rmat", Arc::new(generators::rmat(8, 1_600, generators::RmatParams::default(), 5))),
+    ] {
+        let cfg = SimRankConfig::fast().with_seed(17);
+        let local = CloudWalker::build(Arc::clone(&g), cfg, ExecMode::Local).unwrap();
+        for workers in [1usize, 2, 4] {
+            let fleet = spawn_fleet(workers);
+            let dist = CloudWalker::build(Arc::clone(&g), cfg, fleet.mode()).unwrap();
+            assert_eq!(dist.mode_name(), "distributed");
+            assert_eq!(local.diagonal(), dist.diagonal(), "{gname}: index, {workers} workers");
+            for &(i, j) in &[(0u32, 1u32), (5, 70), (33, 32)] {
+                assert_eq!(
+                    local.single_pair(i, j),
+                    dist.single_pair(i, j),
+                    "{gname}: MCSP ({i},{j}), {workers} workers"
+                );
+            }
+            for &s in &[0u32, 64, 149] {
+                assert_eq!(
+                    local.single_source(s),
+                    dist.single_source(s),
+                    "{gname}: dense MCSS source {s}, {workers} workers"
+                );
+                assert_eq!(
+                    local.single_source_topk(s, 10),
+                    dist.single_source_topk(s, 10),
+                    "{gname}: top-k source {s}, {workers} workers"
+                );
+                assert_eq!(
+                    local.query_cohort(s),
+                    dist.query_cohort(s),
+                    "{gname}: cohort {s}, {workers} workers"
+                );
+            }
+
+            // Real-wire accounting: partitions and queries moved actual
+            // encoded bytes.
+            let report = dist.cluster_report().expect("distributed substrate is accounted");
+            assert!(report.shuffle_bytes > 0, "wire bytes recorded");
+            assert!(report.shuffle_records > 0);
+            assert!(report.stages > 0, "build stage recorded");
+
+            // Worker stats: one per worker, owned nodes partition the
+            // graph, each served exactly one build.
+            let stats: Vec<_> = dist
+                .worker_stats()
+                .expect("distributed substrate reports workers")
+                .into_iter()
+                .collect::<Result<_, _>>()
+                .expect("all workers alive");
+            assert_eq!(stats.len(), workers.min(g.node_count() as usize));
+            assert_eq!(
+                stats.iter().map(|s| u64::from(s.owned_nodes)).sum::<u64>(),
+                u64::from(g.node_count()),
+                "{gname}: owned nodes cover the graph"
+            );
+            assert!(stats.iter().all(|s| s.builds == 1));
+            assert!(stats.iter().all(|s| s.owned_bytes <= s.resident_bytes));
+            assert!(local.worker_stats().is_none());
+
+            // The ownership breakdown matches the per-worker stats.
+            let footprints = dist.shard_footprints().expect("ownership breakdown");
+            assert_eq!(footprints.len(), stats.len());
+            fleet.stop();
+        }
+    }
+}
+
+#[test]
+fn persisted_index_serves_distributed_bit_identically() {
+    // The CLI query path: skip the build, serve a precomputed diagonal
+    // from workers (`from_index_with_mode`).
+    let g = Arc::new(generators::barabasi_albert(120, 3, 11));
+    let cfg = SimRankConfig::fast().with_seed(3);
+    let local = CloudWalker::build(Arc::clone(&g), cfg, ExecMode::Local).unwrap();
+    let fleet = spawn_fleet(2);
+    let dist = CloudWalker::from_index_with_mode(
+        Arc::clone(&g),
+        cfg,
+        local.diagonal().clone(),
+        fleet.mode(),
+    )
+    .unwrap();
+    assert_eq!(local.single_source_topk(4, 8), dist.single_source_topk(4, 8));
+    assert_eq!(local.single_pair(4, 90), dist.single_pair(4, 90));
+    // Several queries against one diagonal: after the first ships it,
+    // the rest ride the fingerprint — and answers stay identical.
+    for s in [1u32, 61, 119] {
+        assert_eq!(local.single_source_topk(s, 5), dist.single_source_topk(s, 5), "source {s}");
+    }
+    fleet.stop();
+}
+
+#[test]
+fn distributed_mode_rejects_empty_worker_list_and_dead_addresses() {
+    let g = Arc::new(generators::cycle(8));
+    let err = CloudWalker::build(
+        Arc::clone(&g),
+        SimRankConfig::fast(),
+        ExecMode::Distributed { workers: vec![] },
+    )
+    .unwrap_err();
+    assert!(matches!(err, SimRankError::InvalidConfig(_)), "{err}");
+
+    // A worker that is not there: typed connect failure, no hang.
+    let unused = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = unused.local_addr().unwrap().to_string();
+    drop(unused);
+    let err =
+        CloudWalker::build(g, SimRankConfig::fast(), ExecMode::Distributed { workers: vec![addr] })
+            .unwrap_err();
+    match err {
+        SimRankError::Query(QueryError::WorkerUnavailable { detail }) => {
+            assert!(detail.contains("connect"), "{detail}");
+        }
+        other => panic!("expected WorkerUnavailable, got {other}"),
+    }
+}
+
+/// A scripted rogue worker: speaks the protocol through the load phase,
+/// then drops the connection the moment the build starts — the
+/// deterministic stand-in for "worker process died mid-build".
+fn spawn_rogue_drops_on_build() -> (String, JoinHandle<()>) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let join = std::thread::spawn(move || {
+        let (stream, _) = listener.accept().unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        let hello = read_envelope(&mut reader, DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(hello.kind, FrameKind::Hello);
+        let info = ServerInfo { node_count: 0, max_frame_bytes: DEFAULT_MAX_FRAME };
+        write_envelope(&mut writer, &Envelope::hello_ack(&info)).unwrap();
+        loop {
+            let env = read_envelope(&mut reader, DEFAULT_MAX_FRAME).unwrap();
+            match env.kind {
+                FrameKind::LoadPartition => {
+                    let msg = LoadPartition::from_bytes(&env.payload).unwrap();
+                    let ack = LoadAck { resident_bytes: 0, loaded: msg.part_index + 1 };
+                    write_envelope(
+                        &mut writer,
+                        &Envelope::worker(FrameKind::LoadPartition, env.request_id, &ack),
+                    )
+                    .unwrap();
+                }
+                // Mid-build death: hang up without answering.
+                FrameKind::BuildShard => return,
+                other => panic!("rogue worker got {other:?}"),
+            }
+        }
+    });
+    (addr, join)
+}
+
+#[test]
+fn worker_dropping_mid_build_is_a_typed_error_not_a_hang() {
+    let g = Arc::new(generators::barabasi_albert(60, 3, 9));
+    let (addr, join) = spawn_rogue_drops_on_build();
+    let err =
+        CloudWalker::build(g, SimRankConfig::fast(), ExecMode::Distributed { workers: vec![addr] })
+            .unwrap_err();
+    match err {
+        SimRankError::Query(QueryError::WorkerUnavailable { detail }) => {
+            assert!(detail.contains("worker 0"), "{detail}");
+        }
+        other => panic!("expected WorkerUnavailable, got {other}"),
+    }
+    join.join().unwrap();
+}
+
+#[test]
+fn worker_dying_mid_serve_is_typed_and_survivors_keep_answering() {
+    let g = Arc::new(generators::barabasi_albert(100, 3, 13));
+    let cfg = SimRankConfig::fast().with_seed(9);
+    let local = CloudWalker::build(Arc::clone(&g), cfg, ExecMode::Local).unwrap();
+    let fleet = spawn_fleet(2);
+    let dist = CloudWalker::build(Arc::clone(&g), cfg, fleet.mode()).unwrap();
+    // Range partitioning over 100 nodes / 2 workers: worker 0 owns
+    // [0, 50), worker 1 owns [50, 100).
+    assert_eq!(local.single_source_topk(99, 5), dist.single_source_topk(99, 5));
+
+    // Kill worker 1 hard (sockets torn down, as a dead process would).
+    fleet.handles[1].kill();
+    let err = dist.try_single_source(99).unwrap_err();
+    assert!(matches!(err, QueryError::WorkerUnavailable { .. }), "{err}");
+    let err = dist.try_single_source_topk(60, 5).unwrap_err();
+    assert!(matches!(err, QueryError::WorkerUnavailable { .. }), "{err}");
+    // The same failure again: the dead link reports immediately, it
+    // does not retry into a hang.
+    let err = dist.try_query_cohort(99).unwrap_err();
+    assert!(matches!(err, QueryError::WorkerUnavailable { .. }), "{err}");
+
+    // Worker 0 is untouched: its sources still answer, bit-identically.
+    assert_eq!(local.single_source(7), dist.single_source(7));
+    assert_eq!(local.single_source_topk(7, 5), dist.single_source_topk(7, 5));
+    fleet.stop();
+}
+
+#[test]
+fn coordinator_reconnects_after_a_network_blip() {
+    // A broken *connection* is not a dead *worker*: the worker process
+    // keeps its loaded partitions and diagonal cache across reconnects,
+    // so the coordinator retries a fresh connection on a dead link —
+    // one typed failure, then service resumes bit-identically.
+    let g = Arc::new(generators::barabasi_albert(80, 3, 5));
+    let cfg = SimRankConfig::fast().with_seed(6);
+    let local = CloudWalker::build(Arc::clone(&g), cfg, ExecMode::Local).unwrap();
+    let fleet = spawn_fleet(2);
+    let dist = CloudWalker::build(Arc::clone(&g), cfg, fleet.mode()).unwrap();
+    assert_eq!(local.single_source_topk(70, 5), dist.single_source_topk(70, 5));
+
+    // Sever the sockets (worker processes stay up, state resident). The
+    // coordinator heals transparently: each link retries its request
+    // once over a fresh connection, so the caller sees no error at all
+    // — just bit-identical answers.
+    fleet.handles[0].sever_connections();
+    fleet.handles[1].sever_connections();
+    assert_eq!(local.single_source_topk(70, 5), dist.single_source_topk(70, 5));
+    assert_eq!(local.single_pair(3, 70), dist.single_pair(3, 70));
+    assert_eq!(local.single_source(12), dist.single_source(12));
+    fleet.stop();
+}
+
+#[test]
+fn session_serving_path_stays_typed_when_a_worker_dies() {
+    // The caching serving layer (what `pasco serve --mode distributed`
+    // actually runs) must degrade the same way the engine does: a dead
+    // worker is a typed error frame, never a panicked pool thread.
+    let g = Arc::new(generators::barabasi_albert(100, 3, 21));
+    let cfg = SimRankConfig::fast().with_seed(2);
+    let fleet = spawn_fleet(2);
+    let dist = Arc::new(CloudWalker::build(Arc::clone(&g), cfg, fleet.mode()).unwrap());
+    let session = QuerySession::new(Arc::clone(&dist), 16);
+    // Warm a worker-1-owned pair (nodes 50..100), then kill worker 1.
+    let warm = session.try_single_pair(99, 98).unwrap();
+    fleet.handles[1].kill();
+    // A fresh worker-1 cohort is a typed error (the single-flight guard
+    // abandons the flight instead of wedging followers)...
+    let err = session.try_single_pair(60, 61).unwrap_err();
+    assert!(matches!(err, QueryError::WorkerUnavailable { .. }), "{err}");
+    let err = session.try_cohort(60).unwrap_err();
+    assert!(matches!(err, QueryError::WorkerUnavailable { .. }), "{err}");
+    // ...while cached cohorts and the surviving worker keep serving.
+    assert_eq!(session.try_single_pair(99, 98).unwrap(), warm, "cache survives the fault");
+    assert!(session.try_single_pair(1, 2).is_ok(), "worker 0 still answers");
+    assert!(session.try_pairs_matrix(&[1, 60], &[2]).is_err(), "matrix fails typed too");
+    fleet.stop();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The worker count of the distributed engine never changes any
+    /// answer — the real-TCP mirror of PR 3's
+    /// `shard_count_never_changes_results`. Few cases (each spawns a
+    /// worker fleet), arbitrary graphs, seeds and worker counts.
+    #[test]
+    fn worker_count_never_changes_results(
+        edges in prop::collection::vec((0u32..30, 0u32..30), 0..120),
+        workers in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        use pasco::graph::GraphBuilder;
+        let mut b = GraphBuilder::new();
+        b.ensure_nodes(30);
+        for &(u, v) in &edges {
+            b.add_edge(u, v);
+        }
+        let g = Arc::new(b.build());
+        let cfg = SimRankConfig::fast().with_seed(seed).with_t(4).with_r(16).with_r_query(64);
+        let l = CloudWalker::build(Arc::clone(&g), cfg, ExecMode::Local).unwrap();
+        let fleet = spawn_fleet(workers);
+        let d = CloudWalker::build(Arc::clone(&g), cfg, fleet.mode()).unwrap();
+        prop_assert_eq!(l.diagonal(), d.diagonal());
+        prop_assert_eq!(l.single_pair(3, 17), d.single_pair(3, 17));
+        prop_assert_eq!(l.single_source(5), d.single_source(5));
+        prop_assert_eq!(l.single_source_topk(9, 6), d.single_source_topk(9, 6));
+        fleet.stop();
+    }
+}
+
+/// A raw-socket conformance check: the worker's load/ack exchange emits
+/// exactly the frames the protocol promises (kind echoed, id echoed,
+/// loaded counter monotone).
+#[test]
+fn load_acks_echo_kind_and_id_over_a_raw_socket() {
+    let g = generators::cycle(10);
+    let partitioner = pasco::graph::partition::Partitioner::range(10, 2);
+    let parts = pasco::graph::partitioned::partition_graph(&g, &partitioner);
+
+    let worker = PascoWorker::bind("127.0.0.1:0", WorkerConfig::default()).unwrap();
+    let addr = worker.local_addr();
+    let handle = worker.handle();
+    let join = std::thread::spawn(move || worker.run().unwrap());
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    write_envelope(&mut stream, &Envelope::hello()).unwrap();
+    assert_eq!(read_envelope(&mut reader, DEFAULT_MAX_FRAME).unwrap().kind, FrameKind::HelloAck);
+
+    for (q, part) in parts.iter().enumerate() {
+        let msg = LoadPartition {
+            n: 10,
+            parts: 2,
+            owned_part: 0,
+            part_index: q as u32,
+            partition: part.clone(),
+        };
+        let id = 100 + q as u64;
+        write_envelope(&mut stream, &Envelope::worker(FrameKind::LoadPartition, id, &msg)).unwrap();
+        let reply = read_envelope(&mut reader, DEFAULT_MAX_FRAME).unwrap();
+        assert_eq!(reply.kind, FrameKind::LoadPartition);
+        assert_eq!(reply.request_id, id);
+        let ack = LoadAck::from_bytes(&reply.payload).unwrap();
+        assert_eq!(ack.loaded, q as u32 + 1);
+        assert!(ack.resident_bytes > 0);
+    }
+    handle.shutdown();
+    join.join().unwrap();
+}
