@@ -131,6 +131,20 @@ impl PascoClient {
         Ok(client)
     }
 
+    /// Bounds every blocking socket read and write on this connection:
+    /// a server that stalls past `timeout` surfaces as
+    /// [`ClientError::Io`] (kind `WouldBlock`/`TimedOut`) instead of
+    /// hanging the caller forever. `None` — the default — blocks
+    /// indefinitely. The timeout is a property of the underlying socket,
+    /// so it covers reads and writes alike.
+    pub fn set_io_timeout(
+        &mut self,
+        timeout: Option<std::time::Duration>,
+    ) -> Result<(), ClientError> {
+        self.writer.set_read_timeout(timeout).map_err(ClientError::Io)?;
+        self.writer.set_write_timeout(timeout).map_err(ClientError::Io)
+    }
+
     /// What the server announced in its handshake: graph size (for
     /// client-side validation) and its frame-size limit.
     pub fn server_info(&self) -> ServerInfo {

@@ -1,7 +1,7 @@
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
-//! **The PASCO network front door**: a blocking TCP server and client
-//! speaking the versioned envelope protocol
+//! **The PASCO network front door**: an event-driven TCP server and a
+//! blocking client speaking the versioned envelope protocol
 //! ([`pasco_simrank::api::envelope`]) over any
 //! [`QueryService`](pasco_simrank::QueryService).
 //!
@@ -9,13 +9,18 @@
 //! top-`k` similarity as an online query service. This crate is that
 //! service boundary:
 //!
-//! * [`PascoServer`] — binds a `std::net::TcpListener` and serves any
-//!   `Arc<dyn QueryService>`, so the caching `QuerySession`, a bare
-//!   `CloudWalker`, and the sharded engine all plug in unchanged. Each
-//!   connection gets a framed read loop and a dedicated writer thread;
-//!   query execution runs on a bounded worker pool shared by all
-//!   connections, and responses are written as they finish — possibly
-//!   out of request order, matched by request id.
+//! * [`PascoServer`] — an epoll reactor (built on a thin syscall shim,
+//!   no external dependencies) that owns every connection socket in
+//!   nonblocking mode. One event loop runs accepts, handshakes,
+//!   resumable frame reassembly, response flushing, per-frame I/O
+//!   deadlines on a timer wheel, and drain orchestration; query
+//!   execution runs on a bounded worker pool shared by all connections,
+//!   and responses are written as they finish — possibly out of request
+//!   order, matched by request id. The wire protocol is byte-identical
+//!   to the original thread-per-connection server, but 256 idle
+//!   connections cost zero threads and zero wakeups, and a slowloris
+//!   peer costs one timer slot. `BENCH_serving.json` at the repo root
+//!   holds the measured before/after.
 //! * [`PascoClient`] — a blocking client with typed
 //!   [`query`](PascoClient::query) / [`query_batch`](PascoClient::query_batch)
 //!   entry points, explicit [`send`](PascoClient::send) /
@@ -25,7 +30,10 @@
 //!   usable, while transport faults poison the client until it is
 //!   reconnected.
 //! * [`transport`] — the shared frame I/O (header-validated reads that
-//!   never allocate for an oversize or malformed frame).
+//!   never allocate for an oversize or malformed frame), including the
+//!   resumable [`FrameDecoder`](transport::FrameDecoder) /
+//!   [`WriteQueue`](transport::WriteQueue) pair the reactor's
+//!   nonblocking state machines are built on.
 //!
 //! Protocol violations — bad magic, an unsupported version, a payload
 //! over the negotiated limit, an undecodable payload — close the
@@ -54,8 +62,21 @@
 
 pub mod client;
 pub mod server;
-pub mod transport;
+#[allow(unsafe_code)]
+mod sys;
+mod wheel;
+
+/// Frame I/O — re-exported from [`pasco_simrank::api::transport`], where
+/// it lives so the query server, the typed client, the SimRank worker
+/// runtime and the distributed coordinator all read and write frames
+/// through one implementation. Existing `pasco_server::transport::*`
+/// paths keep working.
+pub mod transport {
+    pub use pasco_simrank::api::transport::{
+        poll_envelope, read_envelope, write_envelope, FrameDecoder, TransportError, WriteQueue,
+    };
+}
 
 pub use client::{ClientError, PascoClient};
-pub use server::{PascoServer, ServerConfig, ServerHandle};
+pub use server::{PascoServer, ServerConfig, ServerHandle, ServerStats};
 pub use transport::TransportError;

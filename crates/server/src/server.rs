@@ -1,28 +1,45 @@
-//! [`PascoServer`]: the TCP front door over any [`QueryService`].
+//! [`PascoServer`]: the TCP front door over any [`QueryService`], built
+//! on a readiness-driven epoll reactor.
 //!
-//! Architecture per the crate docs: one accept loop, one reader thread
-//! per connection (frames in), one writer thread per connection (frames
-//! out), and a single bounded worker pool shared by every connection for
-//! query execution. The pool is the concurrency limit — a flood of
-//! connections cannot oversubscribe the engine — and its queue provides
-//! backpressure: when it is full, readers stop pulling requests off
-//! their sockets.
+//! One event loop owns every connection socket in nonblocking mode:
+//! accepts, handshakes, frame reassembly (via the shared resumable
+//! [`FrameDecoder`]), response flushing (via [`WriteQueue`]), per-frame
+//! I/O deadlines (a timer wheel — armed only while a connection is
+//! mid-handshake, mid-frame, or has unflushed output, so an idle server
+//! sleeps in `epoll_wait` indefinitely: zero wakeups, zero reads), and
+//! drain orchestration. Query execution stays on a bounded worker pool:
+//! the reactor hands decoded requests to the pool and the pool hands
+//! completed envelopes back through a completion queue plus an eventfd
+//! wake, so responses are written in *completion* order — a cheap query
+//! overtakes an expensive one on the same connection, and the client
+//! matches answers by request id, exactly as before.
 //!
-//! Responses carry the id of the request they answer and are written in
-//! *completion* order, not arrival order: a cheap query overtakes an
-//! expensive one on the same connection, and the client matches them
-//! back up by id.
+//! Backpressure is per connection: a client may keep at most
+//! `workers * 4` requests in flight; past that the reactor parks the
+//! connection's read interest until completions drain it, so a flood of
+//! pipelined requests cannot oversubscribe memory while the pool bounds
+//! engine concurrency globally.
+//!
+//! Shutdown — a client [`FrameKind::Shutdown`] frame or
+//! [`ServerHandle::shutdown`] — stops accepting, finishes every in-flight
+//! request, writes each connection its answers and a goodbye, and returns
+//! from [`PascoServer::run`]. The handle wakes the loop through the
+//! eventfd, which works identically on wildcard binds (the old
+//! implementation had to fake a client over loopback).
 
-use crate::transport::{poll_envelope, write_envelope, TransportError};
+use crate::sys::{Epoll, Event, WakeFd, EVENT_ERR, EVENT_HUP, EVENT_IN, EVENT_OUT, EVENT_RDHUP};
+use crate::wheel::{Deadline, TimerWheel};
 use pasco_simrank::api::envelope::{Envelope, FrameKind, ServerInfo, DEFAULT_MAX_FRAME};
+use pasco_simrank::api::transport::{FrameDecoder, WriteQueue};
 use pasco_simrank::{QueryError, QueryRequest, QueryService};
-use std::io::{BufReader, BufWriter, Write as _};
-use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{self, Receiver, Sender, SyncSender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::io::{self, Read};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::{Arc, Mutex};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Tunables of a [`PascoServer`].
 #[derive(Clone, Copy, Debug)]
@@ -34,12 +51,15 @@ pub struct ServerConfig {
     /// handshake). Frames announcing more are rejected before any
     /// allocation and the offending connection is closed.
     pub max_frame_bytes: u32,
-    /// How often an idle connection checks for a server drain.
-    pub poll_interval: Duration,
-    /// Once a frame has started, each read must make progress within
-    /// this long; a peer stalling mid-frame is dropped instead of
-    /// pinning a connection thread forever.
+    /// Per-frame progress deadline: a handshake, an inbound frame, or a
+    /// queued response that does not complete within this long gets its
+    /// connection dropped — a slowloris peer costs one timer slot, not a
+    /// thread.
     pub io_timeout: Duration,
+    /// Most connections served at once; an accept beyond this is closed
+    /// immediately (counted in [`ServerStats::refused`]) instead of
+    /// degrading everyone.
+    pub max_conns: usize,
 }
 
 impl Default for ServerConfig {
@@ -47,51 +67,69 @@ impl Default for ServerConfig {
         Self {
             workers: 4,
             max_frame_bytes: DEFAULT_MAX_FRAME,
-            poll_interval: Duration::from_millis(25),
             io_timeout: Duration::from_secs(10),
+            max_conns: 1024,
         }
     }
 }
 
-/// One unit of pool work: a decoded request plus the route back to its
-/// connection's writer.
-struct Job {
-    id: u64,
-    req: QueryRequest,
-    out: Sender<Envelope>,
-    progress: Arc<Progress>,
+/// Monotonic counters of a running server, readable from any thread via
+/// [`ServerHandle::stats`]. Zero-cost observability for tests and ops:
+/// the idle-wakeup guarantee ("no reads between requests") is asserted
+/// against exactly these numbers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub accepted: u64,
+    /// Connections refused at the `max_conns` cap.
+    pub refused: u64,
+    /// `read(2)` calls issued on connection sockets (including ones that
+    /// returned would-block). An idle server adds zero.
+    pub reads: u64,
+    /// Request frames decoded and handed to the pool.
+    pub requests: u64,
+    /// Response/error envelopes queued back to clients.
+    pub responses: u64,
+    /// Connections dropped on a missed per-frame deadline.
+    pub timeouts: u64,
+    /// Times the event loop woke from `epoll_wait`.
+    pub wakeups: u64,
 }
 
-/// Counts completed jobs of one connection so its reader can drain
-/// before acknowledging a shutdown.
 #[derive(Default)]
-struct Progress {
-    done: Mutex<u64>,
-    changed: Condvar,
+struct StatCells {
+    accepted: AtomicU64,
+    refused: AtomicU64,
+    reads: AtomicU64,
+    requests: AtomicU64,
+    responses: AtomicU64,
+    timeouts: AtomicU64,
+    wakeups: AtomicU64,
 }
 
-impl Progress {
-    fn complete(&self) {
-        *self.done.lock().expect("progress poisoned") += 1;
-        self.changed.notify_all();
-    }
-
-    /// Blocks until `issued` jobs have completed.
-    fn wait_for(&self, issued: u64) {
-        let mut done = self.done.lock().expect("progress poisoned");
-        while *done < issued {
-            done = self.changed.wait(done).expect("progress poisoned");
+impl StatCells {
+    fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            refused: self.refused.load(Ordering::Relaxed),
+            reads: self.reads.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            responses: self.responses.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            wakeups: self.wakeups.load(Ordering::Relaxed),
         }
     }
 }
 
-/// A clonable remote control for a running server: its bound address and
-/// a way to stop it programmatically (the wire equivalent is a client
-/// [`FrameKind::Shutdown`] frame).
+/// A clonable remote control for a running server: its bound address, its
+/// live counters, and a way to stop it programmatically (the wire
+/// equivalent is a client [`FrameKind::Shutdown`] frame).
 #[derive(Clone)]
 pub struct ServerHandle {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
+    waker: WakeFd,
+    stats: Arc<StatCells>,
 }
 
 impl ServerHandle {
@@ -101,40 +139,23 @@ impl ServerHandle {
     }
 
     /// Requests a drain: in-flight queries finish, connected clients get
-    /// a goodbye frame, the accept loop stops, and
-    /// [`PascoServer::run`] returns.
+    /// their answers and a goodbye frame, the accept loop stops, and
+    /// [`PascoServer::run`] returns. Wakes the reactor through its
+    /// eventfd — no connection is made, so this works identically on
+    /// wildcard (`0.0.0.0` / `::`) binds.
     pub fn shutdown(&self) {
         self.stop.store(true, Ordering::Release);
-        // Unblock the accept loop; the no-op connection is discarded by
-        // the stop check at the top of the loop. A wildcard bind
-        // (0.0.0.0 / ::) is not connectable everywhere, so wake through
-        // loopback on the bound port — and never block the caller on an
-        // unresponsive route.
-        let mut wake = self.addr;
-        if wake.ip().is_unspecified() {
-            wake.set_ip(match self.addr {
-                SocketAddr::V4(_) => IpAddr::V4(Ipv4Addr::LOCALHOST),
-                SocketAddr::V6(_) => IpAddr::V6(Ipv6Addr::LOCALHOST),
-            });
-        }
-        let _ = TcpStream::connect_timeout(&wake, Duration::from_secs(1));
+        self.waker.wake();
+    }
+
+    /// A snapshot of the server's monotonic counters.
+    pub fn stats(&self) -> ServerStats {
+        self.stats.snapshot()
     }
 
     fn is_stopping(&self) -> bool {
         self.stop.load(Ordering::Acquire)
     }
-}
-
-/// Why a connection's read loop ended; decides the close-out behaviour.
-enum ConnEnd {
-    /// The client asked the whole server to drain: goodbye after the
-    /// drain, then stop accepting.
-    ClientShutdown,
-    /// Another connection (or [`ServerHandle::shutdown`]) is draining
-    /// the server: goodbye after the drain.
-    ServerStopping,
-    /// The client went away or broke protocol: close without ceremony.
-    Dropped,
 }
 
 /// A bound, not-yet-running TCP server over one [`QueryService`].
@@ -153,11 +174,17 @@ impl PascoServer {
         addr: impl ToSocketAddrs,
         svc: Arc<dyn QueryService>,
         cfg: ServerConfig,
-    ) -> std::io::Result<Self> {
+    ) -> io::Result<Self> {
         assert!(cfg.workers > 0, "need at least one worker");
+        assert!(cfg.max_conns > 0, "need room for at least one connection");
+        assert!(!cfg.io_timeout.is_zero(), "io_timeout must be positive");
         let listener = TcpListener::bind(addr)?;
-        let handle =
-            ServerHandle { addr: listener.local_addr()?, stop: Arc::new(AtomicBool::new(false)) };
+        let handle = ServerHandle {
+            addr: listener.local_addr()?,
+            stop: Arc::new(AtomicBool::new(false)),
+            waker: WakeFd::new()?,
+            stats: Arc::new(StatCells::default()),
+        };
         Ok(PascoServer { listener, svc, cfg, handle })
     }
 
@@ -172,52 +199,65 @@ impl PascoServer {
         self.handle.clone()
     }
 
-    /// Serves until drained: accepts connections, runs their queries on
-    /// the shared pool, and returns once a shutdown frame (or
-    /// [`ServerHandle::shutdown`]) has stopped the accept loop and every
-    /// connection has closed out.
-    pub fn run(self) -> std::io::Result<()> {
+    /// Serves until drained: runs the reactor, executing queries on the
+    /// shared pool, and returns once a shutdown frame (or
+    /// [`ServerHandle::shutdown`]) has drained every connection.
+    pub fn run(self) -> io::Result<()> {
         let info = ServerInfo {
             node_count: self.svc.node_count(),
             max_frame_bytes: self.cfg.max_frame_bytes,
         };
-        // The bounded job queue all readers feed and all workers drain.
-        let (job_tx, job_rx) = mpsc::sync_channel::<Job>(self.cfg.workers.saturating_mul(4));
+        let (job_tx, job_rx) = mpsc::channel::<Job>();
         let job_rx = Arc::new(Mutex::new(job_rx));
+        let completions: Arc<Mutex<Vec<Completion>>> = Arc::default();
         let workers: Vec<_> = (0..self.cfg.workers)
             .map(|_| {
                 let rx = Arc::clone(&job_rx);
                 let svc = Arc::clone(&self.svc);
+                let done = Arc::clone(&completions);
+                let waker = self.handle.waker.clone();
                 let max_frame = self.cfg.max_frame_bytes;
-                thread::spawn(move || worker_loop(&rx, svc.as_ref(), max_frame))
+                thread::spawn(move || worker_loop(&rx, svc.as_ref(), &done, &waker, max_frame))
             })
             .collect();
 
-        let mut conns = Vec::new();
-        for stream in self.listener.incoming() {
-            if self.handle.is_stopping() {
-                break;
-            }
-            let Ok(stream) = stream else { continue };
-            let jobs = job_tx.clone();
-            let handle = self.handle.clone();
-            let cfg = self.cfg;
-            conns.push(thread::spawn(move || handle_conn(stream, info, &jobs, &handle, cfg)));
-        }
-        // Readers drain their in-flight work before exiting; workers exit
-        // once every job sender (one per connection, plus ours) is gone.
-        for conn in conns {
-            let _ = conn.join();
-        }
-        drop(job_tx);
+        let result =
+            Reactor::new(self.listener, info, self.cfg, self.handle.clone(), job_tx, completions)
+                .and_then(Reactor::run);
+
+        // With the reactor gone its job sender is dropped: workers finish
+        // what is queued, see the disconnect, and exit.
         for worker in workers {
             let _ = worker.join();
         }
-        Ok(())
+        result
     }
 }
 
-fn worker_loop(rx: &Mutex<Receiver<Job>>, svc: &dyn QueryService, max_frame: u32) {
+/// One unit of pool work: a decoded request plus the connection slot
+/// (and its epoch, so an answer for a closed-and-reused slot is
+/// discarded rather than misdelivered).
+struct Job {
+    token: usize,
+    epoch: u32,
+    id: u64,
+    req: QueryRequest,
+}
+
+/// A finished query on its way back to the reactor.
+struct Completion {
+    token: usize,
+    epoch: u32,
+    env: Envelope,
+}
+
+fn worker_loop(
+    rx: &Mutex<Receiver<Job>>,
+    svc: &dyn QueryService,
+    done: &Mutex<Vec<Completion>>,
+    waker: &WakeFd,
+    max_frame: u32,
+) {
     loop {
         // Standard pool pickup: the mutex serialises only the dequeue,
         // execution runs unlocked and in parallel.
@@ -225,7 +265,7 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>, svc: &dyn QueryService, max_frame: u32
             Ok(rx) => rx.recv(),
             Err(_) => return,
         };
-        let Ok(Job { id, req, out, progress }) = job else { return };
+        let Ok(Job { token, epoch, id, req }) = job else { return };
         let mut env = match svc.execute(req) {
             Ok(resp) => Envelope::response(id, &resp),
             // A typed failure is an answer, not a fault: it travels back
@@ -241,132 +281,515 @@ fn worker_loop(rx: &Mutex<Receiver<Job>>, svc: &dyn QueryService, max_frame: u32
             let err = QueryError::ResponseTooLarge { bytes: env.payload.len() as u64, max_frame };
             env = Envelope::error(id, &err);
         }
-        // The connection may have closed while we computed; that loses
-        // the response, never the server.
-        let _ = out.send(env);
-        progress.complete();
+        let first = match done.lock() {
+            Ok(mut done) => {
+                let first = done.is_empty();
+                done.push(Completion { token, epoch, env });
+                first
+            }
+            Err(_) => return,
+        };
+        // One wake per queue transition, not per completion: the reactor
+        // drains the whole queue each time it services the eventfd, so
+        // completions that pile up behind an unserviced wake need none of
+        // their own. Under load this coalesces most wake syscalls away.
+        if first {
+            waker.wake();
+        }
     }
 }
 
-/// Serves one connection: handshake, then the read loop. Returns when
-/// the connection is fully closed out.
-fn handle_conn(
+/// Where a connection is in its lifecycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ConnState {
+    /// Waiting for the opening Hello (deadline armed from accept).
+    Handshake,
+    /// Normal operation: requests in, responses out.
+    Serving,
+    /// No more reads; once `in_flight` hits zero a goodbye is queued and
+    /// the connection closes after its output flushes.
+    Draining,
+}
+
+struct Conn {
     stream: TcpStream,
+    epoch: u32,
+    state: ConnState,
+    decoder: FrameDecoder,
+    out: WriteQueue,
+    /// Requests handed to the pool whose answers have not yet been
+    /// queued onto `out`.
+    in_flight: usize,
+    /// The epoll interest currently registered for this socket.
+    interest: u32,
+    /// Reads parked by the per-connection pipelining cap.
+    paused: bool,
+    /// Whether the progress deadline is armed (and its wheel slot).
+    deadline: Option<usize>,
+    deadline_gen: u64,
+    goodbye_queued: bool,
+}
+
+/// Epoll token of the listener.
+const TOK_LISTENER: u64 = u64::MAX;
+/// Epoll token of the wake eventfd.
+const TOK_WAKER: u64 = u64::MAX - 1;
+
+fn conn_token(idx: usize, epoch: u32) -> u64 {
+    (idx as u64) | (u64::from(epoch) << 32)
+}
+
+/// The event loop: owns every socket, the timer wheel, and the slab of
+/// connection state machines.
+struct Reactor {
+    epoll: Epoll,
+    listener: TcpListener,
     info: ServerInfo,
-    jobs: &SyncSender<Job>,
-    handle: &ServerHandle,
     cfg: ServerConfig,
-) {
-    let _ = stream.set_nodelay(true);
-    let Ok(write_half) = stream.try_clone() else { return };
-    // The write side gets the same progress deadline as the read side: a
-    // peer that stops reading (full kernel send buffer) kills its writer
-    // thread after io_timeout instead of pinning it — and with it the
-    // drain — forever.
-    let _ = write_half.set_write_timeout(Some(cfg.io_timeout));
-    let mut reader = BufReader::new(stream);
+    handle: ServerHandle,
+    job_tx: Sender<Job>,
+    completions: Arc<Mutex<Vec<Completion>>>,
+    wheel: TimerWheel,
+    conns: Vec<Option<Conn>>,
+    free: Vec<usize>,
+    epochs: Vec<u32>,
+    alive: usize,
+    /// Set once a drain begins (handle or Shutdown frame); accepts stop
+    /// and every connection moves to [`ConnState::Draining`].
+    stopping: bool,
+    /// Max requests one connection may keep in flight before its reads
+    /// are parked.
+    pipeline_cap: usize,
+}
 
-    // Handshake: the first frame must be a Hello of our protocol version
-    // (the header check enforces the version), and it must arrive within
-    // the I/O deadline — a peer that connects and sends nothing would
-    // otherwise pin this thread and its socket until server shutdown.
-    // Anything else — including bytes that are not a frame at all —
-    // closes the connection.
-    let deadline = std::time::Instant::now() + cfg.io_timeout;
-    let hello = loop {
-        match poll_envelope(&mut reader, cfg.max_frame_bytes, cfg.poll_interval, cfg.io_timeout) {
-            Ok(None) => {
-                if handle.is_stopping() || std::time::Instant::now() >= deadline {
-                    return;
-                }
-            }
-            Ok(Some(env)) => break env,
-            Err(_) => return,
-        }
-    };
-    if hello.kind != FrameKind::Hello {
-        return;
+impl Reactor {
+    fn new(
+        listener: TcpListener,
+        info: ServerInfo,
+        cfg: ServerConfig,
+        handle: ServerHandle,
+        job_tx: Sender<Job>,
+        completions: Arc<Mutex<Vec<Completion>>>,
+    ) -> io::Result<Self> {
+        listener.set_nonblocking(true)?;
+        let epoll = Epoll::new()?;
+        epoll.add(listener.as_raw_fd(), EVENT_IN, TOK_LISTENER)?;
+        epoll.add(handle.waker.raw_fd(), EVENT_IN, TOK_WAKER)?;
+        // Deadline resolution: coarse enough that arming is cheap, fine
+        // enough that a 150ms test timeout is honoured promptly.
+        let tick = (cfg.io_timeout / 8).clamp(Duration::from_millis(5), Duration::from_millis(500));
+        Ok(Reactor {
+            epoll,
+            listener,
+            info,
+            cfg,
+            handle,
+            job_tx,
+            completions,
+            wheel: TimerWheel::new(tick, 256),
+            conns: Vec::new(),
+            free: Vec::new(),
+            epochs: Vec::new(),
+            alive: 0,
+            stopping: false,
+            pipeline_cap: (cfg.workers * 4).max(8),
+        })
     }
 
-    // Writer thread: the single owner of the write half. Everything the
-    // connection sends — handshake ack, responses (in completion order),
-    // errors, goodbye — funnels through this channel.
-    let (out_tx, out_rx) = mpsc::channel::<Envelope>();
-    let writer = thread::spawn(move || {
-        let mut w = BufWriter::new(write_half);
-        while let Ok(env) = out_rx.recv() {
-            if write_envelope(&mut w, &env).is_err() {
-                break;
-            }
-        }
-        // Whether this is a clean close-out or a dead peer (write error /
-        // timeout), take the socket down with the writer: the reader gets
-        // EOF instead of serving a connection whose answers can no longer
-        // be delivered, and the peer gets a close instead of a hang.
-        let _ = w.flush();
-        let _ = w.get_ref().shutdown(std::net::Shutdown::Both);
-    });
-    if out_tx.send(Envelope::hello_ack(&info)).is_err() {
-        return;
-    }
+    fn run(mut self) -> io::Result<()> {
+        let mut events: Vec<Event> = Vec::new();
+        let mut fired: Vec<Deadline> = Vec::new();
+        let mut scratch = vec![0u8; 64 * 1024];
+        loop {
+            let timeout = self.wheel.next_timeout(Instant::now());
+            events.clear();
+            self.epoll.wait(timeout, &mut events)?;
+            self.handle.stats.wakeups.fetch_add(1, Ordering::Relaxed);
 
-    let progress = Arc::new(Progress::default());
-    let mut issued: u64 = 0;
-    let end = loop {
-        match poll_envelope(&mut reader, cfg.max_frame_bytes, cfg.poll_interval, cfg.io_timeout) {
-            Ok(None) => {
-                if handle.is_stopping() {
-                    break ConnEnd::ServerStopping;
+            for ev in &events {
+                match ev.token {
+                    TOK_LISTENER => self.accept_ready(),
+                    TOK_WAKER => self.handle.waker.drain(),
+                    token => {
+                        let (idx, epoch) = ((token & 0xffff_ffff) as usize, (token >> 32) as u32);
+                        self.conn_event(idx, epoch, ev.events, &mut scratch);
+                    }
                 }
             }
-            Ok(Some(env)) => match env.kind {
-                FrameKind::Request => match env.decode_request() {
-                    Ok(req) => {
-                        let job = Job {
-                            id: env.request_id,
-                            req,
-                            out: out_tx.clone(),
-                            progress: Arc::clone(&progress),
-                        };
-                        if jobs.send(job).is_err() {
-                            break ConnEnd::ServerStopping;
-                        }
-                        issued += 1;
-                        // Re-check after every accepted frame, not just on
-                        // idle ticks: a client streaming back-to-back
-                        // requests must not be able to outrun a drain and
-                        // keep the server alive indefinitely.
-                        if handle.is_stopping() {
-                            break ConnEnd::ServerStopping;
+            if !self.stopping && self.handle.is_stopping() {
+                self.begin_drain();
+            }
+            self.drain_completions();
+
+            fired.clear();
+            self.wheel.expire(Instant::now(), &mut fired);
+            for d in &fired {
+                let stale = self.conns[d.token]
+                    .as_ref()
+                    .is_none_or(|c| c.deadline.is_none() || c.deadline_gen != d.generation);
+                if !stale {
+                    self.handle.stats.timeouts.fetch_add(1, Ordering::Relaxed);
+                    self.drop_conn(d.token);
+                }
+            }
+
+            if self.stopping && self.alive == 0 {
+                return Ok(());
+            }
+        }
+    }
+
+    // ---- accept path --------------------------------------------------
+
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if self.stopping || self.alive >= self.cfg.max_conns {
+                        self.handle.stats.refused.fetch_add(1, Ordering::Relaxed);
+                        continue; // dropped: refused before any protocol state
+                    }
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    self.handle.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                    self.insert_conn(stream);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                // Transient per-connection accept faults (reset in the
+                // backlog): skip, keep accepting.
+                Err(_) => break,
+            }
+        }
+    }
+
+    fn insert_conn(&mut self, stream: TcpStream) {
+        let idx = self.free.pop().unwrap_or_else(|| {
+            self.conns.push(None);
+            self.epochs.push(0);
+            self.conns.len() - 1
+        });
+        self.epochs[idx] = self.epochs[idx].wrapping_add(1);
+        let epoch = self.epochs[idx];
+        let interest = EVENT_IN | EVENT_RDHUP;
+        if self.epoll.add(stream.as_raw_fd(), interest, conn_token(idx, epoch)).is_err() {
+            self.free.push(idx);
+            return;
+        }
+        let conn = Conn {
+            stream,
+            epoch,
+            state: ConnState::Handshake,
+            decoder: FrameDecoder::new(self.cfg.max_frame_bytes),
+            out: WriteQueue::new(),
+            in_flight: 0,
+            interest,
+            paused: false,
+            deadline: None,
+            deadline_gen: 0,
+            goodbye_queued: false,
+        };
+        self.conns[idx] = Some(conn);
+        self.alive += 1;
+        self.refresh_deadline(idx);
+    }
+
+    // ---- event dispatch ------------------------------------------------
+
+    fn conn_event(&mut self, idx: usize, epoch: u32, events: u32, scratch: &mut [u8]) {
+        // The slot may have been freed (or even reused) by an earlier
+        // event in this same batch; the epoch makes that detectable.
+        let live = self.conns.get(idx).and_then(Option::as_ref).is_some_and(|c| c.epoch == epoch);
+        if !live {
+            return;
+        }
+        if events & (EVENT_ERR | EVENT_HUP) != 0 {
+            self.drop_conn(idx);
+            return;
+        }
+        if events & EVENT_OUT != 0 && !self.flush(idx) {
+            return;
+        }
+        if events & EVENT_IN != 0 {
+            self.conn_readable(idx, scratch);
+            return; // conn may be gone; nothing below
+        }
+        // RDHUP with no IN interest (a draining conn whose peer left).
+        if events & EVENT_RDHUP != 0 {
+            let reading = self.conns[idx].as_ref().is_some_and(|c| c.interest & EVENT_IN != 0);
+            if !reading {
+                self.drop_conn(idx);
+            }
+        }
+    }
+
+    /// Reads and processes everything the socket has. Returns with the
+    /// connection either consistent or dropped.
+    fn conn_readable(&mut self, idx: usize, scratch: &mut [u8]) {
+        loop {
+            let Some(conn) = self.conns[idx].as_mut() else { return };
+            if conn.state == ConnState::Draining || conn.paused {
+                return;
+            }
+            let n = {
+                self.handle.stats.reads.fetch_add(1, Ordering::Relaxed);
+                match conn.stream.read(scratch) {
+                    Ok(0) => {
+                        self.drop_conn(idx);
+                        return;
+                    }
+                    Ok(n) => n,
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        self.refresh_deadline(idx);
+                        return;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        self.drop_conn(idx);
+                        return;
+                    }
+                }
+            };
+            let mut off = 0;
+            while off < n {
+                let Some(conn) = self.conns[idx].as_mut() else { return };
+                if conn.state == ConnState::Draining || conn.paused {
+                    // A drain or the pipelining cap stopped this
+                    // connection mid-buffer; the unread tail stays in the
+                    // kernel buffer (we stop reading) and `off..n` of
+                    // this chunk is dropped — a draining conn never
+                    // processes it, a paused one re-reads nothing it
+                    // already consumed because the decoder owns the
+                    // partial frame.
+                    break;
+                }
+                match conn.decoder.feed(&scratch[off..n]) {
+                    Ok((used, Some(env))) => {
+                        off += used;
+                        if !self.on_frame(idx, env) {
+                            return;
                         }
                     }
-                    // A valid envelope around an undecodable request is a
-                    // protocol violation, not a query error: close.
-                    Err(_) => break ConnEnd::Dropped,
-                },
-                FrameKind::Shutdown => break ConnEnd::ClientShutdown,
-                // Clients may only send Hello (already consumed),
-                // requests, and shutdown.
-                _ => break ConnEnd::Dropped,
-            },
-            Err(TransportError::Closed) => break ConnEnd::Dropped,
-            Err(_) => break ConnEnd::Dropped,
+                    Ok((used, None)) => {
+                        off += used;
+                        debug_assert!(off == n, "decoder stalls only at buffer end");
+                    }
+                    Err(_) => {
+                        self.drop_conn(idx);
+                        return;
+                    }
+                }
+            }
+            // A paused connection must not keep draining the socket.
+            let paused = self.conns[idx].as_ref().is_some_and(|c| c.paused);
+            if n < scratch.len() || paused {
+                self.refresh_deadline(idx);
+                self.update_interest(idx);
+                return;
+            }
         }
-    };
-
-    // Drain: every request this connection put in flight gets its
-    // response (or error frame) written before any goodbye or close.
-    progress.wait_for(issued);
-    match end {
-        ConnEnd::ClientShutdown => {
-            let _ = out_tx.send(Envelope::goodbye());
-            handle.shutdown();
-        }
-        ConnEnd::ServerStopping => {
-            let _ = out_tx.send(Envelope::goodbye());
-        }
-        ConnEnd::Dropped => {}
     }
-    drop(out_tx);
-    let _ = writer.join();
+
+    /// Handles one complete inbound frame. Returns false when the
+    /// connection was dropped.
+    fn on_frame(&mut self, idx: usize, env: Envelope) -> bool {
+        let Some(conn) = self.conns[idx].as_mut() else { return false };
+        match (conn.state, env.kind) {
+            (ConnState::Handshake, FrameKind::Hello) => {
+                conn.state = ConnState::Serving;
+                let ack = Envelope::hello_ack(&self.info);
+                conn.out.push(&ack);
+                self.flush(idx)
+            }
+            (ConnState::Serving, FrameKind::Request) => match env.decode_request() {
+                Ok(req) => {
+                    conn.in_flight += 1;
+                    if conn.in_flight >= self.pipeline_cap {
+                        conn.paused = true;
+                    }
+                    self.handle.stats.requests.fetch_add(1, Ordering::Relaxed);
+                    let job = Job { token: idx, epoch: conn.epoch, id: env.request_id, req };
+                    if self.job_tx.send(job).is_err() {
+                        self.drop_conn(idx);
+                        return false;
+                    }
+                    true
+                }
+                // A valid envelope around an undecodable request is a
+                // protocol violation, not a query error: close.
+                Err(_) => {
+                    self.drop_conn(idx);
+                    false
+                }
+            },
+            (ConnState::Serving, FrameKind::Shutdown) => {
+                // Drain the whole server; this connection gets its
+                // in-flight answers, then the goodbye.
+                self.begin_drain();
+                true
+            }
+            // Clients may only send Hello (first), requests, shutdown.
+            _ => {
+                self.drop_conn(idx);
+                false
+            }
+        }
+    }
+
+    // ---- pool hand-back ------------------------------------------------
+
+    fn drain_completions(&mut self) {
+        let done = match self.completions.lock() {
+            Ok(mut done) => std::mem::take(&mut *done),
+            Err(_) => return,
+        };
+        for Completion { token, epoch, env } in done {
+            let live =
+                self.conns.get(token).and_then(Option::as_ref).is_some_and(|c| c.epoch == epoch);
+            if !live {
+                continue; // the connection went away while we computed
+            }
+            self.handle.stats.responses.fetch_add(1, Ordering::Relaxed);
+            let conn = self.conns[token].as_mut().expect("checked live");
+            conn.out.push(&env);
+            conn.in_flight -= 1;
+            if conn.paused && conn.in_flight < self.pipeline_cap {
+                conn.paused = false;
+            }
+            self.try_finish_drain(token);
+            if self.flush(token) {
+                self.update_interest(token);
+            }
+        }
+    }
+
+    // ---- drain orchestration -------------------------------------------
+
+    /// Starts (or continues) a whole-server drain: stop accepting, stop
+    /// reading, answer what is in flight, say goodbye everywhere.
+    fn begin_drain(&mut self) {
+        if self.stopping {
+            return;
+        }
+        self.stopping = true;
+        let _ = self.epoll.delete(self.listener.as_raw_fd());
+        for idx in 0..self.conns.len() {
+            let Some(conn) = self.conns[idx].as_mut() else { continue };
+            match conn.state {
+                // A peer that never finished its handshake gets a plain
+                // close, as before.
+                ConnState::Handshake => {
+                    self.drop_conn(idx);
+                }
+                ConnState::Serving => {
+                    conn.state = ConnState::Draining;
+                    self.try_finish_drain(idx);
+                    if self.flush(idx) {
+                        self.update_interest(idx);
+                    }
+                }
+                ConnState::Draining => {}
+            }
+        }
+    }
+
+    /// On a draining connection with nothing left in flight, queue the
+    /// goodbye. The close happens once the output flushes.
+    fn try_finish_drain(&mut self, idx: usize) {
+        let Some(conn) = self.conns[idx].as_mut() else { return };
+        if conn.state == ConnState::Draining && conn.in_flight == 0 && !conn.goodbye_queued {
+            conn.out.push(&Envelope::goodbye());
+            conn.goodbye_queued = true;
+        }
+    }
+
+    // ---- write path ----------------------------------------------------
+
+    /// Flushes as much queued output as the socket accepts. Returns false
+    /// when the connection was dropped (write fault, or a completed
+    /// drain). On a would-block the residue stays queued and EPOLLOUT
+    /// interest plus the progress deadline keep it moving.
+    fn flush(&mut self, idx: usize) -> bool {
+        let Some(conn) = self.conns[idx].as_mut() else { return false };
+        match conn.out.write_to(&mut conn.stream) {
+            Ok(true) => {
+                if conn.goodbye_queued {
+                    // Everything (answers + goodbye) is on the wire.
+                    self.drop_conn(idx);
+                    return false;
+                }
+                self.refresh_deadline(idx);
+                true
+            }
+            Ok(false) => {
+                self.refresh_deadline(idx);
+                self.update_interest(idx);
+                true
+            }
+            Err(_) => {
+                self.drop_conn(idx);
+                false
+            }
+        }
+    }
+
+    // ---- bookkeeping ---------------------------------------------------
+
+    /// Recomputes the epoll interest set from the connection's state.
+    fn update_interest(&mut self, idx: usize) {
+        let Some(conn) = self.conns[idx].as_mut() else { return };
+        let mut want = EVENT_RDHUP;
+        let reading = conn.state != ConnState::Draining && !conn.paused;
+        if reading {
+            want |= EVENT_IN;
+        }
+        if !conn.out.is_empty() {
+            want |= EVENT_OUT;
+        }
+        if want != conn.interest {
+            conn.interest = want;
+            let token = conn_token(idx, conn.epoch);
+            let _ = self.epoll.modify(conn.stream.as_raw_fd(), want, token);
+        }
+    }
+
+    /// Arms or clears the per-frame progress deadline. Armed exactly
+    /// while the connection owes progress (handshake pending, a frame
+    /// partially received, or output unflushed); an armed deadline is
+    /// *not* refreshed by trickled progress — a frame must complete
+    /// within `io_timeout` of starting, which is what defeats slowloris.
+    fn refresh_deadline(&mut self, idx: usize) {
+        let Some(conn) = self.conns[idx].as_mut() else { return };
+        let need =
+            conn.state == ConnState::Handshake || conn.decoder.mid_frame() || !conn.out.is_empty();
+        match (need, conn.deadline) {
+            (true, None) => {
+                conn.deadline_gen += 1;
+                let d = Deadline { token: idx, generation: conn.deadline_gen };
+                let slot = self.wheel.arm(Instant::now() + self.cfg.io_timeout, d);
+                conn.deadline = Some(slot);
+            }
+            (false, Some(slot)) => {
+                self.wheel.cancel_at(idx, slot);
+                conn.deadline = None;
+            }
+            _ => {}
+        }
+    }
+
+    /// Closes and forgets a connection: deregister, disarm, free the
+    /// slot. Pool answers still in flight for it are discarded by the
+    /// epoch check when they complete.
+    fn drop_conn(&mut self, idx: usize) {
+        let Some(conn) = self.conns[idx].take() else { return };
+        let _ = self.epoll.delete(conn.stream.as_raw_fd());
+        if let Some(slot) = conn.deadline {
+            self.wheel.cancel_at(idx, slot);
+        }
+        self.free.push(idx);
+        self.alive -= 1;
+        // `conn.stream` drops here: the socket closes.
+    }
 }

@@ -1,0 +1,208 @@
+//! A hashed timer wheel for the reactor's per-frame I/O deadlines.
+//!
+//! Deadlines here are coarse by design — "did this peer make progress
+//! within `io_timeout`?" — so a wheel with a fixed tick is the right
+//! shape: arm/cancel are O(1)-ish (cancel scans one slot), expiry sweeps
+//! only the slots the clock actually crossed, and when nothing is armed
+//! the reactor's `epoll_wait` can sleep forever. The wheel never wakes an
+//! idle server: a timer exists only while a connection is mid-handshake,
+//! mid-frame, or has unflushed output.
+//!
+//! Timers carry a `(token, generation)` pair. Cancellation is exact
+//! (the entry is removed from its slot), and the generation lets the
+//! reactor discard a fired timer that was re-armed concurrently with the
+//! sweep — a token alone could outlive its connection slot.
+
+use std::time::{Duration, Instant};
+
+/// One armed deadline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct Deadline {
+    /// The connection slot this deadline belongs to.
+    pub token: usize,
+    /// The arming generation; stale generations are the reactor's cue to
+    /// ignore a fire.
+    pub generation: u64,
+}
+
+struct Timer {
+    deadline: Deadline,
+    /// Absolute tick this timer fires at (ticks may wrap the wheel many
+    /// times; the slot only narrows the search).
+    due_tick: u64,
+}
+
+/// The wheel. `slots.len()` is a power of two so the slot index is a
+/// mask, and `tick` is the resolution every deadline is rounded up to.
+pub(crate) struct TimerWheel {
+    slots: Vec<Vec<Timer>>,
+    tick: Duration,
+    start: Instant,
+    /// First tick not yet swept by [`TimerWheel::expire`].
+    cursor: u64,
+    armed: usize,
+}
+
+impl TimerWheel {
+    pub fn new(tick: Duration, slot_count: usize) -> Self {
+        assert!(slot_count.is_power_of_two(), "slot count must be a power of two");
+        assert!(!tick.is_zero(), "tick must be positive");
+        TimerWheel {
+            slots: (0..slot_count).map(|_| Vec::new()).collect(),
+            tick,
+            start: Instant::now(),
+            cursor: 0,
+            armed: 0,
+        }
+    }
+
+    fn tick_of(&self, at: Instant) -> u64 {
+        let since = at.saturating_duration_since(self.start);
+        // Round up: a deadline must never fire early.
+        (since.as_nanos() / self.tick.as_nanos()) as u64 + 1
+    }
+
+    fn slot(&self, tick: u64) -> usize {
+        (tick as usize) & (self.slots.len() - 1)
+    }
+
+    /// Arms `deadline` to fire at or just after `at`, returning the slot
+    /// it landed in (hand it back to [`TimerWheel::cancel_at`] for O(1)
+    /// disarming).
+    pub fn arm(&mut self, at: Instant, deadline: Deadline) -> usize {
+        let due_tick = self.tick_of(at).max(self.cursor);
+        let slot = self.slot(due_tick);
+        self.slots[slot].push(Timer { deadline, due_tick });
+        self.armed += 1;
+        slot
+    }
+
+    /// Disarms every timer of `token` in `slot` (the index
+    /// [`TimerWheel::arm`] returned). Exact removal — a cancelled timer
+    /// never fires and never counts as armed.
+    pub fn cancel_at(&mut self, token: usize, slot: usize) {
+        let bucket = &mut self.slots[slot];
+        let before = bucket.len();
+        bucket.retain(|t| t.deadline.token != token);
+        self.armed -= before - bucket.len();
+    }
+
+    /// How long `epoll_wait` may sleep: `None` when nothing is armed
+    /// (sleep forever — the wheel guarantees zero idle wakeups), else the
+    /// time to the earliest armed deadline (zero if already due).
+    pub fn next_timeout(&self, now: Instant) -> Option<Duration> {
+        if self.armed == 0 {
+            return None;
+        }
+        let earliest = self.slots.iter().flatten().map(|t| t.due_tick).min().expect("armed > 0");
+        let due = self.start + self.tick * earliest as u32;
+        Some(due.saturating_duration_since(now))
+    }
+
+    /// Sweeps every tick up to `now`, appending fired deadlines to `out`.
+    pub fn expire(&mut self, now: Instant, out: &mut Vec<Deadline>) {
+        // Ticks fully elapsed by `now`.
+        let now_tick = self.tick_of(now).saturating_sub(1);
+        // Sweep at most one full revolution: past that, every slot has
+        // been visited and due_tick filtering has caught everything.
+        let sweep = (now_tick.saturating_sub(self.cursor) + 1).min(self.slots.len() as u64);
+        for tick in self.cursor..self.cursor + sweep {
+            let slot = self.slot(tick);
+            let mut i = 0;
+            while i < self.slots[slot].len() {
+                if self.slots[slot][i].due_tick <= now_tick {
+                    out.push(self.slots[slot].swap_remove(i).deadline);
+                    self.armed -= 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        self.cursor = self.cursor.max(now_tick + 1);
+    }
+
+    /// Number of currently armed timers (idle server ⇒ 0 ⇒ no wakeups).
+    #[cfg(test)]
+    pub fn armed(&self) -> usize {
+        self.armed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wheel() -> TimerWheel {
+        TimerWheel::new(Duration::from_millis(1), 64)
+    }
+
+    #[test]
+    fn empty_wheel_sleeps_forever() {
+        let w = wheel();
+        assert_eq!(w.next_timeout(Instant::now()), None);
+    }
+
+    #[test]
+    fn deadlines_fire_after_their_instant_not_before() {
+        let mut w = wheel();
+        let now = Instant::now();
+        w.arm(now + Duration::from_millis(20), Deadline { token: 1, generation: 0 });
+        let mut fired = Vec::new();
+        w.expire(now + Duration::from_millis(5), &mut fired);
+        assert!(fired.is_empty(), "5ms in: a 20ms deadline must not fire");
+        assert!(w.next_timeout(now).is_some());
+        w.expire(now + Duration::from_millis(40), &mut fired);
+        assert_eq!(fired, vec![Deadline { token: 1, generation: 0 }]);
+        assert_eq!(w.armed(), 0);
+        assert_eq!(w.next_timeout(now), None, "fired wheel is idle again");
+    }
+
+    #[test]
+    fn cancel_removes_exactly_that_token() {
+        let mut w = wheel();
+        let now = Instant::now();
+        let slot = w.arm(now + Duration::from_millis(3), Deadline { token: 1, generation: 0 });
+        w.arm(now + Duration::from_millis(3), Deadline { token: 2, generation: 5 });
+        w.cancel_at(1, slot);
+        assert_eq!(w.armed(), 1);
+        let mut fired = Vec::new();
+        w.expire(now + Duration::from_millis(10), &mut fired);
+        assert_eq!(fired, vec![Deadline { token: 2, generation: 5 }]);
+    }
+
+    /// Deadlines far beyond one wheel revolution hash into occupied slots
+    /// but must not fire until actually due.
+    #[test]
+    fn far_deadlines_survive_wheel_wraparound() {
+        let mut w = wheel();
+        let now = Instant::now();
+        w.arm(now + Duration::from_millis(200), Deadline { token: 9, generation: 1 });
+        let mut fired = Vec::new();
+        // Sweep in 64 steps of ~2ms (two revolutions' worth of ticks).
+        for step in 1..=64u64 {
+            w.expire(now + Duration::from_millis(2 * step), &mut fired);
+            if 2 * step < 200 {
+                assert!(fired.is_empty(), "{}ms: not due yet", 2 * step);
+            }
+        }
+        assert!(fired.is_empty());
+        w.expire(now + Duration::from_millis(260), &mut fired);
+        assert_eq!(fired.len(), 1, "due after 200ms");
+    }
+
+    #[test]
+    fn many_timers_one_sweep() {
+        let mut w = wheel();
+        let now = Instant::now();
+        for token in 0..100 {
+            w.arm(
+                now + Duration::from_millis(1 + token as u64 % 7),
+                Deadline { token, generation: 0 },
+            );
+        }
+        let mut fired = Vec::new();
+        w.expire(now + Duration::from_millis(50), &mut fired);
+        assert_eq!(fired.len(), 100);
+        assert_eq!(w.armed(), 0);
+    }
+}

@@ -99,7 +99,8 @@ USAGE:
   pasco serve    --graph <file> --index <file> --addr <host:port>
                  [--mode local|sharded|broadcast|rdd|distributed] [--shards N]
                  [--cache N] [--cache-ttl-secs S] [--cache-bytes B]
-                 [--workers N] [--max-frame BYTES]
+                 [--workers N] [--max-frame BYTES] [--max-conns N]
+                 [--io-timeout SECS]
                  (distributed: --workers host:port,... and --pool N for the
                  server's execution pool)
   pasco query    --connect <host:port> --kind <sp|ss|topk|shutdown>
@@ -454,10 +455,19 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
     let session = Arc::new(QuerySession::with_config(Arc::clone(&cw), session_cfg));
 
     let defaults = ServerConfig::default();
+    let max_conns: usize = get_num(flags, "max-conns", defaults.max_conns)?;
+    if max_conns == 0 {
+        return Err("--max-conns must be positive".into());
+    }
+    let io_timeout_secs: u64 = get_num(flags, "io-timeout", defaults.io_timeout.as_secs())?;
+    if io_timeout_secs == 0 {
+        return Err("--io-timeout must be positive".into());
+    }
     let server_cfg = ServerConfig {
         workers,
         max_frame_bytes: get_num(flags, "max-frame", defaults.max_frame_bytes)?,
-        ..defaults
+        max_conns,
+        io_timeout: std::time::Duration::from_secs(io_timeout_secs),
     };
     let server = PascoServer::bind(addr, session as Arc<dyn QueryService>, server_cfg)
         .map_err(|e| format!("bind {addr}: {e}"))?;

@@ -340,6 +340,250 @@ fn shutdown_frame_drains_the_server_cleanly() {
     ));
 }
 
+/// `ServerHandle::shutdown` must drain promptly on a *wildcard* bind.
+/// The old implementation woke the accept loop by connecting to itself
+/// and needed a special case to turn `0.0.0.0` into a dialable address;
+/// the reactor's eventfd wake has no such seam — this pins that down.
+#[test]
+fn handle_shutdown_drains_promptly_on_a_wildcard_bind() {
+    let cw = local_walker();
+    let server = PascoServer::bind(
+        "0.0.0.0:0",
+        Arc::clone(cw) as Arc<dyn QueryService>,
+        ServerConfig::default(),
+    )
+    .unwrap();
+    let port = server.local_addr().port();
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run().unwrap());
+
+    // A connected, idle client when the shutdown lands: it must be told
+    // goodbye, not abandoned.
+    let mut client = PascoClient::connect(("127.0.0.1", port)).unwrap();
+    assert!(client.query(QueryRequest::SinglePair { i: 1, j: 2 }).is_ok());
+
+    let started = std::time::Instant::now();
+    handle.shutdown();
+    join.join().unwrap();
+    assert!(
+        started.elapsed() < std::time::Duration::from_secs(5),
+        "wildcard shutdown must not wait for a poll interval or a new connection"
+    );
+    match client.query(QueryRequest::SinglePair { i: 1, j: 2 }) {
+        Err(ClientError::Closed) | Err(ClientError::Io(_)) => {}
+        other => panic!("expected a clean close after drain, got {other:?}"),
+    }
+}
+
+/// The zero-idle-wakeup guarantee, asserted with the server's own
+/// counters: 64 established connections sitting between requests cause
+/// not a single `read` call. (The retired `poll_interval` design woke
+/// every connection every 25ms just to check for drain.)
+#[test]
+fn idle_connections_cause_zero_reads() {
+    let cw = local_walker();
+    let (addr, handle, join) = spawn_server(Arc::clone(cw) as _, ServerConfig::default());
+    let mut clients: Vec<PascoClient> = (0..64)
+        .map(|_| {
+            let mut c = PascoClient::connect(addr).unwrap();
+            assert!(c.query(QueryRequest::SinglePair { i: 1, j: 2 }).is_ok());
+            c
+        })
+        .collect();
+    assert_eq!(handle.stats().accepted, 64);
+
+    // Let in-flight readiness settle, then sample over an idle window.
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    let before = handle.stats();
+    std::thread::sleep(std::time::Duration::from_millis(400));
+    let after = handle.stats();
+    assert_eq!(after.reads, before.reads, "an idle server must not touch its sockets");
+    assert_eq!(after.wakeups, before.wakeups, "an idle server must not leave epoll_wait");
+
+    // The connections are all still live, not silently dropped.
+    for c in &mut clients {
+        assert!(c.query(QueryRequest::SinglePair { i: 2, j: 3 }).is_ok());
+    }
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+/// A slowloris peer — trickling one byte per 100ms so every read makes
+/// "progress" — is still dropped: the deadline is per *frame*, armed when
+/// the frame starts and not reset by trickled bytes.
+#[test]
+fn slowloris_trickle_is_dropped_at_io_timeout() {
+    let cw = local_walker();
+    let cfg = ServerConfig {
+        io_timeout: std::time::Duration::from_millis(300),
+        ..ServerConfig::default()
+    };
+    let (addr, handle, join) = spawn_server(Arc::clone(cw) as _, cfg);
+
+    // Handshake at full speed: the attack starts inside the session.
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(&Envelope::hello().to_bytes()).unwrap();
+    s.read_exact(&mut [0u8; HEADER_LEN + 8]).unwrap();
+
+    let frame = Envelope::request(1, &QueryRequest::SinglePair { i: 1, j: 2 }).to_bytes();
+    let started = std::time::Instant::now();
+    let mut sent = 0usize;
+    for byte in &frame {
+        if s.write_all(std::slice::from_ref(byte)).is_err() {
+            break; // the server already cut us off
+        }
+        sent += 1;
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        if started.elapsed() > std::time::Duration::from_secs(2) {
+            break;
+        }
+    }
+    assert!(sent < frame.len(), "the full frame must never get through at this rate");
+    assert!(read_to_close(&mut s).is_empty(), "no answer for a slowloris frame");
+    let waited = started.elapsed();
+    assert!(waited < std::time::Duration::from_secs(2), "dropped near io_timeout, not eventually");
+    assert!(handle.stats().timeouts >= 1, "the drop must be the deadline's doing");
+
+    // The event loop is unharmed.
+    let mut client = PascoClient::connect(addr).unwrap();
+    assert!(client.query(QueryRequest::SinglePair { i: 0, j: 1 }).is_ok());
+    client.shutdown_server().unwrap();
+    join.join().unwrap();
+}
+
+/// Disconnecting mid-frame — header half-sent, payload truncated, or a
+/// vanishing handshake — must never wedge the event loop: each partial
+/// conversation ends in a dropped connection and the next client is
+/// served normally.
+#[test]
+fn mid_frame_disconnects_never_wedge_the_loop() {
+    let cw = local_walker();
+    let (addr, handle, join) = spawn_server(Arc::clone(cw) as _, ServerConfig::default());
+
+    let hello = Envelope::hello().to_bytes();
+    let request = Envelope::request(7, &QueryRequest::Cohort { v: 3 }).to_bytes();
+    for cut in [1, HEADER_LEN / 2, HEADER_LEN, HEADER_LEN + 2] {
+        // Half a handshake, gone.
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(&hello[..cut.min(hello.len())]).unwrap();
+        drop(s);
+
+        // Full handshake, then a truncated request, gone.
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(&hello).unwrap();
+        s.read_exact(&mut [0u8; HEADER_LEN + 8]).unwrap();
+        s.write_all(&request[..cut]).unwrap();
+        drop(s);
+
+        // The loop still answers a well-behaved client immediately.
+        let mut client = PascoClient::connect(addr).unwrap();
+        assert_eq!(
+            client.query(QueryRequest::SinglePair { i: 0, j: 1 }).unwrap(),
+            QueryResponse::Score(cw.single_pair(0, 1))
+        );
+    }
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+/// A `QueryService` whose `Cohort` answers stall until released — the
+/// "expensive" request the overtaking test pits a cheap one against.
+struct StallCohorts {
+    inner: Arc<CloudWalker>,
+    gate: std::sync::Mutex<std::sync::mpsc::Receiver<()>>,
+}
+
+impl QueryService for StallCohorts {
+    fn execute(&self, req: QueryRequest) -> Result<QueryResponse, QueryError> {
+        if matches!(req, QueryRequest::Cohort { .. }) {
+            let gate = self.gate.lock().unwrap();
+            let _ = gate.recv_timeout(std::time::Duration::from_secs(10));
+        }
+        self.inner.execute(req)
+    }
+    fn node_count(&self) -> u32 {
+        self.inner.node_count()
+    }
+}
+
+/// Completion-order pipelining on one connection: a cheap query sent
+/// *after* an expensive one comes back *before* it — observed on the raw
+/// byte stream, so the ordering claim is about the server, not about
+/// client-side buffering.
+#[test]
+fn cheap_query_overtakes_expensive_on_one_connection() {
+    let cw = local_walker();
+    let (gate_tx, gate_rx) = std::sync::mpsc::channel();
+    let svc: Arc<dyn QueryService> =
+        Arc::new(StallCohorts { inner: Arc::clone(cw), gate: std::sync::Mutex::new(gate_rx) });
+    let (addr, handle, join) =
+        spawn_server(svc, ServerConfig { workers: 2, ..ServerConfig::default() });
+
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(&Envelope::hello().to_bytes()).unwrap();
+    s.read_exact(&mut [0u8; HEADER_LEN + 8]).unwrap();
+
+    // Expensive first (id 1, stalled on the gate), cheap second (id 2).
+    s.write_all(&Envelope::request(1, &QueryRequest::Cohort { v: 3 }).to_bytes()).unwrap();
+    s.write_all(&Envelope::request(2, &QueryRequest::SinglePair { i: 0, j: 1 }).to_bytes())
+        .unwrap();
+
+    // First frame off the wire must be the *cheap* answer, while the
+    // expensive one is still parked in the pool.
+    let mut head = [0u8; HEADER_LEN];
+    s.read_exact(&mut head).unwrap();
+    let first_id = u64::from_le_bytes(head[8..16].try_into().unwrap());
+    assert_eq!(first_id, 2, "completion order, not request order");
+    let len = u32::from_le_bytes(head[16..20].try_into().unwrap()) as usize;
+    s.read_exact(&mut vec![0u8; len]).unwrap();
+
+    // Release the stalled cohort; its answer (id 1) follows.
+    gate_tx.send(()).unwrap();
+    s.read_exact(&mut head).unwrap();
+    assert_eq!(u64::from_le_bytes(head[8..16].try_into().unwrap()), 1);
+    let len = u32::from_le_bytes(head[16..20].try_into().unwrap()) as usize;
+    s.read_exact(&mut vec![0u8; len]).unwrap();
+
+    drop(s);
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+/// 256 concurrent connections, every answer bit-identical to a direct
+/// `execute` on the same engine — the reactor serves a crowd without
+/// mixing anybody's frames up.
+#[test]
+fn answers_stay_bit_identical_across_256_concurrent_clients() {
+    let cw = local_walker();
+    let (addr, handle, join) = spawn_server(Arc::clone(cw) as _, ServerConfig::default());
+
+    std::thread::scope(|scope| {
+        for c in 0..256u32 {
+            let cw = Arc::clone(cw);
+            scope.spawn(move || {
+                let mut client = PascoClient::connect(addr).unwrap();
+                let (i, j) = (c % NODES, (c * 7 + 1) % NODES);
+                let reqs = [
+                    QueryRequest::SinglePair { i, j },
+                    QueryRequest::SingleSourceTopK { i, k: 4 },
+                    QueryRequest::Cohort { v: j },
+                ];
+                // Pipelined, collected in reverse: the out-of-order
+                // buffer and completion-order writes both in play.
+                let ids: Vec<u64> = reqs.iter().map(|r| client.send(r).unwrap()).collect();
+                for (id, req) in ids.iter().zip(&reqs).rev() {
+                    let got = client.wait(*id).unwrap().unwrap();
+                    assert_eq!(got, cw.execute(req.clone()).unwrap(), "client {c}: {req:?}");
+                }
+            });
+        }
+    });
+    assert_eq!(handle.stats().accepted, 256);
+    assert_eq!(handle.stats().requests, 256 * 3);
+    handle.shutdown();
+    join.join().unwrap();
+}
+
 /// The handshake puts real numbers in `ServerInfo` — the figures a
 /// client needs for client-side validation.
 #[test]
