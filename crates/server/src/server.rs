@@ -18,7 +18,9 @@
 //! `workers * 4` requests in flight; past that the reactor parks the
 //! connection's read interest until completions drain it, so a flood of
 //! pipelined requests cannot oversubscribe memory while the pool bounds
-//! engine concurrency globally.
+//! engine concurrency globally. Bytes a `read(2)` already pulled past
+//! the cap are stashed and replayed through the decoder on unpause —
+//! nothing a client pipelines is ever lost to the pause.
 //!
 //! Shutdown — a client [`FrameKind::Shutdown`] frame or
 //! [`ServerHandle::shutdown`] — stops accepting, finishes every in-flight
@@ -324,6 +326,16 @@ struct Conn {
     interest: u32,
     /// Reads parked by the per-connection pipelining cap.
     paused: bool,
+    /// Bytes `read(2)` already consumed from the kernel when the
+    /// pipelining cap paused the connection mid-buffer; replayed through
+    /// the decoder, in order, when completions unpause it.
+    pending: Vec<u8>,
+    /// Peer EOF observed: no more requests will ever arrive, but answers
+    /// still owed are delivered before the connection closes.
+    eof: bool,
+    /// The peer's half-close was noted while we were not reading; RDHUP
+    /// interest is dropped so the level-triggered event cannot spin.
+    rdhup: bool,
     /// Whether the progress deadline is armed (and its wheel slot).
     deadline: Option<usize>,
     deadline_gen: u64,
@@ -487,6 +499,9 @@ impl Reactor {
             in_flight: 0,
             interest,
             paused: false,
+            pending: Vec::new(),
+            eof: false,
+            rdhup: false,
             deadline: None,
             deadline_gen: 0,
             goodbye_queued: false,
@@ -516,11 +531,25 @@ impl Reactor {
             self.conn_readable(idx, scratch);
             return; // conn may be gone; nothing below
         }
-        // RDHUP with no IN interest (a draining conn whose peer left).
+        // RDHUP with no IN interest: the peer closed its write half while
+        // we were not reading. A draining conn's peer is treated as gone,
+        // as is one owed nothing; but a *paused* serving connection still
+        // holds answers the peer is waiting to read (a client may burst,
+        // `shutdown(SHUT_WR)`, and collect) — it keeps delivering. Only
+        // the RDHUP interest is dropped (the level-triggered event would
+        // spin otherwise); the EOF itself resurfaces on the read path
+        // once completions unpause the connection.
         if events & EVENT_RDHUP != 0 {
-            let reading = self.conns[idx].as_ref().is_some_and(|c| c.interest & EVENT_IN != 0);
-            if !reading {
+            let Some(conn) = self.conns[idx].as_mut() else { return };
+            if conn.interest & EVENT_IN != 0 {
+                return; // the read path observes the EOF itself
+            }
+            let owes = conn.in_flight > 0 || !conn.out.is_empty() || !conn.pending.is_empty();
+            if conn.state == ConnState::Draining || !owes {
                 self.drop_conn(idx);
+            } else {
+                conn.rdhup = true;
+                self.update_interest(idx);
             }
         }
     }
@@ -530,14 +559,14 @@ impl Reactor {
     fn conn_readable(&mut self, idx: usize, scratch: &mut [u8]) {
         loop {
             let Some(conn) = self.conns[idx].as_mut() else { return };
-            if conn.state == ConnState::Draining || conn.paused {
+            if conn.state == ConnState::Draining || conn.paused || conn.eof {
                 return;
             }
             let n = {
                 self.handle.stats.reads.fetch_add(1, Ordering::Relaxed);
                 match conn.stream.read(scratch) {
                     Ok(0) => {
-                        self.drop_conn(idx);
+                        self.conn_eof(idx);
                         return;
                     }
                     Ok(n) => n,
@@ -552,35 +581,8 @@ impl Reactor {
                     }
                 }
             };
-            let mut off = 0;
-            while off < n {
-                let Some(conn) = self.conns[idx].as_mut() else { return };
-                if conn.state == ConnState::Draining || conn.paused {
-                    // A drain or the pipelining cap stopped this
-                    // connection mid-buffer; the unread tail stays in the
-                    // kernel buffer (we stop reading) and `off..n` of
-                    // this chunk is dropped — a draining conn never
-                    // processes it, a paused one re-reads nothing it
-                    // already consumed because the decoder owns the
-                    // partial frame.
-                    break;
-                }
-                match conn.decoder.feed(&scratch[off..n]) {
-                    Ok((used, Some(env))) => {
-                        off += used;
-                        if !self.on_frame(idx, env) {
-                            return;
-                        }
-                    }
-                    Ok((used, None)) => {
-                        off += used;
-                        debug_assert!(off == n, "decoder stalls only at buffer end");
-                    }
-                    Err(_) => {
-                        self.drop_conn(idx);
-                        return;
-                    }
-                }
+            if !self.decode_chunk(idx, &scratch[..n]) {
+                return;
             }
             // A paused connection must not keep draining the socket.
             let paused = self.conns[idx].as_ref().is_some_and(|c| c.paused);
@@ -590,6 +592,64 @@ impl Reactor {
                 return;
             }
         }
+    }
+
+    /// Feeds `buf` through the connection's decoder, dispatching every
+    /// complete frame. A drain discards the remainder (a draining conn
+    /// never processes input); the pipelining cap instead *stashes* the
+    /// unprocessed tail in `conn.pending` — `read(2)` already consumed
+    /// those bytes from the kernel, so dropping them would silently lose
+    /// requests (or desync the stream mid-frame). Returns false when the
+    /// connection was dropped.
+    fn decode_chunk(&mut self, idx: usize, buf: &[u8]) -> bool {
+        let mut off = 0;
+        while off < buf.len() {
+            let Some(conn) = self.conns[idx].as_mut() else { return false };
+            if conn.state == ConnState::Draining {
+                return true;
+            }
+            if conn.paused {
+                conn.pending.extend_from_slice(&buf[off..]);
+                return true;
+            }
+            match conn.decoder.feed(&buf[off..]) {
+                Ok((used, Some(env))) => {
+                    off += used;
+                    if !self.on_frame(idx, env) {
+                        return false;
+                    }
+                }
+                Ok((used, None)) => {
+                    off += used;
+                    debug_assert!(off == buf.len(), "decoder stalls only at buffer end");
+                }
+                Err(_) => {
+                    self.drop_conn(idx);
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Peer EOF: the read side is finished for good. A peer that quit
+    /// mid-frame, or one owed nothing, is dropped on the spot; one that
+    /// half-closed after a burst of requests still gets every answer —
+    /// the connection stops reading and closes once the last owed byte
+    /// flushes (see [`Reactor::flush`]).
+    fn conn_eof(&mut self, idx: usize) {
+        let Some(conn) = self.conns[idx].as_mut() else { return };
+        let owes = conn.in_flight > 0 || !conn.out.is_empty() || !conn.pending.is_empty();
+        if conn.decoder.mid_frame() || !owes {
+            self.drop_conn(idx);
+            return;
+        }
+        conn.eof = true;
+        // The half-close already happened; stop watching for RDHUP so
+        // the level-triggered event cannot spin while answers drain.
+        conn.rdhup = true;
+        self.refresh_deadline(idx);
+        self.update_interest(idx);
     }
 
     /// Handles one complete inbound frame. Returns false when the
@@ -655,8 +715,16 @@ impl Reactor {
             let conn = self.conns[token].as_mut().expect("checked live");
             conn.out.push(&env);
             conn.in_flight -= 1;
+            let mut replay = Vec::new();
             if conn.paused && conn.in_flight < self.pipeline_cap {
                 conn.paused = false;
+                replay = std::mem::take(&mut conn.pending);
+            }
+            // Bytes stashed at the pause point replay before any new
+            // socket read, keeping frames in arrival order (the replay
+            // may itself re-pause, re-stashing its own tail).
+            if !replay.is_empty() && !self.decode_chunk(token, &replay) {
+                continue; // the connection dropped mid-replay
             }
             self.try_finish_drain(token);
             if self.flush(token) {
@@ -715,8 +783,12 @@ impl Reactor {
         let Some(conn) = self.conns[idx].as_mut() else { return false };
         match conn.out.write_to(&mut conn.stream) {
             Ok(true) => {
-                if conn.goodbye_queued {
-                    // Everything (answers + goodbye) is on the wire.
+                // Everything queued is on the wire. A drained conn
+                // (goodbye sent) is done; so is a half-closed peer that
+                // is owed nothing more.
+                let finished = conn.goodbye_queued
+                    || (conn.eof && conn.in_flight == 0 && conn.pending.is_empty());
+                if finished {
                     self.drop_conn(idx);
                     return false;
                 }
@@ -740,8 +812,8 @@ impl Reactor {
     /// Recomputes the epoll interest set from the connection's state.
     fn update_interest(&mut self, idx: usize) {
         let Some(conn) = self.conns[idx].as_mut() else { return };
-        let mut want = EVENT_RDHUP;
-        let reading = conn.state != ConnState::Draining && !conn.paused;
+        let mut want = if conn.rdhup { 0 } else { EVENT_RDHUP };
+        let reading = conn.state != ConnState::Draining && !conn.paused && !conn.eof;
         if reading {
             want |= EVENT_IN;
         }

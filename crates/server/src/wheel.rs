@@ -95,7 +95,10 @@ impl TimerWheel {
             return None;
         }
         let earliest = self.slots.iter().flatten().map(|t| t.due_tick).min().expect("armed > 0");
-        let due = self.start + self.tick * earliest as u32;
+        // Full-width tick arithmetic: a u32 cast here once wrapped after
+        // 2^32 ticks and made an armed wheel busy-wake forever.
+        let due = self.start
+            + Duration::from_nanos((self.tick.as_nanos() as u64).saturating_mul(earliest));
         Some(due.saturating_duration_since(now))
     }
 

@@ -584,6 +584,96 @@ fn answers_stay_bit_identical_across_256_concurrent_clients() {
     join.join().unwrap();
 }
 
+/// Reads one response frame off a raw stream, returning `(id, payload)`.
+fn read_response(s: &mut TcpStream) -> (u64, Vec<u8>) {
+    let mut head = [0u8; HEADER_LEN];
+    s.read_exact(&mut head).unwrap();
+    assert_eq!(head[..4], MAGIC);
+    assert_eq!(head[6], 3, "expected a Response frame");
+    let id = u64::from_le_bytes(head[8..16].try_into().unwrap());
+    let len = u32::from_le_bytes(head[16..20].try_into().unwrap()) as usize;
+    let mut payload = vec![0u8; len];
+    s.read_exact(&mut payload).unwrap();
+    (id, payload)
+}
+
+/// One write(2) carrying 3x the pipelining cap (`workers * 4`, floored
+/// at 8): the reactor reads the whole burst in one gulp, pauses the
+/// connection at the cap, and must *stash* the already-consumed tail —
+/// not discard it on the theory it "stays in the kernel buffer" (it
+/// does not; `read` took it). Every request gets exactly one answer.
+#[test]
+fn pipelining_past_the_cap_in_one_write_loses_no_requests() {
+    let cw = local_walker();
+    let (addr, handle, join) =
+        spawn_server(Arc::clone(cw) as _, ServerConfig { workers: 2, ..ServerConfig::default() });
+
+    const BURST: u64 = 24; // cap = max(8, 2 * 4) = 8; three times past it
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(&Envelope::hello().to_bytes()).unwrap();
+    s.read_exact(&mut [0u8; HEADER_LEN + 8]).unwrap();
+
+    let pair = |id: u64| ((id % NODES as u64) as u32, ((id * 5 + 2) % NODES as u64) as u32);
+    let mut burst = Vec::new();
+    for id in 1..=BURST {
+        let (i, j) = pair(id);
+        burst.extend_from_slice(
+            &Envelope::request(id, &QueryRequest::SinglePair { i, j }).to_bytes(),
+        );
+    }
+    s.write_all(&burst).unwrap();
+
+    // Answers arrive in completion order; collect and match by id.
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..BURST {
+        let (id, payload) = read_response(&mut s);
+        assert!(seen.insert(id), "request {id} answered twice");
+        let (i, j) = pair(id);
+        assert_eq!(payload[0], 0, "Score tag");
+        assert_eq!(payload[1..], cw.single_pair(i, j).to_le_bytes(), "request {id}");
+    }
+    assert_eq!(handle.stats().requests, BURST, "every pipelined request reached the pool");
+    drop(s);
+    handle.shutdown();
+    join.join().unwrap();
+}
+
+/// A client that bursts past the cap, half-closes its write side, and
+/// waits must still collect every answer: neither the RDHUP on the
+/// paused connection nor the EOF read afterwards may be mistaken for a
+/// dead peer while responses are owed.
+#[test]
+fn half_close_after_a_burst_still_delivers_every_answer() {
+    let cw = local_walker();
+    let (addr, handle, join) =
+        spawn_server(Arc::clone(cw) as _, ServerConfig { workers: 2, ..ServerConfig::default() });
+
+    const BURST: u64 = 24;
+    let mut s = TcpStream::connect(addr).unwrap();
+    s.write_all(&Envelope::hello().to_bytes()).unwrap();
+    s.read_exact(&mut [0u8; HEADER_LEN + 8]).unwrap();
+    let mut burst = Vec::new();
+    for id in 1..=BURST {
+        burst.extend_from_slice(
+            &Envelope::request(id, &QueryRequest::SinglePair { i: 1, j: 2 }).to_bytes(),
+        );
+    }
+    s.write_all(&burst).unwrap();
+    s.shutdown(std::net::Shutdown::Write).unwrap();
+
+    let mut seen = std::collections::HashSet::new();
+    for _ in 0..BURST {
+        let (id, payload) = read_response(&mut s);
+        assert!(seen.insert(id), "request {id} answered twice");
+        assert_eq!(payload[1..], cw.single_pair(1, 2).to_le_bytes(), "request {id}");
+    }
+    // After the last owed byte the server closes the connection cleanly.
+    assert!(read_to_close(&mut s).is_empty(), "nothing after the final answer");
+    assert_eq!(handle.stats().requests, BURST);
+    handle.shutdown();
+    join.join().unwrap();
+}
+
 /// The handshake puts real numbers in `ServerInfo` — the figures a
 /// client needs for client-side validation.
 #[test]
