@@ -57,6 +57,9 @@ impl Cluster {
             .num_threads(threads)
             .thread_name(|i| format!("pasco-worker-{i}"))
             .build()
+            // Startup-time construction: failing to build the pool means the
+            // process cannot serve at all, so aborting here is the contract.
+            // pasco-lint: allow(no-unwrap-in-serving)
             .expect("failed to build cluster thread pool");
         Self { cfg, pool, log: Mutex::new(MetricsLog::default()) }
     }

@@ -534,6 +534,47 @@ mod tests {
         assert_eq!(Envelope::goodbye().to_bytes(), goodbye);
     }
 
+    #[test]
+    fn golden_worker_frames() {
+        // The worker-control kinds 7–11. Payloads are opaque at the
+        // envelope layer (their codecs are pinned by `api::worker`
+        // round-trip tests), so these fixtures pin what matters here:
+        // the kind-byte assignment of each variant, which is wire
+        // surface that may never be renumbered (see WIRE_TAGS.manifest).
+        let cases: [(FrameKind, u64, &str); 5] = [
+            (
+                FrameKind::LoadPartition,
+                1,
+                "50 53 43 4f 01 00 07 00 01 00 00 00 00 00 00 00 00 00 00 00",
+            ),
+            (
+                FrameKind::BuildShard,
+                2,
+                "50 53 43 4f 01 00 08 00 02 00 00 00 00 00 00 00 00 00 00 00",
+            ),
+            (
+                FrameKind::ShardQuery,
+                3,
+                "50 53 43 4f 01 00 09 00 03 00 00 00 00 00 00 00 00 00 00 00",
+            ),
+            (
+                FrameKind::ShardTopK,
+                4,
+                "50 53 43 4f 01 00 0a 00 04 00 00 00 00 00 00 00 00 00 00 00",
+            ),
+            (
+                FrameKind::WorkerStats,
+                5,
+                "50 53 43 4f 01 00 0b 00 05 00 00 00 00 00 00 00 00 00 00 00",
+            ),
+        ];
+        for (kind, id, fixture) in cases {
+            let env = Envelope { kind, request_id: id, payload: Vec::new() };
+            assert_eq!(env.to_bytes(), hex(fixture), "{kind:?}");
+            assert_eq!(Envelope::from_bytes(&hex(fixture), DEFAULT_MAX_FRAME).unwrap(), env);
+        }
+    }
+
     // ---- rejection paths ----------------------------------------------
 
     #[test]

@@ -34,10 +34,25 @@ use pasco_graph::NodeId;
 use pasco_mc::walks::StepDistributions;
 use rayon::prelude::*;
 use std::collections::hash_map::Entry;
+// HashMap here is keyed-lookup-only (see the index aliases below); the
+// session never iterates a hash map, so hasher order cannot reach results.
+// pasco-lint: allow(nondeterministic-iteration)
 use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// Node → slot index of one LRU shard. Keyed lookup only: recency order
+/// lives in the slots' linked list, and nothing ever iterates this map,
+/// so hasher nondeterminism cannot leak into eviction or results — which
+/// is why a hash map is safe in a determinism-critical crate.
+// pasco-lint: allow(nondeterministic-iteration)
+type SlotIndex = HashMap<NodeId, usize>;
+
+/// Node → in-flight simulation registry for single-flight misses. Keyed
+/// insert/remove only, never iterated, so hasher order is unobservable.
+// pasco-lint: allow(nondeterministic-iteration)
+type InFlightIndex = HashMap<NodeId, Arc<InFlight>>;
 
 const NONE: usize = usize::MAX;
 
@@ -76,7 +91,7 @@ struct LruShard {
     /// Entries removed before natural replacement: capacity evictions,
     /// byte-budget evictions, and TTL expiries.
     evictions: u64,
-    map: HashMap<NodeId, usize>,
+    map: SlotIndex,
     slots: Vec<Option<Slot>>,
     free: Vec<usize>,
     head: usize,
@@ -91,7 +106,7 @@ impl LruShard {
             max_bytes,
             bytes: 0,
             evictions: 0,
-            map: HashMap::with_capacity(capacity.min(1024)),
+            map: SlotIndex::with_capacity(capacity.min(1024)),
             slots: Vec::new(),
             free: Vec::new(),
             head: NONE,
@@ -375,7 +390,7 @@ pub struct QuerySession {
     /// flight; concurrent misses on the same node wait for it instead of
     /// simulating again. Only touched on the miss path, so one map (not
     /// per-shard) is enough — simulation time dwarfs the lock.
-    inflight: Mutex<HashMap<NodeId, Arc<InFlight>>>,
+    inflight: Mutex<InFlightIndex>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -422,7 +437,7 @@ impl QuerySession {
                 .map(|_| Mutex::new(LruShard::new(per_shard, cfg.ttl, per_shard_bytes)))
                 .collect(),
             capacity: per_shard * shards,
-            inflight: Mutex::new(HashMap::new()),
+            inflight: Mutex::new(InFlightIndex::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -642,6 +657,10 @@ impl QuerySession {
                     .collect::<BTreeSet<_>>()
                     .into_iter()
                     .collect();
+                // Keyed lookup only during the scoring pass below; the
+                // map is never iterated, so hasher order cannot reach
+                // the scores.
+                // pasco-lint: allow(nondeterministic-iteration)
                 let cohorts: HashMap<NodeId, Arc<StepDistributions>> = distinct
                     .par_iter()
                     .map(|&v| self.cohort(v).map(|c| (v, c)))

@@ -9,7 +9,10 @@ use crate::csr::{CsrGraph, NodeId};
 use crate::GraphBuilder;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
-use std::collections::HashSet;
+// Generators use BTreeSet (never HashSet) for edge dedup and endpoint
+// picks: ordered collections make "deterministic in seed" structural,
+// where hasher order once leaked into the endpoints list (PR 1).
+use std::collections::BTreeSet;
 
 /// Erdős–Rényi `G(n, m)`: exactly `m` distinct directed edges chosen
 /// uniformly at random (no self loops).
@@ -21,7 +24,7 @@ pub fn erdos_renyi(n: u32, m: u64, seed: u64) -> CsrGraph {
     let possible = n as u64 * (n as u64 - 1);
     assert!(m <= possible, "m={m} exceeds possible edge count {possible}");
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut seen: HashSet<(NodeId, NodeId)> = HashSet::with_capacity(m as usize);
+    let mut seen: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
     let mut b = GraphBuilder::with_capacity(n, m as usize);
     b.ensure_nodes(n);
     while (seen.len() as u64) < m {
@@ -59,19 +62,18 @@ pub fn barabasi_albert(n: u32, m_per_node: u32, seed: u64) -> CsrGraph {
         }
     }
     for u in seed_n..n {
-        let mut chosen: HashSet<NodeId> = HashSet::with_capacity(m_per_node as usize);
+        let mut chosen: BTreeSet<NodeId> = BTreeSet::new();
         while chosen.len() < m_per_node as usize {
             let v = endpoints[rng.random_range(0..endpoints.len())];
             if v != u {
                 chosen.insert(v);
             }
         }
-        // HashSet iteration order is hasher-dependent; the endpoints list
-        // feeds later sampling, so drain in sorted order to keep the
-        // generator deterministic in its seed across threads and runs.
-        let mut picked: Vec<NodeId> = chosen.into_iter().collect();
-        picked.sort_unstable();
-        for v in picked {
+        // The endpoints list feeds later sampling, so the drain order
+        // below is part of the seed contract: BTreeSet iterates sorted,
+        // byte-identical to the HashSet-plus-sort this replaced (hasher
+        // order leaking in here was the PR 1 determinism bug).
+        for v in chosen {
             b.add_edge(u, v);
             endpoints.push(u);
             endpoints.push(v);
@@ -223,10 +225,10 @@ pub fn two_communities(n: u32, intra_m: u64, bridges: u64, seed: u64) -> CsrGrap
     let mut rng = StdRng::seed_from_u64(seed);
     let mut b = GraphBuilder::with_capacity(n, (2 * intra_m + bridges) as usize);
     b.ensure_nodes(n);
-    let mut seen = HashSet::new();
+    let mut seen = BTreeSet::new();
     let add_unique = |b: &mut GraphBuilder,
                       rng: &mut StdRng,
-                      seen: &mut HashSet<(u32, u32)>,
+                      seen: &mut BTreeSet<(u32, u32)>,
                       lo: u32,
                       hi: u32,
                       lo2: u32,

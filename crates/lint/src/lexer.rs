@@ -1,0 +1,446 @@
+//! A comment- and string-literal-aware lexer for Rust source.
+//!
+//! `pasco-lint` rules match on *code*, never on prose: a `HashSet` in a
+//! doc comment or an `.unwrap()` inside a string literal must not fire.
+//! The lexer therefore produces three synchronized views of a file:
+//!
+//! * **Tokens** — words (`[A-Za-z0-9_]+`) and single punctuation
+//!   characters of the code itself, each tagged with its 1-based line.
+//!   Comments and literal *contents* are removed before tokenization, so
+//!   rules can pattern-match token sequences without quoting worries.
+//! * **Comments** — the text of every comment with its starting line,
+//!   for `pasco-lint: allow(...)` pragma parsing.
+//! * **Strings** — the decoded value of every string literal with its
+//!   starting line, for rules that inspect committed fixtures (the
+//!   wire-tag rule scans golden-bytes hex strings).
+//!
+//! The lexer understands line and (nested) block comments, plain and raw
+//! strings (`r"…"`, `r#"…"#` with any hash count), byte strings, char
+//! and byte-char literals (including escapes), and distinguishes
+//! lifetimes (`'a`) from char literals. It does not need to be a full
+//! Rust lexer — only faithful enough that blanking never swallows code
+//! and never leaks prose into the token stream.
+
+/// One lexical token of the code view.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Tok {
+    /// A word: identifier, keyword, or number (`[A-Za-z0-9_]+`).
+    Word(String),
+    /// A single non-word, non-whitespace character.
+    Punct(char),
+}
+
+/// A token tagged with the 1-based source line it starts on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// 1-based line number.
+    pub line: u32,
+    /// The token itself.
+    pub tok: Tok,
+}
+
+impl Token {
+    /// The word text, if this token is a word.
+    pub fn word(&self) -> Option<&str> {
+        match &self.tok {
+            Tok::Word(w) => Some(w),
+            Tok::Punct(_) => None,
+        }
+    }
+
+    /// True if this token is exactly the word `w`.
+    pub fn is_word(&self, w: &str) -> bool {
+        matches!(&self.tok, Tok::Word(s) if s == w)
+    }
+
+    /// True if this token is exactly the punctuation character `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        matches!(&self.tok, Tok::Punct(p) if *p == c)
+    }
+}
+
+/// The three synchronized views of one lexed source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// `(starting line, comment text)` for every comment, in order.
+    pub comments: Vec<(u32, String)>,
+    /// `(starting line, decoded value)` for every string literal.
+    pub strings: Vec<(u32, String)>,
+}
+
+impl Lexed {
+    /// The smallest line `> after` that carries at least one code token,
+    /// if any. Used to attach a standalone pragma comment to the line of
+    /// code it annotates.
+    pub fn next_code_line(&self, after: u32) -> Option<u32> {
+        self.tokens.iter().map(|t| t.line).filter(|&l| l > after).min()
+    }
+}
+
+struct Cursor<'a> {
+    chars: std::str::Chars<'a>,
+    /// One-character lookahead buffer.
+    peeked: Option<char>,
+    line: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor { chars: src.chars(), peeked: None, line: 1 }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        if self.peeked.is_none() {
+            self.peeked = self.chars.next();
+        }
+        self.peeked
+    }
+
+    fn peek2(&mut self) -> Option<char> {
+        self.peek();
+        self.chars.clone().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peeked.take().or_else(|| self.chars.next());
+        if c == Some('\n') {
+            self.line += 1;
+        }
+        c
+    }
+}
+
+fn is_word_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into the three views. Never fails: unterminated literals
+/// or comments simply run to end of file, which is the useful behavior
+/// for a linter (rustc will reject the file anyway).
+pub fn lex(src: &str) -> Lexed {
+    let mut cur = Cursor::new(src);
+    let mut out = Lexed::default();
+    while let Some(c) = cur.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                cur.bump();
+            }
+            '/' if cur.peek2() == Some('/') => {
+                let line = cur.line;
+                cur.bump();
+                cur.bump();
+                let mut text = String::new();
+                while let Some(c) = cur.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    text.push(c);
+                    cur.bump();
+                }
+                out.comments.push((line, text));
+            }
+            '/' if cur.peek2() == Some('*') => {
+                let line = cur.line;
+                cur.bump();
+                cur.bump();
+                let mut depth = 1u32;
+                let mut text = String::new();
+                while depth > 0 {
+                    match (cur.bump(), cur.peek()) {
+                        (Some('/'), Some('*')) => {
+                            cur.bump();
+                            depth += 1;
+                            text.push_str("/*");
+                        }
+                        (Some('*'), Some('/')) => {
+                            cur.bump();
+                            depth -= 1;
+                            if depth > 0 {
+                                text.push_str("*/");
+                            }
+                        }
+                        (Some(ch), _) => text.push(ch),
+                        (None, _) => break,
+                    }
+                }
+                out.comments.push((line, text));
+            }
+            '"' => {
+                let line = cur.line;
+                cur.bump();
+                let value = read_string_body(&mut cur);
+                out.strings.push((line, value));
+            }
+            '\'' => read_quote(&mut cur, &mut out),
+            c if is_word_char(c) => {
+                let line = cur.line;
+                let mut word = String::new();
+                while let Some(c) = cur.peek() {
+                    if !is_word_char(c) {
+                        break;
+                    }
+                    word.push(c);
+                    cur.bump();
+                }
+                // A literal prefix? `r"…"`, `b"…"`, `br"…"`, `r#"…"#`, …
+                if matches!(word.as_str(), "r" | "b" | "br")
+                    && try_prefixed_literal(&mut cur, &word, line, &mut out)
+                {
+                    continue;
+                }
+                out.tokens.push(Token { line, tok: Tok::Word(word) });
+            }
+            c => {
+                let line = cur.line;
+                cur.bump();
+                out.tokens.push(Token { line, tok: Tok::Punct(c) });
+            }
+        }
+    }
+    out
+}
+
+/// Consumes a raw/byte string literal that follows the prefix word, if
+/// one is actually there. Returns false (consuming nothing) when the
+/// word turns out to be a plain identifier (`r`, `b`, `br` used as
+/// names) or a raw identifier (`r#match`).
+fn try_prefixed_literal(cur: &mut Cursor, prefix: &str, line: u32, out: &mut Lexed) -> bool {
+    match cur.peek() {
+        Some('"') => {
+            cur.bump();
+            let value = if prefix.contains('r') {
+                read_raw_string_body(cur, 0)
+            } else {
+                read_string_body(cur)
+            };
+            out.strings.push((line, value));
+            true
+        }
+        Some('#') if prefix.contains('r') => {
+            // Count hashes; `r#"…"#`-style only if a quote follows them.
+            // Otherwise this is a raw identifier (`r#type`) — leave the
+            // `#` for the main loop.
+            let mut probe = cur.chars.clone();
+            if let Some(p) = cur.peeked {
+                // peeked is the first '#'; rebuild the lookahead stream.
+                let mut hashes = 0usize;
+                let mut it = std::iter::once(p).chain(probe.by_ref());
+                let mut next = it.next();
+                while next == Some('#') {
+                    hashes += 1;
+                    next = it.next();
+                }
+                if next == Some('"') {
+                    for _ in 0..=hashes {
+                        cur.bump();
+                    }
+                    let value = read_raw_string_body(cur, hashes);
+                    out.strings.push((line, value));
+                    return true;
+                }
+            }
+            false
+        }
+        _ => false,
+    }
+}
+
+/// Reads a normal (escaped) string body after the opening quote,
+/// returning the decoded value.
+fn read_string_body(cur: &mut Cursor) -> String {
+    let mut value = String::new();
+    while let Some(c) = cur.bump() {
+        match c {
+            '"' => break,
+            '\\' => match cur.bump() {
+                Some('n') => value.push('\n'),
+                Some('r') => value.push('\r'),
+                Some('t') => value.push('\t'),
+                Some('0') => value.push('\0'),
+                Some('\\') => value.push('\\'),
+                Some('"') => value.push('"'),
+                Some('\'') => value.push('\''),
+                Some('x') => {
+                    let h = [cur.bump(), cur.bump()];
+                    if let (Some(a), Some(b)) = (h[0], h[1]) {
+                        if let Ok(v) = u8::from_str_radix(&format!("{a}{b}"), 16) {
+                            value.push(v as char);
+                        }
+                    }
+                }
+                Some('u') => {
+                    // \u{…}
+                    let mut hex = String::new();
+                    if cur.peek() == Some('{') {
+                        cur.bump();
+                        while let Some(c) = cur.bump() {
+                            if c == '}' {
+                                break;
+                            }
+                            hex.push(c);
+                        }
+                    }
+                    if let Ok(v) = u32::from_str_radix(&hex, 16) {
+                        if let Some(ch) = char::from_u32(v) {
+                            value.push(ch);
+                        }
+                    }
+                }
+                Some('\n') => {
+                    // Line continuation: skip leading whitespace of the
+                    // next line (Rust's `\`-newline string rule).
+                    while let Some(c) = cur.peek() {
+                        if c == ' ' || c == '\t' || c == '\r' || c == '\n' {
+                            cur.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                Some(other) => value.push(other),
+                None => break,
+            },
+            c => value.push(c),
+        }
+    }
+    value
+}
+
+/// Reads a raw string body after the opening quote: ends at `"` followed
+/// by `hashes` `#` characters. No escapes.
+fn read_raw_string_body(cur: &mut Cursor, hashes: usize) -> String {
+    let mut value = String::new();
+    'outer: while let Some(c) = cur.bump() {
+        if c == '"' {
+            // Candidate terminator: need `hashes` hashes.
+            let mut seen = 0usize;
+            while seen < hashes {
+                if cur.peek() == Some('#') {
+                    cur.bump();
+                    seen += 1;
+                } else {
+                    value.push('"');
+                    for _ in 0..seen {
+                        value.push('#');
+                    }
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        value.push(c);
+    }
+    value
+}
+
+/// Handles a `'`: either a char literal (contents discarded — rules do
+/// not inspect char values) or a lifetime (the quote is dropped and the
+/// name tokenizes as a word, which is harmless).
+fn read_quote(cur: &mut Cursor, _out: &mut Lexed) {
+    cur.bump(); // the opening quote
+    match (cur.peek(), cur.peek2()) {
+        (Some('\\'), _) => {
+            // Escaped char literal: consume the escape, then run to the
+            // closing quote.
+            cur.bump();
+            cur.bump();
+            while let Some(c) = cur.bump() {
+                if c == '\'' {
+                    break;
+                }
+            }
+        }
+        (Some(a), Some('\'')) if a != '\'' => {
+            // 'x' — a one-character literal.
+            cur.bump();
+            cur.bump();
+        }
+        _ => {
+            // A lifetime ('a, 'static) or stray quote: nothing to do,
+            // the following word lexes normally.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn words(src: &str) -> Vec<String> {
+        lex(src).tokens.iter().filter_map(|t| t.word().map(str::to_owned)).collect()
+    }
+
+    #[test]
+    fn comments_do_not_tokenize() {
+        let l = lex("let x = 1; // HashSet here\n/* and .unwrap() there */ let y = 2;");
+        assert!(l.tokens.iter().all(|t| !t.is_word("HashSet") && !t.is_word("unwrap")));
+        assert_eq!(l.comments.len(), 2);
+        assert!(l.comments[0].1.contains("HashSet"));
+        assert!(l.comments[1].1.contains(".unwrap()"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* a /* b */ c */ fn f() {}");
+        assert_eq!(words("/* a /* b */ c */ fn f() {}"), vec!["fn", "f"]);
+        assert_eq!(l.comments.len(), 1);
+    }
+
+    #[test]
+    fn strings_blank_out_but_are_captured() {
+        let l = lex(r#"let s = "HashSet.unwrap()"; let t = 3;"#);
+        assert!(l.tokens.iter().all(|t| !t.is_word("HashSet") && !t.is_word("unwrap")));
+        assert_eq!(l.strings, vec![(1, "HashSet.unwrap()".to_owned())]);
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let l = lex(r###"let s = r#"a "quoted" b"#; let x = 1;"###);
+        assert_eq!(l.strings, vec![(1, "a \"quoted\" b".to_owned())]);
+        assert!(l.tokens.iter().any(|t| t.is_word("x")));
+    }
+
+    #[test]
+    fn byte_and_plain_prefix_identifiers_survive() {
+        // `r`, `b`, `br` as ordinary identifiers must stay words.
+        assert_eq!(words("let r = b; let br = 1;"), vec!["let", "r", "b", "let", "br", "1"]);
+        let l = lex(r#"let s = b"bytes"; let t = r"raw";"#);
+        assert_eq!(l.strings.len(), 2);
+        assert_eq!(l.strings[0].1, "bytes");
+        assert_eq!(l.strings[1].1, "raw");
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        // 'a' is a char literal; 'a in a generic is a lifetime whose name
+        // lexes as a word; '\'' and '\n' are escaped char literals.
+        let toks = words("fn f<'a>(x: &'a str) { let c = 'y'; let d = '\\n'; }");
+        assert!(toks.contains(&"a".to_owned()));
+        assert!(!toks.contains(&"y".to_owned()));
+        assert!(!toks.contains(&"n".to_owned()));
+    }
+
+    #[test]
+    fn string_line_continuation_decodes_like_rustc() {
+        let l = lex("let s = \"ab \\\n          cd\";");
+        assert_eq!(l.strings[0].1, "ab cd");
+    }
+
+    #[test]
+    fn line_numbers_are_accurate() {
+        let l = lex("a\nb\n\nc // note\nd");
+        let lines: Vec<u32> = l.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4, 5]);
+        assert_eq!(l.comments, vec![(4, " note".to_owned())]);
+        assert_eq!(l.next_code_line(4), Some(5));
+    }
+
+    #[test]
+    fn multiline_string_advances_lines() {
+        let l = lex("let s = \"x\ny\";\nlet t = 1;");
+        assert_eq!(l.strings[0].1, "x\ny");
+        assert!(l.tokens.iter().any(|t| t.is_word("t") && t.line == 3));
+    }
+}

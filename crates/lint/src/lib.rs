@@ -1,0 +1,36 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! **pasco-lint** — a workspace-native invariant checker that turns this
+//! repository's past bugs into CI-enforced rules.
+//!
+//! rustc and clippy verify what the *language* promises; this crate
+//! verifies what the *project* promises: determinism in the seed, NaN-safe
+//! rankings, `unsafe` confined to one syscall shim, panic-free serving
+//! paths, append-only wire tags with golden-byte fixtures, and a
+//! nonblocking reactor. Each rule exists because its violation already
+//! shipped once (see the rule table in `README.md` §Static analysis).
+//!
+//! The architecture is three small layers:
+//!
+//! * [`lexer`] — a comment- and string-literal-aware Rust lexer, so rules
+//!   match code, never prose;
+//! * [`source`] — per-file classification: `#[cfg(test)]`/`#[test]`
+//!   regions and `pasco-lint: allow(…)` suppression pragmas;
+//! * [`rules`] + [`wire`] — the rules themselves, pure functions from
+//!   lexed source (and the committed `WIRE_TAGS.manifest`) to
+//!   [`rules::Finding`]s;
+//! * [`engine`] — walks the workspace, applies suppressions, renders
+//!   human or `--json` reports.
+//!
+//! Run it as `cargo run -p pasco-lint -- --deny-all` (CI does, as a merge
+//! gate). The library surface exists so the crate's own tests — and the
+//! workspace self-run test — can drive the engine in-process.
+
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+pub mod wire;
+
+pub use engine::{find_workspace_root, run_workspace, Report};
+pub use rules::{Finding, RULES};

@@ -1,0 +1,429 @@
+//! The rule registry and the per-file rules.
+//!
+//! Every rule here is grounded in a bug this repository actually shipped
+//! (see `README.md` §Static analysis for the table):
+//!
+//! * [`NONDETERMINISTIC_ITERATION`] — PR 1 fixed `barabasi_albert`
+//!   feeding `HashSet` iteration order into sampling, which broke
+//!   deterministic-in-seed reproducibility across processes.
+//! * [`FLOAT_ORDERING`] — PR 3 fixed rankings panicking on a
+//!   NaN-poisoned diagonal via `partial_cmp().unwrap()`; score paths
+//!   must use `total_cmp`.
+//! * [`UNSAFE_CONFINEMENT`] — PR 6 confined `unsafe` to the epoll shim
+//!   `crates/server/src/sys.rs` by convention; this makes it structural.
+//! * [`NO_UNWRAP_IN_SERVING`] — a panic in `server`/`worker`/`cluster`
+//!   is a dropped connection or a wedged worker, not a clean error.
+//! * [`WIRE_TAG_DISCIPLINE`] (in [`crate::wire`]) — wire tags are
+//!   append-only and every frame kind needs a golden-bytes fixture.
+//! * [`BLOCKING_IN_REACTOR`] — one blocking call in the event loop
+//!   stalls every connection the reactor owns.
+
+use crate::source::SourceFile;
+
+/// One reported violation.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule slug.
+    pub rule: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// Rule slug: hash-ordered collections in determinism-critical crates.
+pub const NONDETERMINISTIC_ITERATION: &str = "nondeterministic-iteration";
+/// Rule slug: `partial_cmp` on score paths.
+pub const FLOAT_ORDERING: &str = "float-ordering";
+/// Rule slug: `unsafe` outside the syscall shim / missing crate-root deny.
+pub const UNSAFE_CONFINEMENT: &str = "unsafe-confinement";
+/// Rule slug: `.unwrap()` / `.expect()` in serving-path production code.
+pub const NO_UNWRAP_IN_SERVING: &str = "no-unwrap-in-serving";
+/// Rule slug: wire-tag uniqueness, manifest sync, fixture coverage.
+pub const WIRE_TAG_DISCIPLINE: &str = "wire-tag-discipline";
+/// Rule slug: blocking calls inside the reactor event loop.
+pub const BLOCKING_IN_REACTOR: &str = "blocking-in-reactor";
+/// Rule slug: malformed pragma or pragma naming an unknown rule.
+pub const BAD_PRAGMA: &str = "bad-pragma";
+
+/// Every rule `pasco-lint` knows, with a one-line summary (shown by
+/// `--list-rules` and used in the README table).
+pub const RULES: &[(&str, &str)] = &[
+    (
+        NONDETERMINISTIC_ITERATION,
+        "no HashSet/HashMap in pasco_graph/pasco_mc/pasco_simrank production code: hasher order \
+         must never feed sampling or generation",
+    ),
+    (
+        FLOAT_ORDERING,
+        "no partial_cmp anywhere in the workspace: rankings sort with f64::total_cmp so NaN \
+         cannot panic or reorder",
+    ),
+    (
+        UNSAFE_CONFINEMENT,
+        "unsafe only in crates/server/src/sys.rs; every other crate root carries \
+         #![deny(unsafe_code)] or #![forbid(unsafe_code)]",
+    ),
+    (
+        NO_UNWRAP_IN_SERVING,
+        "no .unwrap()/.expect() in production code of pasco_server/pasco_worker/pasco_cluster: a \
+         panic is a dropped connection or a wedged worker",
+    ),
+    (
+        WIRE_TAG_DISCIPLINE,
+        "FrameKind/QueryError wire tags are unique, never renumbered against WIRE_TAGS.manifest, \
+         and every frame kind has a golden-bytes fixture",
+    ),
+    (
+        BLOCKING_IN_REACTOR,
+        "no thread::sleep or blocking framed I/O inside the reactor event-loop module \
+         crates/server/src/server.rs",
+    ),
+    (BAD_PRAGMA, "a pasco-lint pragma must be allow(...) and name only known rules"),
+];
+
+/// The slugs alone, for pragma validation.
+pub fn rule_slugs() -> Vec<&'static str> {
+    RULES.iter().map(|(slug, _)| *slug).collect()
+}
+
+/// Crates whose sampling / generation / scoring must be deterministic in
+/// the seed: hash-ordered collections are banned in their production code.
+const DETERMINISM_DIRS: &[&str] = &["crates/graph/src/", "crates/mc/src/", "crates/core/src/"];
+
+/// Crates on the serving path, where a panic drops a connection or wedges
+/// a worker instead of surfacing a typed error.
+const SERVING_DIRS: &[&str] = &["crates/server/src/", "crates/worker/src/", "crates/cluster/src/"];
+
+/// The reactor event-loop module.
+const REACTOR_FILE: &str = "crates/server/src/server.rs";
+/// The one module allowed to contain `unsafe` (the epoll syscall shim).
+const UNSAFE_SHIM: &str = "crates/server/src/sys.rs";
+/// The one file allowed to carry `#[allow(unsafe_code)]` (the gate that
+/// admits the shim module into an otherwise `deny(unsafe_code)` crate).
+const UNSAFE_GATE: &str = "crates/server/src/lib.rs";
+
+/// Blocking calls that must never appear in the reactor: the blocking
+/// framed-I/O helpers (the reactor uses the resumable
+/// `FrameDecoder`/`WriteQueue` state machines instead) and the blocking
+/// std read/write patterns they are built from.
+const REACTOR_BLOCKING_CALLS: &[&str] =
+    &["read_envelope", "write_envelope", "poll_envelope", "read_exact", "read_to_end", "write_all"];
+
+fn in_dirs(rel: &str, dirs: &[&str]) -> bool {
+    dirs.iter().any(|d| rel.starts_with(d))
+}
+
+/// Runs every per-file rule over one source file. (The workspace-level
+/// wire-tag rule lives in [`crate::wire`].)
+pub fn check_file(file: &SourceFile) -> Vec<Finding> {
+    let mut out = Vec::new();
+    nondeterministic_iteration(file, &mut out);
+    float_ordering(file, &mut out);
+    unsafe_confinement(file, &mut out);
+    no_unwrap_in_serving(file, &mut out);
+    blocking_in_reactor(file, &mut out);
+    bad_pragmas(file, &mut out);
+    out
+}
+
+fn push(out: &mut Vec<Finding>, file: &SourceFile, line: u32, rule: &'static str, msg: String) {
+    out.push(Finding { file: file.rel.clone(), line, rule, message: msg });
+}
+
+fn nondeterministic_iteration(file: &SourceFile, out: &mut Vec<Finding>) {
+    if !in_dirs(&file.rel, DETERMINISM_DIRS) {
+        return;
+    }
+    for t in &file.lexed.tokens {
+        let Some(w) = t.word() else { continue };
+        if (w == "HashSet" || w == "HashMap") && !file.is_test_line(t.line) {
+            push(
+                out,
+                file,
+                t.line,
+                NONDETERMINISTIC_ITERATION,
+                format!(
+                    "`{w}` is hash-ordered: iteration order depends on hasher state and can leak \
+                     into sampling, generation, or rankings (the PR 1 `barabasi_albert` \
+                     regression class). Use `BTreeMap`/`BTreeSet`/a sorted `Vec`, or — if order \
+                     provably never escapes — add `// pasco-lint: allow({NONDETERMINISTIC_ITERATION})` \
+                     with a comment saying why"
+                ),
+            );
+        }
+    }
+}
+
+fn float_ordering(file: &SourceFile, out: &mut Vec<Finding>) {
+    for t in &file.lexed.tokens {
+        if t.is_word("partial_cmp") {
+            push(
+                out,
+                file,
+                t.line,
+                FLOAT_ORDERING,
+                format!(
+                    "`partial_cmp` on a score path panics or misorders on NaN (the PR 3 \
+                     NaN-poisoned-diagonal ranking bug). Sort floats with `f64::total_cmp`, or \
+                     justify with `// pasco-lint: allow({FLOAT_ORDERING})`"
+                ),
+            );
+        }
+    }
+}
+
+fn unsafe_confinement(file: &SourceFile, out: &mut Vec<Finding>) {
+    let toks = &file.lexed.tokens;
+    // 1. `unsafe` tokens only in the syscall shim.
+    if file.rel != UNSAFE_SHIM {
+        for t in toks {
+            if t.is_word("unsafe") {
+                push(
+                    out,
+                    file,
+                    t.line,
+                    UNSAFE_CONFINEMENT,
+                    format!(
+                        "`unsafe` is confined to the epoll syscall shim `{UNSAFE_SHIM}`; wrap the \
+                         unsafety behind a safe interface there instead"
+                    ),
+                );
+            }
+        }
+    }
+    // 2. `allow(unsafe_code)` only at the shim's gate in the server root.
+    if file.rel != UNSAFE_GATE {
+        for win in toks.windows(4) {
+            if win[0].is_word("allow")
+                && win[1].is_punct('(')
+                && win[2].is_word("unsafe_code")
+                && win[3].is_punct(')')
+            {
+                push(
+                    out,
+                    file,
+                    win[0].line,
+                    UNSAFE_CONFINEMENT,
+                    format!(
+                        "`#[allow(unsafe_code)]` appears only in `{UNSAFE_GATE}` (the gate that \
+                         admits `mod sys`); nothing else may reopen unsafe"
+                    ),
+                );
+            }
+        }
+    }
+    // 3. Every crate root must deny (or forbid) unsafe_code.
+    let is_crate_root = file.rel == "src/lib.rs"
+        || (file.rel.starts_with("crates/") && file.rel.ends_with("/src/lib.rs"));
+    if is_crate_root {
+        let denies = toks.windows(4).any(|w| {
+            (w[0].is_word("deny") || w[0].is_word("forbid"))
+                && w[1].is_punct('(')
+                && w[2].is_word("unsafe_code")
+                && w[3].is_punct(')')
+        });
+        if !denies {
+            push(
+                out,
+                file,
+                1,
+                UNSAFE_CONFINEMENT,
+                "crate root is missing `#![deny(unsafe_code)]` (or `#![forbid(unsafe_code)]`); \
+                 every non-shim crate must refuse unsafe at the root"
+                    .to_owned(),
+            );
+        }
+    }
+}
+
+fn no_unwrap_in_serving(file: &SourceFile, out: &mut Vec<Finding>) {
+    if !in_dirs(&file.rel, SERVING_DIRS) {
+        return;
+    }
+    let toks = &file.lexed.tokens;
+    for i in 1..toks.len().saturating_sub(1) {
+        let is_call = (toks[i].is_word("unwrap") || toks[i].is_word("expect"))
+            && toks[i - 1].is_punct('.')
+            && toks[i + 1].is_punct('(');
+        if is_call && !file.is_test_line(toks[i].line) {
+            let name = toks[i].word().unwrap_or_default();
+            push(
+                out,
+                file,
+                toks[i].line,
+                NO_UNWRAP_IN_SERVING,
+                format!(
+                    "`.{name}(…)` in serving-path production code: a panic here drops a \
+                     connection or wedges a worker. Return a typed error (`QueryError`, \
+                     `io::Error`), or — for an invariant the surrounding code guarantees — add \
+                     `// pasco-lint: allow({NO_UNWRAP_IN_SERVING})` with the guarantee spelled out"
+                ),
+            );
+        }
+    }
+}
+
+fn blocking_in_reactor(file: &SourceFile, out: &mut Vec<Finding>) {
+    if file.rel != REACTOR_FILE {
+        return;
+    }
+    let toks = &file.lexed.tokens;
+    for i in 0..toks.len() {
+        if file.is_test_line(toks[i].line) {
+            continue;
+        }
+        // `thread::sleep` (with or without a `std::` prefix).
+        if toks[i].is_word("sleep")
+            && i >= 2
+            && toks[i - 1].is_punct(':')
+            && toks[i - 2].is_punct(':')
+        {
+            push(
+                out,
+                file,
+                toks[i].line,
+                BLOCKING_IN_REACTOR,
+                "`thread::sleep` inside the reactor module stalls every connection the event \
+                 loop owns; arm a timer-wheel deadline and return to `epoll_wait` instead"
+                    .to_owned(),
+            );
+        }
+        // Blocking framed/stream I/O helpers.
+        let is_call = toks[i].word().is_some_and(|w| REACTOR_BLOCKING_CALLS.contains(&w))
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('('));
+        if is_call {
+            let name = toks[i].word().unwrap_or_default();
+            push(
+                out,
+                file,
+                toks[i].line,
+                BLOCKING_IN_REACTOR,
+                format!(
+                    "`{name}` is blocking I/O; the reactor must stay nonblocking — feed bytes \
+                     through the resumable `FrameDecoder`/`WriteQueue` state machines instead"
+                ),
+            );
+        }
+    }
+}
+
+fn bad_pragmas(file: &SourceFile, out: &mut Vec<Finding>) {
+    for (line, what) in &file.bad_pragmas {
+        push(
+            out,
+            file,
+            *line,
+            BAD_PRAGMA,
+            format!(
+                "pragma names no known rule (`{what}`): the only form is `pasco-lint: \
+                 allow(<rule>, …)` with slugs from `pasco-lint --list-rules` — a typo here would \
+                 silently suppress nothing"
+            ),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn findings(rel: &str, src: &str) -> Vec<Finding> {
+        let slugs = rule_slugs();
+        check_file(&SourceFile::new(rel.to_owned(), src, &slugs))
+    }
+
+    #[test]
+    fn hash_collections_flagged_only_in_determinism_crates() {
+        let bad =
+            "use std::collections::HashSet;\nfn f() { let s: HashSet<u32> = HashSet::new(); }\n";
+        let hits = findings("crates/graph/src/gen.rs", bad);
+        assert_eq!(hits.iter().filter(|f| f.rule == NONDETERMINISTIC_ITERATION).count(), 3);
+        // Same source elsewhere: out of scope.
+        assert!(findings("crates/server/src/x.rs", bad)
+            .iter()
+            .all(|f| f.rule != NONDETERMINISTIC_ITERATION));
+        // In test code of a determinism crate: fine.
+        let test_only = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n}\n";
+        assert!(findings("crates/core/src/x.rs", test_only).is_empty());
+    }
+
+    #[test]
+    fn unwrap_and_expect_flagged_on_serving_path_only() {
+        let bad = "fn f(x: Option<u32>) -> u32 { x.unwrap() + x.expect(\"set\") }\n";
+        let hits = findings("crates/server/src/server.rs", bad);
+        assert_eq!(hits.iter().filter(|f| f.rule == NO_UNWRAP_IN_SERVING).count(), 2);
+        assert!(findings("crates/core/src/x.rs", bad).is_empty());
+        // unwrap_or / expected are different identifiers — not flagged.
+        let ok = "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }\nfn expected(e: u32) {}\n";
+        assert!(findings("crates/worker/src/rpc.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn unsafe_flagged_outside_shim() {
+        let bad =
+            "#![deny(unsafe_code)]\nfn f() { unsafe { std::hint::unreachable_unchecked() } }\n";
+        let hits = findings("crates/core/src/x.rs", bad);
+        assert_eq!(hits.iter().filter(|f| f.rule == UNSAFE_CONFINEMENT).count(), 1);
+        assert!(findings("crates/server/src/sys.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn crate_root_must_deny_unsafe() {
+        let hits = findings("crates/x/src/lib.rs", "pub fn f() {}\n");
+        assert_eq!(hits.iter().filter(|f| f.rule == UNSAFE_CONFINEMENT).count(), 1);
+        assert!(
+            findings("crates/x/src/lib.rs", "#![forbid(unsafe_code)]\npub fn f() {}\n").is_empty()
+        );
+        assert!(
+            findings("crates/x/src/lib.rs", "#![deny(unsafe_code)]\npub fn f() {}\n").is_empty()
+        );
+        // Non-root files need no attribute.
+        assert!(findings("crates/x/src/util.rs", "pub fn f() {}\n").is_empty());
+    }
+
+    #[test]
+    fn allow_unsafe_code_flagged_outside_gate() {
+        let bad = "#![deny(unsafe_code)]\n#[allow(unsafe_code)]\nmod sys;\n";
+        let hits = findings("crates/worker/src/lib.rs", bad);
+        assert_eq!(hits.iter().filter(|f| f.rule == UNSAFE_CONFINEMENT).count(), 1);
+        assert!(findings("crates/server/src/lib.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn partial_cmp_flagged_everywhere_even_tests() {
+        let bad = "fn f(v: &mut [f64]) { v.sort_by(|a, b| a.partial_cmp(b).unwrap()); }\n";
+        assert_eq!(findings("crates/core/src/x.rs", bad).len(), 1);
+        assert_eq!(findings("tests/x.rs", bad).len(), 1);
+        let ok = "fn f(v: &mut [f64]) { v.sort_by(f64::total_cmp); }\n";
+        assert!(findings("crates/core/src/x.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn blocking_calls_flagged_in_reactor_only() {
+        let bad =
+            "fn f() {\n    std::thread::sleep(D);\n    let e = read_envelope(&mut s, m);\n}\n";
+        let hits = findings("crates/server/src/server.rs", bad);
+        assert_eq!(hits.iter().filter(|f| f.rule == BLOCKING_IN_REACTOR).count(), 2);
+        assert!(findings("crates/server/src/client.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn prose_never_fires_rules() {
+        let prose = "//! Uses `HashSet` and `.unwrap()` and `partial_cmp` and `unsafe`.\n\
+                     const DOC: &str = \"thread::sleep(read_envelope)\";\n";
+        assert!(findings("crates/graph/src/x.rs", prose).is_empty());
+        assert!(findings("crates/server/src/server.rs", prose).is_empty());
+    }
+
+    #[test]
+    fn pragma_suppression_is_not_a_rule_job() {
+        // Suppression happens in the engine; rules report everything.
+        let src =
+            "use std::collections::HashSet; // pasco-lint: allow(nondeterministic-iteration)\n";
+        assert_eq!(findings("crates/graph/src/x.rs", src).len(), 1);
+    }
+}

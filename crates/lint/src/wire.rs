@@ -1,0 +1,402 @@
+//! The `wire-tag-discipline` rule: the envelope's `FrameKind` tags and
+//! the `QueryError` wire tags are *append-only protocol surface*. A
+//! renumbered tag silently changes what every peer on the old build
+//! understands — the worst kind of wire bug, invisible to rustc and to
+//! any test that runs both ends from the same binary.
+//!
+//! Three checks, all against the source of truth in `crates/core`:
+//!
+//! 1. **Uniqueness** — no two `FrameKind` variants (or two `ERR_*`
+//!    constants) share a tag.
+//! 2. **Manifest sync** — every `name = tag` pair matches the committed
+//!    registry `WIRE_TAGS.manifest` at the workspace root. A new tag must
+//!    be *appended* to the manifest (an explicit, reviewable act); an
+//!    existing pair may never change or disappear.
+//! 3. **Fixture coverage** — every `FrameKind` variant has a
+//!    golden-bytes hex fixture somewhere in the workspace (a string
+//!    literal spelling out a full frame, `50 53 43 4f 01 00 <kind> …`),
+//!    so the byte-level meaning of each kind is pinned by a test.
+//!
+//! The parsers work on the lexed token stream, so tags in comments or
+//! strings never confuse them.
+
+use crate::lexer::Lexed;
+use crate::rules::{Finding, WIRE_TAG_DISCIPLINE};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Workspace-relative path of the committed tag registry.
+pub const MANIFEST_PATH: &str = "WIRE_TAGS.manifest";
+/// Workspace-relative path of the `FrameKind` declaration.
+pub const ENVELOPE_PATH: &str = "crates/core/src/api/envelope.rs";
+/// Workspace-relative path of the `QueryError` tag constants.
+pub const WIRE_PATH: &str = "crates/core/src/api/wire.rs";
+
+/// One parsed `name = tag` declaration with its source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TagDecl {
+    /// Variant or constant name.
+    pub name: String,
+    /// The wire tag value.
+    pub tag: u32,
+    /// 1-based source line of the declaration.
+    pub line: u32,
+}
+
+/// Extracts `Variant = N` discriminants from `enum <name> { … }`.
+pub fn parse_enum_tags(lexed: &Lexed, enum_name: &str) -> Vec<TagDecl> {
+    let toks = &lexed.tokens;
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    // Find `enum <name> {`.
+    while i + 2 < toks.len() {
+        if toks[i].is_word("enum") && toks[i + 1].is_word(enum_name) && toks[i + 2].is_punct('{') {
+            break;
+        }
+        i += 1;
+    }
+    if i + 2 >= toks.len() {
+        return out;
+    }
+    let mut depth = 1i32;
+    let mut j = i + 3;
+    while j < toks.len() && depth > 0 {
+        if toks[j].is_punct('{') {
+            depth += 1;
+        } else if toks[j].is_punct('}') {
+            depth -= 1;
+        } else if depth == 1
+            && j + 3 < toks.len()
+            && toks[j + 1].is_punct('=')
+            && (toks[j + 3].is_punct(',') || toks[j + 3].is_punct('}'))
+        {
+            if let (Some(name), Some(tag)) = (toks[j].word(), toks[j + 2].word()) {
+                if let Ok(tag) = tag.parse::<u32>() {
+                    out.push(TagDecl { name: name.to_owned(), tag, line: toks[j].line });
+                }
+            }
+        }
+        j += 1;
+    }
+    out
+}
+
+/// Extracts `const <PREFIX>NAME: u8 = N;` tag constants.
+pub fn parse_const_tags(lexed: &Lexed, prefix: &str) -> Vec<TagDecl> {
+    let toks = &lexed.tokens;
+    let mut out = Vec::new();
+    for i in 0..toks.len().saturating_sub(6) {
+        if toks[i].is_word("const")
+            && toks[i + 2].is_punct(':')
+            && toks[i + 3].is_word("u8")
+            && toks[i + 4].is_punct('=')
+            && toks[i + 6].is_punct(';')
+        {
+            if let (Some(name), Some(tag)) = (toks[i + 1].word(), toks[i + 5].word()) {
+                if name.starts_with(prefix) {
+                    if let Ok(tag) = tag.parse::<u32>() {
+                        out.push(TagDecl { name: name.to_owned(), tag, line: toks[i + 1].line });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The parsed manifest: `space → (name → tag)`.
+pub type Manifest = BTreeMap<String, BTreeMap<String, u32>>;
+
+/// Parses `WIRE_TAGS.manifest`: one `<space> <Name> <tag>` triple per
+/// line, `#` comments, blank lines ignored. Returns the manifest plus
+/// any unparseable lines.
+pub fn parse_manifest(text: &str) -> (Manifest, Vec<u32>) {
+    let mut manifest = Manifest::new();
+    let mut bad_lines = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match (parts.next(), parts.next(), parts.next().map(str::parse::<u32>), parts.next()) {
+            (Some(space), Some(name), Some(Ok(tag)), None) => {
+                manifest.entry(space.to_owned()).or_default().insert(name.to_owned(), tag);
+            }
+            _ => bad_lines.push(idx as u32 + 1),
+        }
+    }
+    (manifest, bad_lines)
+}
+
+/// Scans a decoded string literal for a golden frame fixture and returns
+/// the frame-kind byte if the string is one: whitespace-separated hex
+/// bytes spelling `50 53 43 4f` (magic "PSCO"), version `01 00`, then
+/// the kind.
+pub fn fixture_kind(s: &str) -> Option<u8> {
+    let bytes: Option<Vec<u8>> = s
+        .split_whitespace()
+        .map(|t| if t.len() == 2 { u8::from_str_radix(t, 16).ok() } else { None })
+        .collect();
+    let bytes = bytes?;
+    if bytes.len() >= 7 && bytes[..6] == [0x50, 0x53, 0x43, 0x4f, 0x01, 0x00] {
+        Some(bytes[6])
+    } else {
+        None
+    }
+}
+
+/// Everything the workspace-level check needs, separated from file I/O so
+/// tests can feed doctored inputs (a desynced manifest, a missing
+/// fixture) and assert the rule fires.
+pub struct WireInputs {
+    /// Parsed `FrameKind` variants.
+    pub frame_kinds: Vec<TagDecl>,
+    /// Parsed `ERR_*` constants.
+    pub error_tags: Vec<TagDecl>,
+    /// The manifest text, or `None` when the file is missing.
+    pub manifest: Option<String>,
+    /// Frame-kind bytes pinned by golden fixtures anywhere in the tree.
+    pub fixture_kinds: BTreeSet<u8>,
+}
+
+const SPACE_FRAME: &str = "framekind";
+const SPACE_ERROR: &str = "queryerror";
+
+/// Runs the full wire-tag-discipline check.
+pub fn check(inputs: &WireInputs) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut push = |file: &str, line: u32, message: String| {
+        out.push(Finding { file: file.to_owned(), line, rule: WIRE_TAG_DISCIPLINE, message });
+    };
+
+    if inputs.frame_kinds.is_empty() {
+        push(ENVELOPE_PATH, 1, "could not parse any `FrameKind` variants".to_owned());
+    }
+    if inputs.error_tags.is_empty() {
+        push(WIRE_PATH, 1, "could not parse any `ERR_*: u8` tag constants".to_owned());
+    }
+
+    // 1. Uniqueness within each tag space.
+    for (decls, file) in [(&inputs.frame_kinds, ENVELOPE_PATH), (&inputs.error_tags, WIRE_PATH)] {
+        let mut seen: BTreeMap<u32, &str> = BTreeMap::new();
+        for d in decls.iter() {
+            if let Some(first) = seen.insert(d.tag, &d.name) {
+                push(
+                    file,
+                    d.line,
+                    format!("wire tag {} assigned to both `{first}` and `{}`", d.tag, d.name),
+                );
+            }
+        }
+    }
+
+    // 2. Manifest sync.
+    match &inputs.manifest {
+        None => push(
+            MANIFEST_PATH,
+            1,
+            format!(
+                "missing `{MANIFEST_PATH}`: the committed wire-tag registry is what makes \
+                 renumbering detectable"
+            ),
+        ),
+        Some(text) => {
+            let (manifest, bad_lines) = parse_manifest(text);
+            for line in bad_lines {
+                push(
+                    MANIFEST_PATH,
+                    line,
+                    "unparseable manifest line (want `<space> <Name> <tag>`)".to_owned(),
+                );
+            }
+            for (space, decls, file) in [
+                (SPACE_FRAME, &inputs.frame_kinds, ENVELOPE_PATH),
+                (SPACE_ERROR, &inputs.error_tags, WIRE_PATH),
+            ] {
+                let committed = manifest.get(space).cloned().unwrap_or_default();
+                let mut in_source = BTreeSet::new();
+                for d in decls.iter() {
+                    in_source.insert(d.name.clone());
+                    match committed.get(&d.name) {
+                        None => push(
+                            file,
+                            d.line,
+                            format!(
+                                "`{}` (tag {}) is not in `{MANIFEST_PATH}`; new wire tags must \
+                                 be appended there (`{space} {} {}`) so the assignment is \
+                                 committed and reviewed",
+                                d.name, d.tag, d.name, d.tag
+                            ),
+                        ),
+                        Some(&committed_tag) if committed_tag != d.tag => push(
+                            file,
+                            d.line,
+                            format!(
+                                "`{}` renumbered: source says {} but `{MANIFEST_PATH}` committed \
+                                 {committed_tag}. Wire tags are append-only — old peers still \
+                                 interpret {committed_tag}; add a new tag instead",
+                                d.name, d.tag
+                            ),
+                        ),
+                        Some(_) => {}
+                    }
+                }
+                for (name, tag) in &committed {
+                    if !in_source.contains(name) {
+                        push(
+                            file,
+                            1,
+                            format!(
+                                "`{name}` (tag {tag}) is committed in `{MANIFEST_PATH}` but no \
+                                 longer declared; wire tags may never be removed or renamed — \
+                                 retired tags stay reserved"
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // 3. Golden-fixture coverage for every frame kind.
+    for d in &inputs.frame_kinds {
+        if u8::try_from(d.tag).map(|t| !inputs.fixture_kinds.contains(&t)).unwrap_or(true) {
+            push(
+                ENVELOPE_PATH,
+                d.line,
+                format!(
+                    "`FrameKind::{}` (tag {}) has no golden-bytes fixture: no committed hex \
+                     string `50 53 43 4f 01 00 {:02x} …` pins its byte-level meaning",
+                    d.name, d.tag, d.tag
+                ),
+            );
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    const ENUM_SRC: &str = "
+        #[repr(u8)]
+        pub enum FrameKind {
+            /// Opens = a session (prose with = signs).
+            Hello = 0,
+            HelloAck = 1,
+            Request = 2,
+        }
+        impl FrameKind { fn f() { let x = 3; } }
+    ";
+
+    const CONST_SRC: &str = "
+        const ERR_A: u8 = 0;
+        const ERR_B: u8 = 1;
+        const OTHER: u8 = 9;
+        const ERR_S: usize = 9;
+    ";
+
+    fn decls(pairs: &[(&str, u32)]) -> Vec<TagDecl> {
+        pairs
+            .iter()
+            .enumerate()
+            .map(|(i, (n, t))| TagDecl { name: (*n).to_owned(), tag: *t, line: i as u32 + 1 })
+            .collect()
+    }
+
+    fn inputs() -> WireInputs {
+        WireInputs {
+            frame_kinds: decls(&[("Hello", 0), ("HelloAck", 1)]),
+            error_tags: decls(&[("ERR_A", 0)]),
+            manifest: Some("framekind Hello 0\nframekind HelloAck 1\nqueryerror ERR_A 0\n".into()),
+            fixture_kinds: [0u8, 1].into_iter().collect(),
+        }
+    }
+
+    #[test]
+    fn parses_enum_discriminants_not_prose() {
+        let tags = parse_enum_tags(&lex(ENUM_SRC), "FrameKind");
+        assert_eq!(
+            tags.iter().map(|d| (d.name.as_str(), d.tag)).collect::<Vec<_>>(),
+            vec![("Hello", 0), ("HelloAck", 1), ("Request", 2)]
+        );
+    }
+
+    #[test]
+    fn parses_u8_consts_with_prefix_only() {
+        let tags = parse_const_tags(&lex(CONST_SRC), "ERR_");
+        assert_eq!(
+            tags.iter().map(|d| (d.name.as_str(), d.tag)).collect::<Vec<_>>(),
+            vec![("ERR_A", 0), ("ERR_B", 1)]
+        );
+    }
+
+    #[test]
+    fn clean_inputs_produce_no_findings() {
+        assert_eq!(check(&inputs()), vec![]);
+    }
+
+    #[test]
+    fn duplicate_tag_fires() {
+        let mut i = inputs();
+        i.frame_kinds = decls(&[("Hello", 0), ("HelloAck", 0)]);
+        i.manifest = Some("framekind Hello 0\nframekind HelloAck 0\nqueryerror ERR_A 0\n".into());
+        let f = check(&i);
+        assert!(f.iter().any(|f| f.message.contains("assigned to both")), "{f:?}");
+    }
+
+    #[test]
+    fn renumbered_tag_fires() {
+        let mut i = inputs();
+        i.manifest = Some("framekind Hello 0\nframekind HelloAck 5\nqueryerror ERR_A 0\n".into());
+        let f = check(&i);
+        assert!(f.iter().any(|f| f.message.contains("renumbered")), "{f:?}");
+    }
+
+    #[test]
+    fn unregistered_new_tag_fires() {
+        let mut i = inputs();
+        i.frame_kinds.push(TagDecl { name: "Fresh".into(), tag: 2, line: 9 });
+        i.fixture_kinds.insert(2);
+        let f = check(&i);
+        assert!(f.iter().any(|f| f.message.contains("must be appended")), "{f:?}");
+    }
+
+    #[test]
+    fn removed_committed_tag_fires() {
+        let mut i = inputs();
+        i.error_tags.clear();
+        i.error_tags.push(TagDecl { name: "ERR_Z".into(), tag: 1, line: 1 });
+        let f = check(&i);
+        assert!(f.iter().any(|f| f.message.contains("no longer declared")), "{f:?}");
+    }
+
+    #[test]
+    fn missing_fixture_fires() {
+        let mut i = inputs();
+        i.fixture_kinds.remove(&1);
+        let f = check(&i);
+        assert!(f.iter().any(|f| f.message.contains("no golden-bytes fixture")), "{f:?}");
+    }
+
+    #[test]
+    fn missing_manifest_fires() {
+        let mut i = inputs();
+        i.manifest = None;
+        assert!(check(&i).iter().any(|f| f.file == MANIFEST_PATH));
+    }
+
+    #[test]
+    fn fixture_kind_parses_golden_hex() {
+        assert_eq!(
+            fixture_kind("50 53 43 4f 01 00 0b 00 00 00 00 00 00 00 00 00 00 00 00 00"),
+            Some(0x0b)
+        );
+        assert_eq!(fixture_kind("50 53 43 4f 02 00 0b"), None); // wrong version
+        assert_eq!(fixture_kind("not hex at all"), None);
+        assert_eq!(fixture_kind("50 53 43 4f 01 00"), None); // too short
+    }
+}

@@ -712,6 +712,8 @@ impl Reactor {
                 continue; // the connection went away while we computed
             }
             self.handle.stats.responses.fetch_add(1, Ordering::Relaxed);
+            // The liveness check above proves the slot is occupied.
+            // pasco-lint: allow(no-unwrap-in-serving)
             let conn = self.conns[token].as_mut().expect("checked live");
             conn.out.push(&env);
             conn.in_flight -= 1;

@@ -94,6 +94,8 @@ impl TimerWheel {
         if self.armed == 0 {
             return None;
         }
+        // `armed > 0` (checked above) guarantees at least one occupied slot.
+        // pasco-lint: allow(no-unwrap-in-serving)
         let earliest = self.slots.iter().flatten().map(|t| t.due_tick).min().expect("armed > 0");
         // Full-width tick arithmetic: a u32 cast here once wrapped after
         // 2^32 ticks and made an armed wheel busy-wake forever.

@@ -43,7 +43,7 @@ fn main() {
 
     let mut ranked: Vec<(u32, f64)> =
         risk.iter().enumerate().map(|(u, &r)| (u as u32, r)).collect();
-    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
     println!("\nhighest churn risk:");
     for &(u, r) in ranked.iter().take(10) {
         let comm = if u < 150 { "A (churned cohort)" } else { "B" };

@@ -33,7 +33,7 @@ fn main() {
     // 3b. Single-source query (MCSS): the most similar nodes to node 10.
     let scores = cw.single_source(10);
     let mut top: Vec<(u32, f64)> = scores.iter().enumerate().map(|(i, &v)| (i as u32, v)).collect();
-    top.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+    top.sort_by(|a, b| b.1.total_cmp(&a.1));
     println!("top-5 similar to node 10:");
     for &(v, s) in top.iter().filter(|&&(v, _)| v != 10).take(5) {
         println!("  node {v:>5}  s = {s:.4}");

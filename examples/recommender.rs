@@ -51,7 +51,7 @@ fn main() {
             .filter(|&(i, _)| i as u32 != item)
             .map(|(i, &s)| (i as u32, s))
             .collect();
-        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
         let community = if item < half { "A" } else { "B" };
         println!("\nrecommendations for item {item} (community {community}):");
         let mut same = 0;

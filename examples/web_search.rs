@@ -49,7 +49,7 @@ fn main() {
             .filter(|&(i, _)| i as u32 != seed)
             .map(|(i, &s)| (i as u32, s))
             .collect();
-        ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
         println!("\nrelated to page {seed} ({latency:?}):");
         for &(page, score) in ranked.iter().take(5) {
             println!("  page {page:>6}  s = {score:.4}");
