@@ -57,9 +57,11 @@ impl Cluster {
             .num_threads(threads)
             .thread_name(|i| format!("pasco-worker-{i}"))
             .build()
-            // Startup-time construction: failing to build the pool means the
-            // process cannot serve at all, so aborting here is the contract.
-            // pasco-lint: allow(no-unwrap-in-serving)
+            // `Cluster::new` runs once at startup, before any request is
+            // accepted: a process whose thread pool cannot build cannot
+            // serve at all, so aborting here is the contract. Nothing
+            // in-flight exists yet for a panic to drop.
+            // pasco-lint: allow(panic-reachable-in-serving)
             .expect("failed to build cluster thread pool");
         Self { cfg, pool, log: Mutex::new(MetricsLog::default()) }
     }

@@ -242,18 +242,17 @@ impl<K: Send + Ord + Copy, V: Send> DistVec<(K, V)> {
             let mut out: Vec<(K, Option<V>)> = Vec::new();
             for (k, v) in part {
                 match out.last_mut() {
+                    // Every push below stores `Some`, so the fold always
+                    // finds a resident accumulator to take.
                     Some((lk, acc)) if *lk == k => {
-                        // `acc` is only ever None inside this take/replace
-                        // pair; every push stores Some.
-                        // pasco-lint: allow(no-unwrap-in-serving)
-                        let prev = acc.take().expect("accumulator always present");
-                        *acc = Some(f(prev, v));
+                        if let Some(prev) = acc.take() {
+                            *acc = Some(f(prev, v));
+                        }
                     }
                     _ => out.push((k, Some(v))),
                 }
             }
-            // pasco-lint: allow(no-unwrap-in-serving)
-            out.into_iter().map(|(k, v)| (k, v.expect("accumulator"))).collect()
+            out.into_iter().filter_map(|(k, v)| v.map(|v| (k, v))).collect()
         })
     }
 }

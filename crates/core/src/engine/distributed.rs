@@ -82,7 +82,7 @@ use pasco_solver::jacobi::{self, JacobiConfig, RowSource};
 use rayon::prelude::*;
 use std::io::BufReader;
 use std::net::TcpStream;
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// One sparse row of the linear system, sorted by column.
@@ -182,6 +182,9 @@ impl ShardWorkerCore {
             Some(_) => {}
         }
         let partitioner = Partitioner::range(msg.n, msg.parts);
+        // `part_index >= parts` was rejected above, and a range
+        // partitioner has a range for every index below `parts`.
+        // pasco-lint: allow(panic-reachable-in-serving)
         let expect = partitioner.range_of(msg.part_index).expect("range partitioner");
         if (msg.partition.start, msg.partition.end) != expect {
             return Err(invalid(format!(
@@ -192,8 +195,9 @@ impl ShardWorkerCore {
         self.pending[msg.part_index as usize] = Some(msg.partition);
         let loaded = self.pending.iter().flatten().count() as u32;
         if loaded == msg.parts {
-            let parts: Vec<GraphPartition> =
-                self.pending.drain(..).map(|p| p.expect("all partitions resident")).collect();
+            // `loaded == parts` counted exactly the occupied entries of
+            // `pending`, so `flatten` drains every slot.
+            let parts: Vec<GraphPartition> = self.pending.drain(..).flatten().collect();
             self.view = Some(PartitionedView::new(Arc::new(parts), partitioner));
         }
         Ok(LoadAck { resident_bytes: self.resident_bytes(), loaded })
@@ -206,9 +210,14 @@ impl ShardWorkerCore {
         }
     }
 
-    fn owned_range(&self) -> (u32, u32) {
-        let (n, parts, owned) = self.shape.expect("shape fixed before owned_range");
-        Partitioner::range(n, parts).range_of(owned).expect("range partitioner")
+    fn owned_range(&self) -> Result<(u32, u32), QueryError> {
+        let Some((n, parts, owned)) = self.shape else {
+            return Err(self.not_ready("owned range requested"));
+        };
+        // `owned >= parts` is rejected at load time, and a range
+        // partitioner has a range for every index below `parts`.
+        // pasco-lint: allow(panic-reachable-in-serving)
+        Ok(Partitioner::range(n, parts).range_of(owned).expect("range partitioner"))
     }
 
     /// The shard-local offline build: one `R`-walker cohort and one
@@ -218,7 +227,7 @@ impl ShardWorkerCore {
         let Some(view) = &self.view else {
             return Err(self.not_ready("build requested"));
         };
-        let (start, end) = self.owned_range();
+        let (start, end) = self.owned_range()?;
         let params = WalkParams::new(cfg.t, cfg.r);
         let rows: Vec<Row> = (start..end)
             .into_par_iter()
@@ -255,8 +264,20 @@ impl ShardWorkerCore {
 
     /// The diagonal a successful [`ShardWorkerCore::resolve_diag`] left
     /// resident.
-    fn cached_diag(&self) -> &[f64] {
-        &self.diag.as_ref().expect("resolve_diag succeeded first").1
+    fn cached_diag(&self) -> Result<&[f64], QueryError> {
+        match &self.diag {
+            Some((_, values)) => Ok(values),
+            None => Err(QueryError::WorkerUnavailable {
+                detail: "query routed before its diagonal was resolved".into(),
+            }),
+        }
+    }
+
+    /// The routed view as a typed error when loading has not finished.
+    /// Re-borrowed per use: [`ShardWorkerCore::resolve_diag`] takes
+    /// `&mut self`, so a view borrow cannot live across it.
+    fn routed_view(&self) -> Result<&PartitionedView, QueryError> {
+        self.view.as_ref().ok_or_else(|| self.not_ready("query routed"))
     }
 
     /// Answers one routed [`ShardQuery`]: MCSP, dense MCSS, or a raw
@@ -275,8 +296,8 @@ impl ShardWorkerCore {
                 check_node(i, n)?;
                 check_node(j, n)?;
                 self.resolve_diag(msg.diag)?;
-                let diag = self.cached_diag();
-                let view = self.view.as_ref().expect("checked above");
+                let diag = self.cached_diag()?;
+                let view = self.routed_view()?;
                 if i == j {
                     QueryResponse::Score(1.0)
                 } else {
@@ -288,8 +309,8 @@ impl ShardWorkerCore {
             ShardQueryKind::SingleSource { i } => {
                 check_node(i, n)?;
                 self.resolve_diag(msg.diag)?;
-                let diag = self.cached_diag();
-                let view = self.view.as_ref().expect("checked above");
+                let diag = self.cached_diag()?;
+                let view = self.routed_view()?;
                 let dists = reverse_walk_distributions_on(view, i, params, seed);
                 QueryResponse::Scores(single_source_from_dists_on(
                     n as usize, view, &dists, diag, &cfg,
@@ -300,7 +321,7 @@ impl ShardWorkerCore {
             // per-link cache state untouched).
             ShardQueryKind::Cohort { v } => {
                 check_node(v, n)?;
-                let view = self.view.as_ref().expect("checked above");
+                let view = self.routed_view()?;
                 QueryResponse::Cohort(reverse_walk_distributions_on(view, v, params, seed))
             }
         };
@@ -317,8 +338,8 @@ impl ShardWorkerCore {
         }
         check_node(msg.i, self.node_count())?;
         self.resolve_diag(msg.diag)?;
-        let diag = self.cached_diag();
-        let view = self.view.as_ref().expect("checked above");
+        let diag = self.cached_diag()?;
+        let view = self.routed_view()?;
         let k = usize::try_from(msg.k).unwrap_or(usize::MAX);
         let lists = topk_lists(view, diag, &msg.cfg, msg.i, k);
         self.topk_queries += 1;
@@ -525,7 +546,12 @@ impl DistributedEngine {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("load thread panicked")).collect()
+            // A panicked provisioning thread downgrades to a per-worker
+            // load failure instead of tearing down the coordinator.
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|_| Err("load thread panicked".to_owned())))
+                .collect()
         });
 
         let mut links = Vec::with_capacity(nparts as usize);
@@ -574,7 +600,7 @@ impl DistributedEngine {
     /// the simulated engines, `est_network` here is *measured* transfer
     /// wall time.
     fn record_shuffle(&self, label: &str, bytes: u64, records: u64, messages: u64, wall: Duration) {
-        let mut log = self.metrics.lock().expect("metrics poisoned");
+        let mut log = self.metrics.lock().unwrap_or_else(PoisonError::into_inner);
         if let Some(s) = log.shuffles.iter_mut().find(|s| s.label == label) {
             s.bytes += bytes;
             s.records += records;
@@ -603,7 +629,12 @@ impl DistributedEngine {
         make: impl FnOnce(&mut WorkerLink) -> Vec<u8>,
     ) -> Result<Envelope, QueryError> {
         let t0 = Instant::now();
-        let mut link = self.links[w].lock().expect("worker link poisoned");
+        // A poisoned link lock means a caller panicked mid-protocol and
+        // the stream may be desynced: fail this worker typed rather
+        // than resume a half-written conversation.
+        let mut link = self.links[w].lock().map_err(|_| QueryError::WorkerUnavailable {
+            detail: format!("worker {w}: link poisoned by a panicked caller"),
+        })?;
         if !link.alive {
             // The worker *process* may have outlived the broken
             // connection — its loaded partitions and diagonal cache
@@ -774,13 +805,27 @@ impl SimRankEngine for DistributedEngine {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("build thread panicked")).collect()
+            // A panicked build thread downgrades to a per-worker typed
+            // error instead of tearing down the coordinator.
+            handles
+                .into_iter()
+                .map(|h| {
+                    h.join().unwrap_or_else(|_| {
+                        Err(QueryError::WorkerUnavailable {
+                            detail: "build thread panicked".into(),
+                        })
+                    })
+                })
+                .collect()
         });
 
         let mut shard_rows = Vec::with_capacity(self.workers());
         let mut task_times = Vec::with_capacity(self.workers());
         for (w, result) in results.into_iter().enumerate() {
             let (rows, took) = result.map_err(SimRankError::Query)?;
+            // The engine's partitioner is `Partitioner::range` by
+            // construction and `w < workers() == parts`.
+            // pasco-lint: allow(panic-reachable-in-serving)
             let (start, end) = self.partitioner.range_of(w as u32).expect("range partitioner");
             if rows.len() != (end - start) as usize {
                 return Err(SimRankError::Query(QueryError::WorkerUnavailable {
@@ -819,7 +864,7 @@ impl SimRankEngine for DistributedEngine {
         let busy: Duration = task_times.iter().sum();
         let max_task = task_times.iter().copied().max().unwrap_or_default();
         {
-            let mut log = self.metrics.lock().expect("metrics poisoned");
+            let mut log = self.metrics.lock().unwrap_or_else(PoisonError::into_inner);
             log.stages.push(StageMetrics {
                 label: "build/walks".to_string(),
                 tasks: self.workers(),
@@ -837,7 +882,7 @@ impl SimRankEngine for DistributedEngine {
             strategy,
             residuals: result.residuals,
             rows_bytes,
-            cluster: Some(self.metrics.lock().expect("metrics poisoned").report()),
+            cluster: Some(self.metrics.lock().unwrap_or_else(PoisonError::into_inner).report()),
         })
     }
 
@@ -909,7 +954,7 @@ impl SimRankEngine for DistributedEngine {
     }
 
     fn cluster_report(&self) -> Option<ClusterReport> {
-        Some(self.metrics.lock().expect("metrics poisoned").report())
+        Some(self.metrics.lock().unwrap_or_else(PoisonError::into_inner).report())
     }
 
     fn memory_footprint(&self) -> EngineFootprint {

@@ -403,8 +403,11 @@ impl RddEngine {
                         if w == 0.0 {
                             continue; // mass drops off the graph
                         }
+                        // `outflow(pos) > 0` (checked above) implies at
+                        // least one out-edge, so the sample always lands.
                         let next = gp
                             .sample_out(pos, forward_step_r(key, s))
+                            // pasco-lint: allow(panic-reachable-in-serving)
                             .expect("outflow > 0 implies out-edges");
                         let mass = mass * w;
                         if remaining == 1 {

@@ -39,7 +39,7 @@ use std::collections::hash_map::Entry;
 // pasco-lint: allow(nondeterministic-iteration)
 use std::collections::{BTreeSet, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Node → slot index of one LRU shard. Keyed lookup only: recency order
@@ -456,20 +456,20 @@ impl QuerySession {
             evictions: self
                 .shards
                 .iter()
-                .map(|s| s.lock().expect("shard poisoned").evictions)
+                .map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).evictions)
                 .sum(),
         }
     }
 
     /// Number of cohorts currently resident across all shards.
     pub fn cached_cohorts(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().expect("shard poisoned").len()).sum()
+        self.shards.iter().map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).len()).sum()
     }
 
     /// Wire-encoded bytes of the cohorts currently resident — the
     /// quantity [`SessionConfig::max_bytes`] bounds.
     pub fn cached_bytes(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().expect("shard poisoned").bytes).sum()
+        self.shards.iter().map(|s| s.lock().unwrap_or_else(PoisonError::into_inner).bytes).sum()
     }
 
     #[inline]
@@ -499,7 +499,7 @@ impl QuerySession {
     /// leader.
     fn cohort_once(&self, v: NodeId) -> Result<Option<Arc<StepDistributions>>, QueryError> {
         let shard = self.shard_of(v);
-        if let Some(c) = shard.lock().expect("shard poisoned").get(v) {
+        if let Some(c) = shard.lock().unwrap_or_else(PoisonError::into_inner).get(v) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Some(c));
         }
@@ -507,12 +507,12 @@ impl QuerySession {
         // Without this guard, N concurrent misses on one node simulated
         // the cohort N times before the first insert landed.
         let (flight, leader) = {
-            let mut inflight = self.inflight.lock().expect("inflight poisoned");
+            let mut inflight = self.inflight.lock().unwrap_or_else(PoisonError::into_inner);
             // Re-check the cache under the registry lock: a completing
             // leader inserts into the cache *before* clearing its entry, so
             // an empty registry here means the cache check below is
             // authoritative.
-            if let Some(c) = shard.lock().expect("shard poisoned").get(v) {
+            if let Some(c) = shard.lock().unwrap_or_else(PoisonError::into_inner).get(v) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return Ok(Some(c));
             }
@@ -526,7 +526,7 @@ impl QuerySession {
             }
         };
         if !leader {
-            let mut state = flight.state.lock().expect("flight poisoned");
+            let mut state = flight.state.lock().unwrap_or_else(PoisonError::into_inner);
             loop {
                 match &*state {
                     FlightState::Done(c) => {
@@ -537,7 +537,7 @@ impl QuerySession {
                     }
                     FlightState::Abandoned => return Ok(None),
                     FlightState::Pending => {
-                        state = flight.ready.wait(state).expect("flight poisoned");
+                        state = flight.ready.wait(state).unwrap_or_else(PoisonError::into_inner);
                     }
                 }
             }
@@ -554,10 +554,11 @@ impl QuerySession {
         // Publish to the cache first (insert keeps a raced resident entry
         // and just refreshes recency), then release the followers and
         // clear the registry entry.
-        shard.lock().expect("shard poisoned").insert(v, Arc::clone(&c));
-        *flight.state.lock().expect("flight poisoned") = FlightState::Done(Arc::clone(&c));
+        shard.lock().unwrap_or_else(PoisonError::into_inner).insert(v, Arc::clone(&c));
+        *flight.state.lock().unwrap_or_else(PoisonError::into_inner) =
+            FlightState::Done(Arc::clone(&c));
         flight.ready.notify_all();
-        self.inflight.lock().expect("inflight poisoned").remove(&v);
+        self.inflight.lock().unwrap_or_else(PoisonError::into_inner).remove(&v);
         guard.published = true;
         Ok(Some(c))
     }

@@ -40,8 +40,8 @@ impl CsrGraph {
     ) -> Self {
         assert_eq!(out_offsets.len(), n as usize + 1, "out_offsets length");
         assert_eq!(in_offsets.len(), n as usize + 1, "in_offsets length");
-        assert_eq!(*out_offsets.last().unwrap(), out_targets.len() as u64);
-        assert_eq!(*in_offsets.last().unwrap(), in_sources.len() as u64);
+        assert_eq!(out_offsets.last().copied(), Some(out_targets.len() as u64));
+        assert_eq!(in_offsets.last().copied(), Some(in_sources.len() as u64));
         assert_eq!(out_targets.len(), in_sources.len(), "edge count mismatch");
         debug_assert!(out_offsets.windows(2).all(|w| w[0] <= w[1]));
         debug_assert!(in_offsets.windows(2).all(|w| w[0] <= w[1]));

@@ -168,7 +168,11 @@ pub fn partition_graph(graph: &CsrGraph, partitioner: &Partitioner) -> Vec<Graph
     let parts = partitioner.parts();
     (0..parts)
         .map(|p| {
+            // The documented contract above: panicking on a non-range
+            // partitioner is deliberate (hash partitioning would shred
+            // adjacency locality), and `p < parts` by the loop bound.
             let (start, end) =
+                // pasco-lint: allow(panic-reachable-in-serving)
                 partitioner.range_of(p).expect("partition_graph requires a range partitioner");
             let count = (end - start) as usize;
             let mut in_offsets = Vec::with_capacity(count + 1);

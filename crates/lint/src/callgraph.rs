@@ -1,0 +1,1149 @@
+//! Stage two: the workspace call graph and the interprocedural rules.
+//!
+//! [`Graph::build`] flattens every file's [`crate::parser::FileItems`]
+//! into one node table and resolves each call site to workspace
+//! functions by *name + receiver-type heuristics*:
+//!
+//! * a typed method call (`conn.flush()` where `conn: Conn`) resolves to
+//!   `impl Conn`'s `flush`, or — when the receiver type is a workspace
+//!   *trait* (`svc: &dyn QueryService`) — to **every** in-workspace impl
+//!   of that trait (dynamic dispatch over-approximated soundly);
+//! * a path call (`Envelope::error(…)`, `Self::…`) resolves through the
+//!   named type the same way;
+//! * an untyped method call resolves to all workspace methods of that
+//!   name, unless the name is on the [`crate::parser::COMMON_STD_METHODS`]
+//!   list (where `opt.map(…)` meaning `DistVec::map` is far less likely
+//!   than `Option::map`);
+//! * a free call prefers same-file, then same-crate, then workspace.
+//!
+//! What cannot be resolved is **recorded, not dropped**: ambiguous calls
+//! (edges to every candidate, plus an [`Unresolved`] entry) and calls on
+//! workspace types with no matching method land in
+//! [`Graph::unresolved`], whose count CI gates against the committed
+//! `CALLGRAPH.baseline`. Known blind spots, by construction: dynamic
+//! dispatch through non-workspace traits, function pointers / closures
+//! passed as values, macro-generated calls, and fully-qualified
+//! `<T as Trait>::f` syntax. See `README.md` §Static analysis.
+//!
+//! [`Graph::analyze`] then computes the three facts the interprocedural
+//! rules need, and [`Graph::check`] turns them into findings:
+//!
+//! * **blocking reachability** — BFS from `Reactor::run` in the reactor
+//!   module, *excluding* `spawn(…)` edges (a spawned closure runs on its
+//!   own thread; the reactor does not wait). Dotted blocking candidates
+//!   (`.wait(…)`, `.recv(…)`) whose receiver resolved to a workspace
+//!   method are dropped first — `self.epoll.wait(…)` is the reactor's
+//!   one sanctioned (timeout-bounded) blocking point, not a `Condvar`.
+//! * **contended lock classes** — a class some function holds across a
+//!   blocking operation (or across a call into a transitively-blocking
+//!   function). The reactor locking such a class inherits the holder's
+//!   worst-case stall, so that is a finding too.
+//! * **panic reachability** — BFS from every non-test `pub` function in
+//!   the serving crates, *including* spawn edges (a panicked pool thread
+//!   wedges serving just as surely), flagging every
+//!   `unwrap`/`expect`/`panic!`-family site reached. Indexing sites are
+//!   recorded in the dump but only become findings under
+//!   `--strict-indexing`.
+//! * **lock order** — edges `held-class → acquired-class` from every
+//!   acquisition site, plus `held-class → transitively-acquired-class`
+//!   across every call edge; any cycle (including a self-loop: a class
+//!   re-acquired while an instance is held) is a deadlock the right
+//!   interleaving will eventually find.
+
+use crate::parser::{FileItems, FnItem, PanicKind, Recv, COMMON_STD_METHODS};
+use crate::rules::{
+    Finding, BLOCKING_IN_REACTOR_TRANSITIVE, LOCK_ORDER_CYCLE, PANIC_REACHABLE_IN_SERVING,
+    REACTOR_FILE, SERVING_DIRS,
+};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// One function node: where it lives plus its parsed summary.
+pub struct Node {
+    /// Workspace-relative path of the defining file.
+    pub file: String,
+    /// The parsed item.
+    pub item: FnItem,
+}
+
+/// One resolved call edge.
+pub struct Edge {
+    /// Callee node index.
+    pub to: usize,
+    /// Call-site line in the caller's file.
+    pub line: u32,
+    /// Lock classes held at the call site.
+    pub held: Vec<String>,
+    /// True when the call happens inside a `spawn(…)` argument.
+    pub spawned: bool,
+}
+
+/// One call site the resolver could not pin down (recorded, not dropped).
+pub struct Unresolved {
+    /// Caller's file.
+    pub file: String,
+    /// Caller's display name.
+    pub caller: String,
+    /// Call-site line.
+    pub line: u32,
+    /// Callee name as written.
+    pub callee: String,
+    /// Why resolution failed (or stayed ambiguous).
+    pub reason: String,
+}
+
+/// The workspace call graph.
+pub struct Graph {
+    /// All function nodes, in file order.
+    pub nodes: Vec<Node>,
+    /// Outgoing edges per node.
+    pub edges: Vec<Vec<Edge>>,
+    /// Calls the resolver recorded as unresolved/ambiguous.
+    pub unresolved: Vec<Unresolved>,
+    /// Calls attributed to std/shim (no workspace candidate) — counted
+    /// for the dump, not gated.
+    pub external_calls: usize,
+    /// Per node: `(line, name)` of dotted calls that resolved to a
+    /// workspace method — used to drop blocking candidates like
+    /// `self.epoll.wait(…)`.
+    resolved_dotted: Vec<BTreeSet<(u32, String)>>,
+}
+
+/// Derived facts: reachability parents, blocking closure, contention,
+/// and the lock-order graph.
+pub struct Analysis {
+    /// BFS parent per node from `Reactor::run` (spawn edges excluded);
+    /// a root is its own parent; `None` = unreachable.
+    pub reactor_parents: Vec<Option<usize>>,
+    /// BFS parent per node from the serving entrypoints (spawn edges
+    /// included).
+    pub serving_parents: Vec<Option<usize>>,
+    /// Nodes that block, directly or transitively.
+    pub blocks: Vec<bool>,
+    /// Lock class → witness text for why it is contended.
+    pub contended: BTreeMap<String, String>,
+    /// Lock-order edges: `(held, acquired)` → witness text.
+    pub lock_edges: BTreeMap<(String, String), String>,
+}
+
+/// A node's display name: `Type::fn` or `fn`.
+pub fn display(node: &Node) -> String {
+    match &node.item.self_ty {
+        Some(ty) => format!("{ty}::{}", node.item.name),
+        None => node.item.name.clone(),
+    }
+}
+
+fn head(ty: &str) -> &str {
+    ty.split('<').next().unwrap_or(ty)
+}
+
+fn crate_of(rel: &str) -> &str {
+    // `crates/<name>/…` → `crates/<name>/`; anything else → itself.
+    let mut parts = rel.splitn(3, '/');
+    match (parts.next(), parts.next()) {
+        (Some("crates"), Some(name)) => &rel[..7 + name.len() + 1],
+        _ => rel,
+    }
+}
+
+impl Graph {
+    /// Builds the graph from every file's parsed items.
+    pub fn build(files: &[FileItems]) -> Graph {
+        let mut nodes = Vec::new();
+        for f in files {
+            for item in &f.fns {
+                nodes.push(Node { file: f.rel.clone(), item: item.clone() });
+            }
+        }
+        let n = nodes.len();
+
+        // Indexes.
+        let mut self_tys: BTreeSet<&str> = BTreeSet::new();
+        let mut trait_names: BTreeSet<&str> = BTreeSet::new();
+        let mut methods: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        let mut trait_methods: BTreeMap<(&str, &str), Vec<usize>> = BTreeMap::new();
+        let mut by_method_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        let mut free_fns: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+        for (i, node) in nodes.iter().enumerate() {
+            let it = &node.item;
+            if let Some(ty) = &it.self_ty {
+                self_tys.insert(ty);
+                methods.entry((ty, &it.name)).or_default().push(i);
+                by_method_name.entry(&it.name).or_default().push(i);
+            }
+            if let Some(tr) = &it.trait_name {
+                trait_names.insert(tr);
+                trait_methods.entry((tr, &it.name)).or_default().push(i);
+                if it.self_ty.is_none() {
+                    // A default method on the trait declaration.
+                    by_method_name.entry(&it.name).or_default().push(i);
+                }
+            }
+            if it.self_ty.is_none() && it.trait_name.is_none() {
+                free_fns.entry(&it.name).or_default().push(i);
+            }
+        }
+
+        let mut edges: Vec<Vec<Edge>> = (0..n).map(|_| Vec::new()).collect();
+        let mut unresolved = Vec::new();
+        let mut external_calls = 0usize;
+        let mut resolved_dotted: Vec<BTreeSet<(u32, String)>> =
+            (0..n).map(|_| BTreeSet::new()).collect();
+
+        for i in 0..n {
+            let node = &nodes[i];
+            for call in &node.item.calls {
+                let name = call.name.as_str();
+                enum R {
+                    Targets(Vec<usize>),
+                    Ambiguous(Vec<usize>, String),
+                    NoMatch(String),
+                    External,
+                }
+                let r = match &call.recv {
+                    Recv::Method { ty: Some(t) } => {
+                        let t = head(t);
+                        if let Some(c) = methods.get(&(t, name)) {
+                            R::Targets(c.clone())
+                        } else if let Some(c) = trait_methods.get(&(t, name)) {
+                            // Dynamic dispatch: every in-workspace impl.
+                            R::Targets(c.clone())
+                        } else if self_tys.contains(t) || trait_names.contains(t) {
+                            if COMMON_STD_METHODS.contains(&name) {
+                                // Derive/std-trait method on a workspace
+                                // type (`conn.clone()`, `kind.cmp(…)`).
+                                R::External
+                            } else {
+                                R::NoMatch(format!("no method `{name}` on workspace type `{t}`"))
+                            }
+                        } else {
+                            R::External
+                        }
+                    }
+                    Recv::Method { ty: None } => {
+                        if COMMON_STD_METHODS.contains(&name) {
+                            R::External
+                        } else {
+                            match by_method_name.get(name).map(Vec::as_slice) {
+                                None | Some([]) => R::External,
+                                Some([one]) => R::Targets(vec![*one]),
+                                Some(many) => R::Ambiguous(
+                                    many.to_vec(),
+                                    format!(
+                                        "untyped receiver: `.{name}(…)` matches {} workspace \
+                                         methods",
+                                        many.len()
+                                    ),
+                                ),
+                            }
+                        }
+                    }
+                    Recv::Path(ty) if ty.is_empty() => R::External,
+                    Recv::Path(ty) => {
+                        let t = head(ty);
+                        if let Some(c) = methods.get(&(t, name)) {
+                            R::Targets(c.clone())
+                        } else if let Some(c) = trait_methods.get(&(t, name)) {
+                            R::Targets(c.clone())
+                        } else if self_tys.contains(t) || trait_names.contains(t) {
+                            if COMMON_STD_METHODS.contains(&name) {
+                                R::External
+                            } else {
+                                R::NoMatch(format!(
+                                    "no associated fn `{name}` on workspace type `{t}`"
+                                ))
+                            }
+                        } else {
+                            R::External
+                        }
+                    }
+                    Recv::Free => {
+                        let all = free_fns.get(name).map(Vec::as_slice).unwrap_or(&[]);
+                        let same_file: Vec<usize> =
+                            all.iter().copied().filter(|&j| nodes[j].file == node.file).collect();
+                        let same_crate: Vec<usize> = all
+                            .iter()
+                            .copied()
+                            .filter(|&j| crate_of(&nodes[j].file) == crate_of(&node.file))
+                            .collect();
+                        if !same_file.is_empty() {
+                            R::Targets(same_file)
+                        } else if !same_crate.is_empty() {
+                            R::Targets(same_crate)
+                        } else {
+                            match all {
+                                [] => R::External,
+                                [one] => R::Targets(vec![*one]),
+                                many => R::Ambiguous(
+                                    many.to_vec(),
+                                    format!(
+                                        "free call `{name}(…)` matches {} fns in other crates",
+                                        many.len()
+                                    ),
+                                ),
+                            }
+                        }
+                    }
+                };
+                let (targets, note) = match r {
+                    R::Targets(t) => (t, None),
+                    R::Ambiguous(t, why) => (t, Some(why)),
+                    R::NoMatch(why) => (Vec::new(), Some(why)),
+                    R::External => {
+                        external_calls += 1;
+                        continue;
+                    }
+                };
+                if let Some(reason) = note {
+                    unresolved.push(Unresolved {
+                        file: node.file.clone(),
+                        caller: display(node),
+                        line: call.line,
+                        callee: name.to_owned(),
+                        reason,
+                    });
+                }
+                if !targets.is_empty() && matches!(call.recv, Recv::Method { .. }) {
+                    resolved_dotted[i].insert((call.line, name.to_owned()));
+                }
+                for t in targets {
+                    edges[i].push(Edge {
+                        to: t,
+                        line: call.line,
+                        held: call.held.clone(),
+                        spawned: call.spawned,
+                    });
+                }
+            }
+        }
+        Graph { nodes, edges, unresolved, external_calls, resolved_dotted }
+    }
+
+    /// The gated count: ambiguous + no-match call sites.
+    pub fn unresolved_count(&self) -> usize {
+        self.unresolved.len()
+    }
+
+    /// Blocking sites of node `i` that survive resolution: dotted
+    /// candidates whose call resolved to a workspace method are edges,
+    /// not primitives.
+    fn effective_blocking(&self, i: usize) -> impl Iterator<Item = &crate::parser::BlockingSite> {
+        let resolved = &self.resolved_dotted[i];
+        self.nodes[i]
+            .item
+            .blocking
+            .iter()
+            .filter(move |b| !b.dotted || !resolved.contains(&(b.line, b.name.clone())))
+    }
+
+    /// BFS over call edges from `roots`; returns per-node parent (roots
+    /// are their own parent). Test nodes are never entered.
+    fn reach(&self, roots: &[usize], follow_spawned: bool) -> Vec<Option<usize>> {
+        let mut parent: Vec<Option<usize>> = vec![None; self.nodes.len()];
+        let mut q = VecDeque::new();
+        for &r in roots {
+            if parent[r].is_none() && !self.nodes[r].item.is_test {
+                parent[r] = Some(r);
+                q.push_back(r);
+            }
+        }
+        while let Some(u) = q.pop_front() {
+            for e in &self.edges[u] {
+                if (e.spawned && !follow_spawned) || self.nodes[e.to].item.is_test {
+                    continue;
+                }
+                if parent[e.to].is_none() {
+                    parent[e.to] = Some(u);
+                    q.push_back(e.to);
+                }
+            }
+        }
+        parent
+    }
+
+    /// Renders the call path from a root down to `i` (`A → B → C`).
+    pub fn path_to(&self, parents: &[Option<usize>], mut i: usize) -> String {
+        let mut names = vec![display(&self.nodes[i])];
+        let mut hops = 0;
+        while let Some(p) = parents[i] {
+            if p == i || hops > 32 {
+                break;
+            }
+            names.push(display(&self.nodes[p]));
+            i = p;
+            hops += 1;
+        }
+        names.reverse();
+        names.join(" → ")
+    }
+
+    /// Computes reachability, the blocking closure, contended classes,
+    /// and the lock-order graph.
+    pub fn analyze(&self) -> Analysis {
+        let n = self.nodes.len();
+
+        // Reactor roots: `Reactor::run` in the reactor module.
+        let reactor_roots: Vec<usize> = (0..n)
+            .filter(|&i| {
+                let nd = &self.nodes[i];
+                nd.file == REACTOR_FILE
+                    && nd.item.self_ty.as_deref() == Some("Reactor")
+                    && nd.item.name == "run"
+            })
+            .collect();
+        let reactor_parents = self.reach(&reactor_roots, false);
+
+        // Serving roots: every non-test pub fn in the serving crates.
+        let serving_roots: Vec<usize> = (0..n)
+            .filter(|&i| {
+                let nd = &self.nodes[i];
+                nd.item.is_pub && !nd.item.is_test && crate::rules::in_dirs(&nd.file, SERVING_DIRS)
+            })
+            .collect();
+        let serving_parents = self.reach(&serving_roots, true);
+
+        // Blocking closure: direct sites, then propagate backwards over
+        // non-spawned edges to a fixpoint.
+        let mut blocks: Vec<bool> = (0..n)
+            .map(|i| !self.nodes[i].item.is_test && self.effective_blocking(i).any(|b| !b.spawned))
+            .collect();
+        loop {
+            let mut changed = false;
+            for u in 0..n {
+                if blocks[u] || self.nodes[u].item.is_test {
+                    continue;
+                }
+                if self.edges[u].iter().any(|e| !e.spawned && blocks[e.to]) {
+                    blocks[u] = true;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+
+        // Contended classes: held across a blocking primitive, or across
+        // a call into a blocking function. Spawned regions count — the
+        // holder being a pool thread is exactly the contention the
+        // reactor must not inherit.
+        let mut contended: BTreeMap<String, String> = BTreeMap::new();
+        for i in 0..n {
+            if self.nodes[i].item.is_test {
+                continue;
+            }
+            let file = self.nodes[i].file.clone();
+            let sites: Vec<(u32, String, Vec<String>)> = self
+                .effective_blocking(i)
+                .map(|b| (b.line, b.what.clone(), b.held.clone()))
+                .collect();
+            for (line, what, held) in sites {
+                for class in held {
+                    contended
+                        .entry(class)
+                        .or_insert_with(|| format!("held across `{what}` at {file}:{line}"));
+                }
+            }
+            for e in &self.edges[i] {
+                if blocks[e.to] {
+                    for class in &e.held {
+                        contended.entry(class.clone()).or_insert_with(|| {
+                            format!(
+                                "held across call into blocking `{}` at {}:{}",
+                                display(&self.nodes[e.to]),
+                                file,
+                                e.line
+                            )
+                        });
+                    }
+                }
+            }
+        }
+
+        // Lock-order edges. Transitive acquisition sets first.
+        let mut trans_acq: Vec<BTreeSet<String>> = (0..n)
+            .map(|i| {
+                if self.nodes[i].item.is_test {
+                    BTreeSet::new()
+                } else {
+                    self.nodes[i]
+                        .item
+                        .acquires
+                        .iter()
+                        .filter(|a| !a.spawned)
+                        .map(|a| a.class.clone())
+                        .collect()
+                }
+            })
+            .collect();
+        loop {
+            let mut changed = false;
+            for u in 0..n {
+                if self.nodes[u].item.is_test {
+                    continue;
+                }
+                let mut add: Vec<String> = Vec::new();
+                for e in &self.edges[u] {
+                    if e.spawned {
+                        continue;
+                    }
+                    for c in &trans_acq[e.to] {
+                        if !trans_acq[u].contains(c) {
+                            add.push(c.clone());
+                        }
+                    }
+                }
+                if !add.is_empty() {
+                    trans_acq[u].extend(add);
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let mut lock_edges: BTreeMap<(String, String), String> = BTreeMap::new();
+        for i in 0..n {
+            let nd = &self.nodes[i];
+            if nd.item.is_test {
+                continue;
+            }
+            for a in &nd.item.acquires {
+                for h in &a.held {
+                    lock_edges
+                        .entry((h.clone(), a.class.clone()))
+                        .or_insert_with(|| format!("{}:{}", nd.file, a.line));
+                }
+            }
+            for e in &self.edges[i] {
+                for h in &e.held {
+                    for c in &trans_acq[e.to] {
+                        lock_edges.entry((h.clone(), c.clone())).or_insert_with(|| {
+                            format!(
+                                "{}:{} (via call into {})",
+                                nd.file,
+                                e.line,
+                                display(&self.nodes[e.to])
+                            )
+                        });
+                    }
+                }
+            }
+        }
+
+        Analysis { reactor_parents, serving_parents, blocks, contended, lock_edges }
+    }
+
+    /// Runs the interprocedural rules. The caller (engine) applies
+    /// pragma suppression afterwards, like any other rule's findings.
+    pub fn check(&self, analysis: &Analysis, strict_indexing: bool) -> Vec<Finding> {
+        let mut out = Vec::new();
+
+        // ---- lock-order-cycle ------------------------------------------
+        for cycle in cycles(&analysis.lock_edges) {
+            let witness_edge = (cycle[0].clone(), cycle[1 % cycle.len()].clone());
+            let witness = analysis.lock_edges.get(&witness_edge);
+            let (file, line) =
+                witness.map(|w| split_witness(w)).unwrap_or_else(|| ("CALLGRAPH".to_owned(), 1));
+            let steps: Vec<String> = cycle
+                .iter()
+                .enumerate()
+                .map(|(k, from)| {
+                    let to = &cycle[(k + 1) % cycle.len()];
+                    let at = analysis
+                        .lock_edges
+                        .get(&(from.clone(), to.clone()))
+                        .cloned()
+                        .unwrap_or_default();
+                    format!("`{from}` held while acquiring `{to}` at {at}")
+                })
+                .collect();
+            out.push(Finding {
+                file,
+                line,
+                rule: LOCK_ORDER_CYCLE,
+                message: format!(
+                    "lock-order cycle across {} — {}. Two threads taking these in opposite \
+                     order deadlock; impose one global order (or collapse to one lock)",
+                    cycle.iter().map(|c| format!("`{c}`")).collect::<Vec<_>>().join(" → "),
+                    steps.join("; ")
+                ),
+            });
+        }
+
+        // ---- blocking-in-reactor-transitive ----------------------------
+        for i in 0..self.nodes.len() {
+            if analysis.reactor_parents[i].is_none() {
+                continue;
+            }
+            let nd = &self.nodes[i];
+            let path = self.path_to(&analysis.reactor_parents, i);
+            for b in self.effective_blocking(i) {
+                if b.spawned {
+                    continue;
+                }
+                out.push(Finding {
+                    file: nd.file.clone(),
+                    line: b.line,
+                    rule: BLOCKING_IN_REACTOR_TRANSITIVE,
+                    message: format!(
+                        "`{}` blocks and is reachable from the event loop ({path}): one stalled \
+                         call here stalls every connection the reactor owns",
+                        b.what
+                    ),
+                });
+            }
+            for a in &nd.item.acquires {
+                if a.spawned {
+                    continue;
+                }
+                if let Some(why) = analysis.contended.get(&a.class) {
+                    out.push(Finding {
+                        file: nd.file.clone(),
+                        line: a.line,
+                        rule: BLOCKING_IN_REACTOR_TRANSITIVE,
+                        message: format!(
+                            "the event loop ({path}) locks `{}`, but that class is contended: \
+                             {why}. The reactor inherits the holder's worst-case stall",
+                            a.class
+                        ),
+                    });
+                }
+            }
+        }
+
+        // ---- panic-reachable-in-serving --------------------------------
+        for i in 0..self.nodes.len() {
+            if analysis.serving_parents[i].is_none() {
+                continue;
+            }
+            let nd = &self.nodes[i];
+            let path = self.path_to(&analysis.serving_parents, i);
+            for p in &nd.item.panics {
+                if p.kind == PanicKind::Index && !strict_indexing {
+                    continue;
+                }
+                out.push(Finding {
+                    file: nd.file.clone(),
+                    line: p.line,
+                    rule: PANIC_REACHABLE_IN_SERVING,
+                    message: format!(
+                        "`{}` can panic and is reachable from a serving entrypoint ({path}): a \
+                         panic drops the connection or wedges the worker. Return a typed error, \
+                         or state the invariant in a pragma",
+                        p.what
+                    ),
+                });
+            }
+        }
+        out
+    }
+
+    /// Graphviz DOT rendering (reactor-reachable nodes outlined, blocking
+    /// nodes filled).
+    pub fn to_dot(&self, analysis: &Analysis) -> String {
+        let mut s = String::from(
+            "digraph pasco_callgraph {\n  rankdir=LR;\n  node [shape=box, fontsize=9];\n",
+        );
+        for (i, nd) in self.nodes.iter().enumerate() {
+            if nd.item.is_test {
+                continue;
+            }
+            let mut attrs = format!("label=\"{}\\n{}:{}\"", display(nd), nd.file, nd.item.line);
+            if analysis.reactor_parents[i].is_some() {
+                attrs.push_str(", color=red, penwidth=2");
+            }
+            if analysis.blocks[i] {
+                attrs.push_str(", style=filled, fillcolor=lightyellow");
+            }
+            s.push_str(&format!("  f{i} [{attrs}];\n"));
+        }
+        for (i, es) in self.edges.iter().enumerate() {
+            if self.nodes[i].item.is_test {
+                continue;
+            }
+            let mut seen = BTreeSet::new();
+            for e in es {
+                if self.nodes[e.to].item.is_test || !seen.insert(e.to) {
+                    continue;
+                }
+                let style = if e.spawned { " [style=dashed]" } else { "" };
+                s.push_str(&format!("  f{i} -> f{}{style};\n", e.to));
+            }
+        }
+        s.push_str("}\n");
+        s
+    }
+
+    /// JSON rendering for the CI artifact.
+    pub fn to_json(&self, analysis: &Analysis) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"fns\": {},\n", self.nodes.len()));
+        s.push_str(&format!("  \"edges\": {},\n", self.edges.iter().map(Vec::len).sum::<usize>()));
+        s.push_str(&format!("  \"external_calls\": {},\n", self.external_calls));
+        s.push_str(&format!("  \"unresolved_count\": {},\n", self.unresolved_count()));
+        s.push_str("  \"unresolved\": [\n");
+        for (k, u) in self.unresolved.iter().enumerate() {
+            let comma = if k + 1 == self.unresolved.len() { "" } else { "," };
+            s.push_str(&format!(
+                "    {{\"file\": {}, \"caller\": {}, \"line\": {}, \"callee\": {}, \
+                 \"reason\": {}}}{comma}\n",
+                json_str(&u.file),
+                json_str(&u.caller),
+                u.line,
+                json_str(&u.callee),
+                json_str(&u.reason),
+            ));
+        }
+        s.push_str("  ],\n");
+        let reactor: Vec<String> = (0..self.nodes.len())
+            .filter(|&i| analysis.reactor_parents[i].is_some())
+            .map(|i| display(&self.nodes[i]))
+            .collect();
+        s.push_str(&format!(
+            "  \"reactor_reachable\": [{}],\n",
+            reactor.iter().map(|n| json_str(n)).collect::<Vec<_>>().join(", ")
+        ));
+        s.push_str(&format!(
+            "  \"serving_reachable\": {},\n",
+            analysis.serving_parents.iter().filter(|p| p.is_some()).count()
+        ));
+        s.push_str("  \"contended_classes\": {\n");
+        for (k, (class, why)) in analysis.contended.iter().enumerate() {
+            let comma = if k + 1 == analysis.contended.len() { "" } else { "," };
+            s.push_str(&format!("    {}: {}{comma}\n", json_str(class), json_str(why)));
+        }
+        s.push_str("  },\n");
+        s.push_str("  \"lock_edges\": [\n");
+        for (k, ((from, to), at)) in analysis.lock_edges.iter().enumerate() {
+            let comma = if k + 1 == analysis.lock_edges.len() { "" } else { "," };
+            s.push_str(&format!(
+                "    {{\"held\": {}, \"acquired\": {}, \"at\": {}}}{comma}\n",
+                json_str(from),
+                json_str(to),
+                json_str(at)
+            ));
+        }
+        s.push_str("  ],\n");
+        let indexing: usize = self
+            .nodes
+            .iter()
+            .map(|nd| nd.item.panics.iter().filter(|p| p.kind == PanicKind::Index).count())
+            .sum();
+        s.push_str(&format!("  \"indexing_sites\": {indexing}\n"));
+        s.push_str("}\n");
+        s
+    }
+}
+
+/// `file:line (note)` → `(file, line)`.
+fn split_witness(w: &str) -> (String, u32) {
+    let head = w.split(' ').next().unwrap_or(w);
+    match head.rsplit_once(':') {
+        Some((file, line)) => (file.to_owned(), line.parse().unwrap_or(1)),
+        None => (head.to_owned(), 1),
+    }
+}
+
+/// Finds elementary cycles in the lock-class graph: one representative
+/// cycle per strongly-connected component with ≥ 2 nodes, plus every
+/// self-loop. Deterministic: classes visit in sorted order.
+fn cycles(edges: &BTreeMap<(String, String), String>) -> Vec<Vec<String>> {
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    let mut classes: BTreeSet<&str> = BTreeSet::new();
+    for (from, to) in edges.keys() {
+        adj.entry(from).or_default().insert(to);
+        classes.insert(from);
+        classes.insert(to);
+    }
+    let mut out = Vec::new();
+    // Self-loops first.
+    for c in &classes {
+        if adj.get(c).is_some_and(|s| s.contains(c)) {
+            out.push(vec![(*c).to_owned()]);
+        }
+    }
+    // SCCs ≥ 2 via double DFS (Kosaraju); graphs here are tiny.
+    let mut radj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for (from, to) in edges.keys() {
+        radj.entry(to).or_default().insert(from);
+    }
+    let mut order: Vec<&str> = Vec::new();
+    let mut seen: BTreeSet<&str> = BTreeSet::new();
+    for &c in &classes {
+        if seen.contains(c) {
+            continue;
+        }
+        // Iterative post-order DFS.
+        let mut stack: Vec<(&str, bool)> = vec![(c, false)];
+        while let Some((u, done)) = stack.pop() {
+            if done {
+                order.push(u);
+                continue;
+            }
+            if !seen.insert(u) {
+                continue;
+            }
+            stack.push((u, true));
+            if let Some(next) = adj.get(u) {
+                for &v in next {
+                    if !seen.contains(v) {
+                        stack.push((v, false));
+                    }
+                }
+            }
+        }
+    }
+    let mut assigned: BTreeSet<&str> = BTreeSet::new();
+    for &c in order.iter().rev() {
+        if assigned.contains(c) {
+            continue;
+        }
+        let mut comp: Vec<&str> = Vec::new();
+        let mut stack = vec![c];
+        while let Some(u) = stack.pop() {
+            if !assigned.insert(u) {
+                continue;
+            }
+            comp.push(u);
+            if let Some(prev) = radj.get(u) {
+                for &v in prev {
+                    if !assigned.contains(v) {
+                        stack.push(v);
+                    }
+                }
+            }
+        }
+        if comp.len() >= 2 {
+            comp.sort_unstable();
+            out.push(comp.into_iter().map(str::to_owned).collect());
+        }
+    }
+    out
+}
+
+/// Minimal JSON string escaper (mirrors the engine's report encoder).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_file;
+    use crate::source::SourceFile;
+
+    fn graph(files: &[(&str, &str)]) -> Graph {
+        let slugs = crate::rules::rule_slugs();
+        let items: Vec<_> = files
+            .iter()
+            .map(|(rel, src)| parse_file(&SourceFile::new((*rel).to_owned(), src, &slugs)))
+            .collect();
+        Graph::build(&items)
+    }
+
+    fn rules_of(findings: &[Finding]) -> Vec<&'static str> {
+        let mut v: Vec<&'static str> = findings.iter().map(|f| f.rule).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    #[test]
+    fn ab_ba_cycle_is_found() {
+        let g = graph(&[(
+            "crates/x/src/lib.rs",
+            "
+            struct S { a: Mutex<A>, b: Mutex<B> }
+            impl S {
+                fn ab(&self) { let g = self.a.lock().unwrap(); let h = self.b.lock().unwrap(); }
+                fn ba(&self) { let g = self.b.lock().unwrap(); let h = self.a.lock().unwrap(); }
+            }
+            ",
+        )]);
+        let a = g.analyze();
+        let f = g.check(&a, false);
+        let cycles: Vec<_> = f.iter().filter(|f| f.rule == LOCK_ORDER_CYCLE).collect();
+        assert_eq!(cycles.len(), 1, "{f:?}");
+        assert!(cycles[0].message.contains("`A`") && cycles[0].message.contains("`B`"));
+    }
+
+    #[test]
+    fn interprocedural_cycle_across_calls() {
+        // `ab` holds A and calls `lock_b`; `ba` holds B and calls
+        // `lock_a`: no single fn sees both locks.
+        let g = graph(&[(
+            "crates/x/src/lib.rs",
+            "
+            struct S { a: Mutex<A>, b: Mutex<B> }
+            impl S {
+                fn ab(&self) { let g = self.a.lock().unwrap(); self.lock_b(); }
+                fn ba(&self) { let g = self.b.lock().unwrap(); self.lock_a(); }
+                fn lock_a(&self) { let g = self.a.lock().unwrap(); }
+                fn lock_b(&self) { let g = self.b.lock().unwrap(); }
+            }
+            ",
+        )]);
+        let f = g.check(&g.analyze(), false);
+        assert_eq!(rules_of(&f), vec![LOCK_ORDER_CYCLE], "{f:?}");
+    }
+
+    #[test]
+    fn ordered_nesting_is_no_cycle() {
+        let g = graph(&[(
+            "crates/x/src/lib.rs",
+            "
+            struct S { a: Mutex<A>, b: Mutex<B> }
+            impl S {
+                fn ab(&self) { let g = self.a.lock().unwrap(); let h = self.b.lock().unwrap(); }
+                fn also_ab(&self) { let g = self.a.lock().unwrap(); self.lock_b(); }
+                fn lock_b(&self) { let g = self.b.lock().unwrap(); }
+            }
+            ",
+        )]);
+        assert!(g.check(&g.analyze(), false).is_empty());
+    }
+
+    #[test]
+    fn blocking_two_hops_below_reactor() {
+        let g = graph(&[(
+            "crates/server/src/server.rs",
+            "
+            struct Reactor { x: u32 }
+            impl Reactor {
+                pub fn run(&mut self) { self.step(); }
+                fn step(&mut self) { helper(); }
+            }
+            fn helper() { std::thread::sleep(D); }
+            ",
+        )]);
+        let f = g.check(&g.analyze(), false);
+        assert_eq!(rules_of(&f), vec![BLOCKING_IN_REACTOR_TRANSITIVE], "{f:?}");
+        assert!(f[0].message.contains("Reactor::run → Reactor::step → helper"));
+    }
+
+    #[test]
+    fn spawned_blocking_does_not_reach_reactor() {
+        let g = graph(&[(
+            "crates/server/src/server.rs",
+            "
+            struct Reactor { x: u32 }
+            impl Reactor {
+                pub fn run(&mut self) {
+                    std::thread::spawn(move || worker());
+                }
+            }
+            fn worker() { std::thread::sleep(D); }
+            ",
+        )]);
+        assert!(g.check(&g.analyze(), false).is_empty());
+    }
+
+    #[test]
+    fn workspace_wait_is_an_edge_not_a_condvar() {
+        // `self.epoll.wait(…)` resolves to Epoll::wait (a workspace
+        // method) — not a blocking Condvar wait.
+        let g = graph(&[
+            (
+                "crates/server/src/server.rs",
+                "
+                struct Reactor { epoll: Epoll }
+                impl Reactor {
+                    pub fn run(&mut self) { self.epoll.wait(t); }
+                }
+                ",
+            ),
+            (
+                "crates/server/src/sys.rs",
+                "
+                pub struct Epoll { fd: i32 }
+                impl Epoll {
+                    pub fn wait(&self, t: u32) -> u32 { t }
+                }
+                ",
+            ),
+        ]);
+        let f = g.check(&g.analyze(), false);
+        assert!(f.is_empty(), "{f:?}");
+        // But the edge exists: Epoll::wait is reactor-reachable.
+        let a = g.analyze();
+        let idx = g
+            .nodes
+            .iter()
+            .position(|n| n.item.self_ty.as_deref() == Some("Epoll") && n.item.name == "wait")
+            .unwrap();
+        assert!(a.reactor_parents[idx].is_some());
+    }
+
+    #[test]
+    fn reactor_locking_contended_class_is_flagged() {
+        // A pool thread holds the job receiver lock across recv();
+        // if the reactor ever locks that class, it inherits the stall.
+        let g = graph(&[(
+            "crates/server/src/server.rs",
+            "
+            struct Reactor { rx: Mutex<Receiver<Job>> }
+            impl Reactor {
+                pub fn run(&mut self) { let g = self.rx.lock().unwrap(); }
+            }
+            fn worker_loop(rx: &Mutex<Receiver<Job>>) {
+                let job = match rx.lock() { Ok(rx) => rx.recv(), Err(_) => return };
+            }
+            ",
+        )]);
+        let f = g.check(&g.analyze(), false);
+        let hits: Vec<_> = f.iter().filter(|f| f.rule == BLOCKING_IN_REACTOR_TRANSITIVE).collect();
+        assert_eq!(hits.len(), 1, "{f:?}");
+        assert!(hits[0].message.contains("contended"), "{}", hits[0].message);
+    }
+
+    #[test]
+    fn panic_reachable_only_via_trait_impl() {
+        // The pub serving entrypoint calls through `dyn QueryService`;
+        // the panic lives in one impl, in a non-serving crate.
+        let g = graph(&[
+            (
+                "crates/server/src/server.rs",
+                "
+                pub fn serve(svc: &dyn QueryService) { svc.execute(1); }
+                ",
+            ),
+            (
+                "crates/core/src/engine.rs",
+                "
+                trait QueryService { fn execute(&self, q: u32) -> u32; }
+                struct Local { x: u32 }
+                impl QueryService for Local {
+                    fn execute(&self, q: u32) -> u32 { self.maybe().unwrap() }
+                }
+                impl Local { fn maybe(&self) -> Option<u32> { None } }
+                ",
+            ),
+        ]);
+        let f = g.check(&g.analyze(), false);
+        let hits: Vec<_> = f.iter().filter(|f| f.rule == PANIC_REACHABLE_IN_SERVING).collect();
+        assert_eq!(hits.len(), 1, "{f:?}");
+        assert_eq!(hits[0].file, "crates/core/src/engine.rs");
+        assert!(hits[0].message.contains("serve → Local::execute"), "{}", hits[0].message);
+    }
+
+    #[test]
+    fn panic_in_spawned_pool_thread_still_counts_for_serving() {
+        let g = graph(&[(
+            "crates/server/src/server.rs",
+            "
+            pub fn run() { std::thread::spawn(move || pool()); }
+            fn pool() { step().unwrap(); }
+            fn step() -> Option<u32> { None }
+            ",
+        )]);
+        let f = g.check(&g.analyze(), false);
+        assert_eq!(rules_of(&f), vec![PANIC_REACHABLE_IN_SERVING], "{f:?}");
+    }
+
+    #[test]
+    fn unreachable_panic_is_not_flagged() {
+        let g = graph(&[
+            ("crates/server/src/lib.rs", "pub fn entry() -> u32 { 1 }"),
+            ("crates/core/src/util.rs", "fn orphan(o: Option<u32>) -> u32 { o.unwrap() }"),
+        ]);
+        assert!(g.check(&g.analyze(), false).is_empty());
+    }
+
+    #[test]
+    fn indexing_only_under_strict() {
+        let g = graph(&[("crates/server/src/lib.rs", "pub fn entry(v: &[u8]) -> u8 { v[0] }")]);
+        assert!(g.check(&g.analyze(), false).is_empty());
+        let f = g.check(&g.analyze(), true);
+        assert_eq!(rules_of(&f), vec![PANIC_REACHABLE_IN_SERVING], "{f:?}");
+    }
+
+    #[test]
+    fn ambiguous_untyped_method_is_recorded_not_dropped() {
+        let g = graph(&[
+            ("crates/a/src/lib.rs", "pub struct A; impl A { pub fn frob(&self) {} }"),
+            ("crates/b/src/lib.rs", "pub struct B; impl B { pub fn frob(&self) {} }"),
+            ("crates/c/src/lib.rs", "pub fn go() { let x = mystery(); x.frob(); }"),
+        ]);
+        assert_eq!(g.unresolved_count(), 1);
+        assert!(g.unresolved[0].reason.contains("2 workspace methods"));
+        // Edges to both candidates exist.
+        let go = g.nodes.iter().position(|n| n.item.name == "go").unwrap();
+        assert_eq!(g.edges[go].len(), 2);
+    }
+
+    #[test]
+    fn common_std_method_names_do_not_resolve_into_workspace() {
+        let g = graph(&[
+            ("crates/a/src/lib.rs", "pub struct DistVec; impl DistVec { pub fn map(&self) {} }"),
+            ("crates/b/src/lib.rs", "pub fn go(o: Untyped) { o.map(f); }"),
+        ]);
+        assert_eq!(g.unresolved_count(), 0);
+        let go = g.nodes.iter().position(|n| n.item.name == "go").unwrap();
+        assert!(g.edges[go].is_empty());
+        assert!(g.external_calls >= 1);
+    }
+
+    #[test]
+    fn typed_receiver_beats_the_common_list() {
+        // A *typed* receiver resolves even for a common name.
+        let g = graph(&[(
+            "crates/a/src/lib.rs",
+            "
+            pub struct DistVec { n: u32 }
+            impl DistVec { pub fn map(&self) {} }
+            pub fn go(v: &DistVec) { v.map(); }
+            ",
+        )]);
+        let go = g.nodes.iter().position(|n| n.item.name == "go").unwrap();
+        assert_eq!(g.edges[go].len(), 1);
+    }
+
+    #[test]
+    fn free_calls_prefer_same_file_then_crate() {
+        let g = graph(&[
+            ("crates/a/src/lib.rs", "fn helper() {} pub fn go() { helper(); }"),
+            ("crates/a/src/other.rs", "fn helper() {}"),
+            ("crates/b/src/lib.rs", "fn helper() {}"),
+        ]);
+        let go = g.nodes.iter().position(|n| n.item.name == "go").unwrap();
+        assert_eq!(g.edges[go].len(), 1);
+        let callee = &g.nodes[g.edges[go][0].to];
+        assert_eq!(callee.file, "crates/a/src/lib.rs");
+        assert_eq!(g.unresolved_count(), 0);
+    }
+
+    #[test]
+    fn dot_and_json_render() {
+        let g = graph(&[(
+            "crates/server/src/server.rs",
+            "
+            struct Reactor { x: u32 }
+            impl Reactor { pub fn run(&mut self) { helper(); } }
+            fn helper() {}
+            ",
+        )]);
+        let a = g.analyze();
+        let dot = g.to_dot(&a);
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("Reactor::run"));
+        assert!(dot.contains("->"));
+        let json = g.to_json(&a);
+        assert!(json.contains("\"unresolved_count\": 0"));
+        assert!(json.contains("\"reactor_reachable\""));
+    }
+}

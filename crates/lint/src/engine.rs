@@ -15,6 +15,8 @@
 //! them entirely, while workspace-wide rules (like `float-ordering`)
 //! still apply.
 
+use crate::callgraph::{Analysis, Graph};
+use crate::parser;
 use crate::rules::{self, Finding};
 use crate::source::SourceFile;
 use crate::wire;
@@ -22,6 +24,19 @@ use std::collections::BTreeSet;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
+
+/// The committed unresolved-edge budget, at the workspace root. Raised
+/// (or lowered) deliberately, like `WIRE_TAGS.manifest`.
+pub const BASELINE_PATH: &str = "CALLGRAPH.baseline";
+
+/// Engine knobs beyond the defaults.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Options {
+    /// Promote indexing/slicing panic sites to findings (off by default:
+    /// the signal-to-noise of `v[i]` is too low for a merge gate, but
+    /// `--strict-indexing` lets an audit see them).
+    pub strict_indexing: bool,
+}
 
 /// The outcome of one lint run.
 #[derive(Debug, Default)]
@@ -140,8 +155,14 @@ fn rel_path(root: &Path, path: &Path) -> String {
         .join("/")
 }
 
-/// Lints the workspace rooted at `root`.
+/// Lints the workspace rooted at `root` with default options.
 pub fn run_workspace(root: &Path) -> io::Result<Report> {
+    run_workspace_full(root, Options::default()).map(|(report, _, _)| report)
+}
+
+/// Lints the workspace and also returns the call graph + analysis (for
+/// `--dump-callgraph` and the self-hosting tests).
+pub fn run_workspace_full(root: &Path, opts: Options) -> io::Result<(Report, Graph, Analysis)> {
     let slugs = rules::rule_slugs();
     let mut files = Vec::new();
     for (rel, abs) in collect_files(root)? {
@@ -152,6 +173,45 @@ pub fn run_workspace(root: &Path) -> io::Result<Report> {
     let mut raw: Vec<Finding> = Vec::new();
     for file in &files {
         raw.extend(rules::check_file(file));
+    }
+
+    // Stage two: parse items, build the workspace call graph, run the
+    // interprocedural rules.
+    let items: Vec<parser::FileItems> = files.iter().map(parser::parse_file).collect();
+    let graph = Graph::build(&items);
+    let analysis = graph.analyze();
+    raw.extend(graph.check(&analysis, opts.strict_indexing));
+
+    // The unresolved-edge budget: resolution quality may only regress
+    // deliberately, by raising the committed baseline.
+    if let Ok(text) = fs::read_to_string(root.join(BASELINE_PATH)) {
+        let baseline: Option<usize> = text
+            .lines()
+            .map(str::trim)
+            .find(|l| !l.is_empty() && !l.starts_with('#'))
+            .and_then(|l| l.parse().ok());
+        match baseline {
+            Some(budget) if graph.unresolved_count() > budget => raw.push(Finding {
+                file: BASELINE_PATH.to_owned(),
+                line: 1,
+                rule: rules::CALLGRAPH_BASELINE,
+                message: format!(
+                    "{} unresolved call edges, baseline allows {budget}: new code defeated the \
+                     resolver (see `pasco-lint --dump-callgraph` → callgraph.json for the \
+                     list). Make the calls resolvable, or raise the baseline deliberately",
+                    graph.unresolved_count()
+                ),
+            }),
+            Some(_) => {}
+            None => raw.push(Finding {
+                file: BASELINE_PATH.to_owned(),
+                line: 1,
+                rule: rules::CALLGRAPH_BASELINE,
+                message: "CALLGRAPH.baseline exists but holds no count (first non-comment line \
+                          must be an integer)"
+                    .to_owned(),
+            }),
+        }
     }
 
     // The workspace-level wire-tag rule: parse the declarations, read the
@@ -195,7 +255,7 @@ pub fn run_workspace(root: &Path) -> io::Result<Report> {
     }
     report.findings.sort();
     report.suppressed.sort();
-    Ok(report)
+    Ok((report, graph, analysis))
 }
 
 /// Walks upward from `start` to the first directory whose `Cargo.toml`

@@ -190,6 +190,20 @@ pub fn lex(src: &str) -> Lexed {
                 {
                     continue;
                 }
+                // A raw identifier? `r#fn`, `r#impl`, … lexes as ONE word
+                // (`r#fn`), never as `r` + `#` + `fn` — a shattered raw
+                // identifier would hand the item parser a phantom keyword.
+                if word == "r" && cur.peek() == Some('#') && cur.peek2().is_some_and(is_word_char) {
+                    cur.bump(); // the '#'
+                    word.push('#');
+                    while let Some(c) = cur.peek() {
+                        if !is_word_char(c) {
+                            break;
+                        }
+                        word.push(c);
+                        cur.bump();
+                    }
+                }
                 out.tokens.push(Token { line, tok: Tok::Word(word) });
             }
             c => {
@@ -420,6 +434,60 @@ mod tests {
         assert!(toks.contains(&"a".to_owned()));
         assert!(!toks.contains(&"y".to_owned()));
         assert!(!toks.contains(&"n".to_owned()));
+    }
+
+    #[test]
+    fn raw_identifiers_lex_as_single_words() {
+        // `r#fn` is an identifier named `fn`, not the `fn` keyword: it
+        // must come through as one word so the item parser never sees a
+        // phantom item header.
+        assert_eq!(
+            words("let r#fn = 1; let r#impl = r#fn;"),
+            vec!["let", "r#fn", "1", "let", "r#impl", "r#fn"]
+        );
+        // A raw identifier in call position keeps its shape too.
+        assert_eq!(words("r#match(x)"), vec!["r#match", "x"]);
+        // `r#"…"#` is still a raw string, and a lone `r` stays a word.
+        let l = lex(r###"let s = r#"text"#; let r = 1;"###);
+        assert_eq!(l.strings, vec![(1, "text".to_owned())]);
+        assert!(l.tokens.iter().any(|t| t.is_word("r")));
+        assert!(!l.tokens.iter().any(|t| t.is_word("text")));
+        // `r##` with no quote is not a raw identifier (two hashes): the
+        // word and hashes pass through without swallowing code.
+        assert_eq!(words("r## x"), vec!["r", "x"]);
+    }
+
+    #[test]
+    fn turbofish_token_runs_are_faithful() {
+        // Generic-argument runs must keep every word and angle/colon
+        // punct in order — the parser skips `::<…>` between a callee
+        // name and its argument list by matching these exact tokens.
+        let l = lex("v.collect::<Vec<_>>(); HashMap::<u32, Vec<u8>>::new();");
+        let flat: Vec<String> = l
+            .tokens
+            .iter()
+            .map(|t| match &t.tok {
+                Tok::Word(w) => w.clone(),
+                Tok::Punct(p) => p.to_string(),
+            })
+            .collect();
+        assert_eq!(
+            flat.join(" "),
+            "v . collect : : < Vec < _ > > ( ) ; \
+             HashMap : : < u32 , Vec < u8 > > : : new ( ) ;"
+        );
+    }
+
+    #[test]
+    fn async_fn_headers_tokenize_in_order() {
+        // The ROADMAP's async adapter will bring `async fn` (and
+        // `pub async unsafe fn`) headers; the parser keys on the `fn`
+        // word with qualifiers before it, so order must be stable.
+        assert_eq!(words("pub async fn fetch() {}"), vec!["pub", "async", "fn", "fetch"]);
+        assert_eq!(
+            words("async unsafe fn poll_inner(cx: Ctx) -> Out {}"),
+            vec!["async", "unsafe", "fn", "poll_inner", "cx", "Ctx", "Out"]
+        );
     }
 
     #[test]

@@ -16,9 +16,15 @@
 //!   match code, never prose;
 //! * [`source`] — per-file classification: `#[cfg(test)]`/`#[test]`
 //!   regions and `pasco-lint: allow(…)` suppression pragmas;
+//! * [`parser`] — a lightweight item parser on the token stream:
+//!   `fn`/`impl`/`trait`/`struct` items, call sites, lock acquisitions,
+//!   panic sites, blocking operations — the workspace symbol table;
+//! * [`callgraph`] — heuristic call resolution over that table:
+//!   reachability from the reactor and the serving entrypoints, the
+//!   lock-order graph, and the DOT/JSON dump behind `--dump-callgraph`;
 //! * [`rules`] + [`wire`] — the rules themselves, pure functions from
-//!   lexed source (and the committed `WIRE_TAGS.manifest`) to
-//!   [`rules::Finding`]s;
+//!   lexed source, the call graph, and the committed
+//!   `WIRE_TAGS.manifest` to [`rules::Finding`]s;
 //! * [`engine`] — walks the workspace, applies suppressions, renders
 //!   human or `--json` reports.
 //!
@@ -26,8 +32,10 @@
 //! gate). The library surface exists so the crate's own tests — and the
 //! workspace self-run test — can drive the engine in-process.
 
+pub mod callgraph;
 pub mod engine;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
 pub mod source;
 pub mod wire;

@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! pasco-lint [--deny-all] [--json] [--root <dir>] [--list-rules]
+//!            [--dump-callgraph <dir>] [--strict-indexing]
 //! ```
 //!
 //! * `--deny-all` — exit 1 when any unsuppressed finding remains (the CI
@@ -12,6 +13,11 @@
 //! * `--root <dir>` — workspace root; defaults to walking upward from the
 //!   current directory to the first `[workspace]` Cargo.toml.
 //! * `--list-rules` — print the rule table and exit.
+//! * `--dump-callgraph <dir>` — write `callgraph.dot` + `callgraph.json`
+//!   (the resolved workspace call graph, unresolved edges, reachability
+//!   sets, lock-order edges) into `<dir>`; CI uploads both as artifacts.
+//! * `--strict-indexing` — also treat `v[i]` indexing/slicing as panic
+//!   sites for the panic-reachability rule (audit mode, not the gate).
 
 use pasco_lint::{engine, rules};
 use std::path::PathBuf;
@@ -21,14 +27,21 @@ fn main() -> ExitCode {
     let mut deny_all = false;
     let mut json = false;
     let mut root: Option<PathBuf> = None;
+    let mut dump: Option<PathBuf> = None;
+    let mut opts = engine::Options::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--deny-all" => deny_all = true,
             "--json" => json = true,
+            "--strict-indexing" => opts.strict_indexing = true,
             "--root" => match args.next() {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => return usage("--root needs a directory"),
+            },
+            "--dump-callgraph" => match args.next() {
+                Some(dir) => dump = Some(PathBuf::from(dir)),
+                None => return usage("--dump-callgraph needs a directory"),
             },
             "--list-rules" => {
                 for (slug, summary) in rules::RULES {
@@ -39,7 +52,8 @@ fn main() -> ExitCode {
             "-h" | "--help" => {
                 println!(
                     "pasco-lint: the PASCO workspace invariant checker\n\n\
-                     usage: pasco-lint [--deny-all] [--json] [--root <dir>] [--list-rules]\n\n\
+                     usage: pasco-lint [--deny-all] [--json] [--root <dir>] [--list-rules]\n\
+                            [--dump-callgraph <dir>] [--strict-indexing]\n\n\
                      Suppress a finding in code with `// pasco-lint: allow(<rule>)` on (or\n\
                      directly above) the offending line, with a comment justifying why the\n\
                      invariant holds there."
@@ -60,13 +74,23 @@ fn main() -> ExitCode {
         }
     };
 
-    let report = match engine::run_workspace(&root) {
+    let (report, graph, analysis) = match engine::run_workspace_full(&root, opts) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("pasco-lint: failed to scan {}: {e}", root.display());
             return ExitCode::FAILURE;
         }
     };
+
+    if let Some(dir) = dump {
+        let write = std::fs::create_dir_all(&dir)
+            .and_then(|()| std::fs::write(dir.join("callgraph.dot"), graph.to_dot(&analysis)))
+            .and_then(|()| std::fs::write(dir.join("callgraph.json"), graph.to_json(&analysis)));
+        if let Err(e) = write {
+            eprintln!("pasco-lint: failed to write callgraph dump to {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
 
     if json {
         print!("{}", report.to_json());
@@ -83,7 +107,8 @@ fn main() -> ExitCode {
 
 fn usage(err: &str) -> ExitCode {
     eprintln!(
-        "pasco-lint: {err}\nusage: pasco-lint [--deny-all] [--json] [--root <dir>] [--list-rules]"
+        "pasco-lint: {err}\nusage: pasco-lint [--deny-all] [--json] [--root <dir>] \
+         [--list-rules] [--dump-callgraph <dir>] [--strict-indexing]"
     );
     ExitCode::FAILURE
 }

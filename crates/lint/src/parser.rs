@@ -1,0 +1,1676 @@
+//! A lightweight item parser over the lexed token stream: stage one of
+//! the interprocedural pass.
+//!
+//! The lexer gives rules a clean code view; this module gives them a
+//! *structural* one. From each file's tokens it extracts:
+//!
+//! * `fn` items — name, enclosing `impl`/`trait` context, visibility,
+//!   `async`ness, parameter and return types (as token text), and
+//!   whether the item sits in test code;
+//! * `struct` field types — the key that lets lock receivers resolve to
+//!   a *lock class* (`self.inflight` → the `Mutex<InFlightIndex>` field
+//!   → class `InFlightIndex`) instead of a spelling;
+//! * per-function body summaries — every call expression (with a
+//!   receiver hint and the set of lock classes held at the call site),
+//!   every lock acquisition (`Mutex::lock`, `RwLock::read`/`write` with
+//!   empty argument lists, which is what distinguishes them from
+//!   `io::Read::read`), every panic site (`unwrap`/`expect`/panic-family
+//!   macros/indexing), and every lexically blocking operation
+//!   (`thread::sleep`, the blocking framed-I/O helpers, channel `recv`,
+//!   condvar `wait`, thread `join`).
+//!
+//! It is a *heuristic* parser: no name resolution across `use` maps, no
+//! real type inference. The compromises that matter are documented on
+//! [`crate::callgraph`] (which consumes these summaries) and in
+//! `README.md` §Static analysis. Guard lifetimes follow Rust's drop
+//! rules approximately: a `let`-bound guard lives to the end of its
+//! enclosing brace scope (or an explicit `drop(name)`); a temporary
+//! guard (`x.lock().expect(..).get(v)`) lives to the end of its
+//! statement. Calls inside a `spawn(...)` argument run on another
+//! thread, so they inherit no held locks and are flagged
+//! [`CallSite::spawned`].
+
+use crate::lexer::{Lexed, Tok, Token};
+use crate::source::SourceFile;
+
+/// How a call site names its callee.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Recv {
+    /// `self.method(…)` or a typed field chain — `ty` is the resolved
+    /// receiver type name when the chain resolved, else `None`.
+    Method {
+        /// Resolved receiver type (e.g. `LruShard` for
+        /// `shard.lock().expect(..).get(v)`), when the chain resolved.
+        ty: Option<String>,
+    },
+    /// `Type::assoc(…)` — `Self::…` is rewritten to the impl type.
+    Path(String),
+    /// A free call, `helper(…)`.
+    Free,
+}
+
+/// One call expression inside a function body.
+#[derive(Clone, Debug)]
+pub struct CallSite {
+    /// 1-based line.
+    pub line: u32,
+    /// Callee name (raw-identifier prefix stripped).
+    pub name: String,
+    /// Receiver hint for resolution.
+    pub recv: Recv,
+    /// Lock classes held when the call is made.
+    pub held: Vec<String>,
+    /// True when the call happens inside a `spawn(…)` argument: it runs
+    /// on another thread, so blocking reachability must not follow it
+    /// (panic reachability still does — a panicked pool thread is still
+    /// a serving fault).
+    pub spawned: bool,
+}
+
+/// One lock acquisition (`.lock()`, `.read()`, `.write()` with empty
+/// argument lists).
+#[derive(Clone, Debug)]
+pub struct LockSite {
+    /// 1-based line.
+    pub line: u32,
+    /// The lock class: the guarded type when the receiver resolved
+    /// (`LruShard`), else the receiver spelling qualified by the
+    /// enclosing type (`QuerySession::shard`).
+    pub class: String,
+    /// Lock classes already held when this one is acquired — the edges
+    /// of the lock-order graph.
+    pub held: Vec<String>,
+    /// `lock`, `read`, or `write`.
+    pub op: &'static str,
+    /// True when acquired inside a `spawn(…)` argument (another
+    /// thread's acquisition).
+    pub spawned: bool,
+}
+
+/// What kind of panic a panic site is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PanicKind {
+    /// `.unwrap()`.
+    Unwrap,
+    /// `.expect(…)`.
+    Expect,
+    /// `panic!` / `unreachable!` / `todo!` / `unimplemented!`.
+    Macro,
+    /// `expr[…]` indexing or slicing — recorded in the symbol table and
+    /// the callgraph dump; promoted to findings only under
+    /// `--strict-indexing` (see `README.md` for why).
+    Index,
+}
+
+/// One potential panic in a function body.
+#[derive(Clone, Debug)]
+pub struct PanicSite {
+    /// 1-based line.
+    pub line: u32,
+    /// What panics.
+    pub kind: PanicKind,
+    /// Display text (`.unwrap()`, `panic!`, `[…]`, …).
+    pub what: String,
+}
+
+/// One lexically blocking operation in a function body.
+#[derive(Clone, Debug)]
+pub struct BlockingSite {
+    /// 1-based line.
+    pub line: u32,
+    /// Display text (`thread::sleep`, `read_envelope`, `.recv()`, …).
+    pub what: String,
+    /// Bare callee name (`sleep`, `recv`, `wait`, …) — the callgraph
+    /// uses it to drop dotted candidates that actually resolve to a
+    /// workspace method (`Epoll::wait` is an edge, not a `Condvar`).
+    pub name: String,
+    /// True when this came from a dotted method call (`.wait(…)`), so
+    /// resolution may reclassify it; prefix forms (`thread::sleep`) and
+    /// the framed-I/O helpers are unconditionally blocking.
+    pub dotted: bool,
+    /// Lock classes held at the site — a lock held across a blocking op
+    /// makes that class *contended*.
+    pub held: Vec<String>,
+    /// True when inside a `spawn(…)` argument.
+    pub spawned: bool,
+}
+
+/// One parsed function item with its body summary.
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    /// Function name (raw-identifier prefix stripped).
+    pub name: String,
+    /// Enclosing `impl` type (last path segment), if any.
+    pub self_ty: Option<String>,
+    /// Trait being implemented (`impl Trait for Type`) or declared
+    /// (`trait Trait { fn … }`), if any.
+    pub trait_name: Option<String>,
+    /// True when the first parameter is `self`.
+    pub is_method: bool,
+    /// True for `pub`-prefixed items (any `pub(...)` restriction counts).
+    pub is_pub: bool,
+    /// True for `async fn`.
+    pub is_async: bool,
+    /// True when the item sits in test code (or a wholly-test file).
+    pub is_test: bool,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// `(name, type text)` for simple typed parameters.
+    pub params: Vec<(String, String)>,
+    /// Return type text (empty when none).
+    pub ret: String,
+    /// Call expressions, in body order.
+    pub calls: Vec<CallSite>,
+    /// Lock acquisitions, in body order.
+    pub acquires: Vec<LockSite>,
+    /// Panic sites, in body order.
+    pub panics: Vec<PanicSite>,
+    /// Lexically blocking operations, in body order.
+    pub blocking: Vec<BlockingSite>,
+}
+
+/// One parsed `struct` with named fields.
+#[derive(Clone, Debug)]
+pub struct StructItem {
+    /// Struct name.
+    pub name: String,
+    /// `(field, type text)` pairs.
+    pub fields: Vec<(String, String)>,
+}
+
+/// Everything stage one extracts from one file.
+#[derive(Clone, Debug, Default)]
+pub struct FileItems {
+    /// Workspace-relative path.
+    pub rel: String,
+    /// Function items (test items included, flagged `is_test`).
+    pub fns: Vec<FnItem>,
+    /// Struct field tables.
+    pub structs: Vec<StructItem>,
+}
+
+/// Blocking framed-I/O helpers and std blocking patterns: one of these
+/// reachable from the reactor stalls every connection the loop owns.
+pub const BLOCKING_IO_CALLS: &[&str] =
+    &["read_envelope", "write_envelope", "poll_envelope", "read_exact", "read_to_end", "write_all"];
+
+/// Common std/iterator method names that must not resolve into workspace
+/// impls on an *untyped* receiver: `opt.map(…)` is `Option::map`, not
+/// `DistVec::map`, even though the workspace defines a `map`. A typed
+/// receiver still resolves precisely.
+pub const COMMON_STD_METHODS: &[&str] = &[
+    "map",
+    "map_err",
+    "filter",
+    "filter_map",
+    "flat_map",
+    "and_then",
+    "or_else",
+    "unwrap_or",
+    "unwrap_or_else",
+    "unwrap_or_default",
+    "ok_or",
+    "ok_or_else",
+    "take",
+    "replace",
+    "insert",
+    "remove",
+    "get",
+    "get_mut",
+    "entry",
+    "push",
+    "pop",
+    "len",
+    "is_empty",
+    "clear",
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "collect",
+    "clone",
+    "to_owned",
+    "to_string",
+    "to_vec",
+    "min",
+    "max",
+    "sum",
+    "count",
+    "find",
+    "position",
+    "retain",
+    "extend",
+    "next",
+    "peekable",
+    "peek",
+    "contains",
+    "contains_key",
+    "starts_with",
+    "ends_with",
+    "split",
+    "join",
+    "trim",
+    "parse",
+    "as_ref",
+    "as_mut",
+    "as_slice",
+    "as_str",
+    "as_bytes",
+    "flush",
+    "read",
+    "write",
+    "send",
+    "store",
+    "load",
+    "fetch_add",
+    "fetch_sub",
+    "swap",
+    "fmt",
+    "eq",
+    "ne",
+    "cmp",
+    "hash",
+    "drop",
+    "from",
+    "into",
+    "try_from",
+    "try_into",
+    "default",
+    "min_by",
+    "max_by",
+    "sort",
+    "sort_by",
+    "sort_by_key",
+    "sort_unstable_by",
+    "binary_search",
+    "binary_search_by",
+    "chain",
+    "zip",
+    "enumerate",
+    "rev",
+    "skip",
+    "step_by",
+    "windows",
+    "chunks",
+    "first",
+    "last",
+    "any",
+    "all",
+    "fold",
+    "flatten",
+    "copied",
+    "cloned",
+    "abs",
+    "sqrt",
+    "powi",
+    "powf",
+    "floor",
+    "ceil",
+    "round",
+    "clamp",
+    "saturating_sub",
+    "saturating_add",
+    "wrapping_add",
+    "wrapping_mul",
+    "checked_sub",
+    "checked_add",
+    "is_some",
+    "is_none",
+    "is_ok",
+    "is_err",
+    "ok",
+    "err",
+    "expect",
+    "unwrap",
+    "resize",
+    "reserve",
+    "truncate",
+    "drain",
+    "dedup",
+    "keys",
+    "values",
+    "split_off",
+    "extend_from_slice",
+    "to_le_bytes",
+    "from_le_bytes",
+    "elapsed",
+    "duration_since",
+    "saturating_duration_since",
+    "checked_duration_since",
+    "as_nanos",
+    "as_micros",
+    "as_millis",
+    "as_secs",
+    "subsec_nanos",
+    "is_zero",
+];
+
+const KEYWORDS: &[&str] = &[
+    "if", "while", "match", "for", "return", "loop", "else", "move", "in", "as", "let", "mut",
+    "ref", "break", "continue", "await", "dyn", "unsafe", "async", "fn", "impl", "trait", "struct",
+    "enum", "mod", "use", "pub", "where", "const", "static", "type", "crate", "super", "box",
+    "yield", "union", "macro",
+];
+
+fn is_keyword(w: &str) -> bool {
+    KEYWORDS.contains(&w)
+}
+
+/// Strips a raw-identifier prefix: `r#fn` and `fn` name the same item.
+fn norm_ident(w: &str) -> &str {
+    w.strip_prefix("r#").unwrap_or(w)
+}
+
+/// Parses one lexed, classified file into its item table.
+pub fn parse_file(file: &SourceFile) -> FileItems {
+    Parser::new(&file.lexed, file).run(&file.rel)
+}
+
+/// The enclosing `impl`/`trait` context of the current token position.
+#[derive(Clone, Debug)]
+struct Ctx {
+    self_ty: Option<String>,
+    trait_name: Option<String>,
+    /// Brace depth *before* the context's `{` was entered; the context
+    /// pops when depth returns to this value.
+    close_depth: u32,
+}
+
+/// A function signature visible to body resolution: collected for the
+/// whole file *before* any body is scanned, so a call to a helper
+/// defined further down still types.
+struct FnSig {
+    name: String,
+    self_ty: Option<String>,
+    ret: String,
+}
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    file: &'a SourceFile,
+    i: usize,
+    depth: u32,
+    ctx: Vec<Ctx>,
+    out: FileItems,
+    /// Headers parsed in pass one, with their body token spans; bodies
+    /// are scanned in pass two against the complete signature table.
+    pending: Vec<(FnItem, Option<(usize, usize)>)>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(lexed: &'a Lexed, file: &'a SourceFile) -> Self {
+        Parser {
+            toks: &lexed.tokens,
+            file,
+            i: 0,
+            depth: 0,
+            ctx: Vec::new(),
+            out: FileItems::default(),
+            pending: Vec::new(),
+        }
+    }
+
+    fn word(&self, i: usize) -> Option<&str> {
+        self.toks.get(i).and_then(Token::word)
+    }
+
+    fn punct(&self, i: usize, c: char) -> bool {
+        self.toks.get(i).is_some_and(|t| t.is_punct(c))
+    }
+
+    fn line(&self, i: usize) -> u32 {
+        self.toks.get(i).map_or(0, |t| t.line)
+    }
+
+    /// Advances past a balanced `(…)` / `[…]` / `{…}` group whose opener
+    /// is at `i`; returns the index one past the closer.
+    fn skip_balanced(&self, i: usize, open: char, close: char) -> usize {
+        let mut depth = 0i64;
+        let mut j = i;
+        while j < self.toks.len() {
+            if self.punct(j, open) {
+                depth += 1;
+            } else if self.punct(j, close) {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            j += 1;
+        }
+        j
+    }
+
+    /// Advances past a balanced generic-argument run whose `<` is at `i`.
+    /// `->` and `=>` do not close angles; `>>` counts twice (two puncts).
+    fn skip_angles(&self, i: usize) -> usize {
+        let mut depth = 0i64;
+        let mut j = i;
+        while j < self.toks.len() {
+            if self.punct(j, '<') {
+                depth += 1;
+            } else if self.punct(j, '>') {
+                let arrow = j > 0 && (self.punct(j - 1, '-') || self.punct(j - 1, '='));
+                if !arrow {
+                    depth -= 1;
+                    if depth == 0 {
+                        return j + 1;
+                    }
+                }
+            } else if self.punct(j, '(') {
+                j = self.skip_balanced(j, '(', ')');
+                continue;
+            } else if self.punct(j, ';') || self.punct(j, '{') {
+                // Unterminated (a stray `<` comparison): bail out.
+                return i + 1;
+            }
+            j += 1;
+        }
+        j
+    }
+
+    /// The text of tokens `[from, to)`, space-free for types
+    /// (`Mutex<InFlightIndex>`), used as resolvable type text.
+    fn type_text(&self, from: usize, to: usize) -> String {
+        let mut s = String::new();
+        for t in &self.toks[from..to.min(self.toks.len())] {
+            match &t.tok {
+                Tok::Word(w) => {
+                    if s.chars().last().is_some_and(|c| c.is_ascii_alphanumeric() || c == '_') {
+                        s.push(' ');
+                    }
+                    s.push_str(w);
+                }
+                Tok::Punct(p) => s.push(*p),
+            }
+        }
+        s
+    }
+
+    fn run(mut self, rel: &str) -> FileItems {
+        self.out.rel = rel.to_owned();
+        while self.i < self.toks.len() {
+            match self.word(self.i) {
+                Some("impl") => self.enter_impl(),
+                Some("trait") => self.enter_trait(),
+                Some("struct") => self.parse_struct(),
+                Some("fn") => self.parse_fn(),
+                _ => {
+                    if self.punct(self.i, '{') {
+                        self.depth += 1;
+                    } else if self.punct(self.i, '}') {
+                        self.depth = self.depth.saturating_sub(1);
+                        while self.ctx.last().is_some_and(|c| c.close_depth >= self.depth) {
+                            self.ctx.pop();
+                        }
+                    }
+                    self.i += 1;
+                }
+            }
+        }
+        // Pass two: scan bodies against the full header/struct tables,
+        // so forward references (`self.shard_of(k).lock()` calling a
+        // helper defined further down the file) still resolve.
+        let pending = std::mem::take(&mut self.pending);
+        let sigs: Vec<FnSig> = pending
+            .iter()
+            .map(|(f, _)| FnSig {
+                name: f.name.clone(),
+                self_ty: f.self_ty.clone(),
+                ret: f.ret.clone(),
+            })
+            .collect();
+        let mut fns = Vec::with_capacity(pending.len());
+        for (mut item, span) in pending {
+            if let Some((from, to)) = span {
+                BodyScan::new(&self, &mut item, from, to, &sigs).run();
+            }
+            fns.push(item);
+        }
+        self.out.fns = fns;
+        self.out
+    }
+
+    /// Reads a type path starting at `i`: `a::b::C<…>` — returns
+    /// (index past it, last plain segment).
+    fn read_type_path(&self, mut i: usize) -> (usize, Option<String>) {
+        let mut last = None;
+        loop {
+            // Leading `&`, `dyn`, lifetime words pass through.
+            while self.punct(i, '&') || self.punct(i, '\'') {
+                i += 1;
+            }
+            match self.word(i) {
+                Some("dyn" | "mut" | "const") => {
+                    i += 1;
+                    continue;
+                }
+                Some(w) => {
+                    last = Some(norm_ident(w).to_owned());
+                    i += 1;
+                }
+                None => return (i, last),
+            }
+            if self.punct(i, '<') {
+                i = self.skip_angles(i);
+            }
+            if self.punct(i, ':') && self.punct(i + 1, ':') {
+                i += 2;
+                continue;
+            }
+            return (i, last);
+        }
+    }
+
+    fn enter_impl(&mut self) {
+        let mut j = self.i + 1;
+        if self.punct(j, '<') {
+            j = self.skip_angles(j);
+        }
+        let (after_a, path_a) = self.read_type_path(j);
+        j = after_a;
+        let (self_ty, trait_name) = if self.word(j) == Some("for") {
+            let (after_b, path_b) = self.read_type_path(j + 1);
+            j = after_b;
+            (path_b, path_a)
+        } else {
+            (path_a, None)
+        };
+        // Skip a where clause to the body.
+        while j < self.toks.len() && !self.punct(j, '{') && !self.punct(j, ';') {
+            j += 1;
+        }
+        if self.punct(j, '{') {
+            self.ctx.push(Ctx { self_ty, trait_name, close_depth: self.depth });
+            self.depth += 1;
+            self.i = j + 1;
+        } else {
+            self.i = j + 1;
+        }
+    }
+
+    fn enter_trait(&mut self) {
+        let name = self.word(self.i + 1).map(|w| norm_ident(w).to_owned());
+        let mut j = self.i + 2;
+        while j < self.toks.len() && !self.punct(j, '{') && !self.punct(j, ';') {
+            if self.punct(j, '<') {
+                j = self.skip_angles(j);
+                continue;
+            }
+            j += 1;
+        }
+        if self.punct(j, '{') {
+            self.ctx.push(Ctx { self_ty: None, trait_name: name, close_depth: self.depth });
+            self.depth += 1;
+            self.i = j + 1;
+        } else {
+            self.i = j + 1;
+        }
+    }
+
+    fn parse_struct(&mut self) {
+        let Some(name) = self.word(self.i + 1).map(|w| norm_ident(w).to_owned()) else {
+            self.i += 1;
+            return;
+        };
+        let mut j = self.i + 2;
+        if self.punct(j, '<') {
+            j = self.skip_angles(j);
+        }
+        while j < self.toks.len()
+            && !self.punct(j, '{')
+            && !self.punct(j, ';')
+            && !self.punct(j, '(')
+        {
+            j += 1;
+        }
+        if !self.punct(j, '{') {
+            // Tuple or unit struct: no named fields to record.
+            self.i = j + 1;
+            return;
+        }
+        let end = self.skip_balanced(j, '{', '}');
+        let mut fields = Vec::new();
+        let mut k = j + 1;
+        while k < end - 1 {
+            // Skip attributes and visibility.
+            if self.punct(k, '#') && self.punct(k + 1, '[') {
+                k = self.skip_balanced(k + 1, '[', ']');
+                continue;
+            }
+            if self.word(k) == Some("pub") {
+                k += 1;
+                if self.punct(k, '(') {
+                    k = self.skip_balanced(k, '(', ')');
+                }
+                continue;
+            }
+            let (Some(fname), true) = (self.word(k), self.punct(k + 1, ':')) else {
+                k += 1;
+                continue;
+            };
+            // Type runs to the next top-level `,` or the closing `}`.
+            let ty_from = k + 2;
+            let mut t = ty_from;
+            while t < end - 1 {
+                if self.punct(t, '<') {
+                    t = self.skip_angles(t);
+                    continue;
+                }
+                if self.punct(t, '(') {
+                    t = self.skip_balanced(t, '(', ')');
+                    continue;
+                }
+                if self.punct(t, '[') {
+                    t = self.skip_balanced(t, '[', ']');
+                    continue;
+                }
+                if self.punct(t, ',') {
+                    break;
+                }
+                t += 1;
+            }
+            fields.push((norm_ident(fname).to_owned(), self.type_text(ty_from, t)));
+            k = t + 1;
+        }
+        self.out.structs.push(StructItem { name, fields });
+        self.i = end;
+    }
+
+    fn parse_fn(&mut self) {
+        let fn_idx = self.i;
+        let line = self.line(fn_idx);
+        // Qualifiers behind the `fn` keyword.
+        let mut is_pub = false;
+        let mut is_async = false;
+        let mut b = fn_idx;
+        while b > 0 {
+            b -= 1;
+            match self.word(b) {
+                Some("async") => is_async = true,
+                Some("const" | "unsafe" | "extern") => {}
+                Some("pub") => {
+                    is_pub = true;
+                    break;
+                }
+                Some("crate" | "super" | "in" | "self") => {}
+                _ if self.punct(b, ')') || self.punct(b, '(') => {}
+                _ => break,
+            }
+        }
+        let Some(name) = self.word(fn_idx + 1).map(|w| norm_ident(w).to_owned()) else {
+            self.i += 1;
+            return;
+        };
+        let mut j = fn_idx + 2;
+        if self.punct(j, '<') {
+            j = self.skip_angles(j);
+        }
+        if !self.punct(j, '(') {
+            self.i = j;
+            return;
+        }
+        let params_end = self.skip_balanced(j, '(', ')');
+        let (params, is_method) = self.parse_params(j + 1, params_end - 1);
+        j = params_end;
+        // Return type.
+        let mut ret = String::new();
+        if self.punct(j, '-') && self.punct(j + 1, '>') {
+            let from = j + 2;
+            let mut t = from;
+            while t < self.toks.len() {
+                if self.punct(t, '<') {
+                    t = self.skip_angles(t);
+                    continue;
+                }
+                if self.punct(t, '(') {
+                    t = self.skip_balanced(t, '(', ')');
+                    continue;
+                }
+                if self.punct(t, '{') || self.punct(t, ';') || self.word(t) == Some("where") {
+                    break;
+                }
+                t += 1;
+            }
+            ret = self.type_text(from, t);
+            j = t;
+        }
+        // Where clause.
+        while j < self.toks.len() && !self.punct(j, '{') && !self.punct(j, ';') {
+            if self.punct(j, '<') {
+                j = self.skip_angles(j);
+                continue;
+            }
+            j += 1;
+        }
+        let ctx = self.ctx.last().cloned();
+        let item = FnItem {
+            name,
+            self_ty: ctx.as_ref().and_then(|c| c.self_ty.clone()),
+            trait_name: ctx.as_ref().and_then(|c| c.trait_name.clone()),
+            is_method,
+            is_pub,
+            is_async,
+            is_test: self.file.is_test_line(line),
+            line,
+            params,
+            ret,
+            calls: Vec::new(),
+            acquires: Vec::new(),
+            panics: Vec::new(),
+            blocking: Vec::new(),
+        };
+        if self.punct(j, '{') {
+            let body_end = self.skip_balanced(j, '{', '}');
+            self.pending.push((item, Some((j + 1, body_end.saturating_sub(1)))));
+            self.i = body_end;
+        } else {
+            self.pending.push((item, None));
+            self.i = j + 1;
+        }
+    }
+
+    /// Parses a parameter list `[from, to)`: simple `name: Type` pairs
+    /// plus whether a leading `self` makes this a method.
+    fn parse_params(&self, from: usize, to: usize) -> (Vec<(String, String)>, bool) {
+        let mut params = Vec::new();
+        let mut is_method = false;
+        let mut k = from;
+        let mut first = true;
+        while k < to {
+            // One parameter: up to the next top-level `,`.
+            let mut t = k;
+            let mut colon = None;
+            while t < to {
+                if self.punct(t, '<') {
+                    t = self.skip_angles(t);
+                    continue;
+                }
+                if self.punct(t, '(') {
+                    t = self.skip_balanced(t, '(', ')');
+                    continue;
+                }
+                if self.punct(t, '[') {
+                    t = self.skip_balanced(t, '[', ']');
+                    continue;
+                }
+                if self.punct(t, ',') {
+                    break;
+                }
+                if colon.is_none() && self.punct(t, ':') {
+                    colon = Some(t);
+                }
+                t += 1;
+            }
+            if first {
+                let mut s = k;
+                while s < t && colon != Some(s) {
+                    if self.word(s) == Some("self") {
+                        is_method = true;
+                        break;
+                    }
+                    s += 1;
+                }
+            }
+            if let Some(c) = colon {
+                // Simple `name: Type` (possibly `mut name: Type`).
+                let pname = match (self.word(c.wrapping_sub(1)), c > k) {
+                    (Some(w), true) if !is_keyword(w) || w == "self" => {
+                        Some(norm_ident(w).to_owned())
+                    }
+                    _ => None,
+                };
+                if let Some(pname) = pname {
+                    // Only a *simple* pattern: `name` or `mut name`.
+                    let lead_ok = c - k <= 2 && (c - k == 1 || self.word(k) == Some("mut"));
+                    if lead_ok {
+                        params.push((pname, self.type_text(c + 1, t)));
+                    }
+                }
+            }
+            first = false;
+            k = t + 1;
+        }
+        (params, is_method)
+    }
+}
+
+/// One `let`-bound lock guard (name → class) living at a brace depth.
+struct GuardBinding {
+    name: String,
+    class: String,
+    depth: u32,
+    /// Token index where the binding was created (for spawn filtering).
+    at: usize,
+}
+
+/// Scans one function body for calls, locks, panics, and blocking ops.
+struct BodyScan<'p, 'a> {
+    p: &'p Parser<'a>,
+    item: &'p mut FnItem,
+    sigs: &'p [FnSig],
+    from: usize,
+    to: usize,
+    depth: u32,
+    guards: Vec<GuardBinding>,
+    /// Statement-scoped temporary guards: `(class, token index)`.
+    temps: Vec<(String, usize)>,
+    /// Locals with a known type — ascribed (`let x: Ty = …`) or
+    /// struct-literal (`let x = Ty { … }`) — as `(name, type, depth)`.
+    locals: Vec<(String, String, u32)>,
+    /// A `let` statement in progress: `Some(simple name)` once `let
+    /// [mut] name =` was seen, consumed by the first lock acquisition in
+    /// its initializer.
+    pending_let: Option<String>,
+    /// Stack of `(paren close index, entry token index)` for
+    /// `spawn(…)` argument regions.
+    spawns: Vec<(usize, usize)>,
+}
+
+impl<'p, 'a> BodyScan<'p, 'a> {
+    fn new(
+        p: &'p Parser<'a>,
+        item: &'p mut FnItem,
+        from: usize,
+        to: usize,
+        sigs: &'p [FnSig],
+    ) -> Self {
+        BodyScan {
+            p,
+            item,
+            sigs,
+            from,
+            to,
+            depth: 0,
+            guards: Vec::new(),
+            temps: Vec::new(),
+            locals: Vec::new(),
+            pending_let: None,
+            spawns: Vec::new(),
+        }
+    }
+
+    /// True when the expression after a `lock()/read()/write()` call
+    /// (token index just past its `()`) still evaluates to the guard:
+    /// the chain ends, or only `Result`-unwrapping adapters follow. In
+    /// `….lock().unwrap_or_else(…).register(x)` the statement binds
+    /// `register`'s return, so its `let` is *not* a guard binding.
+    fn chain_yields_guard(&self, mut j: usize) -> bool {
+        loop {
+            if !self.p.punct(j, '.') {
+                return true;
+            }
+            match self.p.word(j + 1) {
+                Some("unwrap" | "expect" | "unwrap_or_else") if self.p.punct(j + 2, '(') => {
+                    j = self.p.skip_balanced(j + 2, '(', ')');
+                }
+                _ => return false,
+            }
+        }
+    }
+
+    /// The spawn region the token index sits in, if any.
+    fn spawn_region(&self, i: usize) -> Option<usize> {
+        self.spawns.iter().rev().find(|&&(close, _)| i < close).map(|&(_, entry)| entry)
+    }
+
+    /// Lock classes held at token index `i`. Inside a spawn region only
+    /// guards created inside that region count — the closure runs on
+    /// another thread and inherits nothing.
+    fn held_at(&self, i: usize) -> Vec<String> {
+        let floor = self.spawn_region(i).unwrap_or(0);
+        let mut held: Vec<String> = self
+            .guards
+            .iter()
+            .filter(|g| g.at >= floor)
+            .map(|g| g.class.clone())
+            .chain(self.temps.iter().filter(|&&(_, at)| at >= floor).map(|(c, _)| c.clone()))
+            .collect();
+        held.dedup();
+        held
+    }
+
+    fn run(mut self) {
+        let mut i = self.from;
+        while i < self.to {
+            let t = &self.p.toks[i];
+            match &t.tok {
+                Tok::Punct('{') => {
+                    self.depth += 1;
+                    i += 1;
+                }
+                Tok::Punct('}') => {
+                    self.depth = self.depth.saturating_sub(1);
+                    let d = self.depth;
+                    self.guards.retain(|g| g.depth <= d);
+                    self.locals.retain(|(_, _, depth)| *depth <= d);
+                    i += 1;
+                }
+                Tok::Punct(';') => {
+                    self.temps.clear();
+                    self.pending_let = None;
+                    i += 1;
+                }
+                Tok::Punct('#') if self.p.punct(i + 1, '[') => {
+                    i = self.p.skip_balanced(i + 1, '[', ']');
+                }
+                Tok::Punct('[') => {
+                    // Indexing/slicing: `expr[…]` — previous token is a
+                    // non-keyword word, `)`, or `]`.
+                    let indexes = i > 0
+                        && match &self.p.toks[i - 1].tok {
+                            Tok::Word(w) => !is_keyword(w),
+                            Tok::Punct(')' | ']') => true,
+                            _ => false,
+                        };
+                    if indexes && !self.item.is_test {
+                        self.item.panics.push(PanicSite {
+                            line: t.line,
+                            kind: PanicKind::Index,
+                            what: "[…] indexing".to_owned(),
+                        });
+                    }
+                    i += 1;
+                }
+                Tok::Word(w) => {
+                    let w = w.clone();
+                    i = self.on_word(i, &w);
+                }
+                _ => i += 1,
+            }
+        }
+    }
+
+    fn on_word(&mut self, i: usize, w: &str) -> usize {
+        let line = self.p.line(i);
+        // `let x = match rx.lock() { … }` binds `x` to the match
+        // *result*, not the guard: control flow after `=` cancels the
+        // pending binding, so the acquisition scopes as a statement
+        // temporary instead.
+        if matches!(w, "match" | "if" | "while" | "loop" | "for") {
+            self.pending_let = None;
+            return i + 1;
+        }
+        // `let [mut] name =` — remember the binding for guard scoping,
+        // and type the local when the source spells the type out.
+        if w == "let" {
+            let mut j = i + 1;
+            if self.p.word(j) == Some("mut") {
+                j += 1;
+            }
+            if let Some(name) = self.p.word(j).filter(|n| !is_keyword(n)) {
+                let name = norm_ident(name).to_owned();
+                // `let name: Ty = …` — the ascription types the local.
+                if self.p.punct(j + 1, ':') && !self.p.punct(j + 2, ':') {
+                    let mut k = j + 2;
+                    while k < self.p.toks.len() && !self.p.punct(k, '=') && !self.p.punct(k, ';') {
+                        if self.p.punct(k, '<') {
+                            k = self.p.skip_angles(k);
+                        } else {
+                            k += 1;
+                        }
+                    }
+                    if self.p.punct(k, '=') {
+                        self.locals.push((name.clone(), self.p.type_text(j + 2, k), self.depth));
+                        self.pending_let = Some(name);
+                    }
+                    return i + 1;
+                }
+                // `==` is comparison, not binding.
+                if self.p.punct(j + 1, '=') && !self.p.punct(j + 2, '=') {
+                    // `let x = Ty { … }` — a struct literal types the
+                    // local (and is never a guard binding).
+                    let literal = self.p.word(j + 2).filter(|t| {
+                        t.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+                            && self.p.punct(j + 3, '{')
+                    });
+                    if let Some(t) = literal {
+                        self.locals.push((name, norm_ident(t).to_owned(), self.depth));
+                    } else {
+                        self.pending_let = Some(name);
+                    }
+                }
+            }
+            return i + 1;
+        }
+        // `drop(name)` releases a guard binding early.
+        if w == "drop" && self.p.punct(i + 1, '(') {
+            if let (Some(name), true) = (self.p.word(i + 2), self.p.punct(i + 3, ')')) {
+                let name = norm_ident(name).to_owned();
+                self.guards.retain(|g| g.name != name);
+            }
+            return i + 1;
+        }
+        // Macro invocation `name!(…)`: panic family becomes a panic
+        // site; every macro's arguments still stream through this scan.
+        if self.p.punct(i + 1, '!') {
+            if matches!(w, "panic" | "unreachable" | "todo" | "unimplemented") && !self.item.is_test
+            {
+                self.item.panics.push(PanicSite {
+                    line,
+                    kind: PanicKind::Macro,
+                    what: format!("{w}!"),
+                });
+            }
+            return i + 2;
+        }
+        // Where does the argument list start (skipping a turbofish)?
+        let mut call_paren = None;
+        if self.p.punct(i + 1, '(') {
+            call_paren = Some(i + 1);
+        } else if self.p.punct(i + 1, ':') && self.p.punct(i + 2, ':') && self.p.punct(i + 3, '<') {
+            let after = self.p.skip_angles(i + 3);
+            if self.p.punct(after, '(') {
+                call_paren = Some(after);
+            }
+        }
+        let Some(paren) = call_paren else { return i + 1 };
+        if is_keyword(w) {
+            return i + 1;
+        }
+
+        let dotted = i > 0 && self.p.punct(i - 1, '.');
+        let pathed = i > 1 && self.p.punct(i - 1, ':') && self.p.punct(i - 2, ':');
+        let empty_args = self.p.punct(paren + 1, ')');
+
+        // Lock acquisition?
+        if dotted && empty_args && matches!(w, "lock" | "read" | "write") {
+            let class = self.receiver_class(i - 1);
+            let spawned = self.spawn_region(i).is_some();
+            let held = self.held_at(i);
+            // Same class acquired while already held is itself an edge
+            // (class → class), which the cycle check reports.
+            let op: &'static str = match w {
+                "lock" => "lock",
+                "read" => "read",
+                _ => "write",
+            };
+            self.item.acquires.push(LockSite { line, class: class.clone(), held, op, spawned });
+            match self.pending_let.take() {
+                Some(name) if self.chain_yields_guard(paren + 2) => {
+                    self.guards.push(GuardBinding { name, class, depth: self.depth, at: i });
+                }
+                // `let id = m.lock().…().register(x)` binds `register`'s
+                // return, not the guard: scope it as a statement
+                // temporary instead.
+                _ => self.temps.push((class, i)),
+            }
+            return paren + 2;
+        }
+
+        // Panic sites.
+        if dotted && !self.item.is_test && matches!(w, "unwrap" | "expect") {
+            let kind = if w == "unwrap" { PanicKind::Unwrap } else { PanicKind::Expect };
+            self.item.panics.push(PanicSite { line, kind, what: format!(".{w}(…)") });
+            return i + 1;
+        }
+
+        // Blocking operations.
+        if !self.item.is_test {
+            let spawned = self.spawn_region(i).is_some();
+            let site: Option<(String, bool)> = if w == "sleep" && pathed {
+                Some(("thread::sleep".to_owned(), false))
+            } else if BLOCKING_IO_CALLS.contains(&w) {
+                Some((w.to_owned(), dotted))
+            } else if dotted && matches!(w, "recv" | "recv_timeout") {
+                Some((format!(".{w}()"), true))
+            } else if dotted && matches!(w, "wait" | "wait_timeout" | "wait_while") {
+                Some((format!("Condvar::{w}"), true))
+            } else if dotted && w == "join" && empty_args {
+                Some((".join()".to_owned(), true))
+            } else if pathed && matches!(w, "connect" | "connect_timeout") {
+                Some((w.to_owned(), false))
+            } else if dotted
+                && w == "send"
+                // Only a *bounded* channel send blocks: type the
+                // receiver — an unbounded `Sender` (or an untyped
+                // receiver) stays silent.
+                && self
+                    .receiver_type(i - 1)
+                    .is_some_and(|t| t.starts_with("SyncSender"))
+            {
+                Some((".send() on SyncSender".to_owned(), true))
+            } else {
+                None
+            };
+            if let Some((what, dotted)) = site {
+                self.item.blocking.push(BlockingSite {
+                    line,
+                    what,
+                    name: w.to_owned(),
+                    dotted,
+                    held: self.held_at(i),
+                    spawned,
+                });
+            }
+        }
+
+        // Spawn region: the closure inside runs on another thread.
+        if w == "spawn" {
+            let close = self.p.skip_balanced(paren, '(', ')');
+            self.spawns.push((close, i));
+            return paren + 1; // walk *into* the argument
+        }
+
+        // A call site.
+        let recv = if dotted {
+            Recv::Method { ty: self.receiver_type(i - 1) }
+        } else if pathed {
+            match self.p.word(i.wrapping_sub(3)) {
+                Some(ty) if !is_keyword(ty) => {
+                    let ty = norm_ident(ty).to_owned();
+                    let ty =
+                        if ty == "Self" { self.item.self_ty.clone().unwrap_or(ty) } else { ty };
+                    Recv::Path(ty)
+                }
+                _ => Recv::Path(String::new()),
+            }
+        } else {
+            // Capitalized free "calls" are tuple-struct / enum-variant
+            // constructors (`Some(…)`, `Job { … }` aside): not edges.
+            if w.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+                return i + 1;
+            }
+            Recv::Free
+        };
+        self.item.calls.push(CallSite {
+            line,
+            name: norm_ident(w).to_owned(),
+            recv,
+            held: self.held_at(i),
+            spawned: self.spawn_region(i).is_some(),
+        });
+        i + 1
+    }
+
+    /// Walks a receiver chain backwards from the `.` at `dot` and
+    /// resolves its type through struct fields and known wrappers.
+    /// Returns the resolved type name, if any.
+    fn receiver_type(&self, dot: usize) -> Option<String> {
+        let chain = self.chain_before(dot)?;
+        self.resolve_chain(&chain)
+    }
+
+    /// The *lock class* of `…​.lock()` at the `.` index: the guarded
+    /// type when resolvable, else the receiver spelling qualified by the
+    /// enclosing impl/fn.
+    fn receiver_class(&self, dot: usize) -> String {
+        if let Some(chain) = self.chain_before(dot) {
+            if let Some(ty) = self.resolve_chain(&chain) {
+                return ty;
+            }
+            let spelled: Vec<&str> =
+                chain.iter().map(|h| h.name.as_str()).filter(|n| *n != "self").collect();
+            if !spelled.is_empty() {
+                let owner = self.item.self_ty.clone().unwrap_or_else(|| self.item.name.clone());
+                return format!("{owner}::{}", spelled.join("."));
+            }
+        }
+        format!("{}::<expr>", self.item.self_ty.clone().unwrap_or_else(|| self.item.name.clone()))
+    }
+
+    /// One hop of a receiver chain, front-to-back: a name plus whether
+    /// it was a call (`f(…)`) rather than a field/variable.
+    fn chain_before(&self, dot: usize) -> Option<Vec<Hop>> {
+        let mut hops: Vec<Hop> = Vec::new();
+        let mut j = dot; // index of the `.`; look left of it
+        loop {
+            let mut k = j.checked_sub(1)?;
+            // `…)` — a call hop: skip the args, the word before names it.
+            let mut is_call = false;
+            if self.p.punct(k, ')') {
+                let open = self.open_of(k, '(', ')')?;
+                k = open.checked_sub(1)?;
+                is_call = true;
+            } else if self.p.punct(k, ']') {
+                // Indexing hop: skip brackets, keep walking (the element
+                // type of a Vec<Mutex<T>> field is found by unwrapping).
+                let open = self.open_of(k, '[', ']')?;
+                k = open.checked_sub(1)?;
+            }
+            let name = self.p.word(k)?;
+            if is_keyword(name) && name != "self" {
+                return None;
+            }
+            hops.push(Hop { name: norm_ident(name).to_owned(), is_call });
+            // Continue left past a `.`; `::` (path) or anything else ends
+            // the chain.
+            if k > 0 && self.p.punct(k - 1, '.') {
+                j = k - 1;
+                continue;
+            }
+            if k > 1 && self.p.punct(k - 1, ':') && self.p.punct(k - 2, ':') {
+                // A path-rooted chain (`Type::new().x`): record the root.
+                if let Some(root) = self.p.word(k - 3) {
+                    if !is_keyword(root) {
+                        hops.push(Hop { name: norm_ident(root).to_owned(), is_call: false });
+                    }
+                }
+            }
+            hops.reverse();
+            return Some(hops);
+        }
+    }
+
+    /// Index of the opener matching the closer at `close`.
+    fn open_of(&self, close: usize, open_c: char, close_c: char) -> Option<usize> {
+        let mut depth = 0i64;
+        let mut k = close;
+        loop {
+            if self.p.punct(k, close_c) {
+                depth += 1;
+            } else if self.p.punct(k, open_c) {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+            k = k.checked_sub(1)?;
+        }
+    }
+
+    /// Resolves a chain's final type by walking struct fields, local
+    /// parameter types, and method return types, unwrapping the usual
+    /// containers (`Arc`, `Box`, `Option`, `Vec`, `Mutex`, …) along the
+    /// way. Best-effort: `None` when any hop fails.
+    fn resolve_chain(&self, hops: &[Hop]) -> Option<String> {
+        let (first, rest) = hops.split_first()?;
+        let mut ty: String = if first.name == "self" {
+            self.item.self_ty.clone()?
+        } else if first.is_call {
+            // A free or path call hop: resolve through its return type.
+            let candidates = self.sigs.iter().filter(|f| f.name == first.name);
+            let mut rets = candidates.map(|f| f.ret.clone()).collect::<Vec<_>>();
+            rets.dedup();
+            match rets.as_slice() {
+                [one] if !one.is_empty() => one.clone(),
+                _ => return None,
+            }
+        } else if let Some(lt) =
+            self.locals.iter().rev().find(|(n, _, _)| *n == first.name).map(|(_, t, _)| t.clone())
+        {
+            lt
+        } else if let Some((_, pt)) = self.item.params.iter().find(|(n, _)| *n == first.name) {
+            pt.clone()
+        } else {
+            return None;
+        };
+        for hop in rest {
+            let base = base_type(&ty)?;
+            if hop.is_call {
+                ty = self.method_return(&base, &hop.name)?;
+            } else {
+                ty = self.field_type(&base, &hop.name)?;
+            }
+        }
+        base_type(&ty)
+    }
+
+    /// The type of `ty.field` from the struct tables of this file.
+    fn field_type(&self, ty: &str, field: &str) -> Option<String> {
+        let exact = self
+            .p
+            .out
+            .structs
+            .iter()
+            .find(|s| s.name == ty)
+            .and_then(|s| s.fields.iter().find(|(f, _)| f == field));
+        if let Some((_, t)) = exact {
+            return Some(t.clone());
+        }
+        // Unique-field fallback: exactly one struct in the file has this
+        // field name.
+        let mut owners = self
+            .p
+            .out
+            .structs
+            .iter()
+            .filter_map(|s| s.fields.iter().find(|(f, _)| f == field).map(|(_, t)| t.clone()));
+        match (owners.next(), owners.next()) {
+            (Some(t), None) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Return type of `ty::method` from this file's fn items.
+    fn method_return(&self, ty: &str, method: &str) -> Option<String> {
+        match method {
+            // Result/Option adapters keep the success type: good enough
+            // for guard typing (`.lock().expect(…)`).
+            "expect" | "unwrap" | "unwrap_or_else" | "unwrap_or_default" | "clone" | "as_ref"
+            | "as_mut" | "borrow" | "borrow_mut" => return Some(ty.to_owned()),
+            "lock" | "write" | "read" => {
+                // Guard of the inner type (set up by base_type unwrap).
+                return Some(ty.to_owned());
+            }
+            _ => {}
+        }
+        let f = self.sigs.iter().find(|f| f.self_ty.as_deref() == Some(ty) && f.name == method)?;
+        if f.ret.is_empty() {
+            None
+        } else {
+            Some(f.ret.clone())
+        }
+    }
+}
+
+struct Hop {
+    name: String,
+    is_call: bool,
+}
+
+/// Strips references and the usual smart-pointer / sync wrappers down to
+/// the interesting base type name: `&Arc<Mutex<Vec<Completion>>>` →
+/// `Vec<Completion>`; `Mutex<InFlightIndex>` → `InFlightIndex`.
+pub fn base_type(ty: &str) -> Option<String> {
+    let mut s = ty.trim();
+    loop {
+        s = s.trim_start_matches(['&', ' ']).trim();
+        for p in ["mut ", "dyn ", "'static ", "'_ "] {
+            if let Some(rest) = s.strip_prefix(p) {
+                s = rest.trim();
+            }
+        }
+        let mut unwrapped = false;
+        for w in ["Arc", "Rc", "Box", "Option", "RefCell", "Cell", "Mutex", "RwLock", "Vec"] {
+            if let Some(rest) = s.strip_prefix(w) {
+                if let Some(inner) = rest.strip_prefix('<') {
+                    // Keep `Vec<Completion>` for the *lock class* of a
+                    // completion queue? No: the class is the guarded
+                    // payload — unwrap everything uniformly, the class
+                    // name is the innermost interesting type.
+                    let inner = inner.strip_suffix('>').unwrap_or(inner);
+                    s = inner;
+                    unwrapped = true;
+                    break;
+                }
+            }
+        }
+        if !unwrapped {
+            break;
+        }
+    }
+    // `A<B>` keeps its textual form; a bare path keeps its last segment.
+    if s.is_empty() {
+        return None;
+    }
+    if let Some(lt) = s.find('<') {
+        let head = &s[..lt];
+        let head = head.rsplit("::").next().unwrap_or(head);
+        Some(format!("{head}{}", &s[lt..]))
+    } else {
+        Some(s.rsplit("::").next().unwrap_or(s).to_owned())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::SourceFile;
+
+    fn parse(rel: &str, src: &str) -> FileItems {
+        let slugs = crate::rules::rule_slugs();
+        parse_file(&SourceFile::new(rel.to_owned(), src, &slugs))
+    }
+
+    #[test]
+    fn fn_items_with_impl_context() {
+        let src = "
+            pub struct Server { conns: Vec<Conn> }
+            impl Server {
+                pub fn run(&self) { self.step(); }
+                fn step(&self) {}
+            }
+            impl Drop for Server { fn drop(&mut self) {} }
+            pub async fn fetch() {}
+            fn free(x: u32) -> u32 { x }
+        ";
+        let items = parse("crates/x/src/lib.rs", src);
+        let names: Vec<(Option<&str>, &str)> =
+            items.fns.iter().map(|f| (f.self_ty.as_deref(), f.name.as_str())).collect();
+        assert_eq!(
+            names,
+            vec![
+                (Some("Server"), "run"),
+                (Some("Server"), "step"),
+                (Some("Server"), "drop"),
+                (None, "fetch"),
+                (None, "free"),
+            ]
+        );
+        assert!(items.fns[0].is_pub && items.fns[0].is_method);
+        assert!(!items.fns[1].is_pub);
+        assert_eq!(items.fns[2].trait_name.as_deref(), Some("Drop"));
+        assert!(items.fns[3].is_async && items.fns[3].is_pub);
+        assert_eq!(items.fns[4].params, vec![("x".to_owned(), "u32".to_owned())]);
+        assert_eq!(items.fns[4].ret, "u32");
+        assert_eq!(items.structs[0].name, "Server");
+        assert_eq!(items.structs[0].fields, vec![("conns".to_owned(), "Vec<Conn>".to_owned())]);
+    }
+
+    #[test]
+    fn raw_identifier_items_do_not_become_keywords() {
+        // `r#fn` / `r#impl` as identifiers must not open phantom items.
+        let src = "fn caller() { let r#fn = 1; r#match(r#fn); }";
+        let items = parse("a.rs", src);
+        assert_eq!(items.fns.len(), 1);
+        assert_eq!(items.fns[0].calls.len(), 1);
+        assert_eq!(items.fns[0].calls[0].name, "match");
+        assert_eq!(items.fns[0].calls[0].recv, Recv::Free);
+    }
+
+    #[test]
+    fn calls_with_receiver_hints() {
+        let src = "
+            struct S { w: Waker }
+            struct Waker { fd: u32 }
+            impl S {
+                fn go(&self) {
+                    self.local();
+                    self.w.wake();
+                    Envelope::error(1);
+                    helper();
+                    Self::assoc();
+                    list.collect::<Vec<_>>();
+                }
+            }
+        ";
+        let f = &parse("a.rs", src).fns[0];
+        let kinds: Vec<(&str, &Recv)> =
+            f.calls.iter().map(|c| (c.name.as_str(), &c.recv)).collect();
+        assert_eq!(kinds.len(), 6, "{kinds:?}");
+        assert_eq!(f.calls[0].name, "local");
+        assert_eq!(f.calls[0].recv, Recv::Method { ty: Some("S".to_owned()) });
+        assert_eq!(f.calls[1].recv, Recv::Method { ty: Some("Waker".to_owned()) });
+        assert_eq!(f.calls[2].recv, Recv::Path("Envelope".to_owned()));
+        assert_eq!(f.calls[3].recv, Recv::Free);
+        assert_eq!(f.calls[4].recv, Recv::Path("S".to_owned()), "Self:: rewrites to impl type");
+        assert_eq!(f.calls[5].name, "collect");
+        assert_eq!(f.calls[5].recv, Recv::Method { ty: None });
+    }
+
+    #[test]
+    fn lock_classes_resolve_through_fields_and_params() {
+        let src = "
+            struct Session { inflight: Mutex<InFlightIndex>, shards: Vec<Mutex<LruShard>> }
+            impl Session {
+                fn f(&self) {
+                    let g = self.inflight.lock().expect(\"x\");
+                    self.shards[0].lock().unwrap().get(1);
+                }
+            }
+            fn worker(state: &Mutex<Core>) {
+                let c = state.lock().unwrap();
+            }
+        ";
+        let items = parse("a.rs", src);
+        let f = &items.fns[0];
+        assert_eq!(f.acquires.len(), 2);
+        assert_eq!(f.acquires[0].class, "InFlightIndex");
+        assert!(f.acquires[0].held.is_empty());
+        assert_eq!(f.acquires[1].class, "LruShard");
+        // The let-bound inflight guard is held across the second lock.
+        assert_eq!(f.acquires[1].held, vec!["InFlightIndex".to_owned()]);
+        let w = &items.fns[1];
+        assert_eq!(w.acquires[0].class, "Core");
+    }
+
+    #[test]
+    fn guard_scopes_statement_temporaries_and_drop() {
+        let src = "
+            fn f(a: &Mutex<A>, b: &Mutex<B>) {
+                { let g = a.lock().unwrap(); b.lock().unwrap(); }
+                b.lock().unwrap();
+                let h = a.lock().unwrap();
+                drop(h);
+                b.lock().unwrap();
+            }
+        ";
+        let f = &parse("a.rs", src).fns[0];
+        let held: Vec<(&str, Vec<String>)> =
+            f.acquires.iter().map(|l| (l.class.as_str(), l.held.clone())).collect();
+        assert_eq!(held[0], ("A", vec![]));
+        assert_eq!(held[1], ("B", vec!["A".to_owned()]), "scoped guard held");
+        assert_eq!(held[2], ("B", vec![]), "guard released at scope end");
+        assert_eq!(held[4], ("B", vec![]), "drop(h) releases early");
+    }
+
+    #[test]
+    fn typed_guard_methods_resolve_precisely() {
+        // `shard.lock().expect(..).get(v)` must resolve `get` to the
+        // guarded type, not to every workspace `get`.
+        let src = "
+            struct S { shard: Mutex<LruShard> }
+            impl S { fn f(&self) { self.shard.lock().expect(\"p\").insert(1); } }
+        ";
+        let f = &parse("a.rs", src).fns[0];
+        let call = f.calls.iter().find(|c| c.name == "insert").unwrap();
+        assert_eq!(call.recv, Recv::Method { ty: Some("LruShard".to_owned()) });
+        // And the temporary guard is held at the call.
+        assert_eq!(call.held, vec!["LruShard".to_owned()]);
+    }
+
+    #[test]
+    fn panic_sites_recorded_with_kinds() {
+        let src = "
+            fn f(v: Vec<u32>, o: Option<u32>) -> u32 {
+                let a = v[0];
+                let b = o.unwrap();
+                let c = o.expect(\"set\");
+                if a > 9 { panic!(\"too big\") }
+                unreachable!()
+            }
+        ";
+        let f = &parse("a.rs", src).fns[0];
+        let kinds: Vec<PanicKind> = f.panics.iter().map(|p| p.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                PanicKind::Index,
+                PanicKind::Unwrap,
+                PanicKind::Expect,
+                PanicKind::Macro,
+                PanicKind::Macro
+            ]
+        );
+    }
+
+    #[test]
+    fn index_heuristic_skips_non_index_brackets() {
+        let src = "
+            fn f(xs: &[u8], n: usize) -> Vec<u8> {
+                let a: [u8; 4] = [0; 4];
+                let v = vec![1, 2];
+                let [x, y] = [n, n];
+                attr(&a)
+            }
+            #[derive(Debug)]
+            struct T;
+        ";
+        let f = &parse("a.rs", src).fns[0];
+        assert!(f.panics.is_empty(), "{:?}", f.panics);
+    }
+
+    #[test]
+    fn blocking_sites_and_spawn_detachment() {
+        let src = "
+            fn serve(rx: &Mutex<Receiver<Job>>) {
+                std::thread::spawn(move || {
+                    let job = rx.lock().unwrap().recv();
+                    helper(job);
+                });
+                direct();
+            }
+        ";
+        let f = &parse("a.rs", src).fns[0];
+        // The recv is blocking but spawned; the helper call is spawned;
+        // `direct` is not.
+        let recv = f.blocking.iter().find(|b| b.what == ".recv()").unwrap();
+        assert!(recv.spawned);
+        let helper = f.calls.iter().find(|c| c.name == "helper").unwrap();
+        assert!(helper.spawned);
+        let direct = f.calls.iter().find(|c| c.name == "direct").unwrap();
+        assert!(!direct.spawned);
+        // The lock acquired inside the closure is marked spawned too.
+        assert!(f.acquires[0].spawned);
+    }
+
+    #[test]
+    fn thread_sleep_and_io_helpers_are_blocking() {
+        let src = "
+            fn f(s: &mut TcpStream) {
+                std::thread::sleep(D);
+                read_envelope(s, 10);
+                s.read_exact(&mut buf);
+                handle.join();
+                cv.wait(g);
+            }
+        ";
+        let f = &parse("a.rs", src).fns[0];
+        let whats: Vec<&str> = f.blocking.iter().map(|b| b.what.as_str()).collect();
+        assert_eq!(
+            whats,
+            vec!["thread::sleep", "read_envelope", "read_exact", ".join()", "Condvar::wait"]
+        );
+    }
+
+    #[test]
+    fn test_code_is_flagged_and_panic_free() {
+        let src = "
+            fn prod(o: Option<u32>) { o.unwrap(); }
+            #[cfg(test)]
+            mod tests {
+                fn t(o: Option<u32>) { o.unwrap(); }
+            }
+        ";
+        let items = parse("crates/x/src/lib.rs", src);
+        assert!(!items.fns[0].is_test);
+        assert_eq!(items.fns[0].panics.len(), 1);
+        assert!(items.fns[1].is_test);
+        assert!(items.fns[1].panics.is_empty());
+    }
+
+    #[test]
+    fn constructors_are_not_call_edges() {
+        let src = "fn f() -> Option<u32> { Some(compute()) }";
+        let f = &parse("a.rs", src).fns[0];
+        assert_eq!(f.calls.len(), 1);
+        assert_eq!(f.calls[0].name, "compute");
+    }
+
+    #[test]
+    fn turbofish_calls_parse() {
+        let src = "fn f() { helper::<u32>(); x.collect::<Vec<_>>(); }";
+        let f = &parse("a.rs", src).fns[0];
+        assert!(f.calls.iter().any(|c| c.name == "helper" && c.recv == Recv::Free));
+        assert!(f.calls.iter().any(|c| c.name == "collect"));
+    }
+
+    #[test]
+    fn base_type_unwraps_wrappers() {
+        assert_eq!(base_type("&Arc<Mutex<Vec<Completion>>>").as_deref(), Some("Completion"));
+        assert_eq!(base_type("Mutex<InFlightIndex>").as_deref(), Some("InFlightIndex"));
+        assert_eq!(base_type("&mut ShardWorkerCore").as_deref(), Some("ShardWorkerCore"));
+        assert_eq!(base_type("crate::api::Envelope").as_deref(), Some("Envelope"));
+        assert_eq!(base_type("Result<R,QueryError>").as_deref(), Some("Result<R,QueryError>"));
+    }
+}

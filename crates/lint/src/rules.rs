@@ -11,12 +11,25 @@
 //!   must use `total_cmp`.
 //! * [`UNSAFE_CONFINEMENT`] — PR 6 confined `unsafe` to the epoll shim
 //!   `crates/server/src/sys.rs` by convention; this makes it structural.
-//! * [`NO_UNWRAP_IN_SERVING`] — a panic in `server`/`worker`/`cluster`
-//!   is a dropped connection or a wedged worker, not a clean error.
 //! * [`WIRE_TAG_DISCIPLINE`] (in [`crate::wire`]) — wire tags are
 //!   append-only and every frame kind needs a golden-bytes fixture.
-//! * [`BLOCKING_IN_REACTOR`] — one blocking call in the event loop
-//!   stalls every connection the reactor owns.
+//!
+//! Three rules are *interprocedural*: they run over the whole-workspace
+//! call graph ([`crate::callgraph`]) instead of file-by-file —
+//!
+//! * [`PANIC_REACHABLE_IN_SERVING`] — every panic site transitively
+//!   reachable from a serving entrypoint must carry a justified pragma.
+//!   (Supersedes the per-file unwrap ban: a panic reached *through*
+//!   `pasco_simrank::core` drops the connection just the same.)
+//! * [`BLOCKING_IN_REACTOR_TRANSITIVE`] — nothing reachable from the
+//!   epoll event loop may block, however many frames deep. (Supersedes
+//!   the single-file lexical rule.)
+//! * [`LOCK_ORDER_CYCLE`] — the lock-acquisition-order graph (which
+//!   lock classes are held while which are acquired, across calls) must
+//!   stay acyclic.
+//! * [`CALLGRAPH_BASELINE`] — heuristic call resolution records what it
+//!   cannot resolve; the committed `CALLGRAPH.baseline` count may only
+//!   be raised deliberately, like `WIRE_TAGS.manifest`.
 
 use crate::source::SourceFile;
 
@@ -39,14 +52,20 @@ pub const NONDETERMINISTIC_ITERATION: &str = "nondeterministic-iteration";
 pub const FLOAT_ORDERING: &str = "float-ordering";
 /// Rule slug: `unsafe` outside the syscall shim / missing crate-root deny.
 pub const UNSAFE_CONFINEMENT: &str = "unsafe-confinement";
-/// Rule slug: `.unwrap()` / `.expect()` in serving-path production code.
-pub const NO_UNWRAP_IN_SERVING: &str = "no-unwrap-in-serving";
 /// Rule slug: wire-tag uniqueness, manifest sync, fixture coverage.
 pub const WIRE_TAG_DISCIPLINE: &str = "wire-tag-discipline";
-/// Rule slug: blocking calls inside the reactor event loop.
-pub const BLOCKING_IN_REACTOR: &str = "blocking-in-reactor";
 /// Rule slug: malformed pragma or pragma naming an unknown rule.
 pub const BAD_PRAGMA: &str = "bad-pragma";
+/// Rule slug: a cycle in the whole-workspace lock-acquisition-order graph.
+pub const LOCK_ORDER_CYCLE: &str = "lock-order-cycle";
+/// Rule slug: a blocking operation transitively reachable from the epoll
+/// event loop.
+pub const BLOCKING_IN_REACTOR_TRANSITIVE: &str = "blocking-in-reactor-transitive";
+/// Rule slug: a panic site transitively reachable from a serving
+/// entrypoint.
+pub const PANIC_REACHABLE_IN_SERVING: &str = "panic-reachable-in-serving";
+/// Rule slug: unresolved-call-edge count regressed past `CALLGRAPH.baseline`.
+pub const CALLGRAPH_BASELINE: &str = "callgraph-baseline";
 
 /// Every rule `pasco-lint` knows, with a one-line summary (shown by
 /// `--list-rules` and used in the README table).
@@ -67,21 +86,34 @@ pub const RULES: &[(&str, &str)] = &[
          #![deny(unsafe_code)] or #![forbid(unsafe_code)]",
     ),
     (
-        NO_UNWRAP_IN_SERVING,
-        "no .unwrap()/.expect() in production code of pasco_server/pasco_worker/pasco_cluster: a \
-         panic is a dropped connection or a wedged worker",
-    ),
-    (
         WIRE_TAG_DISCIPLINE,
         "FrameKind/QueryError wire tags are unique, never renumbered against WIRE_TAGS.manifest, \
          and every frame kind has a golden-bytes fixture",
     ),
-    (
-        BLOCKING_IN_REACTOR,
-        "no thread::sleep or blocking framed I/O inside the reactor event-loop module \
-         crates/server/src/server.rs",
-    ),
     (BAD_PRAGMA, "a pasco-lint pragma must be allow(...) and name only known rules"),
+    (
+        LOCK_ORDER_CYCLE,
+        "the whole-workspace lock-order graph (lock classes held while other classes are \
+         acquired, tracked across calls) must be acyclic: a cycle is a deadlock waiting for the \
+         right interleaving",
+    ),
+    (
+        BLOCKING_IN_REACTOR_TRANSITIVE,
+        "no function transitively reachable from Reactor::run may block: no thread::sleep, \
+         blocking framed I/O, channel recv, condvar wait, or locking a class some other thread \
+         holds across a blocking call",
+    ),
+    (
+        PANIC_REACHABLE_IN_SERVING,
+        "every panic site (unwrap/expect/panic!-family) transitively reachable from a pub \
+         serving entrypoint in pasco_server/pasco_worker/pasco_cluster must be removed or carry \
+         a pragma stating the invariant that rules the panic out",
+    ),
+    (
+        CALLGRAPH_BASELINE,
+        "heuristic call resolution must not regress: the unresolved-edge count may not exceed \
+         the committed CALLGRAPH.baseline (raise it deliberately, like WIRE_TAGS.manifest)",
+    ),
 ];
 
 /// The slugs alone, for pragma validation.
@@ -94,25 +126,22 @@ pub fn rule_slugs() -> Vec<&'static str> {
 const DETERMINISM_DIRS: &[&str] = &["crates/graph/src/", "crates/mc/src/", "crates/core/src/"];
 
 /// Crates on the serving path, where a panic drops a connection or wedges
-/// a worker instead of surfacing a typed error.
-const SERVING_DIRS: &[&str] = &["crates/server/src/", "crates/worker/src/", "crates/cluster/src/"];
+/// a worker instead of surfacing a typed error. Pub fns defined here are
+/// the roots of the panic-reachability analysis.
+pub const SERVING_DIRS: &[&str] =
+    &["crates/server/src/", "crates/worker/src/", "crates/cluster/src/"];
 
-/// The reactor event-loop module.
-const REACTOR_FILE: &str = "crates/server/src/server.rs";
+/// The reactor event-loop module — `Reactor::run` here is the root of
+/// the blocking-reachability analysis.
+pub const REACTOR_FILE: &str = "crates/server/src/server.rs";
 /// The one module allowed to contain `unsafe` (the epoll syscall shim).
 const UNSAFE_SHIM: &str = "crates/server/src/sys.rs";
 /// The one file allowed to carry `#[allow(unsafe_code)]` (the gate that
 /// admits the shim module into an otherwise `deny(unsafe_code)` crate).
 const UNSAFE_GATE: &str = "crates/server/src/lib.rs";
 
-/// Blocking calls that must never appear in the reactor: the blocking
-/// framed-I/O helpers (the reactor uses the resumable
-/// `FrameDecoder`/`WriteQueue` state machines instead) and the blocking
-/// std read/write patterns they are built from.
-const REACTOR_BLOCKING_CALLS: &[&str] =
-    &["read_envelope", "write_envelope", "poll_envelope", "read_exact", "read_to_end", "write_all"];
-
-fn in_dirs(rel: &str, dirs: &[&str]) -> bool {
+/// True when `rel` sits under one of `dirs`.
+pub fn in_dirs(rel: &str, dirs: &[&str]) -> bool {
     dirs.iter().any(|d| rel.starts_with(d))
 }
 
@@ -123,8 +152,6 @@ pub fn check_file(file: &SourceFile) -> Vec<Finding> {
     nondeterministic_iteration(file, &mut out);
     float_ordering(file, &mut out);
     unsafe_confinement(file, &mut out);
-    no_unwrap_in_serving(file, &mut out);
-    blocking_in_reactor(file, &mut out);
     bad_pragmas(file, &mut out);
     out
 }
@@ -239,77 +266,6 @@ fn unsafe_confinement(file: &SourceFile, out: &mut Vec<Finding>) {
     }
 }
 
-fn no_unwrap_in_serving(file: &SourceFile, out: &mut Vec<Finding>) {
-    if !in_dirs(&file.rel, SERVING_DIRS) {
-        return;
-    }
-    let toks = &file.lexed.tokens;
-    for i in 1..toks.len().saturating_sub(1) {
-        let is_call = (toks[i].is_word("unwrap") || toks[i].is_word("expect"))
-            && toks[i - 1].is_punct('.')
-            && toks[i + 1].is_punct('(');
-        if is_call && !file.is_test_line(toks[i].line) {
-            let name = toks[i].word().unwrap_or_default();
-            push(
-                out,
-                file,
-                toks[i].line,
-                NO_UNWRAP_IN_SERVING,
-                format!(
-                    "`.{name}(…)` in serving-path production code: a panic here drops a \
-                     connection or wedges a worker. Return a typed error (`QueryError`, \
-                     `io::Error`), or — for an invariant the surrounding code guarantees — add \
-                     `// pasco-lint: allow({NO_UNWRAP_IN_SERVING})` with the guarantee spelled out"
-                ),
-            );
-        }
-    }
-}
-
-fn blocking_in_reactor(file: &SourceFile, out: &mut Vec<Finding>) {
-    if file.rel != REACTOR_FILE {
-        return;
-    }
-    let toks = &file.lexed.tokens;
-    for i in 0..toks.len() {
-        if file.is_test_line(toks[i].line) {
-            continue;
-        }
-        // `thread::sleep` (with or without a `std::` prefix).
-        if toks[i].is_word("sleep")
-            && i >= 2
-            && toks[i - 1].is_punct(':')
-            && toks[i - 2].is_punct(':')
-        {
-            push(
-                out,
-                file,
-                toks[i].line,
-                BLOCKING_IN_REACTOR,
-                "`thread::sleep` inside the reactor module stalls every connection the event \
-                 loop owns; arm a timer-wheel deadline and return to `epoll_wait` instead"
-                    .to_owned(),
-            );
-        }
-        // Blocking framed/stream I/O helpers.
-        let is_call = toks[i].word().is_some_and(|w| REACTOR_BLOCKING_CALLS.contains(&w))
-            && toks.get(i + 1).is_some_and(|t| t.is_punct('('));
-        if is_call {
-            let name = toks[i].word().unwrap_or_default();
-            push(
-                out,
-                file,
-                toks[i].line,
-                BLOCKING_IN_REACTOR,
-                format!(
-                    "`{name}` is blocking I/O; the reactor must stay nonblocking — feed bytes \
-                     through the resumable `FrameDecoder`/`WriteQueue` state machines instead"
-                ),
-            );
-        }
-    }
-}
-
 fn bad_pragmas(file: &SourceFile, out: &mut Vec<Finding>) {
     for (line, what) in &file.bad_pragmas {
         push(
@@ -352,17 +308,6 @@ mod tests {
     }
 
     #[test]
-    fn unwrap_and_expect_flagged_on_serving_path_only() {
-        let bad = "fn f(x: Option<u32>) -> u32 { x.unwrap() + x.expect(\"set\") }\n";
-        let hits = findings("crates/server/src/server.rs", bad);
-        assert_eq!(hits.iter().filter(|f| f.rule == NO_UNWRAP_IN_SERVING).count(), 2);
-        assert!(findings("crates/core/src/x.rs", bad).is_empty());
-        // unwrap_or / expected are different identifiers — not flagged.
-        let ok = "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }\nfn expected(e: u32) {}\n";
-        assert!(findings("crates/worker/src/rpc.rs", ok).is_empty());
-    }
-
-    #[test]
     fn unsafe_flagged_outside_shim() {
         let bad =
             "#![deny(unsafe_code)]\nfn f() { unsafe { std::hint::unreachable_unchecked() } }\n";
@@ -400,15 +345,6 @@ mod tests {
         assert_eq!(findings("tests/x.rs", bad).len(), 1);
         let ok = "fn f(v: &mut [f64]) { v.sort_by(f64::total_cmp); }\n";
         assert!(findings("crates/core/src/x.rs", ok).is_empty());
-    }
-
-    #[test]
-    fn blocking_calls_flagged_in_reactor_only() {
-        let bad =
-            "fn f() {\n    std::thread::sleep(D);\n    let e = read_envelope(&mut s, m);\n}\n";
-        let hits = findings("crates/server/src/server.rs", bad);
-        assert_eq!(hits.iter().filter(|f| f.rule == BLOCKING_IN_REACTOR).count(), 2);
-        assert!(findings("crates/server/src/client.rs", bad).is_empty());
     }
 
     #[test]

@@ -142,23 +142,33 @@ fn crate_root_without_deny_unsafe_fires() {
     assert!(lint(&root).is_clean());
 }
 
-// ---- no-unwrap-in-serving ------------------------------------------------
+// ---- panic-reachable-in-serving ------------------------------------------
 
 #[test]
-fn unwrap_on_serving_path_fires_and_pragma_suppresses_next_line() {
-    let root = scratch("unwrap");
+fn panic_two_hops_below_serving_entrypoint_fires_and_pragma_suppresses() {
+    let root = scratch("panic-reach");
     seed_wire_baseline(&root);
-    put(&root, "crates/server/src/conn.rs", "fn f(x: Option<u8>) -> u8 { x.unwrap() }\n");
+    put(
+        &root,
+        "crates/server/src/conn.rs",
+        "pub fn serve(x: Option<u8>) -> u8 { inner(x) }\n\
+         fn inner(x: Option<u8>) -> u8 { x.unwrap() }\n",
+    );
     let report = lint(&root);
-    assert_eq!(rules_of(&report), vec!["no-unwrap-in-serving"]);
+    assert_eq!(rules_of(&report), vec!["panic-reachable-in-serving"]);
+    assert_eq!(report.findings[0].file, "crates/server/src/conn.rs");
+    assert_eq!(report.findings[0].line, 2);
+    // The message names the path in from the entrypoint.
+    assert!(report.findings[0].message.contains("serve"), "{}", report.findings[0].message);
 
     // The own-line pragma form suppresses the next code line.
     put(
         &root,
         "crates/server/src/conn.rs",
-        "// Guaranteed Some by the caller.\n\
-         // pasco-lint: allow(no-unwrap-in-serving)\n\
-         fn f(x: Option<u8>) -> u8 { x.unwrap() }\n",
+        "pub fn serve(x: Option<u8>) -> u8 { inner(x) }\n\
+         // Guaranteed Some by the caller.\n\
+         // pasco-lint: allow(panic-reachable-in-serving)\n\
+         fn inner(x: Option<u8>) -> u8 { x.unwrap() }\n",
     );
     let report = lint(&root);
     assert!(report.is_clean(), "{}", report.to_human());
@@ -166,31 +176,163 @@ fn unwrap_on_serving_path_fires_and_pragma_suppresses_next_line() {
 }
 
 #[test]
-fn unwrap_in_serving_test_code_is_fine() {
-    let root = scratch("unwrap-test");
+fn panic_reachable_only_via_trait_impl_fires() {
+    let root = scratch("panic-trait");
     seed_wire_baseline(&root);
     put(
         &root,
-        "crates/server/src/conn.rs",
-        "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1u8).unwrap(); }\n}\n",
+        "crates/worker/src/svc.rs",
+        "pub trait Svc { fn go(&self) -> u8; }\n\
+         pub struct S;\n\
+         impl Svc for S {\n\
+             fn go(&self) -> u8 { Option::<u8>::None.unwrap() }\n\
+         }\n\
+         pub fn serve(s: &dyn Svc) -> u8 { s.go() }\n",
     );
-    assert!(lint(&root).is_clean());
+    let report = lint(&root);
+    assert_eq!(rules_of(&report), vec!["panic-reachable-in-serving"]);
+    assert_eq!(report.findings[0].line, 4);
 }
 
-// ---- blocking-in-reactor -------------------------------------------------
+#[test]
+fn unreachable_panic_and_test_panic_outside_serving_are_fine() {
+    let root = scratch("panic-scope");
+    seed_wire_baseline(&root);
+    // Not reachable from any serving entrypoint: private fn, never called.
+    put(&root, "crates/server/src/conn.rs", "fn dead(x: Option<u8>) -> u8 { x.unwrap() }\n");
+    // Test code is exempt even in serving dirs.
+    put(
+        &root,
+        "crates/server/src/util.rs",
+        "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { Some(1u8).unwrap(); }\n}\n",
+    );
+    // Outside the serving dirs, pub fns are not entrypoints.
+    put(&root, "crates/solver/src/x.rs", "pub fn f(x: Option<u8>) -> u8 { x.unwrap() }\n");
+    assert!(lint(&root).is_clean(), "{}", lint(&root).to_human());
+}
+
+// ---- blocking-in-reactor-transitive --------------------------------------
 
 #[test]
-fn blocking_calls_fire_only_in_reactor_module() {
+fn blocking_two_hops_below_the_reactor_fires() {
     let root = scratch("reactor");
     seed_wire_baseline(&root);
-    let body = "fn f() { std::thread::sleep(std::time::Duration::from_secs(1)); }\n";
-    put(&root, "crates/server/src/server.rs", body);
+    put(
+        &root,
+        "crates/server/src/server.rs",
+        "pub struct Reactor;\n\
+         impl Reactor {\n\
+             pub fn run(&self) { self.step(); }\n\
+             fn step(&self) { helper(); }\n\
+         }\n\
+         fn helper() { std::thread::sleep(std::time::Duration::from_secs(1)); }\n",
+    );
     let report = lint(&root);
-    assert_eq!(rules_of(&report), vec!["blocking-in-reactor"]);
+    assert_eq!(rules_of(&report), vec!["blocking-in-reactor-transitive"]);
+    assert_eq!(report.findings[0].line, 6);
+    let msg = &report.findings[0].message;
+    assert!(msg.contains("Reactor::run") && msg.contains("step"), "{msg}");
+}
 
-    fs::remove_file(root.join("crates/server/src/server.rs")).unwrap();
-    put(&root, "crates/server/src/client.rs", body);
-    assert!(lint(&root).is_clean());
+#[test]
+fn blocking_not_reachable_from_the_reactor_is_fine() {
+    let root = scratch("reactor-scope");
+    seed_wire_baseline(&root);
+    // The same sleeping helper with no path from `Reactor::run`: the old
+    // lexical rule flagged anything in the reactor file; the transitive
+    // rule only flags what the event loop can actually reach.
+    put(
+        &root,
+        "crates/server/src/server.rs",
+        "pub struct Reactor;\n\
+         impl Reactor {\n\
+             pub fn run(&self) {}\n\
+         }\n\
+         pub fn offline_tool() { std::thread::sleep(std::time::Duration::from_secs(1)); }\n",
+    );
+    assert!(lint(&root).is_clean(), "{}", lint(&root).to_human());
+}
+
+// ---- lock-order-cycle ----------------------------------------------------
+
+#[test]
+fn ab_ba_lock_order_cycle_fires_across_two_methods() {
+    let root = scratch("lock-cycle");
+    seed_wire_baseline(&root);
+    put(
+        &root,
+        "crates/solver/src/locks.rs",
+        "use std::sync::Mutex;\n\
+         pub struct A { pub v: u64 }\n\
+         pub struct B { pub v: u64 }\n\
+         pub struct S { a: Mutex<A>, b: Mutex<B> }\n\
+         impl S {\n\
+             pub fn ab(&self) -> u64 {\n\
+                 let ga = self.a.lock().unwrap();\n\
+                 let gb = self.b.lock().unwrap();\n\
+                 ga.v + gb.v\n\
+             }\n\
+             pub fn ba(&self) -> u64 {\n\
+                 let gb = self.b.lock().unwrap();\n\
+                 let ga = self.a.lock().unwrap();\n\
+                 ga.v + gb.v\n\
+             }\n\
+         }\n",
+    );
+    let report = lint(&root);
+    assert_eq!(rules_of(&report), vec!["lock-order-cycle"]);
+    let msg = &report.findings[0].message;
+    assert!(msg.contains("`A`") && msg.contains("`B`"), "{msg}");
+
+    // Consistent nesting order in both methods: no cycle.
+    put(
+        &root,
+        "crates/solver/src/locks.rs",
+        "use std::sync::Mutex;\n\
+         pub struct A { pub v: u64 }\n\
+         pub struct B { pub v: u64 }\n\
+         pub struct S { a: Mutex<A>, b: Mutex<B> }\n\
+         impl S {\n\
+             pub fn ab(&self) -> u64 {\n\
+                 let ga = self.a.lock().unwrap();\n\
+                 let gb = self.b.lock().unwrap();\n\
+                 ga.v + gb.v\n\
+             }\n\
+             pub fn ab2(&self) -> u64 {\n\
+                 let ga = self.a.lock().unwrap();\n\
+                 let gb = self.b.lock().unwrap();\n\
+                 ga.v * gb.v\n\
+             }\n\
+         }\n",
+    );
+    assert!(lint(&root).is_clean(), "{}", lint(&root).to_human());
+}
+
+// ---- callgraph-baseline --------------------------------------------------
+
+#[test]
+fn unresolved_edges_over_committed_baseline_fire() {
+    let root = scratch("cg-baseline");
+    seed_wire_baseline(&root);
+    // `v` has no resolvable type and two workspace impls define `frob`:
+    // the call is recorded ambiguous, which the zero baseline rejects.
+    put(
+        &root,
+        "crates/solver/src/amb.rs",
+        "pub struct X;\n\
+         impl X { pub fn frob(&self) {} }\n\
+         pub struct Y;\n\
+         impl Y { pub fn frob(&self) {} }\n\
+         pub fn go() { let v = mystery(); v.frob(); }\n",
+    );
+    put(&root, "CALLGRAPH.baseline", "# unresolved-edge budget\n0\n");
+    let report = lint(&root);
+    assert_eq!(rules_of(&report), vec!["callgraph-baseline"]);
+    assert!(report.findings[0].message.contains("baseline"), "{}", report.findings[0].message);
+
+    // A budget covering the ambiguity passes.
+    put(&root, "CALLGRAPH.baseline", "2\n");
+    assert!(lint(&root).is_clean(), "{}", lint(&root).to_human());
 }
 
 // ---- bad-pragma ----------------------------------------------------------

@@ -57,7 +57,11 @@ pub fn forward_walk_on<S: ForwardSampler>(
             return None;
         }
         let r = forward_step_r(key, t as u32);
-        // outflow > 0 implies at least one out-edge, so sample succeeds.
+        // `outflow(pos) > 0` (checked above) implies at least one
+        // out-edge, so the sample always lands; an error return here
+        // would put a branch in the per-step hot loop for a state the
+        // sampler contract rules out.
+        // pasco-lint: allow(panic-reachable-in-serving)
         pos = sampler.sample_out(pos, r).expect("outflow > 0 implies out-edges");
         m *= w;
     }

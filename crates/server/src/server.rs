@@ -712,9 +712,9 @@ impl Reactor {
                 continue; // the connection went away while we computed
             }
             self.handle.stats.responses.fetch_add(1, Ordering::Relaxed);
-            // The liveness check above proves the slot is occupied.
-            // pasco-lint: allow(no-unwrap-in-serving)
-            let conn = self.conns[token].as_mut().expect("checked live");
+            // The liveness check above proved the slot occupied; a bare
+            // re-check keeps this panic-free without a second epoch load.
+            let Some(conn) = self.conns.get_mut(token).and_then(Option::as_mut) else { continue };
             conn.out.push(&env);
             conn.in_flight -= 1;
             let mut replay = Vec::new();

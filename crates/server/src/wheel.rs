@@ -94,9 +94,10 @@ impl TimerWheel {
         if self.armed == 0 {
             return None;
         }
-        // `armed > 0` (checked above) guarantees at least one occupied slot.
-        // pasco-lint: allow(no-unwrap-in-serving)
-        let earliest = self.slots.iter().flatten().map(|t| t.due_tick).min().expect("armed > 0");
+        // `armed > 0` (checked above) guarantees at least one occupied
+        // slot; the `?` is belt-and-braces for a broken count (an empty
+        // wheel sleeping forever is the correct degraded behaviour).
+        let earliest = self.slots.iter().flatten().map(|t| t.due_tick).min()?;
         // Full-width tick arithmetic: a u32 cast here once wrapped after
         // 2^32 ticks and made an armed wheel busy-wake forever.
         let due = self.start
