@@ -12,6 +12,12 @@ use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"PASCOGR1";
 
+/// Preallocation ceiling for length-prefixed vectors (1M elements, 8 MiB
+/// of `u64`). A corrupt header must not pick the allocation size: reads
+/// are incremental, so a huge declared length just hits EOF instead of
+/// reserving the declared amount up front.
+const PREALLOC_CAP: usize = 1 << 20;
+
 /// Reads a whitespace-separated edge list (`u v` per line). Lines starting
 /// with `#` or `%` are comments; blank lines are skipped.
 pub fn read_edge_list(path: impl AsRef<Path>) -> Result<CsrGraph, GraphError> {
@@ -96,7 +102,7 @@ fn write_u32_slice(w: &mut impl Write, xs: &[u32]) -> std::io::Result<()> {
 
 fn read_u64_vec(r: &mut impl Read) -> std::io::Result<Vec<u64>> {
     let len = read_u64(r)? as usize;
-    let mut out = Vec::with_capacity(len);
+    let mut out = Vec::with_capacity(len.min(PREALLOC_CAP));
     for _ in 0..len {
         out.push(read_u64(r)?);
     }
@@ -105,7 +111,7 @@ fn read_u64_vec(r: &mut impl Read) -> std::io::Result<Vec<u64>> {
 
 fn read_u32_vec(r: &mut impl Read) -> std::io::Result<Vec<u32>> {
     let len = read_u64(r)? as usize;
-    let mut out = Vec::with_capacity(len);
+    let mut out = Vec::with_capacity(len.min(PREALLOC_CAP));
     let mut buf = vec![0u8; 4 * 8192];
     let mut remaining = len;
     while remaining > 0 {

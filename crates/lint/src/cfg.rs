@@ -1,0 +1,525 @@
+//! Stage three, part one: a statement-level control-flow graph built
+//! straight from the token stream of one function body.
+//!
+//! The parser ([`crate::parser`]) records each function's body token
+//! span; this module turns that span into basic blocks of statements
+//! connected by control edges, which is what the forward-dataflow
+//! framework ([`crate::dataflow`]) iterates over.
+//!
+//! ## What is modelled
+//!
+//! * Sequential statements split at top-level `;`.
+//! * `if`/`else if`/`else` in statement position: the condition becomes
+//!   a [`StmtKind::Cond`] statement, each branch its own block, with a
+//!   join block after.
+//! * `match` in statement position: the scrutinee statement branches to
+//!   one block per arm, all joining after.
+//! * `while`/`for`/`loop` in statement position: a head block with a
+//!   back edge from the body end, and an exit edge to the block after
+//!   (plus `break`/`continue` edges).
+//! * `return` (and falling off the end): edges to the synthetic exit
+//!   block; the trailing expression of the body is a [`StmtKind::Tail`]
+//!   statement, so return-position taint can be summarized.
+//!
+//! ## What is deliberately not modelled
+//!
+//! Control constructs in *expression* position (`let x = if … {…}`,
+//! `Ok(match … {…})`) collapse into the enclosing statement: the whole
+//! construct is one statement whose tokens include both branches. For a
+//! may-taint analysis this is the conservative direction — the effects
+//! of every branch are visible at once. Closure bodies likewise stay
+//! inside their statement. `?` is not given an error edge: an early
+//! `Err` return can only *remove* facts on the error path, which a
+//! may-analysis is allowed to ignore.
+
+use crate::lexer::Token;
+
+/// Index of the synthetic entry block (always present, may be empty).
+pub const ENTRY: usize = 0;
+/// Index of the synthetic exit block (always present, always empty).
+pub const EXIT: usize = 1;
+
+/// What a statement is, as far as dataflow transfer cares.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StmtKind {
+    /// An ordinary statement (terminated by `;`, or collapsed control).
+    Plain,
+    /// The condition of an `if`/`while` — the place dominating bounds
+    /// comparisons live.
+    Cond,
+    /// A `return …` statement (return-position for summaries).
+    Return,
+    /// A block-trailing expression without `;` (return-position when it
+    /// ends the function body).
+    Tail,
+}
+
+/// One statement: a token span `[lo, hi)` in the file's token stream.
+#[derive(Clone, Copy, Debug)]
+pub struct Stmt {
+    /// Source line of the first token.
+    pub line: u32,
+    /// First token index (inclusive).
+    pub lo: usize,
+    /// One past the last token index.
+    pub hi: usize,
+    /// Statement role.
+    pub kind: StmtKind,
+}
+
+/// A basic block: straight-line statements plus successor edges.
+#[derive(Clone, Debug, Default)]
+pub struct Block {
+    /// Statements, in execution order.
+    pub stmts: Vec<Stmt>,
+    /// Successor block indices.
+    pub succ: Vec<usize>,
+}
+
+/// The control-flow graph of one function body.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    /// Blocks; [`ENTRY`] and [`EXIT`] always exist.
+    pub blocks: Vec<Block>,
+}
+
+impl Cfg {
+    /// Builds the CFG for the body token span `[lo, hi)` of `toks`.
+    pub fn build(toks: &[Token], lo: usize, hi: usize) -> Cfg {
+        let mut b = Builder {
+            toks,
+            blocks: vec![Block::default(), Block::default()],
+            cur: ENTRY,
+            loops: Vec::new(),
+        };
+        let hi = hi.min(toks.len());
+        b.seq(lo, hi);
+        b.edge(b.cur, EXIT);
+        Cfg { blocks: b.blocks }
+    }
+
+    /// Statements of every block in one flat pass (for whole-body scans
+    /// that do not need flow, like the reduction-order rule).
+    pub fn all_stmts(&self) -> impl Iterator<Item = &Stmt> {
+        self.blocks.iter().flat_map(|b| b.stmts.iter())
+    }
+}
+
+struct Builder<'a> {
+    toks: &'a [Token],
+    blocks: Vec<Block>,
+    cur: usize,
+    /// Stack of enclosing loops as `(head, after)` for break/continue.
+    loops: Vec<(usize, usize)>,
+}
+
+impl<'a> Builder<'a> {
+    fn word(&self, i: usize) -> Option<&str> {
+        self.toks.get(i).and_then(Token::word)
+    }
+
+    fn punct(&self, i: usize, c: char) -> bool {
+        self.toks.get(i).is_some_and(|t| t.is_punct(c))
+    }
+
+    fn line(&self, i: usize) -> u32 {
+        self.toks.get(i).map_or(0, |t| t.line)
+    }
+
+    fn new_block(&mut self) -> usize {
+        self.blocks.push(Block::default());
+        self.blocks.len() - 1
+    }
+
+    fn edge(&mut self, from: usize, to: usize) {
+        if !self.blocks[from].succ.contains(&to) {
+            self.blocks[from].succ.push(to);
+        }
+    }
+
+    fn push_stmt(&mut self, lo: usize, hi: usize, kind: StmtKind) {
+        if lo < hi {
+            let line = self.line(lo);
+            self.blocks[self.cur].stmts.push(Stmt { line, lo, hi, kind });
+        }
+    }
+
+    /// One past the closer matching the opener at `i`.
+    fn balanced(&self, i: usize, open: char, close: char) -> usize {
+        let mut depth = 0i64;
+        let mut j = i;
+        while j < self.toks.len() {
+            if self.punct(j, open) {
+                depth += 1;
+            } else if self.punct(j, close) {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            j += 1;
+        }
+        j
+    }
+
+    /// Scans from `i` to the first `{` at group depth zero (the opening
+    /// brace of an `if`/`while`/`for`/`match` body), capped at `hi`.
+    fn find_body_brace(&self, i: usize, hi: usize) -> usize {
+        let mut j = i;
+        while j < hi {
+            if self.punct(j, '(') {
+                j = self.balanced(j, '(', ')');
+            } else if self.punct(j, '[') {
+                j = self.balanced(j, '[', ']');
+            } else if self.punct(j, '|') && self.punct(j + 1, '|') {
+                j += 2; // `||` in a condition is just boolean-or
+            } else if self.punct(j, '{') {
+                return j;
+            } else {
+                j += 1;
+            }
+        }
+        hi
+    }
+
+    /// Scans `[i, hi)` for the end of a simple statement: the top-level
+    /// `;`, or `hi`. Returns `(one past last stmt token, next index)`.
+    fn find_semi(&self, i: usize, hi: usize) -> (usize, usize) {
+        let mut j = i;
+        while j < hi {
+            if self.punct(j, '(') {
+                j = self.balanced(j, '(', ')');
+            } else if self.punct(j, '[') {
+                j = self.balanced(j, '[', ']');
+            } else if self.punct(j, '{') {
+                j = self.balanced(j, '{', '}');
+            } else if self.punct(j, ';') {
+                return (j, j + 1);
+            } else {
+                j += 1;
+            }
+        }
+        (hi, hi)
+    }
+
+    /// Walks a statement sequence `[lo, hi)` into the current block,
+    /// splitting at `;` and branching at statement-position control.
+    fn seq(&mut self, lo: usize, hi: usize) {
+        let mut i = lo;
+        let mut st = lo; // start of the pending statement
+        while i < hi {
+            let at_stmt_start = i == st;
+            match self.word(i) {
+                Some("if") if at_stmt_start => {
+                    i = self.if_chain(i, hi);
+                    st = i;
+                }
+                Some("match") if at_stmt_start => {
+                    i = self.match_stmt(i, hi);
+                    st = i;
+                }
+                Some("while" | "for") if at_stmt_start => {
+                    i = self.loop_with_head(i, hi);
+                    st = i;
+                }
+                Some("loop") if at_stmt_start && self.punct(i + 1, '{') => {
+                    i = self.bare_loop(i);
+                    st = i;
+                }
+                Some("return") if at_stmt_start => {
+                    let (end, next) = self.find_semi(i, hi);
+                    self.push_stmt(i, end, StmtKind::Return);
+                    self.edge(self.cur, EXIT);
+                    self.cur = self.new_block(); // dead until joined
+                    i = next;
+                    st = i;
+                }
+                Some("break" | "continue") if at_stmt_start => {
+                    let is_break = self.word(i) == Some("break");
+                    let (end, next) = self.find_semi(i, hi);
+                    self.push_stmt(i, end, StmtKind::Plain);
+                    if let Some(&(head, after)) = self.loops.last() {
+                        let to = if is_break { after } else { head };
+                        self.edge(self.cur, to);
+                    }
+                    self.cur = self.new_block();
+                    i = next;
+                    st = i;
+                }
+                _ => {
+                    if self.punct(i, '{') {
+                        let close = self.balanced(i, '{', '}');
+                        if at_stmt_start {
+                            // A bare statement block: walk its interior
+                            // in line (no new scope modelling needed).
+                            self.seq(i + 1, close.saturating_sub(1).max(i + 1));
+                            i = close;
+                            st = i;
+                        } else {
+                            // Mid-expression braces (struct literal,
+                            // closure body, expression-position control):
+                            // stay inside the pending statement.
+                            i = close;
+                        }
+                    } else if self.punct(i, '(') {
+                        i = self.balanced(i, '(', ')');
+                    } else if self.punct(i, '[') {
+                        i = self.balanced(i, '[', ']');
+                    } else if self.punct(i, ';') {
+                        self.push_stmt(st, i, StmtKind::Plain);
+                        i += 1;
+                        st = i;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        // Trailing expression without `;`: return-position value.
+        self.push_stmt(st, hi, StmtKind::Tail);
+    }
+
+    /// `if cond { … } else if … { … } else { … }` starting at the `if`
+    /// token; returns the index past the whole chain.
+    fn if_chain(&mut self, i: usize, hi: usize) -> usize {
+        let mut ends: Vec<usize> = Vec::new();
+        let mut j = i;
+        let mut branch_from;
+        let mut has_else = false;
+        loop {
+            // `j` is at an `if`: condition runs to the body brace.
+            let brace = self.find_body_brace(j + 1, hi);
+            self.push_stmt(j + 1, brace, StmtKind::Cond);
+            branch_from = self.cur;
+            let close = self.balanced(brace, '{', '}');
+            let then = self.new_block();
+            self.edge(branch_from, then);
+            self.cur = then;
+            self.seq(brace + 1, close.saturating_sub(1).max(brace + 1));
+            ends.push(self.cur);
+            j = close;
+            if self.word(j) == Some("else") {
+                if self.word(j + 1) == Some("if") {
+                    // The chained condition evaluates when the previous
+                    // one is false: give it its own block.
+                    let elif = self.new_block();
+                    self.edge(branch_from, elif);
+                    self.cur = elif;
+                    j += 1;
+                    continue;
+                }
+                if self.punct(j + 1, '{') {
+                    has_else = true;
+                    let eb = self.new_block();
+                    self.edge(branch_from, eb);
+                    self.cur = eb;
+                    let eclose = self.balanced(j + 1, '{', '}');
+                    self.seq(j + 2, eclose.saturating_sub(1).max(j + 2));
+                    ends.push(self.cur);
+                    j = eclose;
+                }
+            }
+            break;
+        }
+        let join = self.new_block();
+        for e in ends {
+            self.edge(e, join);
+        }
+        if !has_else {
+            self.edge(branch_from, join);
+        }
+        self.cur = join;
+        j
+    }
+
+    /// `match scrutinee { arms… }` at statement position; returns the
+    /// index past the closing brace.
+    fn match_stmt(&mut self, i: usize, hi: usize) -> usize {
+        let brace = self.find_body_brace(i + 1, hi);
+        self.push_stmt(i + 1, brace, StmtKind::Plain);
+        let branch_from = self.cur;
+        let close = self.balanced(brace, '{', '}');
+        let inner_hi = close.saturating_sub(1).max(brace + 1);
+        let mut ends: Vec<usize> = Vec::new();
+        let mut j = brace + 1;
+        while j < inner_hi {
+            // Pattern (and optional guard) up to the top-level `=>`.
+            let mut k = j;
+            while k < inner_hi {
+                if self.punct(k, '(') {
+                    k = self.balanced(k, '(', ')');
+                } else if self.punct(k, '[') {
+                    k = self.balanced(k, '[', ']');
+                } else if self.punct(k, '{') {
+                    k = self.balanced(k, '{', '}');
+                } else if self.punct(k, '=') && self.punct(k + 1, '>') {
+                    break;
+                } else {
+                    k += 1;
+                }
+            }
+            if k >= inner_hi {
+                break;
+            }
+            let arm = self.new_block();
+            self.edge(branch_from, arm);
+            self.cur = arm;
+            let body_start = k + 2;
+            let arm_end;
+            let next;
+            if self.punct(body_start, '{') {
+                let bclose = self.balanced(body_start, '{', '}');
+                self.seq(body_start + 1, bclose.saturating_sub(1).max(body_start + 1));
+                arm_end = bclose;
+                next = if self.punct(bclose, ',') { bclose + 1 } else { bclose };
+            } else {
+                // Expression arm: runs to the top-level `,` or match end.
+                let mut e = body_start;
+                while e < inner_hi {
+                    if self.punct(e, '(') {
+                        e = self.balanced(e, '(', ')');
+                    } else if self.punct(e, '[') {
+                        e = self.balanced(e, '[', ']');
+                    } else if self.punct(e, '{') {
+                        e = self.balanced(e, '{', '}');
+                    } else if self.punct(e, ',') {
+                        break;
+                    } else {
+                        e += 1;
+                    }
+                }
+                self.seq(body_start, e);
+                arm_end = e;
+                next = if self.punct(e, ',') { e + 1 } else { e };
+            }
+            ends.push(self.cur);
+            let _ = arm_end;
+            j = next;
+        }
+        let join = self.new_block();
+        if ends.is_empty() {
+            self.edge(branch_from, join);
+        }
+        for e in ends {
+            self.edge(e, join);
+        }
+        self.cur = join;
+        close
+    }
+
+    /// `while cond { … }` / `for pat in expr { … }`; returns the index
+    /// past the body.
+    fn loop_with_head(&mut self, i: usize, hi: usize) -> usize {
+        let is_while = self.word(i) == Some("while");
+        let head = self.new_block();
+        self.edge(self.cur, head);
+        self.cur = head;
+        let brace = self.find_body_brace(i + 1, hi);
+        let kind = if is_while { StmtKind::Cond } else { StmtKind::Plain };
+        self.push_stmt(i + 1, brace, kind);
+        let close = self.balanced(brace, '{', '}');
+        let body = self.new_block();
+        let after = self.new_block();
+        self.edge(head, body);
+        self.edge(head, after);
+        self.loops.push((head, after));
+        self.cur = body;
+        self.seq(brace + 1, close.saturating_sub(1).max(brace + 1));
+        self.edge(self.cur, head);
+        self.loops.pop();
+        self.cur = after;
+        close
+    }
+
+    /// `loop { … }`; returns the index past the body. The after-block is
+    /// reachable only through `break`.
+    fn bare_loop(&mut self, i: usize) -> usize {
+        let head = self.new_block();
+        self.edge(self.cur, head);
+        let after = self.new_block();
+        let close = self.balanced(i + 1, '{', '}');
+        self.loops.push((head, after));
+        self.cur = head;
+        self.seq(i + 2, close.saturating_sub(1).max(i + 2));
+        self.edge(self.cur, head);
+        self.loops.pop();
+        self.cur = after;
+        close
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer;
+
+    fn cfg_of(body: &str) -> Cfg {
+        let lexed = lexer::lex(body);
+        Cfg::build(&lexed.tokens, 0, lexed.tokens.len())
+    }
+
+    #[test]
+    fn straight_line_is_one_block_per_semicolon() {
+        let cfg = cfg_of("let a = 1; let b = a; b");
+        let stmts: Vec<_> = cfg.all_stmts().collect();
+        assert_eq!(stmts.len(), 3);
+        assert_eq!(stmts[2].kind, StmtKind::Tail);
+    }
+
+    #[test]
+    fn if_else_branches_and_joins() {
+        let cfg = cfg_of("let a = 1; if a > 0 { f(); } else { g(); } h();");
+        let conds: Vec<_> = cfg.all_stmts().filter(|s| s.kind == StmtKind::Cond).collect();
+        assert_eq!(conds.len(), 1);
+        // Entry block must have two successors via the condition.
+        let cond_block =
+            cfg.blocks.iter().position(|b| b.stmts.iter().any(|s| s.kind == StmtKind::Cond));
+        let cb = cond_block.expect("condition block");
+        assert_eq!(cfg.blocks[cb].succ.len(), 2, "then + else");
+    }
+
+    #[test]
+    fn early_return_edges_to_exit() {
+        let cfg = cfg_of("if a > b { return Err(x); } ok(a)");
+        let has_exit_edge = cfg
+            .blocks
+            .iter()
+            .enumerate()
+            .any(|(i, b)| i != EXIT && b.succ.contains(&EXIT) && !b.stmts.is_empty());
+        assert!(has_exit_edge);
+        let returns: Vec<_> = cfg.all_stmts().filter(|s| s.kind == StmtKind::Return).collect();
+        assert_eq!(returns.len(), 1);
+    }
+
+    #[test]
+    fn while_loop_has_back_edge() {
+        let cfg = cfg_of("let mut i = 0; while i < n { i += 1; } done()");
+        // Some block must point back at an earlier block (the loop head).
+        let back = cfg.blocks.iter().enumerate().any(|(i, b)| b.succ.iter().any(|&s| s <= i));
+        assert!(back, "expected a back edge");
+    }
+
+    #[test]
+    fn match_arms_each_get_a_block() {
+        let cfg = cfg_of("match tag { 0 => a(), 1 => { b(); }, _ => return Err(e), } after();");
+        let returns: Vec<_> = cfg.all_stmts().filter(|s| s.kind == StmtKind::Return).collect();
+        assert_eq!(returns.len(), 1);
+        // The scrutinee block branches to three arms.
+        let branch = cfg.blocks.iter().find(|b| b.succ.len() >= 3);
+        assert!(branch.is_some(), "match scrutinee should fan out");
+    }
+
+    #[test]
+    fn expression_position_control_collapses_into_statement() {
+        let cfg = cfg_of("let x = if c { a } else { b }; y(x);");
+        // No Cond statements: the `if` is expression-position.
+        assert!(cfg.all_stmts().all(|s| s.kind != StmtKind::Cond));
+        assert_eq!(cfg.all_stmts().count(), 2);
+    }
+
+    #[test]
+    fn vec_macro_semicolon_does_not_split() {
+        let cfg = cfg_of("let v = vec![0u8; len]; use_it(v);");
+        assert_eq!(cfg.all_stmts().count(), 2);
+    }
+}

@@ -1,0 +1,140 @@
+//! Stage three, part two: a small monotone forward-dataflow framework
+//! over the statement CFG ([`crate::cfg`]).
+//!
+//! The framework is generic over the abstract state: anything that forms
+//! a join-semilattice ([`Semilattice`]) with a bottom element
+//! (`Default`). A client supplies a transfer function — called once per
+//! statement — and gets back the fixpoint state at the *entry* of every
+//! block, computed with a classic worklist iteration:
+//!
+//! 1. seed the entry block with the client's entry state;
+//! 2. pop a block, run the transfer through its statements;
+//! 3. join the result into each successor's entry state; re-queue any
+//!    successor whose state grew;
+//! 4. repeat until no state changes.
+//!
+//! Monotone transfer + finite lattice (taint tracks only names that
+//! occur in the body, so the powerset is finite) ⇒ termination.
+//!
+//! [`crate::taint`] instantiates this with the taint environment; the
+//! framework itself knows nothing about taint, so future analyses
+//! (liveness of lock guards, definite initialization) can reuse it.
+
+use crate::cfg::{Cfg, Stmt, ENTRY};
+
+/// A join-semilattice: `join` folds another state in, reporting whether
+/// anything changed (the worklist's convergence signal). `Default` is
+/// the bottom element.
+pub trait Semilattice: Clone + Default {
+    /// Merge `other` into `self`; true when `self` changed.
+    fn join(&mut self, other: &Self) -> bool;
+}
+
+/// Runs a forward analysis to fixpoint. Returns the state at the entry
+/// of every block (indexed like `cfg.blocks`); unreachable blocks stay
+/// at bottom.
+pub fn forward<S: Semilattice>(
+    cfg: &Cfg,
+    entry: S,
+    mut transfer: impl FnMut(&Stmt, &mut S),
+) -> Vec<S> {
+    let n = cfg.blocks.len();
+    let mut at_entry: Vec<S> = vec![S::default(); n];
+    at_entry[ENTRY] = entry;
+    let mut queued = vec![false; n];
+    let mut visited = vec![false; n];
+    let mut worklist = vec![ENTRY];
+    queued[ENTRY] = true;
+    // A generous iteration fuse: the lattice is finite so this should
+    // never trip, but a linter must not hang on pathological input.
+    let mut fuel = n.saturating_mul(64).max(4096);
+    while let Some(b) = worklist.pop() {
+        queued[b] = false;
+        visited[b] = true;
+        if fuel == 0 {
+            break;
+        }
+        fuel -= 1;
+        let mut state = at_entry[b].clone();
+        for stmt in &cfg.blocks[b].stmts {
+            transfer(stmt, &mut state);
+        }
+        for &succ in &cfg.blocks[b].succ {
+            let grew = at_entry[succ].join(&state);
+            // An unvisited successor must be processed even when the
+            // join added nothing (a bottom state joining bottom), or
+            // blocks past an empty entry block would never run.
+            if (grew || !visited[succ]) && !queued[succ] {
+                queued[succ] = true;
+                worklist.push(succ);
+            }
+        }
+    }
+    at_entry
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::{Cfg, EXIT};
+    use crate::lexer;
+    use std::collections::BTreeSet;
+
+    /// Tiny client: a set of words ever seen on a statement ("reaching
+    /// mentions"), good enough to exercise joins and loop fixpoints.
+    #[derive(Clone, Default, PartialEq)]
+    struct Seen(BTreeSet<String>);
+
+    impl Semilattice for Seen {
+        fn join(&mut self, other: &Self) -> bool {
+            let before = self.0.len();
+            self.0.extend(other.0.iter().cloned());
+            self.0.len() != before
+        }
+    }
+
+    fn run(body: &str) -> Vec<Seen> {
+        let lexed = lexer::lex(body);
+        let cfg = Cfg::build(&lexed.tokens, 0, lexed.tokens.len());
+        let toks = lexed.tokens.clone();
+        forward(&cfg, Seen::default(), move |stmt, state: &mut Seen| {
+            for t in &toks[stmt.lo..stmt.hi] {
+                if let Some(w) = t.word() {
+                    state.0.insert(w.to_owned());
+                }
+            }
+        })
+    }
+
+    #[test]
+    fn branches_join_at_the_merge_point() {
+        let lexed = lexer::lex("if c { a; } else { b; } tail");
+        let cfg = Cfg::build(&lexed.tokens, 0, lexed.tokens.len());
+        let toks = lexed.tokens.clone();
+        let states = forward(&cfg, Seen::default(), move |stmt, state: &mut Seen| {
+            for t in &toks[stmt.lo..stmt.hi] {
+                if let Some(w) = t.word() {
+                    state.0.insert(w.to_owned());
+                }
+            }
+        });
+        // The exit state must contain facts from both branches.
+        let exit = &states[EXIT];
+        assert!(exit.0.contains("a") && exit.0.contains("b") && exit.0.contains("c"));
+    }
+
+    #[test]
+    fn loop_body_facts_reach_the_loop_head() {
+        let states = run("while c { inside; } after");
+        // `inside` flows around the back edge into every downstream state.
+        let exit = &states[EXIT];
+        assert!(exit.0.contains("inside"));
+        assert!(exit.0.contains("after"));
+    }
+
+    #[test]
+    fn unreachable_blocks_stay_bottom() {
+        let states = run("return x; never");
+        assert!(states[EXIT].0.contains("x"));
+    }
+}

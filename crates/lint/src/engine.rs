@@ -19,6 +19,7 @@ use crate::callgraph::{Analysis, Graph};
 use crate::parser;
 use crate::rules::{self, Finding};
 use crate::source::SourceFile;
+use crate::taint::{self, DataflowReport};
 use crate::wire;
 use std::collections::BTreeSet;
 use std::fs;
@@ -157,12 +158,16 @@ fn rel_path(root: &Path, path: &Path) -> String {
 
 /// Lints the workspace rooted at `root` with default options.
 pub fn run_workspace(root: &Path) -> io::Result<Report> {
-    run_workspace_full(root, Options::default()).map(|(report, _, _)| report)
+    run_workspace_full(root, Options::default()).map(|(report, _, _, _)| report)
 }
 
-/// Lints the workspace and also returns the call graph + analysis (for
-/// `--dump-callgraph` and the self-hosting tests).
-pub fn run_workspace_full(root: &Path, opts: Options) -> io::Result<(Report, Graph, Analysis)> {
+/// Lints the workspace and also returns the call graph + analysis + the
+/// dataflow report (for `--dump-callgraph`, `--dump-dataflow`, and the
+/// self-hosting tests).
+pub fn run_workspace_full(
+    root: &Path,
+    opts: Options,
+) -> io::Result<(Report, Graph, Analysis, DataflowReport)> {
     let slugs = rules::rule_slugs();
     let mut files = Vec::new();
     for (rel, abs) in collect_files(root)? {
@@ -176,11 +181,20 @@ pub fn run_workspace_full(root: &Path, opts: Options) -> io::Result<(Report, Gra
     }
 
     // Stage two: parse items, build the workspace call graph, run the
-    // interprocedural rules.
-    let items: Vec<parser::FileItems> = files.iter().map(parser::parse_file).collect();
+    // interprocedural rules. Parsing runs twice: the first pass collects
+    // every struct in the workspace into a field-type table, the second
+    // uses it so `self.field.method()` receivers resolve across files.
+    let pre: Vec<parser::FileItems> = files.iter().map(parser::parse_file).collect();
+    let world: Vec<parser::StructItem> = pre.into_iter().flat_map(|i| i.structs).collect();
+    let items: Vec<parser::FileItems> =
+        files.iter().map(|f| parser::parse_file_with(f, &world)).collect();
     let graph = Graph::build(&items);
     let analysis = graph.analyze();
     raw.extend(graph.check(&analysis, opts.strict_indexing));
+
+    // Stage three: the dataflow/taint pass over the same graph.
+    let (taint_findings, dataflow) = taint::check(&files, &graph);
+    raw.extend(taint_findings);
 
     // The unresolved-edge budget: resolution quality may only regress
     // deliberately, by raising the committed baseline.
@@ -255,7 +269,7 @@ pub fn run_workspace_full(root: &Path, opts: Options) -> io::Result<(Report, Gra
     }
     report.findings.sort();
     report.suppressed.sort();
-    Ok((report, graph, analysis))
+    Ok((report, graph, analysis, dataflow))
 }
 
 /// Walks upward from `start` to the first directory whose `Cargo.toml`

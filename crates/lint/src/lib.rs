@@ -22,6 +22,12 @@
 //! * [`callgraph`] — heuristic call resolution over that table:
 //!   reachability from the reactor and the serving entrypoints, the
 //!   lock-order graph, and the DOT/JSON dump behind `--dump-callgraph`;
+//! * [`cfg`](mod@cfg) + [`dataflow`] + [`taint`] — the dataflow stage: a
+//!   statement-level CFG per function body, a generic monotone forward
+//!   framework over it, and a taint analysis that tracks untrusted wire
+//!   bytes into allocation/index/cast sinks (with one level of
+//!   interprocedural summaries through the call graph) and flags
+//!   order-sensitive parallel float reductions;
 //! * [`rules`] + [`wire`] — the rules themselves, pure functions from
 //!   lexed source, the call graph, and the committed
 //!   `WIRE_TAGS.manifest` to [`rules::Finding`]s;
@@ -33,11 +39,14 @@
 //! workspace self-run test — can drive the engine in-process.
 
 pub mod callgraph;
+pub mod cfg;
+pub mod dataflow;
 pub mod engine;
 pub mod lexer;
 pub mod parser;
 pub mod rules;
 pub mod source;
+pub mod taint;
 pub mod wire;
 
 pub use engine::{find_workspace_root, run_workspace, Report};

@@ -167,6 +167,10 @@ pub struct FnItem {
     pub panics: Vec<PanicSite>,
     /// Lexically blocking operations, in body order.
     pub blocking: Vec<BlockingSite>,
+    /// Token span `[from, to)` of the body (inside the braces) in the
+    /// file's token stream, for stage-three CFG construction. `None` for
+    /// bodyless declarations (trait methods).
+    pub body: Option<(usize, usize)>,
 }
 
 /// One parsed `struct` with named fields.
@@ -362,7 +366,15 @@ fn norm_ident(w: &str) -> &str {
 
 /// Parses one lexed, classified file into its item table.
 pub fn parse_file(file: &SourceFile) -> FileItems {
-    Parser::new(&file.lexed, file).run(&file.rel)
+    Parser::new(&file.lexed, file, &[]).run(&file.rel)
+}
+
+/// Parses a file with a *workspace-wide* struct table available to
+/// receiver typing, so `self.field.method()` resolves even when the
+/// field's struct is declared in another file. The engine collects
+/// `world` with a first pass of [`parse_file`] over every file.
+pub fn parse_file_with(file: &SourceFile, world: &[StructItem]) -> FileItems {
+    Parser::new(&file.lexed, file, world).run(&file.rel)
 }
 
 /// The enclosing `impl`/`trait` context of the current token position.
@@ -387,6 +399,9 @@ struct FnSig {
 struct Parser<'a> {
     toks: &'a [Token],
     file: &'a SourceFile,
+    /// Struct field tables from the whole workspace (may be empty):
+    /// consulted by receiver typing after this file's own structs.
+    world: &'a [StructItem],
     i: usize,
     depth: u32,
     ctx: Vec<Ctx>,
@@ -397,10 +412,11 @@ struct Parser<'a> {
 }
 
 impl<'a> Parser<'a> {
-    fn new(lexed: &'a Lexed, file: &'a SourceFile) -> Self {
+    fn new(lexed: &'a Lexed, file: &'a SourceFile, world: &'a [StructItem]) -> Self {
         Parser {
             toks: &lexed.tokens,
             file,
+            world,
             i: 0,
             depth: 0,
             ctx: Vec::new(),
@@ -521,6 +537,7 @@ impl<'a> Parser<'a> {
             .collect();
         let mut fns = Vec::with_capacity(pending.len());
         for (mut item, span) in pending {
+            item.body = span;
             if let Some((from, to)) = span {
                 BodyScan::new(&self, &mut item, from, to, &sigs).run();
             }
@@ -758,6 +775,7 @@ impl<'a> Parser<'a> {
             acquires: Vec::new(),
             panics: Vec::new(),
             blocking: Vec::new(),
+            body: None,
         };
         if self.punct(j, '{') {
             let body_end = self.skip_balanced(j, '{', '}');
@@ -1026,6 +1044,12 @@ impl<'p, 'a> BodyScan<'p, 'a> {
                     if let Some(t) = literal {
                         self.locals.push((name, norm_ident(t).to_owned(), self.depth));
                     } else {
+                        // `let x = Ty::ctor(…)` / `let x = helper(…)` —
+                        // type the local from the call's return type so
+                        // later `x.method(…)` receivers resolve.
+                        if let Some(t) = self.rhs_type(j + 2) {
+                            self.locals.push((name.clone(), t, self.depth));
+                        }
                         self.pending_let = Some(name);
                     }
                 }
@@ -1155,6 +1179,12 @@ impl<'p, 'a> BodyScan<'p, 'a> {
         let recv = if dotted {
             Recv::Method { ty: self.receiver_type(i - 1) }
         } else if pathed {
+            // Capitalized path "calls" are tuple enum-variant
+            // constructors (`QueryResponse::Score(…)`): data
+            // construction, not call edges.
+            if w.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+                return i + 1;
+            }
             match self.p.word(i.wrapping_sub(3)) {
                 Some(ty) if !is_keyword(ty) => {
                     let ty = norm_ident(ty).to_owned();
@@ -1305,17 +1335,20 @@ impl<'p, 'a> BodyScan<'p, 'a> {
         base_type(&ty)
     }
 
-    /// The type of `ty.field` from the struct tables of this file.
+    /// The type of `ty.field`, from this file's struct tables first and
+    /// the workspace-wide table second (when the engine supplied one).
     fn field_type(&self, ty: &str, field: &str) -> Option<String> {
-        let exact = self
-            .p
-            .out
-            .structs
-            .iter()
-            .find(|s| s.name == ty)
-            .and_then(|s| s.fields.iter().find(|(f, _)| f == field));
-        if let Some((_, t)) = exact {
-            return Some(t.clone());
+        let exact = |structs: &[StructItem]| {
+            structs
+                .iter()
+                .find(|s| s.name == ty)
+                .and_then(|s| s.fields.iter().find(|(f, _)| f == field).map(|(_, t)| t.clone()))
+        };
+        if let Some(t) = exact(&self.p.out.structs) {
+            return Some(t);
+        }
+        if let Some(t) = exact(self.p.world) {
+            return Some(t);
         }
         // Unique-field fallback: exactly one struct in the file has this
         // field name.
@@ -1351,6 +1384,133 @@ impl<'p, 'a> BodyScan<'p, 'a> {
             Some(f.ret.clone())
         }
     }
+
+    /// Best-effort type of a `let` binding's right-hand side starting at
+    /// token `i`: a constructor-shaped call — `helper(…)`,
+    /// `Ty::assoc(…)`, or `Enum::Variant(…)` — with optional
+    /// Result/Option-unwrapping suffixes (`?`, `.unwrap()`, `.expect(…)`)
+    /// and method-chain hops the signature table can follow, ending at
+    /// the statement's `;`. `None` for anything else (arithmetic,
+    /// untypable calls, field projections).
+    fn rhs_type(&self, i: usize) -> Option<String> {
+        let first = self.p.word(i)?;
+        if is_keyword(first) {
+            return None;
+        }
+        let mut ty: String;
+        let mut j;
+        if self.p.punct(i + 1, ':') && self.p.punct(i + 2, ':') {
+            // Walk the `A::B::name` path; keep the last two segments.
+            let mut seg = i;
+            while self.p.punct(seg + 1, ':')
+                && self.p.punct(seg + 2, ':')
+                && self.p.word(seg + 3).is_some()
+            {
+                seg += 3;
+            }
+            let name = self.p.word(seg)?;
+            let qual = norm_ident(self.p.word(seg - 3)?);
+            let qual = if qual == "Self" { self.item.self_ty.clone()? } else { qual.to_owned() };
+            if !self.p.punct(seg + 1, '(') {
+                return None;
+            }
+            j = self.p.skip_balanced(seg + 1, '(', ')');
+            if name.chars().next().is_some_and(|c| c.is_ascii_uppercase()) {
+                // `Enum::Variant(…)` constructs the enum itself.
+                ty = qual;
+            } else {
+                let f = self
+                    .sigs
+                    .iter()
+                    .find(|f| f.self_ty.as_deref() == Some(&qual) && f.name == name)?;
+                if f.ret.is_empty() {
+                    return None;
+                }
+                ty = replace_self(&f.ret, &qual);
+            }
+        } else if self.p.punct(i + 1, '(') {
+            // A free call: unique return type among this file's free fns
+            // (methods excluded — `build(…)` must not borrow
+            // `Fmt::build`'s signature).
+            j = self.p.skip_balanced(i + 1, '(', ')');
+            let mut rets = self
+                .sigs
+                .iter()
+                .filter(|f| f.self_ty.is_none() && f.name == first && !f.ret.is_empty())
+                .map(|f| f.ret.clone())
+                .collect::<Vec<_>>();
+            rets.dedup();
+            let [one] = rets.as_slice() else { return None };
+            ty = one.clone();
+        } else {
+            return None;
+        }
+        // Suffixes: unwrapping adapters and resolvable method hops.
+        loop {
+            if self.p.punct(j, '?') {
+                ty = success_type(&ty);
+                j += 1;
+            } else if self.p.punct(j, '.') {
+                let m = self.p.word(j + 1)?;
+                if !self.p.punct(j + 2, '(') {
+                    return None;
+                }
+                match m {
+                    "unwrap" | "expect" | "unwrap_or_else" | "unwrap_or_default" => {
+                        ty = success_type(&ty);
+                    }
+                    "clone" => {}
+                    _ => ty = self.method_return(&base_type(&ty)?, m)?,
+                }
+                j = self.p.skip_balanced(j + 2, '(', ')');
+            } else if self.p.punct(j, ';') {
+                return Some(ty);
+            } else {
+                return None;
+            }
+        }
+    }
+}
+
+/// Substitutes whole-word `Self` in a return-type spelling with the
+/// impl's type: `Result<Self,E>` + `Fmt` → `Result<Fmt,E>`.
+fn replace_self(ret: &str, ty: &str) -> String {
+    let mut out = String::with_capacity(ret.len());
+    let mut rest = ret;
+    while let Some(pos) = rest.find("Self") {
+        let before_ok =
+            pos == 0 || !rest[..pos].ends_with(|c: char| c.is_ascii_alphanumeric() || c == '_');
+        let after = &rest[pos + 4..];
+        let after_ok = !after.starts_with(|c: char| c.is_ascii_alphanumeric() || c == '_');
+        out.push_str(&rest[..pos]);
+        out.push_str(if before_ok && after_ok { ty } else { "Self" });
+        rest = after;
+    }
+    out.push_str(rest);
+    out
+}
+
+/// The success type of a `Result`/`Option` spelling (first top-level
+/// generic argument); anything else passes through unchanged, so
+/// `.unwrap()` on a non-wrapper type is harmless.
+fn success_type(ty: &str) -> String {
+    let t = ty.trim();
+    let head_end = t.find('<').unwrap_or(t.len());
+    let head = t[..head_end].rsplit("::").next().unwrap_or("").trim();
+    if !matches!(head, "Result" | "Option") || head_end == t.len() {
+        return t.to_owned();
+    }
+    let inner = &t[head_end + 1..];
+    let mut depth = 0i64;
+    for (k, c) in inner.char_indices() {
+        match c {
+            '<' => depth += 1,
+            '>' if depth > 0 => depth -= 1,
+            ',' | '>' if depth == 0 => return inner[..k].trim().to_owned(),
+            _ => {}
+        }
+    }
+    t.to_owned()
 }
 
 struct Hop {
@@ -1486,6 +1646,68 @@ mod tests {
         assert_eq!(f.calls[4].recv, Recv::Path("S".to_owned()), "Self:: rewrites to impl type");
         assert_eq!(f.calls[5].name, "collect");
         assert_eq!(f.calls[5].recv, Recv::Method { ty: None });
+    }
+
+    #[test]
+    fn let_bindings_typed_from_call_returns() {
+        let src = "
+            struct Fmt { r: u32 }
+            impl Fmt {
+                fn build(r: u32) -> Result<Self, String> { Ok(Fmt { r }) }
+                fn single_pair(&self, a: u32, b: u32) -> f64 { 0.0 }
+            }
+            fn helper(r: u32) -> Fmt { Fmt::build(r).unwrap() }
+            fn use_assoc() {
+                let fmt = Fmt::build(3).unwrap();
+                fmt.single_pair(0, 1);
+            }
+            fn use_free() {
+                let fmt = helper(3);
+                fmt.single_pair(0, 1);
+            }
+            fn use_question() -> Result<(), String> {
+                let fmt = Fmt::build(3)?;
+                fmt.single_pair(0, 1);
+                Ok(())
+            }
+        ";
+        let items = parse("a.rs", src);
+        for fname in ["use_assoc", "use_free", "use_question"] {
+            let f = items.fns.iter().find(|f| f.name == fname).unwrap();
+            let call = f.calls.iter().find(|c| c.name == "single_pair").unwrap();
+            assert_eq!(
+                call.recv,
+                Recv::Method { ty: Some("Fmt".to_owned()) },
+                "receiver in {fname} should type via the binding's RHS"
+            );
+        }
+    }
+
+    #[test]
+    fn pathed_variant_constructors_are_not_call_edges() {
+        let src = "
+            enum Resp { Score(f64) }
+            fn go() -> Resp {
+                let x = Resp::Score(1.0);
+                x
+            }
+        ";
+        let f = &parse("a.rs", src).fns[0];
+        assert!(
+            f.calls.iter().all(|c| c.name != "Score"),
+            "`Resp::Score(…)` is data construction, not a call: {:?}",
+            f.calls
+        );
+    }
+
+    #[test]
+    fn success_type_unwraps_result_and_option() {
+        assert_eq!(success_type("Result<Fmt,BaselineError>"), "Fmt");
+        assert_eq!(success_type("io::Result<Vec<u8>>"), "Vec<u8>");
+        assert_eq!(success_type("Option<CsrGraph>"), "CsrGraph");
+        assert_eq!(success_type("Fmt"), "Fmt");
+        assert_eq!(replace_self("Result<Self,E>", "Fmt"), "Result<Fmt,E>");
+        assert_eq!(replace_self("SelfConfig", "Fmt"), "SelfConfig");
     }
 
     #[test]

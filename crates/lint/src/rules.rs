@@ -66,6 +66,15 @@ pub const BLOCKING_IN_REACTOR_TRANSITIVE: &str = "blocking-in-reactor-transitive
 pub const PANIC_REACHABLE_IN_SERVING: &str = "panic-reachable-in-serving";
 /// Rule slug: unresolved-call-edge count regressed past `CALLGRAPH.baseline`.
 pub const CALLGRAPH_BASELINE: &str = "callgraph-baseline";
+/// Rule slug: a wire-derived length reaches an allocation or index
+/// without a dominating bounds check.
+pub const UNVALIDATED_WIRE_LENGTH: &str = "unvalidated-wire-length";
+/// Rule slug: a wire-derived integer narrowed with `as` without a range
+/// check.
+pub const TAINTED_CAST_TRUNCATION: &str = "tainted-cast-truncation";
+/// Rule slug: a parallel float reduction whose addition order is
+/// scheduler-dependent.
+pub const FP_REDUCTION_ORDER: &str = "fp-reduction-order";
 
 /// Every rule `pasco-lint` knows, with a one-line summary (shown by
 /// `--list-rules` and used in the README table).
@@ -113,6 +122,23 @@ pub const RULES: &[(&str, &str)] = &[
         CALLGRAPH_BASELINE,
         "heuristic call resolution must not regress: the unresolved-edge count may not exceed \
          the committed CALLGRAPH.baseline (raise it deliberately, like WIRE_TAGS.manifest)",
+    ),
+    (
+        UNVALIDATED_WIRE_LENGTH,
+        "a length decoded from untrusted bytes must be bounds-checked before it reaches \
+         Vec::with_capacity/reserve/vec![_; n]/slice indexing — taint-tracked through decode \
+         helpers via call-graph summaries",
+    ),
+    (
+        TAINTED_CAST_TRUNCATION,
+        "a wire-derived u64/u32 may not be narrowed with `as` unless a range check or \
+         try_into dominates the cast: silent truncation forges lengths and ids",
+    ),
+    (
+        FP_REDUCTION_ORDER,
+        "no parallel f64/f32 sum/product/reduce/fold in determinism crates: FP addition is \
+         non-associative, so scheduler-dependent order breaks cross-substrate bit-equality \
+         (min/max combiners are associative and exempt)",
     ),
 ];
 

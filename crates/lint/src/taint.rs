@@ -1,0 +1,1733 @@
+//! Stage three, part three: the taint analysis on top of the dataflow
+//! framework, plus the reduction-order rule that shares its CFG.
+//!
+//! ## The lattice
+//!
+//! The abstract state ([`Env`]) is the set of *tainted paths* — dotted
+//! access paths like `len` or `header.request_id` whose value is
+//! attacker-influenced. Join is set union (may-taint).
+//!
+//! ## Sources
+//!
+//! A function parameter is a source when the function is named like a
+//! wire decoder (`decode`, `from_bytes`, `feed`, `decode_*`, `read_*`,
+//! `*_from_bytes`) **and** the parameter's type looks like a byte buffer
+//! or reader (`Buf`, `[u8`, `u8]`, `Bytes`, `Read`). This naming
+//! contract is deliberate: helpers that consume hostile bytes must be
+//! named like decoders or the analysis treats their input as trusted.
+//! `FrameHeader`-style fields taint through decode summaries (see below)
+//! rather than by type, so a header whose length field was validated at
+//! decode time stays clean at every use site.
+//!
+//! ## Sanitizers (kills)
+//!
+//! * A bare variable or field path used as a **direct operand of a
+//!   comparison** (`<`, `<=`, `>`, `>=`) is considered bounds-checked
+//!   from that statement on. Kills are path-insensitive (both branches),
+//!   which is unsound in the `if ok { } else { use-it-anyway }` shape —
+//!   accepted, since the rule targets missing checks, not misplaced
+//!   ones. `debug_assert!` comparisons do not kill (compiled out in
+//!   release).
+//! * `.min(…)` / `.clamp(…)` / `.len()` / `.remaining()` produce clean
+//!   values.
+//! * `.try_into()` on a plain integer path is clean (checked
+//!   conversion); `try_into` on a slice expression is *not* — a
+//!   `[u8; 4]` from attacker bytes is still attacker bytes.
+//! * `u32::try_from(x)`-style checked constructors are clean.
+//! * An argument in a **validated position** of a `f(…)?` call is
+//!   killed when the callee's summary proves `f` bounds-checks that
+//!   parameter before returning `Ok`.
+//!
+//! ## Summaries (one interprocedural level, via the call graph)
+//!
+//! Every function gets a [`Summary`]: which parameters it validates,
+//! which parameters flow into an allocation unchecked (making the
+//! function a *length sink* at its call sites), and the taint of its
+//! return value — possibly per-field ([`Taint::Fields`]) when the body
+//! returns a struct literal. Summaries are computed in two passes so a
+//! summary can use its callees' pass-one summaries (e.g. `read_len` is
+//! clean *because* `need` validates), then a final pass reports
+//! findings. Call sites resolve through the PR 8 call-graph edges, with
+//! a unique-name fallback.
+//!
+//! ## Sinks
+//!
+//! * `Vec::with_capacity` / `.reserve` / `.reserve_exact` / `vec![_; n]`
+//!   / slice indexing with a tainted length or index →
+//!   [`rules::UNVALIDATED_WIRE_LENGTH`].
+//! * `as` narrowing to `u8/u16/u32/i8/i16/i32` of a tainted value →
+//!   [`rules::TAINTED_CAST_TRUNCATION`] (casts to `usize`/`u64`/`i64`
+//!   are not narrowing on the 64-bit targets this workspace supports).
+//! * A call passing a tainted value into a length-sink parameter →
+//!   [`rules::UNVALIDATED_WIRE_LENGTH`] at the call site.
+//!
+//! Every allocation sink that was *checked* is recorded in
+//! [`DataflowReport`] with its verdict, so `--dump-dataflow` is a proof
+//! artifact: the self-hosting test asserts `FrameDecoder`'s
+//! `Vec::with_capacity(header.payload_len as usize)` appears there as
+//! clean, not merely that nothing fired.
+//!
+//! ## fp-reduction-order
+//!
+//! Independently of taint, any statement in a determinism directory that
+//! chains a `par_*` adapter into a top-level `.sum()` / `.product()` /
+//! `.reduce(…)` / `.fold(…)` with float evidence is flagged — FP
+//! addition is non-associative, so the scheduler's reduction order leaks
+//! into the result. `reduce`/`fold` combiners built from `min`/`max`
+//! are associative and exempt; reductions nested inside a closure
+//! argument (sequential per-element work) are not flagged.
+//!
+//! ## Known blind spots
+//!
+//! Documented in README §Static analysis: kills are path-insensitive;
+//! `match` destructuring does not transfer taint to bound names;
+//! expression-position control collapses into one statement (may-taint
+//! keeps this conservative); struct-field taint does not persist across
+//! method boundaries (`self.x` tainted in `feed` is clean in a sibling
+//! method); the decoder naming contract above.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::callgraph::Graph;
+use crate::cfg::{Cfg, Stmt, StmtKind};
+use crate::dataflow::{self, Semilattice};
+use crate::lexer::Token;
+use crate::parser::FnItem;
+use crate::rules::{self, Finding};
+use crate::source::SourceFile;
+
+/// Directories where the reduction-order rule applies: the determinism
+/// crates plus the solver whose residuals feed the convergence contract.
+const FP_DIRS: &[&str] =
+    &["crates/graph/src/", "crates/mc/src/", "crates/core/src/", "crates/solver/src/"];
+
+/// Narrowing `as` targets. `usize`/`u64`/`i64` are excluded: pasco
+/// supports only 64-bit targets, so widening there cannot truncate.
+const NARROW_INTS: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+/// Integer types whose `try_from` is a checked (clean) conversion.
+const INT_TYPES: &[&str] = &["u8", "u16", "u32", "u64", "usize", "i8", "i16", "i32", "i64"];
+
+/// Methods whose *receiver* is written from their arguments.
+const DEST_RECV: &[&str] =
+    &["copy_from_slice", "extend_from_slice", "push", "extend", "insert", "append", "put_slice"];
+
+/// Methods whose *first argument* is written from their receiver.
+const DEST_ARG: &[&str] = &["copy_to_slice", "read_exact", "read", "read_to_end", "read_to_string"];
+
+// ---------------------------------------------------------------------------
+// Lattice
+// ---------------------------------------------------------------------------
+
+/// The taint environment: the set of tainted dotted paths.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Env(BTreeSet<String>);
+
+impl Semilattice for Env {
+    fn join(&mut self, other: &Self) -> bool {
+        let before = self.0.len();
+        self.0.extend(other.0.iter().cloned());
+        self.0.len() != before
+    }
+}
+
+/// True when `q` is `p` itself or a descendant (`p` is a segment-wise
+/// prefix of `q`).
+fn seg_prefix(p: &str, q: &str) -> bool {
+    q.strip_prefix(p).is_some_and(|rest| rest.is_empty() || rest.starts_with('.'))
+}
+
+impl Env {
+    fn taint(&mut self, path: &str) {
+        self.0.insert(path.to_owned());
+    }
+
+    /// Removes `path` and all its descendants.
+    fn kill(&mut self, path: &str) {
+        self.0.retain(|e| !seg_prefix(path, e));
+    }
+
+    /// A mention of `path` is tainted when an entry overlaps it in
+    /// either direction: an entry is an ancestor of the path
+    /// (`header` taints `header.kind`) or a descendant (`header` as a
+    /// whole is tainted when `header.request_id` is). Sibling fields do
+    /// not overlap, which is the field sensitivity the transport proof
+    /// needs.
+    fn tainted(&self, path: &str) -> bool {
+        self.0.iter().any(|e| seg_prefix(e, path) || seg_prefix(path, e))
+    }
+}
+
+/// The taint of one *value* (as opposed to the environment).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum Taint {
+    /// Not attacker-influenced (or proven bounded).
+    #[default]
+    Clean,
+    /// A struct value whose named fields are tainted; the rest clean.
+    Fields(BTreeSet<String>),
+    /// Attacker-influenced.
+    Tainted,
+}
+
+impl Taint {
+    fn join(self, other: Taint) -> Taint {
+        match (self, other) {
+            (Taint::Tainted, _) | (_, Taint::Tainted) => Taint::Tainted,
+            (Taint::Fields(mut a), Taint::Fields(b)) => {
+                a.extend(b);
+                Taint::Fields(a)
+            }
+            (Taint::Fields(a), Taint::Clean) | (Taint::Clean, Taint::Fields(a)) => Taint::Fields(a),
+            (Taint::Clean, Taint::Clean) => Taint::Clean,
+        }
+    }
+
+    fn of(tainted: bool) -> Taint {
+        if tainted {
+            Taint::Tainted
+        } else {
+            Taint::Clean
+        }
+    }
+
+    /// Any taint at all (used where a value is consumed as a scalar).
+    fn any(&self) -> bool {
+        !matches!(self, Taint::Clean)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Summaries
+// ---------------------------------------------------------------------------
+
+/// What one function does to taint, as seen from a call site.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Summary {
+    /// Parameter indices the function bounds-checks before succeeding:
+    /// a tainted argument here is killed after `f(…)?`.
+    pub validates: BTreeSet<usize>,
+    /// Parameter indices that flow into an allocation unchecked: a
+    /// tainted argument here is a finding at the call site.
+    pub length_sinks: BTreeSet<usize>,
+    /// Taint of the return value, computed with the callee's own
+    /// sources tainted.
+    pub ret: Taint,
+}
+
+impl Summary {
+    fn is_trivial(&self) -> bool {
+        self.validates.is_empty() && self.length_sinks.is_empty() && self.ret == Taint::Clean
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Report (the `--dump-dataflow` artifact)
+// ---------------------------------------------------------------------------
+
+/// One checked allocation/index/cast sink, with its verdict.
+#[derive(Clone, Debug)]
+pub struct SinkCheck {
+    /// Workspace-relative file.
+    pub file: String,
+    /// 1-based line of the sink.
+    pub line: u32,
+    /// Sink kind: `alloc`, `vec-macro`, `index`, `cast`, or `call`.
+    pub kind: &'static str,
+    /// Rendered sink expression (truncated).
+    pub expr: String,
+    /// True when the checked value was tainted (a finding fired).
+    pub tainted: bool,
+}
+
+/// The machine-readable result of the dataflow stage.
+#[derive(Clone, Debug, Default)]
+pub struct DataflowReport {
+    /// Function bodies analyzed to fixpoint.
+    pub fns_analyzed: usize,
+    /// Non-trivial interprocedural summaries, rendered.
+    pub summaries: Vec<String>,
+    /// Every checked allocation sink (clean or not) plus every tainted
+    /// index/cast/call sink.
+    pub sinks: Vec<SinkCheck>,
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl DataflowReport {
+    /// Renders the report as JSON for `--dump-dataflow`.
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        s.push_str(&format!("  \"fns_analyzed\": {},\n", self.fns_analyzed));
+        s.push_str("  \"summaries\": [\n");
+        for (i, sum) in self.summaries.iter().enumerate() {
+            let comma = if i + 1 < self.summaries.len() { "," } else { "" };
+            s.push_str(&format!("    \"{}\"{}\n", esc(sum), comma));
+        }
+        s.push_str("  ],\n  \"sinks\": [\n");
+        for (i, sink) in self.sinks.iter().enumerate() {
+            let comma = if i + 1 < self.sinks.len() { "," } else { "" };
+            s.push_str(&format!(
+                "    {{\"file\": \"{}\", \"line\": {}, \"kind\": \"{}\", \"expr\": \"{}\", \
+                 \"tainted\": {}}}{}\n",
+                esc(&sink.file),
+                sink.line,
+                sink.kind,
+                esc(&sink.expr),
+                sink.tainted,
+                comma
+            ));
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sources
+// ---------------------------------------------------------------------------
+
+fn is_source_fn(name: &str) -> bool {
+    name == "decode"
+        || name == "from_bytes"
+        || name == "feed"
+        || name.starts_with("decode_")
+        || name.starts_with("read_")
+        || name.ends_with("_from_bytes")
+}
+
+fn bufferish(ty: &str) -> bool {
+    ty.contains("Buf")
+        || ty.contains("[u8")
+        || ty.contains("u8]")
+        || ty.contains("Bytes")
+        || ty.contains("Read")
+}
+
+fn entry_env(item: &FnItem) -> Env {
+    let mut env = Env::default();
+    if is_source_fn(&item.name) {
+        for (pname, pty) in &item.params {
+            if bufferish(pty) {
+                env.taint(pname);
+            }
+        }
+    }
+    env
+}
+
+// ---------------------------------------------------------------------------
+// Per-function analyzer
+// ---------------------------------------------------------------------------
+
+fn is_keyword(w: &str) -> bool {
+    matches!(
+        w,
+        "let"
+            | "mut"
+            | "ref"
+            | "if"
+            | "else"
+            | "match"
+            | "while"
+            | "for"
+            | "loop"
+            | "return"
+            | "break"
+            | "continue"
+            | "move"
+            | "as"
+            | "in"
+            | "fn"
+            | "unsafe"
+            | "async"
+            | "await"
+            | "dyn"
+    )
+}
+
+/// What a sweep over the fixpoint states collects.
+#[derive(Default)]
+struct Outcome {
+    /// Join of every return-position value.
+    ret: Taint,
+    /// Root variables whose taint a sanitizer killed (validates-detection).
+    killed_roots: BTreeSet<String>,
+    /// True when any allocation/index sink consumed a tainted value.
+    sink_tainted: bool,
+    /// Emit findings/sinks (final pass only).
+    report: bool,
+    findings: Vec<Finding>,
+    sinks: Vec<SinkCheck>,
+}
+
+/// One call expression inside a statement.
+struct Call {
+    name: String,
+    name_idx: usize,
+    line: u32,
+    /// Token ranges of top-level arguments.
+    args: Vec<(usize, usize)>,
+    /// Index one past the closing paren.
+    end: usize,
+    /// True for `recv.name(…)`.
+    dotted: bool,
+}
+
+struct Analyzer<'a> {
+    toks: &'a [Token],
+    file: &'a str,
+    /// Outgoing call-graph edges of the function being analyzed.
+    edges: &'a [crate::callgraph::Edge],
+    graph: &'a Graph,
+    summaries: &'a [Summary],
+    /// Unique-name fallback when no edge resolved a call.
+    by_name: &'a BTreeMap<String, Vec<usize>>,
+}
+
+impl<'a> Analyzer<'a> {
+    fn word(&self, i: usize) -> Option<&str> {
+        self.toks.get(i).and_then(Token::word)
+    }
+
+    fn punct(&self, i: usize, c: char) -> bool {
+        self.toks.get(i).is_some_and(|t| t.is_punct(c))
+    }
+
+    fn line(&self, i: usize) -> u32 {
+        self.toks.get(i).map_or(0, |t| t.line)
+    }
+
+    fn bal_fwd(&self, i: usize, open: char, close: char) -> usize {
+        let mut depth = 0i64;
+        let mut j = i;
+        while j < self.toks.len() {
+            if self.punct(j, open) {
+                depth += 1;
+            } else if self.punct(j, close) {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            j += 1;
+        }
+        j
+    }
+
+    /// Index of the opener matching the closer at `j`, or `lo`.
+    fn bal_back(&self, j: usize, open: char, close: char, lo: usize) -> usize {
+        let mut depth = 0i64;
+        let mut k = j;
+        loop {
+            if self.punct(k, close) {
+                depth += 1;
+            } else if self.punct(k, open) {
+                depth -= 1;
+                if depth == 0 {
+                    return k;
+                }
+            }
+            if k == lo {
+                return lo;
+            }
+            k -= 1;
+        }
+    }
+
+    fn render(&self, lo: usize, hi: usize) -> String {
+        let mut s = String::new();
+        for t in &self.toks[lo..hi.min(self.toks.len())] {
+            if !s.is_empty() {
+                s.push(' ');
+            }
+            match t.word() {
+                Some(w) => s.push_str(w),
+                None => {
+                    if let crate::lexer::Tok::Punct(c) = &t.tok {
+                        s.push(*c);
+                    }
+                }
+            }
+            if s.len() > 72 {
+                s.truncate(72);
+                s.push('…');
+                break;
+            }
+        }
+        s
+    }
+
+    // -- call resolution ---------------------------------------------------
+
+    /// The summary of the callee `name` called at `line`, through the
+    /// call-graph edges of the current function, with a unique-name
+    /// fallback for *undotted* calls. Multiple candidates join
+    /// conservatively. Dotted calls get no fallback: `map.insert(…)` on
+    /// a std container must not borrow the summary of whatever
+    /// workspace fn happens to be named `insert`.
+    fn resolve(&self, line: u32, name: &str, dotted: bool) -> Option<Summary> {
+        let mut hits: Vec<usize> = self
+            .edges
+            .iter()
+            .filter(|e| e.line == line && self.graph.nodes[e.to].item.name == name)
+            .map(|e| e.to)
+            .collect();
+        if hits.is_empty() {
+            if dotted {
+                return None;
+            }
+            match self.by_name.get(name) {
+                Some(c) if c.len() == 1 => hits = c.clone(),
+                _ => return None,
+            }
+        }
+        let mut out: Option<Summary> = None;
+        for h in hits {
+            let s = &self.summaries[h];
+            out = Some(match out {
+                None => s.clone(),
+                Some(mut acc) => {
+                    acc.validates = acc.validates.intersection(&s.validates).copied().collect();
+                    acc.length_sinks.extend(&s.length_sinks);
+                    acc.ret = acc.ret.join(s.ret.clone());
+                    acc
+                }
+            });
+        }
+        out
+    }
+
+    /// All call expressions in `[lo, hi)`, nested ones included.
+    fn calls_in(&self, lo: usize, hi: usize) -> Vec<Call> {
+        let mut out = Vec::new();
+        let mut j = lo;
+        while j < hi {
+            if let Some(w) = self.word(j) {
+                if !is_keyword(w) && self.punct(j + 1, '(') {
+                    let end = self.bal_fwd(j + 1, '(', ')');
+                    let mut args = Vec::new();
+                    let mut a = j + 2;
+                    let inner_hi = end.saturating_sub(1);
+                    let mut k = a;
+                    while k < inner_hi {
+                        if self.punct(k, '(') {
+                            k = self.bal_fwd(k, '(', ')');
+                        } else if self.punct(k, '[') {
+                            k = self.bal_fwd(k, '[', ']');
+                        } else if self.punct(k, '{') {
+                            k = self.bal_fwd(k, '{', '}');
+                        } else if self.punct(k, ',') {
+                            args.push((a, k));
+                            k += 1;
+                            a = k;
+                        } else {
+                            k += 1;
+                        }
+                    }
+                    if a < inner_hi {
+                        args.push((a, inner_hi));
+                    }
+                    out.push(Call {
+                        name: w.to_owned(),
+                        name_idx: j,
+                        line: self.line(j),
+                        args,
+                        end,
+                        dotted: j > lo && self.punct(j - 1, '.'),
+                    });
+                }
+            }
+            j += 1;
+        }
+        out
+    }
+
+    // -- path extraction ---------------------------------------------------
+
+    /// Maximal dotted path starting at `i` (field accesses only; stops
+    /// before a method call). Returns `(path, one past its last token)`.
+    fn path_starting_at(&self, i: usize, hi: usize) -> Option<(String, usize)> {
+        let w = self.word(i)?;
+        if is_keyword(w) {
+            return None;
+        }
+        let mut path = w.to_owned();
+        let mut j = i + 1;
+        while j + 1 < hi && self.punct(j, '.') && !self.punct(j + 2, '(') {
+            let Some(seg) = self.word(j + 1) else { break };
+            path.push('.');
+            path.push_str(seg);
+            j += 2;
+        }
+        Some((path, j))
+    }
+
+    /// Maximal dotted path ending at token `e` (walking left), if `e`
+    /// is a word not preceded by more path.
+    fn path_ending_at(&self, e: usize, lo: usize) -> Option<String> {
+        self.word(e)?;
+        let mut start = e;
+        while start >= lo + 2 && self.punct(start - 1, '.') && self.word(start - 2).is_some() {
+            start -= 2;
+        }
+        let (path, end) = self.path_starting_at(start, e + 1)?;
+        if end != e + 1 {
+            return None;
+        }
+        Some(path)
+    }
+
+    /// Every value-position path mention in `[lo, hi)`, skipping bare
+    /// call/macro names and method names.
+    fn paths_in(&self, lo: usize, hi: usize) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut i = lo;
+        while i < hi {
+            if self.word(i).is_some() {
+                let Some((path, j)) = self.path_starting_at(i, hi) else {
+                    i += 1;
+                    continue;
+                };
+                if !path.contains('.') && (self.punct(j, '(') || self.punct(j, '!')) {
+                    i = j;
+                    continue;
+                }
+                out.push(path);
+                i = j;
+            } else {
+                i += 1;
+            }
+        }
+        out
+    }
+
+    /// Start of the postfix operand ending just before `j` (for `x.y[i]
+    /// as u32`-style backward walks).
+    fn operand_start_back(&self, j: usize, lo: usize) -> usize {
+        let mut k = j;
+        while k > lo {
+            let p = k - 1;
+            if self.punct(p, ')') {
+                k = self.bal_back(p, '(', ')', lo);
+            } else if self.punct(p, ']') {
+                k = self.bal_back(p, '[', ']', lo);
+            } else if self.word(p).is_some_and(|w| !is_keyword(w)) || (self.punct(p, '.') && k != j)
+            {
+                k = p;
+            } else if p > lo && self.punct(p, ':') && self.punct(p - 1, ':') {
+                k = p - 1;
+            } else {
+                break;
+            }
+        }
+        k
+    }
+
+    // -- expression evaluation --------------------------------------------
+
+    fn eval(&self, lo: usize, hi: usize, env: &Env) -> Taint {
+        if lo >= hi {
+            return Taint::Clean;
+        }
+        self.eval_postfix(lo, hi, env).unwrap_or_else(|| self.eval_soup(lo, hi, env))
+    }
+
+    /// Structured evaluation of a single postfix expression spanning
+    /// exactly `[lo, hi)`; `None` when the range is not one.
+    fn eval_postfix(&self, lo: usize, hi: usize, env: &Env) -> Option<Taint> {
+        let mut j = lo;
+        while j < hi
+            && (self.punct(j, '&')
+                || self.punct(j, '*')
+                || self.punct(j, '!')
+                || self.punct(j, '-')
+                || self.toks[j].is_word("mut"))
+        {
+            j += 1;
+        }
+        if j >= hi {
+            return None;
+        }
+        let mut cur;
+        // True while the value is still a plain (possibly dotted) path —
+        // the shape whose `.try_into()` is an integer conversion.
+        let mut path_like = false;
+        if self.punct(j, '(') {
+            let close = self.bal_fwd(j, '(', ')');
+            cur = self.eval_soup(j + 1, close.saturating_sub(1), env);
+            j = close;
+        } else if let Some(first) = self.word(j) {
+            // Leading `::`-path (for assoc calls like `Type::decode`).
+            let mut segs = vec![first.to_owned()];
+            let mut k = j + 1;
+            while k + 1 < hi && self.punct(k, ':') && self.punct(k + 1, ':') {
+                let Some(seg) = self.word(k + 2) else { break };
+                segs.push(seg.to_owned());
+                k += 3;
+            }
+            if is_keyword(&segs[0]) {
+                return None;
+            }
+            if self.punct(k, '(') {
+                // A call: consult the callee summary, else join the
+                // taint of the argument soup.
+                let name = segs.last().cloned().unwrap_or_default();
+                let close = self.bal_fwd(k, '(', ')');
+                let qualifier = if segs.len() >= 2 { segs[segs.len() - 2].as_str() } else { "" };
+                if name == "try_from" && INT_TYPES.contains(&qualifier) {
+                    cur = Taint::Clean;
+                } else {
+                    match self.resolve(self.line(k - 1), &name, false) {
+                        Some(s) => cur = s.ret,
+                        None => cur = self.eval_soup(k + 1, close.saturating_sub(1), env),
+                    }
+                }
+                j = close;
+            } else if self.punct(k, '{') || self.punct(k, '!') {
+                // Struct literal or macro: soup handles those.
+                return None;
+            } else {
+                // A plain dotted path (consume field accesses).
+                let (path, end) = self.path_starting_at(j, hi)?;
+                cur = Taint::of(env.tainted(&path));
+                path_like = true;
+                j = end;
+            }
+        } else {
+            return None;
+        }
+        // Postfix suffixes.
+        while j < hi {
+            if self.punct(j, '.') && self.word(j + 1).is_some() {
+                let m = self.word(j + 1).map(str::to_owned).unwrap_or_default();
+                if self.punct(j + 2, '(') {
+                    let close = self.bal_fwd(j + 2, '(', ')');
+                    let (alo, ahi) = (j + 3, close.saturating_sub(1));
+                    cur = match m.as_str() {
+                        "min" | "clamp" => Taint::Clean,
+                        "len" | "remaining" | "is_empty" | "capacity" => Taint::Clean,
+                        "try_into" if path_like => Taint::Clean,
+                        _ => cur.join(self.eval_soup(alo, ahi, env)),
+                    };
+                    path_like = false;
+                    j = close;
+                } else {
+                    // Field access after a non-path value: keep cur.
+                    j += 2;
+                }
+            } else if self.punct(j, '?') {
+                j += 1;
+            } else if self.toks[j].is_word("as") {
+                j += 1;
+                while j < hi && self.word(j).is_some() {
+                    j += 1;
+                    if j + 1 < hi && self.punct(j, ':') && self.punct(j + 1, ':') {
+                        j += 2;
+                    } else {
+                        break;
+                    }
+                }
+            } else if self.punct(j, '[') {
+                j = self.bal_fwd(j, '[', ']');
+                path_like = false;
+            } else {
+                return None;
+            }
+        }
+        Some(cur)
+    }
+
+    /// Conservative bag-of-mentions evaluation: any tainted path mention
+    /// taints the whole expression; summarized calls shield their
+    /// arguments; struct literals evaluate per-field.
+    fn eval_soup(&self, lo: usize, hi: usize, env: &Env) -> Taint {
+        let mut cur = Taint::Clean;
+        let mut fields: BTreeSet<String> = BTreeSet::new();
+        let mut i = lo;
+        while i < hi {
+            let Some(w) = self.word(i) else {
+                i += 1;
+                continue;
+            };
+            if is_keyword(w) {
+                i += 1;
+                continue;
+            }
+            let Some((path, j)) = self.path_starting_at(i, hi) else {
+                i += 1;
+                continue;
+            };
+            if !path.contains('.') && self.punct(j, '(') {
+                // A plain call: shield its arguments when summarized.
+                let dotted = i > lo && self.punct(i - 1, '.');
+                if let Some(s) = self.resolve(self.line(i), &path, dotted) {
+                    match s.ret {
+                        Taint::Tainted => cur = Taint::Tainted,
+                        Taint::Fields(fs) => fields.extend(fs),
+                        Taint::Clean => {}
+                    }
+                    i = self.bal_fwd(j, '(', ')');
+                } else {
+                    i = j + 1; // scan into the arguments
+                }
+                continue;
+            }
+            if !path.contains('.')
+                && self.punct(j, '{')
+                && w.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+            {
+                // Struct literal: evaluate each field initializer.
+                let close = self.bal_fwd(j, '{', '}');
+                self.struct_literal_fields(j + 1, close.saturating_sub(1), env, &mut fields);
+                i = close;
+                continue;
+            }
+            if !path.contains('.') && self.punct(j, '!') {
+                i = j + 1; // macro name; scan into its tokens
+                continue;
+            }
+            if env.tainted(&path) {
+                cur = Taint::Tainted;
+            }
+            i = j;
+        }
+        match cur {
+            Taint::Tainted => Taint::Tainted,
+            _ if !fields.is_empty() => Taint::Fields(fields),
+            _ => Taint::Clean,
+        }
+    }
+
+    /// Collects tainted field names of a struct literal body `[lo, hi)`
+    /// (handles `name: expr`, shorthand `name`, and skips `..base`).
+    fn struct_literal_fields(&self, lo: usize, hi: usize, env: &Env, out: &mut BTreeSet<String>) {
+        let mut a = lo;
+        let mut k = lo;
+        let mut parts: Vec<(usize, usize)> = Vec::new();
+        while k < hi {
+            if self.punct(k, '(') {
+                k = self.bal_fwd(k, '(', ')');
+            } else if self.punct(k, '[') {
+                k = self.bal_fwd(k, '[', ']');
+            } else if self.punct(k, '{') {
+                k = self.bal_fwd(k, '{', '}');
+            } else if self.punct(k, ',') {
+                parts.push((a, k));
+                k += 1;
+                a = k;
+            } else {
+                k += 1;
+            }
+        }
+        if a < hi {
+            parts.push((a, hi));
+        }
+        for (plo, phi) in parts {
+            let Some(fname) = self.word(plo) else { continue };
+            if self.punct(plo + 1, ':') && !self.punct(plo + 2, ':') {
+                if self.eval(plo + 2, phi, env).any() {
+                    out.insert(fname.to_owned());
+                }
+            } else if phi == plo + 1 && env.tainted(fname) {
+                // Shorthand `name`.
+                out.insert(fname.to_owned());
+            }
+        }
+    }
+
+    // -- transfer function -------------------------------------------------
+
+    fn transfer(&self, stmt: &Stmt, env: &mut Env, mut out: Option<&mut Outcome>) {
+        let (lo, hi) = (stmt.lo, stmt.hi);
+        let has_debug_assert = self.toks[lo..hi]
+            .iter()
+            .any(|t| t.word().is_some_and(|w| w.starts_with("debug_assert")));
+        if !has_debug_assert {
+            self.comparison_kills(lo, hi, env, &mut out);
+        }
+        self.validating_call_kills(lo, hi, env, &mut out);
+        if let Some(o) = out {
+            self.check_sinks(stmt, env, o);
+            if matches!(stmt.kind, StmtKind::Return | StmtKind::Tail) {
+                let elo = if stmt.kind == StmtKind::Return { lo + 1 } else { lo };
+                let t = self.eval(elo, hi, env);
+                let prev = std::mem::take(&mut o.ret);
+                o.ret = prev.join(t);
+            }
+        }
+        self.bindings(lo, hi, env);
+        self.mutator_methods(lo, hi, env);
+    }
+
+    fn kill_path(&self, env: &mut Env, path: &str, out: &mut Option<&mut Outcome>) {
+        if env.tainted(path) {
+            env.kill(path);
+            if let Some(o) = out.as_deref_mut() {
+                let root = path.split('.').next().unwrap_or(path);
+                o.killed_roots.insert(root.to_owned());
+            }
+        }
+    }
+
+    /// Direct operands of `<`, `<=`, `>`, `>=` are bounds-checked.
+    fn comparison_kills(
+        &self,
+        lo: usize,
+        hi: usize,
+        env: &mut Env,
+        out: &mut Option<&mut Outcome>,
+    ) {
+        for j in lo..hi {
+            let is_lt = self.punct(j, '<');
+            let is_gt = self.punct(j, '>');
+            if !is_lt && !is_gt {
+                continue;
+            }
+            if is_lt
+                && (self.punct(j + 1, '<')
+                    || (j > lo && (self.punct(j - 1, '<') || self.punct(j - 1, ':'))))
+            {
+                continue; // shift or turbofish/path
+            }
+            if is_gt
+                && (self.punct(j + 1, '>')
+                    || (j > lo
+                        && (self.punct(j - 1, '>')
+                            || self.punct(j - 1, '-')
+                            || self.punct(j - 1, '='))))
+            {
+                continue; // shift, `->`, `=>`
+            }
+            if j > lo {
+                if let Some(p) = self.path_ending_at(j - 1, lo) {
+                    self.kill_path(env, &p, out);
+                }
+            }
+            let mut k = j + 1;
+            if self.punct(k, '=') {
+                k += 1;
+            }
+            if let Some((p, after)) = self.path_starting_at(k, hi) {
+                if !self.punct(after, '(') {
+                    self.kill_path(env, &p, out);
+                }
+            }
+        }
+    }
+
+    /// `f(…)?` kills tainted mentions in arguments the summary proves
+    /// validated.
+    fn validating_call_kills(
+        &self,
+        lo: usize,
+        hi: usize,
+        env: &mut Env,
+        out: &mut Option<&mut Outcome>,
+    ) {
+        for c in self.calls_in(lo, hi) {
+            if !self.punct(c.end, '?') {
+                continue;
+            }
+            let Some(s) = self.resolve(c.line, &c.name, c.dotted) else { continue };
+            for &vi in &s.validates {
+                if let Some(&(alo, ahi)) = c.args.get(vi) {
+                    for p in self.paths_in(alo, ahi) {
+                        self.kill_path(env, &p, out);
+                    }
+                }
+            }
+        }
+    }
+
+    // -- sinks -------------------------------------------------------------
+
+    fn emit(&self, o: &mut Outcome, line: u32, rule: &'static str, message: String) {
+        if o.report {
+            o.findings.push(Finding { file: self.file.to_owned(), line, rule, message });
+        }
+    }
+
+    fn record_sink(
+        &self,
+        o: &mut Outcome,
+        line: u32,
+        kind: &'static str,
+        expr: String,
+        tainted: bool,
+    ) {
+        if tainted {
+            o.sink_tainted = true;
+        }
+        if o.report {
+            o.sinks.push(SinkCheck { file: self.file.to_owned(), line, kind, expr, tainted });
+        }
+    }
+
+    fn check_sinks(&self, stmt: &Stmt, env: &Env, o: &mut Outcome) {
+        let (lo, hi) = (stmt.lo, stmt.hi);
+        for c in self.calls_in(lo, hi) {
+            let qualified = c.name_idx > lo
+                && (self.punct(c.name_idx - 1, '.') || self.punct(c.name_idx - 1, ':'));
+            if qualified && matches!(c.name.as_str(), "with_capacity" | "reserve" | "reserve_exact")
+            {
+                let Some(&(alo, ahi)) = c.args.first() else { continue };
+                let tainted = self.eval(alo, ahi, env).any();
+                self.record_sink(o, c.line, "alloc", self.render(alo, ahi), tainted);
+                if tainted {
+                    self.emit(
+                        o,
+                        c.line,
+                        rules::UNVALIDATED_WIRE_LENGTH,
+                        format!(
+                            "wire-derived length `{}` reaches {} without a dominating bounds \
+                             check",
+                            self.render(alo, ahi),
+                            c.name
+                        ),
+                    );
+                }
+                continue;
+            }
+            // Length-sink summaries: a tainted argument in a sink
+            // position is the same bug one call level up.
+            if let Some(s) = self.resolve(c.line, &c.name, c.dotted) {
+                for &si in &s.length_sinks {
+                    if let Some(&(alo, ahi)) = c.args.get(si) {
+                        if self.eval(alo, ahi, env).any() {
+                            self.record_sink(o, c.line, "call", self.render(alo, ahi), true);
+                            self.emit(
+                                o,
+                                c.line,
+                                rules::UNVALIDATED_WIRE_LENGTH,
+                                format!(
+                                    "tainted length `{}` flows into `{}`, which allocates from \
+                                     parameter #{} without a bounds check",
+                                    self.render(alo, ahi),
+                                    c.name,
+                                    si
+                                ),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        // `vec![elem; len]`
+        let mut j = lo;
+        while j < hi {
+            if self.toks[j].is_word("vec") && self.punct(j + 1, '!') && self.punct(j + 2, '[') {
+                let close = self.bal_fwd(j + 2, '[', ']');
+                let inner_hi = close.saturating_sub(1);
+                let mut k = j + 3;
+                let mut semi = None;
+                while k < inner_hi {
+                    if self.punct(k, '(') {
+                        k = self.bal_fwd(k, '(', ')');
+                    } else if self.punct(k, '[') {
+                        k = self.bal_fwd(k, '[', ']');
+                    } else if self.punct(k, '{') {
+                        k = self.bal_fwd(k, '{', '}');
+                    } else if self.punct(k, ';') {
+                        semi = Some(k);
+                        break;
+                    } else {
+                        k += 1;
+                    }
+                }
+                if let Some(semi) = semi {
+                    let tainted = self.eval(semi + 1, inner_hi, env).any();
+                    self.record_sink(
+                        o,
+                        self.line(j),
+                        "vec-macro",
+                        self.render(semi + 1, inner_hi),
+                        tainted,
+                    );
+                    if tainted {
+                        self.emit(
+                            o,
+                            self.line(j),
+                            rules::UNVALIDATED_WIRE_LENGTH,
+                            format!(
+                                "wire-derived length `{}` sizes a vec![…; n] without a \
+                                 dominating bounds check",
+                                self.render(semi + 1, inner_hi)
+                            ),
+                        );
+                    }
+                }
+                j = close;
+            } else {
+                j += 1;
+            }
+        }
+        // Slice indexing with a tainted index/bound.
+        let mut j = lo + 1;
+        while j < hi {
+            if self.punct(j, '[')
+                && (self.word(j - 1).is_some_and(|w| !is_keyword(w) && w != "vec")
+                    || self.punct(j - 1, ')')
+                    || self.punct(j - 1, ']'))
+            {
+                let close = self.bal_fwd(j, '[', ']');
+                let inner_hi = close.saturating_sub(1);
+                if j + 1 < inner_hi || (j + 1 == inner_hi && self.word(j + 1).is_some()) {
+                    let tainted = self.eval_soup(j + 1, inner_hi, env).any();
+                    if tainted {
+                        self.record_sink(
+                            o,
+                            self.line(j),
+                            "index",
+                            self.render(j + 1, inner_hi),
+                            true,
+                        );
+                        self.emit(
+                            o,
+                            self.line(j),
+                            rules::UNVALIDATED_WIRE_LENGTH,
+                            format!(
+                                "wire-derived index `{}` used in slice indexing without a \
+                                 dominating bounds check",
+                                self.render(j + 1, inner_hi)
+                            ),
+                        );
+                    }
+                }
+                j = close;
+            } else {
+                j += 1;
+            }
+        }
+        // Narrowing casts.
+        for j in lo..hi {
+            if !self.toks[j].is_word("as") {
+                continue;
+            }
+            let Some(target) = self.word(j + 1) else { continue };
+            if !NARROW_INTS.contains(&target) {
+                continue;
+            }
+            let olo = self.operand_start_back(j, lo);
+            if olo >= j {
+                continue;
+            }
+            if self.eval(olo, j, env).any() {
+                self.record_sink(o, self.line(j), "cast", self.render(olo, j + 2), true);
+                self.emit(
+                    o,
+                    self.line(j),
+                    rules::TAINTED_CAST_TRUNCATION,
+                    format!(
+                        "wire-derived value `{}` narrowed to {} with `as` — use try_into or a \
+                         dominating range check",
+                        self.render(olo, j),
+                        target
+                    ),
+                );
+            }
+        }
+    }
+
+    // -- gen: bindings and mutators ----------------------------------------
+
+    fn apply_binding(&self, env: &mut Env, targets: &[String], t: Taint) {
+        for w in targets {
+            env.kill(w);
+        }
+        match t {
+            Taint::Tainted => {
+                for w in targets {
+                    env.taint(w);
+                }
+            }
+            Taint::Fields(fs) => {
+                if targets.len() == 1 {
+                    for f in fs {
+                        env.taint(&format!("{}.{}", targets[0], f));
+                    }
+                } else if !fs.is_empty() {
+                    for w in targets {
+                        env.taint(w);
+                    }
+                }
+            }
+            Taint::Clean => {}
+        }
+    }
+
+    fn bindings(&self, lo: usize, hi: usize, env: &mut Env) {
+        if self.toks.get(lo).is_some_and(|t| t.is_word("let")) {
+            // `let <pattern>[: ty] = rhs` (covers `if let` / `while let`
+            // conditions too, whose spans start at `let`).
+            let mut pats: Vec<String> = Vec::new();
+            let mut saw_type = false;
+            let mut eq = None;
+            let mut k = lo + 1;
+            while k < hi {
+                if self.punct(k, '=') && !self.punct(k + 1, '=') {
+                    eq = Some(k);
+                    break;
+                }
+                if self.punct(k, ':') {
+                    if self.punct(k + 1, ':') {
+                        k += 2;
+                        continue;
+                    }
+                    saw_type = true;
+                    k += 1;
+                    continue;
+                }
+                if let Some(w) = self.word(k) {
+                    let first = w.chars().next().unwrap_or('_');
+                    if !saw_type
+                        && !is_keyword(w)
+                        && w != "_"
+                        && first.is_ascii_lowercase()
+                        && !first.is_ascii_digit()
+                    {
+                        pats.push(w.to_owned());
+                    }
+                }
+                k += 1;
+            }
+            match eq {
+                Some(eq) => {
+                    let t = self.eval(eq + 1, hi, env);
+                    self.apply_binding(env, &pats, t);
+                }
+                None => {
+                    for w in &pats {
+                        env.kill(w);
+                    }
+                }
+            }
+            return;
+        }
+        // Assignment to a path: `x.y = rhs` / `x += rhs`.
+        let mut k = lo;
+        while self.punct(k, '*') {
+            k += 1;
+        }
+        if let Some((path, after)) = self.path_starting_at(k, hi) {
+            if self.punct(after, '=') && !self.punct(after + 1, '=') {
+                let t = self.eval(after + 1, hi, env);
+                self.apply_binding(env, std::slice::from_ref(&path), t);
+            } else {
+                // Compound assignment (`+=`, `<<=`, …): old ∨ rhs.
+                const OPS: &[char] = &['+', '-', '*', '/', '%', '&', '|', '^', '<', '>'];
+                let mut rhs = None;
+                for n in 1..=2 {
+                    if (after..after + n).all(|i| {
+                        self.toks.get(i).is_some_and(
+                            |t| matches!(&t.tok, crate::lexer::Tok::Punct(c) if OPS.contains(c)),
+                        )
+                    }) && self.punct(after + n, '=')
+                        && !self.punct(after + n + 1, '=')
+                    {
+                        rhs = Some(after + n + 1);
+                        break;
+                    }
+                }
+                if let Some(rlo) = rhs {
+                    let was = env.tainted(&path);
+                    let t = self.eval(rlo, hi, env).join(Taint::of(was));
+                    self.apply_binding(env, std::slice::from_ref(&path), t);
+                }
+            }
+        }
+    }
+
+    /// Writes through well-known mutating methods: `dst.copy_from_slice
+    /// (src)` taints `dst` from `src`; `r.read_exact(&mut buf)` taints
+    /// `buf` from `r`.
+    fn mutator_methods(&self, lo: usize, hi: usize, env: &mut Env) {
+        for c in self.calls_in(lo, hi) {
+            if !c.dotted {
+                continue;
+            }
+            let to_recv = DEST_RECV.contains(&c.name.as_str());
+            let to_arg = DEST_ARG.contains(&c.name.as_str());
+            if !to_recv && !to_arg {
+                continue;
+            }
+            // The receiver path, dropping an index/slice suffix
+            // (`self.head[a..b].copy_from_slice(…)` writes `self.head`).
+            let rlo = self.operand_start_back(c.name_idx - 1, lo);
+            let Some((recv, _)) = self.path_starting_at(rlo, c.name_idx) else { continue };
+            if to_recv {
+                let arg_tainted = c
+                    .args
+                    .iter()
+                    .any(|&(alo, ahi)| self.paths_in(alo, ahi).iter().any(|p| env.tainted(p)));
+                if arg_tainted {
+                    env.taint(&recv);
+                }
+            } else if env.tainted(&recv) {
+                if let Some(&(alo, ahi)) = c.args.first() {
+                    if let Some(p) = self.paths_in(alo, ahi).first() {
+                        env.taint(p);
+                    }
+                }
+            }
+        }
+    }
+
+    // -- driving -----------------------------------------------------------
+
+    /// Fixpoint + optional sweep collecting an [`Outcome`].
+    fn analyze(&self, cfg: &Cfg, entry: Env, outcome: Option<&mut Outcome>) {
+        let states = dataflow::forward(cfg, entry, |stmt, env| self.transfer(stmt, env, None));
+        if let Some(o) = outcome {
+            for (bi, b) in cfg.blocks.iter().enumerate() {
+                let mut env = states[bi].clone();
+                for stmt in &b.stmts {
+                    self.transfer(stmt, &mut env, Some(o));
+                }
+            }
+        }
+    }
+
+    fn summarize(&self, item: &FnItem, cfg: &Cfg) -> Summary {
+        let mut sum = Summary::default();
+        let mut o = Outcome::default();
+        self.analyze(cfg, entry_env(item), Some(&mut o));
+        sum.ret = o.ret;
+        for (pi, (pname, _)) in item.params.iter().enumerate() {
+            let mut env = Env::default();
+            env.taint(pname);
+            let mut o = Outcome::default();
+            self.analyze(cfg, env, Some(&mut o));
+            if o.killed_roots.contains(pname) {
+                sum.validates.insert(pi);
+            }
+            if o.sink_tainted {
+                sum.length_sinks.insert(pi);
+            }
+        }
+        sum
+    }
+}
+
+// ---------------------------------------------------------------------------
+// fp-reduction-order
+// ---------------------------------------------------------------------------
+
+fn is_par_adapter(w: &str) -> bool {
+    w == "into_par_iter" || w == "par_bridge" || w.starts_with("par_")
+}
+
+fn float_evidence(toks: &[Token], lo: usize, hi: usize) -> bool {
+    for (off, t) in toks[lo..hi].iter().enumerate() {
+        let i = lo + off;
+        let Some(w) = t.word() else { continue };
+        if w == "f64" || w == "f32" || w.ends_with("f64") || w.ends_with("f32") {
+            return true;
+        }
+        // A float literal lexes as digits '.' digits.
+        if w.chars().next().is_some_and(|c| c.is_ascii_digit())
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('.'))
+            && toks
+                .get(i + 2)
+                .and_then(Token::word)
+                .is_some_and(|w2| w2.chars().next().is_some_and(|c| c.is_ascii_digit()))
+        {
+            return true;
+        }
+    }
+    false
+}
+
+/// Scans one statement for a parallel float reduction; returns the line
+/// of the offending reduction call.
+fn fp_reduction_in_stmt(toks: &[Token], stmt: &Stmt) -> Option<(u32, String)> {
+    let (lo, hi) = (stmt.lo, stmt.hi);
+    let par = (lo..hi).find(|&i| toks[i].word().is_some_and(is_par_adapter))?;
+    if !float_evidence(toks, lo, hi) {
+        return None;
+    }
+    let mut depth = 0i64;
+    let mut k = par + 1;
+    while k < hi {
+        if toks[k].is_punct('(') || toks[k].is_punct('[') || toks[k].is_punct('{') {
+            depth += 1;
+            k += 1;
+            continue;
+        }
+        if toks[k].is_punct(')') || toks[k].is_punct(']') || toks[k].is_punct('}') {
+            depth -= 1;
+            if depth < 0 {
+                break; // left the expression the par adapter lives in
+            }
+            k += 1;
+            continue;
+        }
+        if depth == 0 && toks[k].is_punct('.') {
+            if let Some(m) = toks.get(k + 1).and_then(Token::word) {
+                if m == "sum" || m == "product" {
+                    return Some((toks[k + 1].line, m.to_owned()));
+                }
+                if m == "reduce" || m == "fold" {
+                    // Find the argument list (skipping a turbofish).
+                    let mut t = k + 2;
+                    while t < hi && t < k + 14 && !toks[t].is_punct('(') {
+                        t += 1;
+                    }
+                    if t < hi && toks[t].is_punct('(') {
+                        let close = bal_simple(toks, t, hi);
+                        let associative = toks[t..close]
+                            .iter()
+                            .any(|tk| tk.word().is_some_and(|w| w == "max" || w == "min"));
+                        if associative {
+                            k = close;
+                            continue;
+                        }
+                        return Some((toks[k + 1].line, m.to_owned()));
+                    }
+                }
+            }
+        }
+        k += 1;
+    }
+    None
+}
+
+fn bal_simple(toks: &[Token], i: usize, hi: usize) -> usize {
+    let mut depth = 0i64;
+    let mut j = i;
+    while j < hi {
+        if toks[j].is_punct('(') {
+            depth += 1;
+        } else if toks[j].is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    j
+}
+
+// ---------------------------------------------------------------------------
+// Entry point
+// ---------------------------------------------------------------------------
+
+/// Runs the dataflow stage over the whole workspace: two summary passes
+/// through the call graph, then a reporting pass.
+pub fn check(files: &[SourceFile], graph: &Graph) -> (Vec<Finding>, DataflowReport) {
+    let toks_of: BTreeMap<&str, &[Token]> =
+        files.iter().map(|f| (f.rel.as_str(), f.lexed.tokens.as_slice())).collect();
+    let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for (i, n) in graph.nodes.iter().enumerate() {
+        by_name.entry(n.item.name.clone()).or_default().push(i);
+    }
+    // CFGs are reused across passes.
+    let cfgs: Vec<Option<Cfg>> = graph
+        .nodes
+        .iter()
+        .map(|n| {
+            let toks = toks_of.get(n.file.as_str())?;
+            let (blo, bhi) = n.item.body?;
+            Some(Cfg::build(toks, blo, bhi))
+        })
+        .collect();
+
+    let mut summaries = vec![Summary::default(); graph.nodes.len()];
+    for _pass in 0..2 {
+        let mut next = vec![Summary::default(); graph.nodes.len()];
+        for (idx, node) in graph.nodes.iter().enumerate() {
+            if node.item.is_test {
+                continue;
+            }
+            let (Some(toks), Some(cfg)) = (toks_of.get(node.file.as_str()), cfgs[idx].as_ref())
+            else {
+                continue;
+            };
+            let az = Analyzer {
+                toks,
+                file: &node.file,
+                edges: &graph.edges[idx],
+                graph,
+                summaries: &summaries,
+                by_name: &by_name,
+            };
+            next[idx] = az.summarize(&node.item, cfg);
+        }
+        summaries = next;
+    }
+
+    let mut findings = Vec::new();
+    let mut report = DataflowReport::default();
+    for (idx, node) in graph.nodes.iter().enumerate() {
+        let (Some(toks), Some(cfg)) = (toks_of.get(node.file.as_str()), cfgs[idx].as_ref()) else {
+            continue;
+        };
+        report.fns_analyzed += 1;
+        // Reduction-order rule: every fn (tests included) in FP dirs.
+        if FP_DIRS.iter().any(|d| node.file.starts_with(d)) {
+            let mut seen_lines = BTreeSet::new();
+            for stmt in cfg.all_stmts() {
+                if let Some((line, m)) = fp_reduction_in_stmt(toks, stmt) {
+                    if seen_lines.insert(line) {
+                        findings.push(Finding {
+                            file: node.file.clone(),
+                            line,
+                            rule: rules::FP_REDUCTION_ORDER,
+                            message: format!(
+                                "parallel float `.{m}(…)` — FP addition is non-associative, so \
+                                 the scheduler's reduction order changes the result; reduce \
+                                 with min/max or collect and fold sequentially"
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        if node.item.is_test {
+            continue;
+        }
+        let az = Analyzer {
+            toks,
+            file: &node.file,
+            edges: &graph.edges[idx],
+            graph,
+            summaries: &summaries,
+            by_name: &by_name,
+        };
+        let mut o = Outcome { report: true, ..Outcome::default() };
+        az.analyze(cfg, entry_env(&node.item), Some(&mut o));
+        findings.extend(o.findings);
+        report.sinks.extend(o.sinks);
+        let sum = &summaries[idx];
+        if !sum.is_trivial() {
+            let ret = match &sum.ret {
+                Taint::Clean => "clean".to_owned(),
+                Taint::Tainted => "tainted".to_owned(),
+                Taint::Fields(fs) => {
+                    format!("fields({})", fs.iter().cloned().collect::<Vec<_>>().join(","))
+                }
+            };
+            let v: Vec<String> = sum.validates.iter().map(|i| i.to_string()).collect();
+            let l: Vec<String> = sum.length_sinks.iter().map(|i| i.to_string()).collect();
+            report.summaries.push(format!(
+                "{}:{} {} validates[{}] length_sinks[{}] ret={}",
+                node.file,
+                node.item.line,
+                node.item.name,
+                v.join(","),
+                l.join(","),
+                ret
+            ));
+        }
+    }
+    (findings, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser;
+
+    fn run_in(rel: &str, src: &str) -> (Vec<Finding>, DataflowReport) {
+        let slugs = rules::rule_slugs();
+        let f = SourceFile::new(rel.to_owned(), src, &slugs);
+        let items = vec![parser::parse_file(&f)];
+        let graph = Graph::build(&items);
+        check(std::slice::from_ref(&f), &graph)
+    }
+
+    fn run(src: &str) -> (Vec<Finding>, DataflowReport) {
+        run_in("crates/x/src/lib.rs", src)
+    }
+
+    #[test]
+    fn seg_prefix_matches_whole_segments_only() {
+        assert!(seg_prefix("self.head", "self.head"));
+        assert!(seg_prefix("self.head", "self.head.x"));
+        assert!(!seg_prefix("self.head", "self.header"));
+        let mut env = Env::default();
+        env.taint("header.request_id");
+        assert!(env.tainted("header"));
+        assert!(env.tainted("header.request_id"));
+        assert!(!env.tainted("header.payload_len"));
+    }
+
+    #[test]
+    fn unchecked_wire_length_fires() {
+        let (f, _) = run("pub fn decode_msg(bytes: &[u8]) -> Vec<u8> {\n\
+                 let len = bytes[0] as usize;\n\
+                 let v = Vec::with_capacity(len);\n\
+                 v\n\
+             }\n");
+        assert!(
+            f.iter().any(|x| x.rule == rules::UNVALIDATED_WIRE_LENGTH && x.line == 3),
+            "expected a finding, got {f:?}"
+        );
+    }
+
+    #[test]
+    fn dominating_bounds_check_sanitizes() {
+        let (f, rep) = run("pub fn decode_msg(bytes: &[u8]) -> Vec<u8> {\n\
+                 let len = bytes[0] as usize;\n\
+                 if len > 64 { return Vec::new(); }\n\
+                 let v = Vec::with_capacity(len);\n\
+                 v\n\
+             }\n");
+        assert!(f.is_empty(), "expected clean, got {f:?}");
+        // The sink is still recorded — with a clean verdict.
+        assert!(rep.sinks.iter().any(|s| s.kind == "alloc" && !s.tainted));
+    }
+
+    #[test]
+    fn narrowing_cast_fires_and_range_check_sanitizes() {
+        let (f, _) = run("pub fn decode_val(raw: &[u8]) -> u16 {\n\
+                 let big = raw[0] as usize;\n\
+                 big as u16\n\
+             }\n");
+        assert!(f.iter().any(|x| x.rule == rules::TAINTED_CAST_TRUNCATION));
+        let (f, _) = run("pub fn decode_val(raw: &[u8]) -> u16 {\n\
+                 let big = raw[0] as usize;\n\
+                 if big > 65000 { return 0; }\n\
+                 big as u16\n\
+             }\n");
+        assert!(f.is_empty(), "range check should sanitize, got {f:?}");
+    }
+
+    #[test]
+    fn validating_callee_summary_kills_at_call_site() {
+        let (f, rep) = run("fn ensure(n: usize) -> Result<(), ()> {\n\
+                 if n > 1024 { return Err(()); }\n\
+                 Ok(())\n\
+             }\n\
+             pub fn decode_frame(buf: &[u8]) -> Result<Vec<u8>, ()> {\n\
+                 let len = buf[0] as usize;\n\
+                 ensure(len)?;\n\
+                 Ok(Vec::with_capacity(len))\n\
+             }\n");
+        assert!(f.is_empty(), "summary should prove the check, got {f:?}");
+        assert!(rep.summaries.iter().any(|s| s.contains("ensure") && s.contains("validates[0]")));
+    }
+
+    #[test]
+    fn length_sink_summary_flags_the_call_site() {
+        let (f, _) = run("fn alloc_for(n: usize) -> Vec<u8> {\n\
+                 Vec::with_capacity(n)\n\
+             }\n\
+             pub fn decode_blob(buf: &[u8]) -> Vec<u8> {\n\
+                 let len = buf[0] as usize;\n\
+                 alloc_for(len)\n\
+             }\n");
+        let hit = f
+            .iter()
+            .find(|x| x.rule == rules::UNVALIDATED_WIRE_LENGTH && x.line == 6)
+            .unwrap_or_else(|| panic!("expected a call-site finding, got {f:?}"));
+        assert!(hit.message.contains("alloc_for"));
+    }
+
+    #[test]
+    fn struct_field_taint_is_per_field() {
+        let src = "pub struct Hdr { pub id: u64, pub len: u32 }\n\
+             fn read_id(b: &[u8]) -> u64 { b[0] as u64 }\n\
+             pub fn decode_hdr(b: &[u8]) -> Hdr {\n\
+                 let id = read_id(b);\n\
+                 let mut len = b[1] as u32;\n\
+                 if len > 64 { len = 64; }\n\
+                 Hdr { id, len }\n\
+             }\n\
+             pub fn use_len(b: &[u8]) -> Vec<u8> {\n\
+                 let h = decode_hdr(b);\n\
+                 Vec::with_capacity(h.len as usize)\n\
+             }\n\
+             pub fn use_id(b: &[u8]) -> Vec<u8> {\n\
+                 let h = decode_hdr(b);\n\
+                 Vec::with_capacity(h.id as usize)\n\
+             }\n";
+        let (f, _) = run(src);
+        assert!(
+            !f.iter().any(|x| x.line == 11),
+            "validated field must stay clean at use sites, got {f:?}"
+        );
+        assert!(
+            f.iter().any(|x| x.rule == rules::UNVALIDATED_WIRE_LENGTH && x.line == 15),
+            "unvalidated field must flag, got {f:?}"
+        );
+    }
+
+    #[test]
+    fn read_exact_transfers_taint_to_the_buffer() {
+        let (f, _) = run("pub fn read_frame(r: &mut impl Read) -> Vec<u8> {\n\
+                 let mut head = [0u8; 4];\n\
+                 r.read_exact(&mut head).unwrap();\n\
+                 let n = head[0] as usize;\n\
+                 vec![0u8; n]\n\
+             }\n");
+        assert!(
+            f.iter().any(|x| x.rule == rules::UNVALIDATED_WIRE_LENGTH && x.line == 5),
+            "vec! with reader-derived length must flag, got {f:?}"
+        );
+    }
+
+    #[test]
+    fn parallel_float_reduction_fires_and_max_is_exempt() {
+        let src = "pub fn total(xs: &[f64]) -> f64 {\n\
+                 xs.par_iter().map(|x| x * 2.0).sum()\n\
+             }\n\
+             pub fn maxi(xs: &[f64]) -> f64 {\n\
+                 xs.par_iter().cloned().reduce(|| 0.0, f64::max)\n\
+             }\n\
+             pub fn seq(xs: &[f64]) -> f64 {\n\
+                 xs.iter().sum()\n\
+             }\n";
+        let (f, _) = run_in("crates/core/src/lib.rs", src);
+        let fp: Vec<_> = f.iter().filter(|x| x.rule == rules::FP_REDUCTION_ORDER).collect();
+        assert_eq!(fp.len(), 1, "exactly the par sum, got {fp:?}");
+        assert_eq!(fp[0].line, 2);
+        // Outside the determinism dirs the rule stays silent.
+        let (f, _) = run_in("crates/lint/src/lib.rs", src);
+        assert!(f.iter().all(|x| x.rule != rules::FP_REDUCTION_ORDER));
+    }
+
+    #[test]
+    fn inner_sequential_sum_inside_par_closure_is_exempt() {
+        let src = "pub fn residual(rows: &[Vec<f64>]) -> f64 {\n\
+                 rows.par_iter().map(|r| r.iter().map(|x| x * 1.0).sum::<f64>()).reduce(|| 0.0, \
+             f64::max)\n\
+             }\n";
+        let (f, _) = run_in("crates/solver/src/lib.rs", src);
+        assert!(f.iter().all(|x| x.rule != rules::FP_REDUCTION_ORDER), "got {f:?}");
+    }
+
+    #[test]
+    fn try_into_on_integer_is_clean_but_cast_is_not_shielded_by_calls() {
+        let (f, _) = run("pub fn decode_n(b: &[u8]) -> u32 {\n\
+                 let big = b[0] as usize;\n\
+                 u32::try_from(big).unwrap_or(0)\n\
+             }\n");
+        assert!(f.is_empty(), "try_from is a checked conversion, got {f:?}");
+    }
+
+    #[test]
+    fn report_json_renders() {
+        let (_, rep) = run("pub fn decode_msg(bytes: &[u8]) -> Vec<u8> {\n\
+                 let len = bytes[0] as usize;\n\
+                 Vec::with_capacity(len)\n\
+             }\n");
+        let json = rep.to_json();
+        assert!(json.contains("\"sinks\""));
+        assert!(json.contains("\"tainted\": true"));
+    }
+}

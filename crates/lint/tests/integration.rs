@@ -404,6 +404,119 @@ fn missing_manifest_fires() {
     assert!(report.findings[0].file == "WIRE_TAGS.manifest");
 }
 
+// ---- unvalidated-wire-length ---------------------------------------------
+
+#[test]
+fn wire_length_reaching_alloc_unchecked_fires_and_pragma_suppresses() {
+    let root = scratch("taint-len");
+    seed_wire_baseline(&root);
+    put(
+        &root,
+        "crates/solver/src/codec.rs",
+        "pub fn decode_msg(bytes: &[u8]) -> Vec<u8> {\n\
+             let len = bytes[0] as usize;\n\
+             let v = Vec::with_capacity(len);\n\
+             v\n\
+         }\n",
+    );
+    let report = lint(&root);
+    assert_eq!(rules_of(&report), vec!["unvalidated-wire-length"]);
+    assert_eq!(report.findings[0].line, 3);
+
+    put(
+        &root,
+        "crates/solver/src/codec.rs",
+        "pub fn decode_msg(bytes: &[u8]) -> Vec<u8> {\n\
+             let len = bytes[0] as usize;\n\
+             // Bounded by the one-byte read above: max 255 elements.\n\
+             // pasco-lint: allow(unvalidated-wire-length)\n\
+             let v = Vec::with_capacity(len);\n\
+             v\n\
+         }\n",
+    );
+    let report = lint(&root);
+    assert!(report.is_clean(), "{}", report.to_human());
+    assert_eq!(report.suppressed.len(), 1);
+}
+
+#[test]
+fn wire_length_behind_dominating_bounds_check_is_fine() {
+    let root = scratch("taint-len-clean");
+    seed_wire_baseline(&root);
+    put(
+        &root,
+        "crates/solver/src/codec.rs",
+        "pub fn decode_msg(bytes: &[u8], max: usize) -> Vec<u8> {\n\
+             let len = bytes[0] as usize;\n\
+             if len > max {\n\
+                 return Vec::new();\n\
+             }\n\
+             let v = Vec::with_capacity(len);\n\
+             v\n\
+         }\n",
+    );
+    assert!(lint(&root).is_clean(), "{}", lint(&root).to_human());
+}
+
+// ---- tainted-cast-truncation ---------------------------------------------
+
+#[test]
+fn narrowing_cast_of_wire_value_fires_try_from_is_fine() {
+    let root = scratch("taint-cast");
+    seed_wire_baseline(&root);
+    put(
+        &root,
+        "crates/solver/src/codec.rs",
+        "pub fn decode_id(bytes: &[u8]) -> u16 {\n\
+             let wide = bytes[0];\n\
+             wide as u16\n\
+         }\n",
+    );
+    let report = lint(&root);
+    assert_eq!(rules_of(&report), vec!["tainted-cast-truncation"]);
+    assert_eq!(report.findings[0].line, 3);
+
+    put(
+        &root,
+        "crates/solver/src/codec.rs",
+        "pub fn decode_id(bytes: &[u8]) -> u16 {\n\
+             let wide = bytes[0];\n\
+             u16::try_from(wide).unwrap_or(0)\n\
+         }\n",
+    );
+    assert!(lint(&root).is_clean(), "{}", lint(&root).to_human());
+}
+
+// ---- fp-reduction-order --------------------------------------------------
+
+#[test]
+fn parallel_float_sum_fires_sequential_and_minmax_are_fine() {
+    let root = scratch("fp-order");
+    seed_wire_baseline(&root);
+    put(
+        &root,
+        "crates/graph/src/score.rs",
+        "pub fn total(xs: &[f64]) -> f64 {\n\
+             xs.par_iter().map(|x| x * 2.0).sum()\n\
+         }\n",
+    );
+    let report = lint(&root);
+    assert_eq!(rules_of(&report), vec!["fp-reduction-order"]);
+    assert_eq!(report.findings[0].line, 2);
+
+    put(
+        &root,
+        "crates/graph/src/score.rs",
+        "pub fn total(xs: &[f64]) -> f64 {\n\
+             xs.iter().sum()\n\
+         }\n\
+         pub fn peak(xs: &[f64]) -> f64 {\n\
+             xs.par_iter().copied().reduce(|| f64::MIN, f64::max)\n\
+         }\n",
+    );
+    assert!(lint(&root).is_clean(), "{}", lint(&root).to_human());
+}
+
 // ---- self-hosting --------------------------------------------------------
 
 /// The gate CI enforces: the workspace at `HEAD` must be `--deny-all`
@@ -415,10 +528,33 @@ fn real_workspace_is_deny_all_clean_at_head() {
     let start = Path::new(env!("CARGO_MANIFEST_DIR"));
     let root = find_workspace_root(start.parent().unwrap().parent().unwrap())
         .expect("workspace root above crates/lint");
-    let report = run_workspace(&root).unwrap();
+    let (report, _, _, dataflow) =
+        pasco_lint::engine::run_workspace_full(&root, pasco_lint::engine::Options::default())
+            .unwrap();
     assert!(report.is_clean(), "workspace lint regressions:\n{}", report.to_human());
     assert!(report.files_scanned > 50, "walked only {} files", report.files_scanned);
     assert!(!report.suppressed.is_empty(), "expected at least one justified pragma in-tree");
+
+    // The three dataflow rules are registered.
+    let slugs = pasco_lint::rules::rule_slugs();
+    for slug in ["unvalidated-wire-length", "tainted-cast-truncation", "fp-reduction-order"] {
+        assert!(slugs.contains(&slug), "`{slug}` missing from the rule table");
+    }
+
+    // The marquee proof obligation: the frame-payload preallocation in
+    // the transport (`Vec::with_capacity(header.payload_len as usize)`)
+    // is *checked* — the sink is recorded, and the analysis proves the
+    // oversize guard dominates it (tainted = false). A clean report
+    // alone can't distinguish "proved safe" from "never looked".
+    let payload_alloc = dataflow
+        .sinks
+        .iter()
+        .find(|s| {
+            s.file.contains("transport") && s.kind == "alloc" && s.expr.contains("payload_len")
+        })
+        .expect("transport payload_len alloc sink missing from the dataflow report");
+    assert!(!payload_alloc.tainted, "transport payload alloc no longer proves clean");
+    assert!(dataflow.fns_analyzed > 500, "dataflow walked only {} fns", dataflow.fns_analyzed);
 }
 
 /// Every `FrameKind` variant declared in the real envelope module is
