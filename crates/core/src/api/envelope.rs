@@ -123,6 +123,14 @@ pub enum FrameKind {
     /// payload); the worker echoes the kind back with a
     /// [`super::worker::WorkerStats`] payload.
     WorkerStats = 11,
+    /// Coordinator → worker: map an on-disk shard store in place
+    /// ([`super::worker::LoadStore`]) instead of receiving partitions
+    /// over the wire; the worker echoes the kind back with a
+    /// [`super::worker::LoadAck`] payload. Requires the store directory
+    /// to be reachable on the worker's filesystem (shared storage or a
+    /// prior copy) — the whole point is that the `O(E)` adjacency bytes
+    /// never cross the wire.
+    LoadStore = 12,
 }
 
 impl FrameKind {
@@ -140,6 +148,7 @@ impl FrameKind {
             9 => FrameKind::ShardQuery,
             10 => FrameKind::ShardTopK,
             11 => FrameKind::WorkerStats,
+            12 => FrameKind::LoadStore,
             _ => return None,
         })
     }
@@ -536,12 +545,12 @@ mod tests {
 
     #[test]
     fn golden_worker_frames() {
-        // The worker-control kinds 7–11. Payloads are opaque at the
+        // The worker-control kinds 7–12. Payloads are opaque at the
         // envelope layer (their codecs are pinned by `api::worker`
         // round-trip tests), so these fixtures pin what matters here:
         // the kind-byte assignment of each variant, which is wire
         // surface that may never be renumbered (see WIRE_TAGS.manifest).
-        let cases: [(FrameKind, u64, &str); 5] = [
+        let cases: [(FrameKind, u64, &str); 6] = [
             (
                 FrameKind::LoadPartition,
                 1,
@@ -566,6 +575,11 @@ mod tests {
                 FrameKind::WorkerStats,
                 5,
                 "50 53 43 4f 01 00 0b 00 05 00 00 00 00 00 00 00 00 00 00 00",
+            ),
+            (
+                FrameKind::LoadStore,
+                6,
+                "50 53 43 4f 01 00 0c 00 06 00 00 00 00 00 00 00 00 00 00 00",
             ),
         ];
         for (kind, id, fixture) in cases {

@@ -161,6 +161,14 @@ pub enum QueryError {
         /// closed"`.
         detail: String,
     },
+    /// The query kind is not supported on this execution substrate —
+    /// e.g. forward-push MCSS needs the resident CSR graph and cannot
+    /// run over a mapped store. Ask a different substrate (or a
+    /// supported kind); nothing is wrong with the index.
+    Unsupported {
+        /// What was asked and why this substrate cannot serve it.
+        detail: String,
+    },
 }
 
 impl fmt::Display for QueryError {
@@ -178,6 +186,9 @@ impl fmt::Display for QueryError {
             }
             QueryError::WorkerUnavailable { detail } => {
                 write!(f, "distributed worker unavailable: {detail}")
+            }
+            QueryError::Unsupported { detail } => {
+                write!(f, "unsupported on this substrate: {detail}")
             }
         }
     }
@@ -285,7 +296,7 @@ impl QueryService for CloudWalker {
     /// simulated fresh. Numerically identical to the direct checked
     /// methods ([`CloudWalker::try_single_pair`] and friends).
     fn execute(&self, req: QueryRequest) -> Result<QueryResponse, QueryError> {
-        req.validate(self.graph().node_count())?;
+        req.validate(CloudWalker::node_count(self))?;
         Ok(match req {
             QueryRequest::SinglePair { i, j } => QueryResponse::Score(self.try_single_pair(i, j)?),
             QueryRequest::SingleSource { i } => QueryResponse::Scores(self.try_single_source(i)?),
@@ -310,7 +321,7 @@ impl QueryService for CloudWalker {
     }
 
     fn node_count(&self) -> u32 {
-        self.graph().node_count()
+        CloudWalker::node_count(self)
     }
 }
 
@@ -320,7 +331,7 @@ impl QueryService for QuerySession {
     /// out to the shared engine. Answers are bitwise identical to the
     /// [`CloudWalker`] adapter's (caching only removes re-simulation).
     fn execute(&self, req: QueryRequest) -> Result<QueryResponse, QueryError> {
-        req.validate(self.walker().graph().node_count())?;
+        req.validate(self.walker().node_count())?;
         Ok(match req {
             QueryRequest::SinglePair { i, j } => QueryResponse::Score(self.try_single_pair(i, j)?),
             QueryRequest::SingleSource { i } => {
@@ -343,7 +354,7 @@ impl QueryService for QuerySession {
     }
 
     fn node_count(&self) -> u32 {
-        self.walker().graph().node_count()
+        self.walker().node_count()
     }
 }
 

@@ -468,6 +468,7 @@ const ERR_EMPTY_NODE_SET: u8 = 3;
 const ERR_NESTED_BATCH: u8 = 4;
 const ERR_RESPONSE_TOO_LARGE: u8 = 5;
 const ERR_WORKER_UNAVAILABLE: u8 = 6;
+const ERR_UNSUPPORTED: u8 = 7;
 
 impl WireCodec for QueryError {
     fn encode(&self, buf: &mut impl BufMut) {
@@ -493,6 +494,10 @@ impl WireCodec for QueryError {
                 buf.put_u8(ERR_WORKER_UNAVAILABLE);
                 encode_str(detail, buf);
             }
+            QueryError::Unsupported { detail } => {
+                buf.put_u8(ERR_UNSUPPORTED);
+                encode_str(detail, buf);
+            }
         }
     }
 
@@ -514,6 +519,7 @@ impl WireCodec for QueryError {
             ERR_WORKER_UNAVAILABLE => {
                 QueryError::WorkerUnavailable { detail: decode_str(buf, WHAT)? }
             }
+            ERR_UNSUPPORTED => QueryError::Unsupported { detail: decode_str(buf, WHAT)? },
             tag => return Err(WireError::UnknownTag { decoding: WHAT, tag }),
         })
     }
@@ -525,6 +531,7 @@ impl WireCodec for QueryError {
             QueryError::EmptyBatch | QueryError::EmptyNodeSet | QueryError::NestedBatch => 0,
             QueryError::ResponseTooLarge { .. } => 12,
             QueryError::WorkerUnavailable { detail } => 4 + detail.len(),
+            QueryError::Unsupported { detail } => 4 + detail.len(),
         }
     }
 }
@@ -578,6 +585,8 @@ mod tests {
         roundtrip(QueryError::EmptyNodeSet);
         roundtrip(QueryError::NestedBatch);
         roundtrip(QueryError::ResponseTooLarge { bytes: u64::MAX, max_frame: 1 << 20 });
+        roundtrip(QueryError::WorkerUnavailable { detail: "worker 3: link down".into() });
+        roundtrip(QueryError::Unsupported { detail: "push MCSS needs the resident CSR".into() });
     }
 
     #[test]

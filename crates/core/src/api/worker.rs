@@ -15,6 +15,7 @@
 //! | `ShardQuery` | [`ShardQuery`] | [`super::QueryResponse`] |
 //! | `ShardTopK` | [`ShardTopK`] | [`ShardTopKReply`] |
 //! | `WorkerStats` | *(empty)* | [`WorkerStats`] |
+//! | `LoadStore` | [`LoadStore`] | [`LoadAck`] |
 //!
 //! A failed request comes back as a [`FrameKind::Error`] frame carrying
 //! a [`super::QueryError`] — same contract as the query protocol.
@@ -30,8 +31,8 @@
 //! [`FrameKind::Error`]: super::envelope::FrameKind::Error
 
 use super::wire::{
-    self, decode_ranked, decode_scores, encode_ranked, encode_scores, read_f64, read_len, read_u32,
-    read_u64, read_u8, WireCodec, WireError,
+    self, decode_ranked, decode_scores, decode_str, encode_ranked, encode_scores, encode_str,
+    read_f64, read_len, read_u32, read_u64, read_u8, WireCodec, WireError,
 };
 use crate::config::{AiStrategy, SimRankConfig};
 use bytes::{Buf, BufMut};
@@ -293,6 +294,40 @@ impl WireCodec for LoadPartition {
 
     fn encoded_len(&self) -> usize {
         16 + self.partition.encoded_len()
+    }
+}
+
+/// Out-of-core provisioning: instead of receiving `parts` partitions
+/// over the wire, the worker maps the named store directory in place
+/// (one `PASCOSH1` shard file per partition) and serves straight from
+/// the page cache. The directory must be reachable on the *worker's*
+/// filesystem — shared storage, or a store copied there beforehand —
+/// which is exactly the point: a few dozen bytes of path replace the
+/// `O(E)` adjacency shuffle, and the store's on-disk diagonal index
+/// rides along for free. Acknowledged with a [`LoadAck`] whose
+/// `resident_bytes` reports *mapped* (lazily paged) bytes and whose
+/// `loaded` jumps straight to `parts`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LoadStore {
+    /// Path of the store directory on the worker's filesystem.
+    pub dir: String,
+    /// The partition index whose sources this worker serves.
+    pub owned_part: u32,
+}
+
+impl WireCodec for LoadStore {
+    fn encode(&self, buf: &mut impl BufMut) {
+        encode_str(&self.dir, buf);
+        buf.put_u32_le(self.owned_part);
+    }
+
+    fn decode(buf: &mut impl Buf) -> Result<Self, WireError> {
+        const WHAT: &str = "LoadStore";
+        Ok(LoadStore { dir: decode_str(buf, WHAT)?, owned_part: read_u32(buf, WHAT)? })
+    }
+
+    fn encoded_len(&self) -> usize {
+        8 + self.dir.len()
     }
 }
 
@@ -659,6 +694,8 @@ mod tests {
             partition: sample_partition(),
         });
         roundtrip(LoadAck { resident_bytes: 1 << 40, loaded: 2 });
+        roundtrip(LoadStore { dir: "/mnt/shared/stores/web-graph".into(), owned_part: 3 });
+        roundtrip(LoadStore { dir: String::new(), owned_part: 0 });
         roundtrip(BuildShard { cfg });
         roundtrip(BuildShard { cfg: cfg.with_ai_strategy(AiStrategy::Recompute) });
         roundtrip(BuildShardReply {

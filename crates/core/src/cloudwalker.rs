@@ -6,6 +6,7 @@ use crate::diag::DiagonalIndex;
 use crate::engine::broadcast::BroadcastEngine;
 use crate::engine::distributed::DistributedEngine;
 use crate::engine::local::LocalEngine;
+use crate::engine::mapped::MappedEngine;
 use crate::engine::rdd::RddEngine;
 use crate::engine::sharded::ShardedEngine;
 use crate::engine::{ExecMode, SimRankEngine};
@@ -13,7 +14,9 @@ use crate::error::SimRankError;
 use crate::queries;
 use pasco_cluster::ClusterReport;
 use pasco_graph::{CsrGraph, NodeId, ReverseChainIndex};
+use pasco_store::MappedStore;
 use rayon::prelude::*;
+use std::path::Path;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -48,11 +51,38 @@ pub struct IndexBuildStats {
 /// assert!((0.0..=1.0).contains(&s));
 /// ```
 pub struct CloudWalker {
-    graph: Arc<CsrGraph>,
-    rci: Arc<ReverseChainIndex>,
+    backing: GraphBacking,
     cfg: SimRankConfig,
     diag: DiagonalIndex,
     engine: Box<dyn SimRankEngine>,
+}
+
+/// What the walker holds for adjacency: a resident CSR graph (plus the
+/// reverse-chain sampling index the in-memory engines share) or a
+/// zero-copy mapped `PASCOSH1` shard store with no resident adjacency at
+/// all. Query paths never match on this — they go through the engine —
+/// only the resident-specific surfaces (`graph()`, the deterministic-push
+/// ablation, `save_store`) do.
+enum GraphBacking {
+    /// The graph lives in memory; every [`ExecMode`] engine is available.
+    Resident {
+        /// The indexed graph.
+        graph: Arc<CsrGraph>,
+        /// The reverse-chain sampling index shared with the engine.
+        rci: Arc<ReverseChainIndex>,
+    },
+    /// Adjacency stays on disk behind the kernel page cache; walks read
+    /// the mapped shards directly ([`CloudWalker::open_store`]).
+    Mapped(Arc<MappedStore>),
+}
+
+impl GraphBacking {
+    fn node_count(&self) -> u32 {
+        match self {
+            GraphBacking::Resident { graph, .. } => graph.node_count(),
+            GraphBacking::Mapped(store) => store.node_count(),
+        }
+    }
 }
 
 impl CloudWalker {
@@ -87,7 +117,77 @@ impl CloudWalker {
             rows_bytes: out.rows_bytes,
             cluster: out.cluster,
         };
-        Ok((Self { graph, rci, cfg, diag: out.diag, engine }, stats))
+        Ok((
+            Self { backing: GraphBacking::Resident { graph, rci }, cfg, diag: out.diag, engine },
+            stats,
+        ))
+    }
+
+    /// Opens a [`pasco_store`] shard directory (written by
+    /// [`CloudWalker::save_store`] or `pasco save-store`) for out-of-core
+    /// querying: the adjacency stays on disk behind the kernel page cache,
+    /// the persisted diagonal is composed straight from the mapped shards,
+    /// and no CSR graph or reverse-chain index is rebuilt — restart cost
+    /// is `O(headers + offset spines)`, independent of edge count.
+    ///
+    /// Queries run on the [`MappedEngine`] and are bit-identical to a
+    /// resident walker built from the same graph, diagonal and config,
+    /// except the deterministic-push ablation
+    /// ([`CloudWalker::try_single_source_push`]), which needs the resident
+    /// CSR and reports [`QueryError::Unsupported`].
+    pub fn open_store(dir: impl AsRef<Path>, cfg: SimRankConfig) -> Result<Self, SimRankError> {
+        cfg.validate()?;
+        let store = Arc::new(MappedStore::open(dir)?);
+        let diag = store_diag(&store)?;
+        let engine: Box<dyn SimRankEngine> = Box::new(MappedEngine::new(Arc::clone(&store)));
+        Ok(Self { backing: GraphBacking::Mapped(store), cfg, diag, engine })
+    }
+
+    /// [`CloudWalker::open_store`] served by real `pasco worker`
+    /// processes: each worker maps its own shard of `dir` (the directory
+    /// must be reachable at the same path on every worker host — a shared
+    /// or replicated filesystem), so provisioning ships one path string
+    /// per worker instead of `O(E)` partition bytes, and the diagonal
+    /// never crosses the wire at all.
+    ///
+    /// Needs at least [`MappedStore::parts`] worker addresses — shards
+    /// are files, so the store's partition count is fixed at save time.
+    pub fn open_store_distributed(
+        dir: impl AsRef<Path>,
+        cfg: SimRankConfig,
+        workers: &[String],
+    ) -> Result<Self, SimRankError> {
+        cfg.validate()?;
+        let store = Arc::new(MappedStore::open(dir)?);
+        let diag = store_diag(&store)?;
+        let engine: Box<dyn SimRankEngine> =
+            Box::new(DistributedEngine::connect_store(&store, workers)?);
+        Ok(Self { backing: GraphBacking::Mapped(store), cfg, diag, engine })
+    }
+
+    /// Persists this walker's graph and diagonal as a [`pasco_store`]
+    /// shard directory with `parts` range-partitioned shards — the
+    /// out-of-core dual of [`crate::persist::save_index`]. Reopen with
+    /// [`CloudWalker::open_store`] (or serve it fleet-wide with
+    /// [`CloudWalker::open_store_distributed`]).
+    ///
+    /// Only a resident walker can save a store; a mapped walker *is* the
+    /// store directory already, so asking it to save reports
+    /// [`SimRankError::InvalidConfig`] pointing at the existing directory.
+    pub fn save_store(&self, dir: impl AsRef<Path>, parts: u32) -> Result<(), SimRankError> {
+        if parts == 0 {
+            return Err(SimRankError::InvalidConfig("store needs at least one shard".into()));
+        }
+        match &self.backing {
+            GraphBacking::Resident { graph, .. } => {
+                pasco_store::write_store(dir, graph, self.diag.as_slice(), parts)?;
+                Ok(())
+            }
+            GraphBacking::Mapped(store) => Err(SimRankError::InvalidConfig(format!(
+                "walker is already backed by the store at {}; copy that directory instead",
+                store.dir().display()
+            ))),
+        }
     }
 
     /// Wraps a previously computed (e.g. [`crate::persist::load_index`]ed)
@@ -120,7 +220,7 @@ impl CloudWalker {
         }
         let rci = Arc::new(ReverseChainIndex::build(&graph));
         let engine = make_engine(mode, &graph, &rci)?;
-        Ok(Self { graph, rci, cfg, diag, engine })
+        Ok(Self { backing: GraphBacking::Resident { graph, rci }, cfg, diag, engine })
     }
 
     /// MCSP — similarity of one node pair, `O(T·R′)`. Estimates are
@@ -179,10 +279,20 @@ impl CloudWalker {
 
     /// The deterministic-push variant of MCSS (ablation A1); local
     /// execution regardless of mode. Fails with
-    /// [`QueryError::NodeOutOfRange`] on a bad node.
+    /// [`QueryError::NodeOutOfRange`] on a bad node and with
+    /// [`QueryError::Unsupported`] on a store-backed walker — forward
+    /// push traverses the whole residual frontier through the resident
+    /// CSR graph, which a mapped store deliberately does not build.
     pub fn try_single_source_push(&self, i: NodeId) -> Result<Vec<f64>, QueryError> {
         self.check_node(i)?;
-        let mut out = queries::single_source_push(&self.graph, self.diag.as_slice(), &self.cfg, i);
+        let GraphBacking::Resident { graph, .. } = &self.backing else {
+            return Err(QueryError::Unsupported {
+                detail: "single-source push needs the resident CSR graph; a mapped store \
+                         serves only the Monte-Carlo query paths"
+                    .into(),
+            });
+        };
+        let mut out = queries::single_source_push(graph, self.diag.as_slice(), &self.cfg, i);
         for v in &mut out {
             *v = v.clamp(0.0, 1.0);
         }
@@ -247,7 +357,7 @@ impl CloudWalker {
     /// checked queries are the fault-tolerant surface.
     pub fn all_pairs_topk(&self, k: usize) -> Vec<Vec<(NodeId, f64)>> {
         let diag = self.diag.as_slice();
-        (0..self.graph.node_count())
+        (0..self.node_count())
             .into_par_iter()
             .map(|i| {
                 self.engine
@@ -267,18 +377,46 @@ impl CloudWalker {
         &self.cfg
     }
 
-    /// The indexed graph.
-    pub fn graph(&self) -> &Arc<CsrGraph> {
-        &self.graph
+    /// Number of nodes in the indexed graph — available on every backing
+    /// (a store-backed walker has no resident graph to ask).
+    pub fn node_count(&self) -> u32 {
+        self.backing.node_count()
     }
 
-    /// The reverse-chain sampling index shared with the engine.
-    pub fn reverse_chain_index(&self) -> &Arc<ReverseChainIndex> {
-        &self.rci
+    /// The indexed graph, when resident in memory; `None` on a
+    /// store-backed walker ([`CloudWalker::open_store`]), which keeps no
+    /// CSR graph at all. Use [`CloudWalker::node_count`] for the node
+    /// count — it never depends on the backing.
+    pub fn graph(&self) -> Option<&Arc<CsrGraph>> {
+        match &self.backing {
+            GraphBacking::Resident { graph, .. } => Some(graph),
+            GraphBacking::Mapped(_) => None,
+        }
+    }
+
+    /// The reverse-chain sampling index shared with the engine; `None`
+    /// on a store-backed walker (mapped shards sample from the on-disk
+    /// cumulative-outflow arrays instead).
+    pub fn reverse_chain_index(&self) -> Option<&Arc<ReverseChainIndex>> {
+        match &self.backing {
+            GraphBacking::Resident { rci, .. } => Some(rci),
+            GraphBacking::Mapped(_) => None,
+        }
+    }
+
+    /// The mapped shard store backing this walker, if it was opened with
+    /// [`CloudWalker::open_store`] or
+    /// [`CloudWalker::open_store_distributed`]; `None` on resident
+    /// backings.
+    pub fn store(&self) -> Option<&Arc<MappedStore>> {
+        match &self.backing {
+            GraphBacking::Resident { .. } => None,
+            GraphBacking::Mapped(store) => Some(store),
+        }
     }
 
     /// The engine's substrate name (`"local"`, `"sharded"`, `"broadcast"`,
-    /// `"rdd"`, `"distributed"`).
+    /// `"rdd"`, `"distributed"`, `"mapped"`).
     pub fn mode_name(&self) -> &'static str {
         self.engine.name()
     }
@@ -316,8 +454,26 @@ impl CloudWalker {
 
     #[inline]
     fn check_node(&self, v: NodeId) -> Result<(), QueryError> {
-        crate::api::check_node(v, self.graph.node_count())
+        crate::api::check_node(v, self.node_count())
     }
+}
+
+/// Composes and sanity-checks the persisted diagonal of a mapped store:
+/// a store with no nodes cannot be queried, and a non-finite entry means
+/// the file was not written by a finished CloudWalker build (the solver
+/// only ever produces finite diagonals), so the open is refused with a
+/// typed error rather than letting NaN poison every later estimate.
+fn store_diag(store: &MappedStore) -> Result<DiagonalIndex, SimRankError> {
+    if store.node_count() == 0 {
+        return Err(SimRankError::BadIndex("store covers a graph with no nodes".into()));
+    }
+    let diag = store.compose_diag();
+    if let Some(v) = diag.iter().find(|v| !v.is_finite()) {
+        return Err(SimRankError::BadIndex(format!(
+            "store diagonal holds a non-finite entry ({v})"
+        )));
+    }
+    Ok(DiagonalIndex::new(diag))
 }
 
 /// The one place execution modes are matched: engine construction, shared
@@ -355,9 +511,13 @@ fn make_engine(
 
 impl std::fmt::Debug for CloudWalker {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let edges = match &self.backing {
+            GraphBacking::Resident { graph, .. } => graph.edge_count(),
+            GraphBacking::Mapped(store) => store.edge_count(),
+        };
         f.debug_struct("CloudWalker")
-            .field("nodes", &self.graph.node_count())
-            .field("edges", &self.graph.edge_count())
+            .field("nodes", &self.node_count())
+            .field("edges", &edges)
             .field("cfg", &self.cfg)
             .field("mode", &self.engine.name())
             .finish_non_exhaustive()
@@ -433,6 +593,49 @@ mod tests {
         assert_eq!(cw.try_single_pair(0, 2).unwrap(), cw.single_pair(0, 2));
         assert_eq!(cw.try_single_source_topk(0, 2).unwrap(), cw.single_source_topk(0, 2));
         assert_eq!(cw.single_source_topk(0, 0), Vec::new());
+    }
+
+    #[test]
+    fn store_roundtrip_preserves_every_query() {
+        let dir = std::env::temp_dir().join("pasco_cw_store_roundtrip");
+        let _ = std::fs::remove_dir_all(&dir);
+        let g = Arc::new(generators::barabasi_albert(140, 3, 11));
+        let cfg = SimRankConfig::fast().with_seed(7);
+        let resident = CloudWalker::build(g, cfg, ExecMode::Local).unwrap();
+        resident.save_store(&dir, 3).unwrap();
+
+        let mapped = CloudWalker::open_store(&dir, cfg).unwrap();
+        assert_eq!(mapped.mode_name(), "mapped");
+        assert_eq!(mapped.node_count(), 140);
+        assert!(mapped.graph().is_none());
+        assert!(mapped.reverse_chain_index().is_none());
+        assert_eq!(mapped.store().unwrap().parts(), 3);
+        assert_eq!(mapped.diagonal(), resident.diagonal());
+        assert_eq!(mapped.single_pair(3, 99), resident.single_pair(3, 99));
+        assert_eq!(mapped.single_source(5), resident.single_source(5));
+        assert_eq!(mapped.single_source_topk(5, 10), resident.single_source_topk(5, 10));
+
+        // The push ablation needs the resident CSR: typed error, no panic.
+        assert!(matches!(mapped.try_single_source_push(5), Err(QueryError::Unsupported { .. })));
+        // A mapped walker cannot re-save: it IS the store directory.
+        assert!(matches!(
+            mapped.save_store(dir.join("copy"), 2),
+            Err(SimRankError::InvalidConfig(_))
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn save_store_rejects_zero_parts_and_open_rejects_missing_dir() {
+        let g = Arc::new(generators::cycle(6));
+        let cw = CloudWalker::build(g, SimRankConfig::fast(), ExecMode::Local).unwrap();
+        assert!(matches!(
+            cw.save_store(std::env::temp_dir().join("pasco_cw_zero"), 0),
+            Err(SimRankError::InvalidConfig(_))
+        ));
+        let missing = std::env::temp_dir().join("pasco_cw_store_missing");
+        let _ = std::fs::remove_dir_all(&missing);
+        assert!(CloudWalker::open_store(&missing, SimRankConfig::fast()).is_err());
     }
 
     #[test]

@@ -63,7 +63,7 @@ use crate::api::transport::{read_envelope, write_envelope};
 use crate::api::wire::WireCodec;
 use crate::api::worker::{
     diag_fingerprint, BuildShard, BuildShardReply, DiagPayload, Empty, LoadAck, LoadPartition,
-    ShardQuery, ShardQueryKind, ShardTopK, ShardTopKReply, WorkerStats,
+    LoadStore, ShardQuery, ShardQueryKind, ShardTopK, ShardTopKReply, WorkerStats,
 };
 use crate::api::{check_node, QueryError, QueryResponse};
 use crate::config::{AiStrategy, SimRankConfig};
@@ -74,11 +74,13 @@ use crate::error::SimRankError;
 use crate::queries::{query_seed, score_pair, single_source_from_dists_on};
 use pasco_cluster::metrics::{MetricsLog, ShuffleMetrics, StageMetrics};
 use pasco_cluster::ClusterReport;
+use pasco_graph::adjacency::{ForwardSampler, WalkAdjacency};
 use pasco_graph::partition::Partitioner;
 use pasco_graph::partitioned::{partition_graph, GraphPartition, PartitionedView};
 use pasco_graph::{CsrGraph, NodeId};
 use pasco_mc::walks::{reverse_walk_distributions_on, StepDistributions, WalkParams};
 use pasco_solver::jacobi::{self, JacobiConfig, RowSource};
+use pasco_store::MappedStore;
 use rayon::prelude::*;
 use std::io::BufReader;
 use std::net::TcpStream;
@@ -92,13 +94,74 @@ type Row = Vec<(u32, f64)>;
 // Worker half
 // ====================================================================
 
+/// The adjacency substrate a worker serves from: partitions shipped
+/// over the wire and resident in anonymous memory, or a shard store
+/// mapped in place from the worker's filesystem. Both route lookups
+/// through the identical [`Partitioner::range`], and both feed the same
+/// generic kernels, so a worker answers bit-identically either way —
+/// the provisioning path is the only difference.
+#[derive(Debug)]
+enum WorkerView {
+    /// Partitions received as [`LoadPartition`] frames.
+    Resident(PartitionedView),
+    /// A store directory mapped by a [`LoadStore`] frame.
+    Mapped(Arc<MappedStore>),
+}
+
+impl WorkerView {
+    fn partitioner(&self) -> Partitioner {
+        match self {
+            WorkerView::Resident(view) => view.partitioner(),
+            WorkerView::Mapped(store) => store.partitioner(),
+        }
+    }
+}
+
+impl WalkAdjacency for WorkerView {
+    #[inline]
+    fn node_count(&self) -> u32 {
+        match self {
+            WorkerView::Resident(view) => view.node_count(),
+            WorkerView::Mapped(store) => store.node_count(),
+        }
+    }
+
+    #[inline]
+    fn in_neighbors(&self, v: NodeId) -> &[NodeId] {
+        match self {
+            WorkerView::Resident(view) => view.in_neighbors(v),
+            WorkerView::Mapped(store) => store.in_neighbors(v),
+        }
+    }
+}
+
+impl ForwardSampler for WorkerView {
+    #[inline]
+    fn outflow(&self, v: NodeId) -> f64 {
+        match self {
+            WorkerView::Resident(view) => view.outflow(v),
+            WorkerView::Mapped(store) => ForwardSampler::outflow(&**store, v),
+        }
+    }
+
+    #[inline]
+    fn sample_out(&self, v: NodeId, r: f64) -> Option<NodeId> {
+        match self {
+            WorkerView::Resident(view) => view.sample_out(v, r),
+            WorkerView::Mapped(store) => ForwardSampler::sample_out(&**store, v, r),
+        }
+    }
+}
+
 /// The worker-side compute core: everything a SimRank worker does
 /// between frames, with the transport stripped away (the `pasco_worker`
 /// crate wraps this in a TCP loop; tests drive it directly).
 ///
-/// Lifecycle: constructed empty, fed [`LoadPartition`] messages until
-/// the full partition set is resident (the view assembles on the last
-/// one), then serves builds and routed queries for its owned partition.
+/// Lifecycle: constructed empty, then provisioned one of two ways —
+/// fed [`LoadPartition`] messages until the full partition set is
+/// resident (the view assembles on the last one), or handed a store
+/// directory in one [`LoadStore`] message — after which it serves
+/// builds and routed queries for its owned partition.
 #[derive(Debug, Default)]
 pub struct ShardWorkerCore {
     /// Partition frames received so far, indexed by partition.
@@ -106,7 +169,7 @@ pub struct ShardWorkerCore {
     /// Set by the first load frame: `(n, parts, owned)`.
     shape: Option<(u32, u32, u32)>,
     /// The assembled routed view, once every partition arrived.
-    view: Option<PartitionedView>,
+    view: Option<WorkerView>,
     /// The diagonal last shipped to this worker, keyed by fingerprint.
     diag: Option<(u64, Vec<f64>)>,
     builds: u64,
@@ -198,14 +261,53 @@ impl ShardWorkerCore {
             // `loaded == parts` counted exactly the occupied entries of
             // `pending`, so `flatten` drains every slot.
             let parts: Vec<GraphPartition> = self.pending.drain(..).flatten().collect();
-            self.view = Some(PartitionedView::new(Arc::new(parts), partitioner));
+            self.view =
+                Some(WorkerView::Resident(PartitionedView::new(Arc::new(parts), partitioner)));
         }
         Ok(LoadAck { resident_bytes: self.resident_bytes(), loaded })
     }
 
+    /// Accepts one [`LoadStore`] frame: maps the named store directory
+    /// in place and becomes query-ready in a single exchange. The
+    /// store's own validation (headers against file sizes, shard set
+    /// against the range partitioner) is the shape check here, and its
+    /// on-disk diagonal slice is composed and installed in the
+    /// fingerprint cache — so neither the `O(E)` adjacency nor the
+    /// `O(n)` diagonal ever crosses the wire.
+    ///
+    /// Like [`ShardWorkerCore::load_partition`], arriving on an
+    /// already-ready core starts a fresh provisioning round.
+    pub fn load_store(&mut self, msg: LoadStore) -> Result<LoadAck, QueryError> {
+        let invalid = |detail: String| QueryError::WorkerUnavailable { detail };
+        let store =
+            MappedStore::open(&msg.dir).map_err(|e| invalid(format!("store {}: {e}", msg.dir)))?;
+        let (n, parts) = (store.node_count(), store.parts());
+        if n == 0 {
+            return Err(invalid(format!("store {} holds an empty graph", msg.dir)));
+        }
+        if msg.owned_part >= parts {
+            return Err(invalid(format!(
+                "owned partition {} out of range for a {parts}-shard store",
+                msg.owned_part
+            )));
+        }
+        let diag = store.compose_diag();
+        self.view = None;
+        self.pending.clear();
+        self.shape = Some((n, parts, msg.owned_part));
+        self.diag = Some((diag_fingerprint(&diag), diag));
+        let resident_bytes = store.mapped_bytes();
+        self.view = Some(WorkerView::Mapped(Arc::new(store)));
+        Ok(LoadAck { resident_bytes, loaded: parts })
+    }
+
     fn resident_bytes(&self) -> u64 {
         match &self.view {
-            Some(view) => view.partitions().iter().map(GraphPartition::memory_bytes).sum(),
+            Some(WorkerView::Resident(view)) => {
+                view.partitions().iter().map(GraphPartition::memory_bytes).sum()
+            }
+            // Mapped bytes, not resident ones — pages materialise lazily.
+            Some(WorkerView::Mapped(store)) => store.mapped_bytes(),
             None => self.pending.iter().flatten().map(GraphPartition::memory_bytes).sum(),
         }
     }
@@ -276,7 +378,7 @@ impl ShardWorkerCore {
     /// The routed view as a typed error when loading has not finished.
     /// Re-borrowed per use: [`ShardWorkerCore::resolve_diag`] takes
     /// `&mut self`, so a view borrow cannot live across it.
-    fn routed_view(&self) -> Result<&PartitionedView, QueryError> {
+    fn routed_view(&self) -> Result<&WorkerView, QueryError> {
         self.view.as_ref().ok_or_else(|| self.not_ready("query routed"))
     }
 
@@ -341,7 +443,7 @@ impl ShardWorkerCore {
         let diag = self.cached_diag()?;
         let view = self.routed_view()?;
         let k = usize::try_from(msg.k).unwrap_or(usize::MAX);
-        let lists = topk_lists(view, diag, &msg.cfg, msg.i, k);
+        let lists = topk_lists(view, view.partitioner(), diag, &msg.cfg, msg.i, k);
         self.topk_queries += 1;
         Ok(ShardTopKReply { lists })
     }
@@ -349,9 +451,13 @@ impl ShardWorkerCore {
     /// The worker's runtime report.
     pub fn stats(&self) -> WorkerStats {
         let (owned_part, owned_nodes, owned_bytes) = match (self.shape, &self.view) {
-            (Some((_, _, owned)), Some(view)) => {
+            (Some((_, _, owned)), Some(WorkerView::Resident(view))) => {
                 let gp = &view.partitions()[owned as usize];
                 (owned, gp.len(), gp.memory_bytes())
+            }
+            (Some((_, _, owned)), Some(WorkerView::Mapped(store))) => {
+                let shard = &store.shards()[owned as usize];
+                (owned, shard.len(), shard.mapped_bytes())
             }
             (Some((_, _, owned)), None) => (owned, 0, 0),
             _ => (0, 0, 0),
@@ -585,6 +691,105 @@ impl DistributedEngine {
             total_bytes,
             nparts as u64 * engine.workers() as u64,
             nparts as u64 * engine.workers() as u64,
+            t0.elapsed(),
+        );
+        Ok(engine)
+    }
+
+    /// Connects to `addrs` and provisions each worker from `store` by
+    /// *path*: one [`LoadStore`] frame per worker instead of `parts`
+    /// partition frames, so provisioning traffic is O(path length) and
+    /// restart is O(1) in the graph's edge volume. The store directory
+    /// must be reachable at the same path on every worker's filesystem
+    /// (shared storage, or a prior copy) — the workers map it in place.
+    ///
+    /// The store carries the diagonal index too: every link starts with
+    /// the store's diagonal fingerprint acknowledged, so queries never
+    /// ship the `8n`-byte diagonal either.
+    ///
+    /// Needs at least `store.parts()` addresses (one worker per shard;
+    /// extras are left untouched).
+    ///
+    /// # Errors
+    /// [`SimRankError::InvalidConfig`] when too few addresses are given;
+    /// [`SimRankError::Query`] wrapping [`QueryError::WorkerUnavailable`]
+    /// when a worker cannot be reached or rejects the store.
+    pub fn connect_store(store: &MappedStore, addrs: &[String]) -> Result<Self, SimRankError> {
+        let n = store.node_count();
+        let nparts = store.parts();
+        if (addrs.len() as u32) < nparts {
+            return Err(SimRankError::InvalidConfig(format!(
+                "store has {nparts} shards but only {} worker addresses were given",
+                addrs.len()
+            )));
+        }
+        let partitioner = store.partitioner();
+        let owned_bytes: Vec<u64> = store.shards().iter().map(|s| s.mapped_bytes()).collect();
+        let fp = diag_fingerprint(&store.compose_diag());
+        let dir = store.dir().to_string_lossy().into_owned();
+
+        let t0 = Instant::now();
+        let results: Vec<Result<(WorkerLink, u64, u64), String>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = addrs[..nparts as usize]
+                .iter()
+                .enumerate()
+                .map(|(w, addr)| {
+                    let dir = &dir;
+                    scope.spawn(move || {
+                        let mut link = WorkerLink::connect(addr)?;
+                        let payload =
+                            LoadStore { dir: dir.clone(), owned_part: w as u32 }.to_bytes();
+                        let (reply, bytes) =
+                            link.exchange(FrameKind::LoadStore, &payload).map_err(|e| match e {
+                                CallError::Typed(err) => err.to_string(),
+                                CallError::Link(detail) => detail,
+                            })?;
+                        let ack = LoadAck::from_bytes(&reply.payload)
+                            .map_err(|e| format!("load ack: {e}"))?;
+                        // The worker installed the store's own diagonal
+                        // under this fingerprint while acking the load.
+                        link.diag_fp = Some(fp);
+                        Ok((link, bytes, ack.resident_bytes))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|_| Err("load thread panicked".to_owned())))
+                .collect()
+        });
+
+        let mut links = Vec::with_capacity(nparts as usize);
+        let mut total_bytes = 0u64;
+        let mut resident_max = 0u64;
+        for (w, result) in results.into_iter().enumerate() {
+            match result {
+                Ok((link, bytes, resident)) => {
+                    total_bytes += bytes;
+                    resident_max = resident_max.max(resident);
+                    links.push(Mutex::new(link));
+                }
+                Err(detail) => {
+                    return Err(SimRankError::Query(QueryError::WorkerUnavailable {
+                        detail: format!("worker {w} ({}): {detail}", addrs[w]),
+                    }))
+                }
+            }
+        }
+
+        let engine = DistributedEngine {
+            n,
+            partitioner,
+            owned_bytes,
+            resident_bytes: resident_max,
+            links,
+            metrics: Mutex::new(MetricsLog::default()),
+        };
+        engine.record_shuffle(
+            "distribute/store",
+            total_bytes,
+            u64::from(nparts),
+            u64::from(nparts),
             t0.elapsed(),
         );
         Ok(engine)

@@ -1,0 +1,321 @@
+//! Out-of-core execution: walks served straight from a mapped shard
+//! store.
+//!
+//! [`MappedEngine`] is the sixth substrate — the persistent/mmap engine
+//! the [`SimRankEngine`] trait reserved a slot for. It holds no
+//! adjacency in process memory at all: every lookup routes through a
+//! [`pasco_store::MappedStore`], whose shards are read-only mappings of
+//! `PASCOSH1` files, so
+//!
+//! * opening an index over a saved store is O(1) in the graph's edge
+//!   volume (headers plus offset spines; the payload pages in lazily),
+//! * graphs larger than RAM serve — the kernel pages shards in and out
+//!   under memory pressure instead of the process OOMing, and
+//! * a serving restart is a re-open, not a rebuild.
+//!
+//! Bit-identity with the resident engines is structural, the same
+//! argument the sharded and distributed substrates make: queries and
+//! builds run the *identical* generic kernels
+//! ([`reverse_walk_distributions_on`],
+//! [`crate::queries::single_source_from_dists_on`],
+//! [`crate::queries::sparse_masses_on`], `topk_lists`) and walk
+//! randomness is a pure function of `(seed, source, walker, step)` —
+//! only the adjacency source differs, and the store serves the same
+//! neighbour slices and sampling weights bit for bit
+//! (`crates/store` pins that against [`PartitionedView`]).
+//!
+//! The one exception is forward-push MCSS, which needs the resident
+//! [`CsrGraph`](pasco_graph::CsrGraph); [`crate::CloudWalker`] reports
+//! it as [`QueryError::Unsupported`] on this backing.
+//!
+//! [`PartitionedView`]: pasco_graph::partitioned::PartitionedView
+
+use crate::ai::ai_row;
+use crate::api::QueryError;
+use crate::config::{AiStrategy, SimRankConfig};
+use crate::diag::DiagonalIndex;
+use crate::engine::sharded::{merge_ranked, topk_lists};
+use crate::engine::{BuildOutcome, EngineFootprint, SimRankEngine};
+use crate::error::SimRankError;
+use crate::queries::{query_seed, score_pair, single_source_from_dists_on};
+use pasco_cluster::ClusterReport;
+use pasco_graph::NodeId;
+use pasco_mc::walks::{reverse_walk_distributions_on, StepDistributions, WalkParams};
+use pasco_solver::jacobi::{self, JacobiConfig, RowSource};
+use pasco_store::MappedStore;
+use rayon::prelude::*;
+use std::sync::Arc;
+
+/// One sparse row of the linear system, sorted by column.
+type Row = Vec<(u32, f64)>;
+
+/// The out-of-core substrate: every walk step reads the mapped store.
+pub struct MappedEngine {
+    store: Arc<MappedStore>,
+    n: u32,
+}
+
+impl MappedEngine {
+    /// An engine over an already-opened store.
+    pub fn new(store: Arc<MappedStore>) -> Self {
+        let n = store.node_count();
+        Self { store, n }
+    }
+
+    /// The store this engine serves from.
+    pub fn store(&self) -> &Arc<MappedStore> {
+        &self.store
+    }
+
+    /// The reverse-walk cohort of `source` through the store — the same
+    /// kernel every other engine runs, so counts are bit-identical.
+    fn cohort(&self, source: NodeId, params: WalkParams, seed: u64) -> StepDistributions {
+        reverse_walk_distributions_on(&*self.store, source, params, seed)
+    }
+
+    /// The offline build over the mapped store. A store normally ships
+    /// with its diagonal already on disk ([`MappedStore::compose_diag`]),
+    /// so this runs only when a caller asks for a *fresh* build — e.g.
+    /// re-indexing under a different config without rehydrating the CSR
+    /// graph. Rows, sweeps, and therefore the diagonal are bitwise the
+    /// resident engines' (same kernels, same solver, same row order).
+    fn build_diagonal_impl(&self, cfg: &SimRankConfig) -> (DiagonalIndex, Vec<f64>, Option<u64>) {
+        let n = self.n;
+        let params = WalkParams::new(cfg.t, cfg.r);
+        let strategy = cfg.resolve_ai_strategy(n);
+        let b = vec![1.0; n as usize];
+        let x0 = vec![1.0 - cfg.c; n as usize];
+        let jacobi_cfg =
+            JacobiConfig { iterations: cfg.l, tolerance: None, record_residuals: true };
+
+        let (result, rows_bytes) = match strategy {
+            AiStrategy::Store | AiStrategy::Auto { .. } => {
+                let rows: Vec<Row> = (0..n)
+                    .into_par_iter()
+                    .map(|i| ai_row(&self.cohort(i, params, cfg.seed), cfg.c))
+                    .collect();
+                let bytes = rows.iter().map(|r| 24 + 12 * r.len() as u64).sum::<u64>();
+                let source = FlatRows { rows: &rows };
+                (jacobi::solve(&source, &b, &x0, &jacobi_cfg), Some(bytes))
+            }
+            AiStrategy::Recompute => {
+                let source =
+                    MappedRecomputedRows { engine: self, params, seed: cfg.seed, c: cfg.c };
+                (jacobi::solve(&source, &b, &x0, &jacobi_cfg), None)
+            }
+        };
+        (DiagonalIndex::new(result.x), result.residuals, rows_bytes)
+    }
+}
+
+/// [`RowSource`] over rows materialised in node order.
+struct FlatRows<'a> {
+    rows: &'a [Row],
+}
+
+impl RowSource for FlatRows<'_> {
+    fn dim(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn row(&self, i: u32, row: &mut Vec<(u32, f64)>) {
+        row.clear();
+        row.extend_from_slice(&self.rows[i as usize]);
+    }
+}
+
+/// [`RowSource`] that regenerates rows from store-backed walks on demand
+/// — the `Recompute` strategy without any resident rows at all. The
+/// sweep's working set is then just the two dense vectors.
+struct MappedRecomputedRows<'a> {
+    engine: &'a MappedEngine,
+    params: WalkParams,
+    seed: u64,
+    c: f64,
+}
+
+impl RowSource for MappedRecomputedRows<'_> {
+    fn dim(&self) -> usize {
+        self.engine.n as usize
+    }
+
+    fn row(&self, i: u32, row: &mut Vec<(u32, f64)>) {
+        row.clear();
+        row.extend(ai_row(&self.engine.cohort(i, self.params, self.seed), self.c));
+    }
+}
+
+impl SimRankEngine for MappedEngine {
+    fn name(&self) -> &'static str {
+        "mapped"
+    }
+
+    fn build_diagonal(&self, cfg: &SimRankConfig) -> Result<BuildOutcome, SimRankError> {
+        let strategy = cfg.resolve_ai_strategy(self.n);
+        let (diag, residuals, rows_bytes) = self.build_diagonal_impl(cfg);
+        Ok(BuildOutcome { diag, strategy, residuals, rows_bytes, cluster: None })
+    }
+
+    fn query_cohort(
+        &self,
+        cfg: &SimRankConfig,
+        source: NodeId,
+    ) -> Result<StepDistributions, QueryError> {
+        Ok(self.cohort(source, WalkParams::new(cfg.t, cfg.r_query), query_seed(cfg)))
+    }
+
+    fn single_pair(
+        &self,
+        diag: &[f64],
+        cfg: &SimRankConfig,
+        i: NodeId,
+        j: NodeId,
+    ) -> Result<f64, QueryError> {
+        if i == j {
+            return Ok(1.0);
+        }
+        let params = WalkParams::new(cfg.t, cfg.r_query);
+        let di = self.cohort(i, params, query_seed(cfg));
+        let dj = self.cohort(j, params, query_seed(cfg));
+        Ok(score_pair(&di, &dj, diag, cfg.c))
+    }
+
+    fn single_source(
+        &self,
+        diag: &[f64],
+        cfg: &SimRankConfig,
+        i: NodeId,
+    ) -> Result<Vec<f64>, QueryError> {
+        let dists = self.cohort(i, WalkParams::new(cfg.t, cfg.r_query), query_seed(cfg));
+        Ok(single_source_from_dists_on(self.n as usize, &*self.store, &dists, diag, cfg))
+    }
+
+    fn single_source_topk(
+        &self,
+        diag: &[f64],
+        cfg: &SimRankConfig,
+        i: NodeId,
+        k: usize,
+    ) -> Result<Vec<(NodeId, f64)>, QueryError> {
+        // The same split-rank-merge plan as the sharded engine, routed
+        // by the store's partitioner over the store's shards.
+        let lists = topk_lists(&*self.store, self.store.partitioner(), diag, cfg, i, k);
+        Ok(merge_ranked(&lists, k))
+    }
+
+    fn cluster_report(&self) -> Option<ClusterReport> {
+        None
+    }
+
+    fn memory_footprint(&self) -> EngineFootprint {
+        // Mapped bytes, not resident ones: the kernel pages shards in
+        // and out on demand, so the number reported here is the demand
+        // *ceiling*, reached only if a query walks every edge.
+        EngineFootprint {
+            per_worker_bytes: self
+                .store
+                .shards()
+                .iter()
+                .map(|s| s.mapped_bytes())
+                .max()
+                .unwrap_or(0),
+            partitioned: true,
+        }
+    }
+
+    fn shard_footprints(&self) -> Option<Vec<u64>> {
+        Some(self.store.shards().iter().map(|s| s.mapped_bytes()).collect())
+    }
+}
+
+impl std::fmt::Debug for MappedEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MappedEngine")
+            .field("nodes", &self.n)
+            .field("shards", &self.store.parts())
+            .field("dir", &self.store.dir())
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::local;
+    use crate::engine::sharded::ShardedEngine;
+    use pasco_graph::generators;
+    use pasco_store::write_store;
+    use std::path::PathBuf;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("pasco_mapped_engine_{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn engine_over(g: &pasco_graph::CsrGraph, diag: &[f64], parts: u32, tag: &str) -> MappedEngine {
+        let dir = scratch(&format!("{tag}_{parts}"));
+        write_store(&dir, g, diag, parts).unwrap();
+        MappedEngine::new(Arc::new(MappedStore::open(&dir).unwrap()))
+    }
+
+    #[test]
+    fn mapped_queries_are_bit_identical_to_local_and_sharded() {
+        let g = generators::barabasi_albert(140, 3, 4);
+        let cfg = SimRankConfig::fast().with_seed(5);
+        let out = local::build_diagonal(&g, &cfg);
+        let diag = out.diag.as_slice();
+        for parts in [1u32, 2, 4] {
+            let eng = engine_over(&g, diag, parts, "bitid");
+            let sharded = ShardedEngine::new(&g, parts);
+            assert_eq!(
+                eng.single_pair(diag, &cfg, 3, 77).unwrap(),
+                sharded.single_pair(diag, &cfg, 3, 77).unwrap(),
+                "MCSP, {parts} parts"
+            );
+            assert_eq!(
+                eng.single_source(diag, &cfg, 3).unwrap(),
+                sharded.single_source(diag, &cfg, 3).unwrap(),
+                "MCSS, {parts} parts"
+            );
+            assert_eq!(
+                eng.single_source_topk(diag, &cfg, 3, 9).unwrap(),
+                sharded.single_source_topk(diag, &cfg, 3, 9).unwrap(),
+                "top-k, {parts} parts"
+            );
+            assert_eq!(
+                eng.query_cohort(&cfg, 3).unwrap(),
+                sharded.query_cohort(&cfg, 3).unwrap(),
+                "cohort, {parts} parts"
+            );
+        }
+    }
+
+    #[test]
+    fn mapped_build_matches_local_bitwise() {
+        let g = generators::rmat(8, 1_000, generators::RmatParams::default(), 2);
+        let cfg = SimRankConfig::fast().with_seed(11);
+        let out_l = local::build_diagonal(&g, &cfg);
+        // The store's shipped diagonal is irrelevant to a fresh build.
+        let eng = engine_over(&g, &vec![0.0; g.node_count() as usize], 3, "build");
+        let out_m = eng.build_diagonal(&cfg).unwrap();
+        assert_eq!(out_m.diag, out_l.diag);
+        assert_eq!(out_m.residuals, out_l.residuals);
+        assert_eq!(out_m.rows_bytes, out_l.rows_bytes);
+        let recompute = eng.build_diagonal(&cfg.with_ai_strategy(AiStrategy::Recompute)).unwrap();
+        assert_eq!(recompute.diag, out_l.diag);
+        assert!(recompute.rows_bytes.is_none());
+    }
+
+    #[test]
+    fn footprint_reports_mapped_shards() {
+        let g = generators::cycle(60);
+        let diag = vec![1.0; 60];
+        let eng = engine_over(&g, &diag, 3, "footprint");
+        let fp = eng.memory_footprint();
+        assert!(fp.partitioned);
+        let shards = eng.shard_footprints().unwrap();
+        assert_eq!(shards.len(), 3);
+        assert_eq!(fp.per_worker_bytes, shards.iter().copied().max().unwrap());
+    }
+}

@@ -1,6 +1,6 @@
 //! Execution engines: where CloudWalker's walks and sweeps actually run.
 //!
-//! The same algorithm executes in five places:
+//! The same algorithm executes in six places:
 //!
 //! * [`local`] — a rayon pool in-process (the single-machine reference);
 //! * [`sharded`] — the graph range-partitioned across in-process shards,
@@ -12,12 +12,15 @@
 //!   walker state shuffled between steps (the paper's scalable model);
 //! * [`distributed`] — real `pasco worker` processes over TCP: the build
 //!   and every query routed to the worker owning its source through the
-//!   envelope protocol, with real wire bytes in the cluster accounting.
+//!   envelope protocol, with real wire bytes in the cluster accounting;
+//! * [`mapped`] — out-of-core execution over a mapped `PASCOSH1` shard
+//!   store: no resident adjacency at all, O(1) restart, graphs larger
+//!   than RAM.
 //!
 //! Each substrate implements the object-safe [`SimRankEngine`] trait, so
 //! [`crate::CloudWalker`] holds a `Box<dyn SimRankEngine>` and never
-//! branches on the execution mode in a query path; new substrates (async,
-//! persistent/mmap) plug in without touching query code.
+//! branches on the execution mode in a query path; new substrates plug in
+//! without touching query code (the mapped engine did exactly that).
 //!
 //! Because each walk step's randomness is a pure function of
 //! `(seed, source, walker, step)`, all engines produce identical walker
@@ -27,11 +30,13 @@
 pub mod broadcast;
 pub mod distributed;
 pub mod local;
+pub mod mapped;
 pub mod rdd;
 pub mod sharded;
 
 pub use distributed::{DistributedEngine, ShardWorkerCore};
 pub use local::LocalEngine;
+pub use mapped::MappedEngine;
 pub use sharded::ShardedEngine;
 
 use crate::api::QueryError;
@@ -116,7 +121,7 @@ pub struct EngineFootprint {
 /// summation order differs).
 pub trait SimRankEngine: Send + Sync + std::fmt::Debug {
     /// A short, stable substrate name (`"local"`, `"sharded"`,
-    /// `"broadcast"`, `"rdd"`).
+    /// `"broadcast"`, `"rdd"`, `"distributed"`, `"mapped"`).
     fn name(&self) -> &'static str;
 
     /// Runs the offline phase: estimate the rows `aᵢ` by Monte-Carlo
@@ -129,8 +134,8 @@ pub trait SimRankEngine: Send + Sync + std::fmt::Debug {
     /// cohort cache sits on top of this.
     ///
     /// Queries are fallible at the trait so substrates with a failure
-    /// plane of their own — the distributed engine loses a worker, a
-    /// future mmap engine loses its mapping — surface a typed
+    /// plane of their own — the distributed engine loses a worker, the
+    /// mapped engine cannot serve a query kind — surface a typed
     /// [`QueryError`] instead of panicking the serving path. The
     /// in-process engines (bounds already checked by the caller) never
     /// return `Err`.

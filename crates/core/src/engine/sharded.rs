@@ -36,6 +36,7 @@ use crate::queries::{
     query_seed, rank_topk, ranking_cmp, score_pair, single_source_from_dists_on, sparse_masses_on,
 };
 use pasco_cluster::ClusterReport;
+use pasco_graph::adjacency::{ForwardSampler, WalkAdjacency};
 use pasco_graph::partition::Partitioner;
 use pasco_graph::partitioned::{partition_graph, PartitionedView};
 use pasco_graph::{CsrGraph, NodeId};
@@ -157,18 +158,21 @@ impl ShardedEngine {
         i: NodeId,
         k: usize,
     ) -> Vec<(NodeId, f64)> {
-        merge_ranked(&topk_lists(&self.view, diag, cfg, i, k), k)
+        merge_ranked(&topk_lists(&self.view, self.view.partitioner(), diag, cfg, i, k), k)
     }
 }
 
 /// The routed stage of the distributed top-`k` plan: simulate `i`'s
 /// cohort on `view`, accumulate the sparse masses, split the candidates
-/// by owning partition, and rank each split with [`rank_topk`] — one
-/// already-sorted list per partition, ready for [`merge_ranked`].
-/// Shared verbatim by [`ShardedEngine`] (merge in the same call) and the
-/// distributed worker (lists cross the wire first).
-pub(crate) fn topk_lists(
-    view: &PartitionedView,
+/// by owning partition (per `partitioner`), and rank each split with
+/// [`rank_topk`] — one already-sorted list per partition, ready for
+/// [`merge_ranked`]. Generic over the adjacency source, so it is shared
+/// verbatim by [`ShardedEngine`] (merge in the same call), the
+/// distributed worker (lists cross the wire first), and the mmap-backed
+/// engine (`view` is a `MappedStore`).
+pub(crate) fn topk_lists<V: WalkAdjacency + ForwardSampler>(
+    view: &V,
+    partitioner: Partitioner,
     diag: &[f64],
     cfg: &SimRankConfig,
     i: NodeId,
@@ -181,8 +185,7 @@ pub(crate) fn topk_lists(
         query_seed(cfg),
     );
     let acc = sparse_masses_on(view, &dists, diag, cfg);
-    let partitioner = view.partitioner();
-    let mut by_shard: Vec<Vec<(NodeId, f64)>> = vec![Vec::new(); view.partitions().len()];
+    let mut by_shard: Vec<Vec<(NodeId, f64)>> = vec![Vec::new(); partitioner.parts() as usize];
     for (node, mass) in acc.iter() {
         by_shard[partitioner.owner(node) as usize].push((node, mass));
     }

@@ -62,6 +62,18 @@ impl From<std::io::Error> for SimRankError {
     }
 }
 
+impl From<pasco_store::StoreError> for SimRankError {
+    /// An I/O failure opening or writing a shard store stays [`SimRankError::Io`];
+    /// every structural defect (bad magic, truncation, checksum mismatch,
+    /// misalignment…) is a malformed on-disk index, i.e. [`SimRankError::BadIndex`].
+    fn from(e: pasco_store::StoreError) -> Self {
+        match e {
+            pasco_store::StoreError::Io(e) => SimRankError::Io(e),
+            other => SimRankError::BadIndex(other.to_string()),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -28,6 +28,7 @@ pub fn save_index(index: &DiagonalIndex, path: impl AsRef<Path>) -> Result<(), S
 /// Reads an index written by [`save_index`].
 pub fn load_index(path: impl AsRef<Path>) -> Result<DiagonalIndex, SimRankError> {
     let file = std::fs::File::open(path)?;
+    let file_size = file.metadata()?.len();
     let mut r = BufReader::new(file);
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
@@ -36,7 +37,18 @@ pub fn load_index(path: impl AsRef<Path>) -> Result<DiagonalIndex, SimRankError>
     }
     let mut len_buf = [0u8; 8];
     r.read_exact(&mut len_buf)?;
-    let n = u64::from_le_bytes(len_buf) as usize;
+    // The length header is untrusted: an index of `n` values is exactly
+    // 16 + 8n bytes, so a count the file cannot hold is a malformed
+    // index, not an allocation size. (Same unbounded-preallocation class
+    // `graph::io` caps — here the real file size pins `n` exactly.)
+    let n64 = u64::from_le_bytes(len_buf);
+    let expected = n64.checked_mul(8).and_then(|b| b.checked_add(16));
+    if expected != Some(file_size) {
+        return Err(SimRankError::BadIndex(format!(
+            "length header claims {n64} values but the file has {file_size} bytes"
+        )));
+    }
+    let n = n64 as usize;
     let mut x = Vec::with_capacity(n);
     let mut buf = [0u8; 8];
     for _ in 0..n {
@@ -83,6 +95,29 @@ mod tests {
         save_index(&index, &path).unwrap();
         let bytes = std::fs::read(&path).unwrap();
         std::fs::write(&path, &bytes[..bytes.len() - 4]).unwrap();
-        assert!(matches!(load_index(&path), Err(SimRankError::Io(_))));
+        // Truncation makes the length header disagree with the file
+        // size — caught before a single value is read or allocated.
+        assert!(matches!(load_index(&path), Err(SimRankError::BadIndex(_))));
+    }
+
+    #[test]
+    fn forged_length_header_is_rejected_without_allocating() {
+        let dir = std::env::temp_dir().join("pasco_persist_test4");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("forged.idx");
+        let index = DiagonalIndex::new(vec![0.5; 4]);
+        save_index(&index, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Forge the count to u64::MAX: the file cannot hold it (and the
+        // byte-size computation must not overflow), so load_index has to
+        // refuse before `Vec::with_capacity` sees the forged number.
+        bytes[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(load_index(&path), Err(SimRankError::BadIndex(_))));
+        // A merely-inflated (non-overflowing) count is refused the same way.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[8..16].copy_from_slice(&(1u64 << 40).to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(load_index(&path), Err(SimRankError::BadIndex(_))));
     }
 }

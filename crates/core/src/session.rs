@@ -565,7 +565,7 @@ impl QuerySession {
 
     #[inline]
     fn check_node(&self, v: NodeId) -> Result<(), QueryError> {
-        crate::api::check_node(v, self.walker.graph().node_count())
+        crate::api::check_node(v, self.walker.node_count())
     }
 
     /// Both nodes already checked; `s(i, i) = 1` by definition.

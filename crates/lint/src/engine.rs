@@ -193,7 +193,7 @@ pub fn run_workspace_full(
     raw.extend(graph.check(&analysis, opts.strict_indexing));
 
     // Stage three: the dataflow/taint pass over the same graph.
-    let (taint_findings, dataflow) = taint::check(&files, &graph);
+    let (taint_findings, dataflow) = taint::check(&files, &graph, &world);
     raw.extend(taint_findings);
 
     // The unresolved-edge budget: resolution quality may only regress

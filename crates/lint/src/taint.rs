@@ -19,6 +19,15 @@
 //! rather than by type, so a header whose length field was validated at
 //! decode time stays clean at every use site.
 //!
+//! On-disk store headers are the opposite case and are sourced **by
+//! type** ([`UNTRUSTED_HEADER_TYPES`]): `ShardHeader::from_bytes`
+//! returns the raw decoded fields and validation happens later in
+//! `validate()`, so the fields are attacker-controlled in *every*
+//! method or function the header reaches. The receiver of a method on
+//! an untrusted header type, and any parameter carrying one, enters
+//! tainted; a field is clean only after a dominating comparison or a
+//! validated `f(…)?` position in that same function.
+//!
 //! ## Sanitizers (kills)
 //!
 //! * A bare variable or field path used as a **direct operand of a
@@ -84,7 +93,8 @@
 //! expression-position control collapses into one statement (may-taint
 //! keeps this conservative); struct-field taint does not persist across
 //! method boundaries (`self.x` tainted in `feed` is clean in a sibling
-//! method); the decoder naming contract above.
+//! method) *except* for [`UNTRUSTED_HEADER_TYPES`], which re-taint at
+//! every method entry; the decoder naming contract above.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -92,7 +102,7 @@ use crate::callgraph::Graph;
 use crate::cfg::{Cfg, Stmt, StmtKind};
 use crate::dataflow::{self, Semilattice};
 use crate::lexer::Token;
-use crate::parser::FnItem;
+use crate::parser::{FnItem, StructItem};
 use crate::rules::{self, Finding};
 use crate::source::SourceFile;
 
@@ -317,13 +327,61 @@ fn bufferish(ty: &str) -> bool {
         || ty.contains("Read")
 }
 
-fn entry_env(item: &FnItem) -> Env {
+/// Struct types whose fields stay attacker-controlled wherever the
+/// value travels: headers decoded from untrusted on-disk bytes whose
+/// constructor returns the raw fields and defers validation (the store
+/// shard header's `from_bytes`/`validate` split). `FrameHeader` is
+/// deliberately absent — its decoder validates before returning, so its
+/// fields are clean at use sites via the decode summary instead.
+pub const UNTRUSTED_HEADER_TYPES: &[&str] = &["ShardHeader"];
+
+/// The untrusted header type named inside `ty`, if any. Matches the
+/// bare type name inside references/paths/generics (`&ShardHeader`,
+/// `store::ShardHeader`) but not a distinct type that merely shares a
+/// prefix (`ShardHeaderBuilder`).
+fn untrusted_header_in(ty: &str) -> Option<&'static str> {
+    UNTRUSTED_HEADER_TYPES
+        .iter()
+        .find(|t| ty.split(|c: char| !c.is_alphanumeric() && c != '_').any(|seg| seg == **t))
+        .copied()
+}
+
+/// Taints `root`'s fields individually (`root.n`, `root.start`, …) when
+/// the header struct's field table is known, so a dominating comparison
+/// on one field sanitizes that field without blessing its siblings.
+/// Without a field table the whole root is tainted — sound, but then no
+/// per-field check can clean it.
+fn taint_header_root(env: &mut Env, root: &str, header: &str, world: &[StructItem]) {
+    match world.iter().find(|s| s.name == header) {
+        Some(s) if !s.fields.is_empty() => {
+            for (fname, _) in &s.fields {
+                env.taint(&format!("{root}.{fname}"));
+            }
+        }
+        _ => env.taint(root),
+    }
+}
+
+fn entry_env(item: &FnItem, world: &[StructItem]) -> Env {
     let mut env = Env::default();
     if is_source_fn(&item.name) {
         for (pname, pty) in &item.params {
             if bufferish(pty) {
                 env.taint(pname);
             }
+        }
+    }
+    // Untrusted header types are sources by *type*, not by caller: the
+    // receiver of any method on one, and any parameter carrying one,
+    // holds hostile field values until this function checks them.
+    if item.is_method {
+        if let Some(h) = item.self_ty.as_deref().and_then(untrusted_header_in) {
+            taint_header_root(&mut env, "self", h, world);
+        }
+    }
+    for (pname, pty) in &item.params {
+        if let Some(h) = untrusted_header_in(pty) {
+            taint_header_root(&mut env, pname, h, world);
         }
     }
     env
@@ -396,6 +454,8 @@ struct Analyzer<'a> {
     summaries: &'a [Summary],
     /// Unique-name fallback when no edge resolved a call.
     by_name: &'a BTreeMap<String, Vec<usize>>,
+    /// Workspace struct field tables (for untrusted-header sources).
+    world: &'a [StructItem],
 }
 
 impl<'a> Analyzer<'a> {
@@ -1304,7 +1364,7 @@ impl<'a> Analyzer<'a> {
     fn summarize(&self, item: &FnItem, cfg: &Cfg) -> Summary {
         let mut sum = Summary::default();
         let mut o = Outcome::default();
-        self.analyze(cfg, entry_env(item), Some(&mut o));
+        self.analyze(cfg, entry_env(item, self.world), Some(&mut o));
         sum.ret = o.ret;
         for (pi, (pname, _)) in item.params.iter().enumerate() {
             let mut env = Env::default();
@@ -1428,7 +1488,11 @@ fn bal_simple(toks: &[Token], i: usize, hi: usize) -> usize {
 
 /// Runs the dataflow stage over the whole workspace: two summary passes
 /// through the call graph, then a reporting pass.
-pub fn check(files: &[SourceFile], graph: &Graph) -> (Vec<Finding>, DataflowReport) {
+pub fn check(
+    files: &[SourceFile],
+    graph: &Graph,
+    world: &[StructItem],
+) -> (Vec<Finding>, DataflowReport) {
     let toks_of: BTreeMap<&str, &[Token]> =
         files.iter().map(|f| (f.rel.as_str(), f.lexed.tokens.as_slice())).collect();
     let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
@@ -1464,6 +1528,7 @@ pub fn check(files: &[SourceFile], graph: &Graph) -> (Vec<Finding>, DataflowRepo
                 graph,
                 summaries: &summaries,
                 by_name: &by_name,
+                world,
             };
             next[idx] = az.summarize(&node.item, cfg);
         }
@@ -1507,9 +1572,10 @@ pub fn check(files: &[SourceFile], graph: &Graph) -> (Vec<Finding>, DataflowRepo
             graph,
             summaries: &summaries,
             by_name: &by_name,
+            world,
         };
         let mut o = Outcome { report: true, ..Outcome::default() };
-        az.analyze(cfg, entry_env(&node.item), Some(&mut o));
+        az.analyze(cfg, entry_env(&node.item, world), Some(&mut o));
         findings.extend(o.findings);
         report.sinks.extend(o.sinks);
         let sum = &summaries[idx];
@@ -1546,8 +1612,9 @@ mod tests {
         let slugs = rules::rule_slugs();
         let f = SourceFile::new(rel.to_owned(), src, &slugs);
         let items = vec![parser::parse_file(&f)];
+        let world: Vec<StructItem> = items.iter().flat_map(|i| i.structs.clone()).collect();
         let graph = Graph::build(&items);
-        check(std::slice::from_ref(&f), &graph)
+        check(std::slice::from_ref(&f), &graph, &world)
     }
 
     fn run(src: &str) -> (Vec<Finding>, DataflowReport) {
@@ -1664,6 +1731,83 @@ mod tests {
         assert!(
             f.iter().any(|x| x.rule == rules::UNVALIDATED_WIRE_LENGTH && x.line == 15),
             "unvalidated field must flag, got {f:?}"
+        );
+    }
+
+    /// The store-header source: fields of a type in
+    /// [`UNTRUSTED_HEADER_TYPES`] are hostile in *every* method on it,
+    /// not just inside its decoder — `from_bytes` returns raw fields
+    /// and `validate` runs later, so each method must check what it
+    /// uses.
+    #[test]
+    fn untrusted_header_fields_taint_every_method() {
+        let src = "pub struct ShardHeader { pub n: u64, pub start: u32 }\n\
+             impl ShardHeader {\n\
+                 pub fn alloc(&self) -> Vec<u64> {\n\
+                     Vec::with_capacity(self.n as usize)\n\
+                 }\n\
+                 pub fn alloc_checked(&self) -> Vec<u64> {\n\
+                     if self.n > 1024 { return Vec::new(); }\n\
+                     Vec::with_capacity(self.n as usize)\n\
+                 }\n\
+             }\n";
+        let (f, _) = run(src);
+        assert!(
+            f.iter().any(|x| x.rule == rules::UNVALIDATED_WIRE_LENGTH && x.line == 4),
+            "unchecked header field in an ordinary method must flag, got {f:?}"
+        );
+        assert!(
+            !f.iter().any(|x| x.line == 8),
+            "a dominating comparison sanitizes that field, got {f:?}"
+        );
+    }
+
+    /// Field sensitivity: checking one header field does not bless its
+    /// siblings, and a parameter *carrying* a header is as hostile as a
+    /// receiver.
+    #[test]
+    fn untrusted_header_taint_is_per_field_and_by_param() {
+        let src = "pub struct ShardHeader { pub n: u64, pub edges: u64 }\n\
+             pub fn spine_of(h: &ShardHeader) -> Vec<u64> {\n\
+                 if h.n > 1024 { return Vec::new(); }\n\
+                 Vec::with_capacity(h.edges as usize)\n\
+             }\n";
+        let (f, _) = run(src);
+        assert!(
+            f.iter().any(|x| x.rule == rules::UNVALIDATED_WIRE_LENGTH && x.line == 4),
+            "checking `n` must not sanitize sibling `edges`, got {f:?}"
+        );
+    }
+
+    /// The type match is exact on the type name: a builder that merely
+    /// shares the prefix is trusted (its fields came from code, not a
+    /// file), and so is a method on the bare header type listed under a
+    /// path qualifier.
+    #[test]
+    fn untrusted_header_match_is_whole_name() {
+        let src = "pub struct ShardHeaderBuilder { pub n: u64 }\n\
+             impl ShardHeaderBuilder {\n\
+                 pub fn alloc(&self) -> Vec<u64> {\n\
+                     Vec::with_capacity(self.n as usize)\n\
+                 }\n\
+             }\n";
+        let (f, _) = run(src);
+        assert!(f.is_empty(), "prefix-named type must not be sourced, got {f:?}");
+        assert_eq!(untrusted_header_in("&format::ShardHeader"), Some("ShardHeader"));
+        assert_eq!(untrusted_header_in("ShardHeaderBuilder"), None);
+    }
+
+    /// Without a field table for the header the whole value taints —
+    /// conservative, but still a source.
+    #[test]
+    fn untrusted_header_without_field_table_taints_whole_value() {
+        let src = "pub fn grab(h: &ShardHeader) -> Vec<u64> {\n\
+                 Vec::with_capacity(h.n as usize)\n\
+             }\n";
+        let (f, _) = run(src);
+        assert!(
+            f.iter().any(|x| x.rule == rules::UNVALIDATED_WIRE_LENGTH && x.line == 2),
+            "whole-value taint must reach the field, got {f:?}"
         );
     }
 

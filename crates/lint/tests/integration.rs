@@ -128,6 +128,52 @@ fn unsafe_outside_shim_fires_inside_shim_does_not() {
     fs::remove_file(root.join("crates/worker/src/util.rs")).unwrap();
     put(&root, "crates/server/src/sys.rs", body);
     assert!(lint(&root).is_clean());
+
+    // The mmap shim is the second sanctioned unsafe module...
+    put(&root, "crates/store/src/sys.rs", body);
+    assert!(lint(&root).is_clean());
+
+    // ...and the sanction is the allowlist, not the file name: a third
+    // `sys.rs` in an unsanctioned crate still fires.
+    put(&root, "crates/worker/src/sys.rs", body);
+    assert_eq!(rules_of(&lint(&root)), vec!["unsafe-confinement"]);
+}
+
+/// The store-header taint source, end to end through the engine: a
+/// method on `ShardHeader` that allocates from a field without a
+/// dominating check fires [`unvalidated-wire-length`]; the same
+/// allocation behind a comparison is clean.
+#[test]
+fn store_header_fields_are_untrusted_in_every_method() {
+    let root = scratch("store-header-taint");
+    seed_wire_baseline(&root);
+    put(
+        &root,
+        "crates/store/src/format.rs",
+        "pub struct ShardHeader { pub n: u64 }\n\
+         impl ShardHeader {\n\
+             pub fn spine(&self) -> Vec<u64> {\n\
+                 Vec::with_capacity(self.n as usize)\n\
+             }\n\
+         }\n",
+    );
+    let report = lint(&root);
+    assert_eq!(rules_of(&report), vec!["unvalidated-wire-length"]);
+    assert_eq!(report.findings[0].file, "crates/store/src/format.rs");
+    assert_eq!(report.findings[0].line, 4);
+
+    put(
+        &root,
+        "crates/store/src/format.rs",
+        "pub struct ShardHeader { pub n: u64 }\n\
+         impl ShardHeader {\n\
+             pub fn spine(&self, cap: u64) -> Vec<u64> {\n\
+                 if self.n > cap { return Vec::new(); }\n\
+                 Vec::with_capacity(self.n as usize)\n\
+             }\n\
+         }\n",
+    );
+    assert!(lint(&root).is_clean());
 }
 
 #[test]

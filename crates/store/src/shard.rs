@@ -1,0 +1,286 @@
+//! One mapped shard file, used in place.
+//!
+//! [`MappedShard::open`] maps the file, authenticates and validates the
+//! header, and checks the two CSR offset *spines* (monotone, starting
+//! at 0, ending at the edge counts) — `O(nodes-in-shard)` work that
+//! makes every subsequent adjacency lookup provably in-bounds without
+//! touching the `O(edges)` payload. The edge arrays themselves page in
+//! lazily on first access, which is what makes restart O(1) in the
+//! graph's edge volume. Full payload integrity (the FNV-1a checksum
+//! over every section byte) is an explicit [`MappedShard::verify`] —
+//! tests and the CI round-trip job run it; a serving restart does not
+//! have to.
+//!
+//! Accessors mirror [`pasco_graph::partitioned::GraphPartition`]
+//! operation for operation (same offsets, same cumulative-weight
+//! `partition_point` sampling), which is what makes walks over a mapped
+//! store bit-identical to walks over the resident graph.
+
+use crate::format::{
+    ShardHeader, StoreError, HEADER_LEN, SEC_DIAG, SEC_IN_OFFSETS, SEC_IN_SOURCES, SEC_OUT_CUM,
+    SEC_OUT_OFFSETS, SEC_OUT_TARGETS, SEC_OUT_TOTAL,
+};
+use crate::sys::Mmap;
+use pasco_graph::csr::NodeId;
+use std::fs::File;
+use std::path::Path;
+
+/// A read-only graph partition served directly from a mapped file.
+pub struct MappedShard {
+    map: Mmap,
+    header: ShardHeader,
+}
+
+impl MappedShard {
+    /// Maps and validates the shard at `path`.
+    ///
+    /// Open cost is the fixed-size header plus the two offset spines
+    /// (`O(owned nodes)`); the edge payload is not touched. Every
+    /// corruption this can detect is a typed [`StoreError`].
+    pub fn open(path: impl AsRef<Path>) -> Result<MappedShard, StoreError> {
+        let file = File::open(path)?;
+        let map = Mmap::map_readonly(&file)?;
+        let header = ShardHeader::from_bytes(map.as_bytes())?;
+        header.validate(map.len() as u64)?;
+        let shard = MappedShard { map, header };
+        shard.check_spine(SEC_IN_OFFSETS, shard.header.in_edges, "in")?;
+        shard.check_spine(SEC_OUT_OFFSETS, shard.header.out_edges, "out")?;
+        // Walk lookups jump around the partition; readahead would only
+        // evict pages the walk still needs.
+        shard.map.advise_random();
+        Ok(shard)
+    }
+
+    /// An offset spine must start at 0, be monotone, and end at its
+    /// adjacency section's element count — after this, slicing the
+    /// adjacency arrays with spine values cannot go out of bounds.
+    fn check_spine(&self, sec: usize, edges: u64, what: &str) -> Result<(), StoreError> {
+        let spine = self.u64_section(sec);
+        if spine.first() != Some(&0) {
+            return Err(StoreError::Corrupt(format!("{what}-offsets spine does not start at 0")));
+        }
+        if spine.windows(2).any(|w| w[0] > w[1]) {
+            return Err(StoreError::Corrupt(format!("{what}-offsets spine is not monotone")));
+        }
+        if spine.last() != Some(&edges) {
+            return Err(StoreError::Corrupt(format!(
+                "{what}-offsets spine ends at {:?}, expected the edge count {edges}",
+                spine.last()
+            )));
+        }
+        Ok(())
+    }
+
+    /// The validated header.
+    pub fn header(&self) -> &ShardHeader {
+        &self.header
+    }
+
+    /// First owned node id.
+    pub fn start(&self) -> NodeId {
+        self.header.start
+    }
+
+    /// One past the last owned node id.
+    pub fn end(&self) -> NodeId {
+        self.header.end
+    }
+
+    /// Number of owned nodes.
+    pub fn len(&self) -> u32 {
+        self.header.end - self.header.start
+    }
+
+    /// True when the shard owns no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.header.start == self.header.end
+    }
+
+    /// True if this shard owns node `v`.
+    #[inline]
+    pub fn owns(&self, v: NodeId) -> bool {
+        (self.header.start..self.header.end).contains(&v)
+    }
+
+    /// Bytes of file mapped (not resident memory — pages materialise
+    /// only as queries touch them).
+    pub fn mapped_bytes(&self) -> u64 {
+        self.map.len() as u64
+    }
+
+    #[inline]
+    fn local(&self, v: NodeId) -> Option<usize> {
+        if self.owns(v) {
+            Some((v - self.header.start) as usize)
+        } else {
+            None
+        }
+    }
+
+    // Section accessors. The `(offset, len)` pairs were bounds- and
+    // alignment-checked against the mapping in `ShardHeader::validate`,
+    // so the fallbacks are unreachable; they keep the accessors total
+    // (no panic path) instead of trusting that proof at a distance.
+    #[inline]
+    fn u64_section(&self, sec: usize) -> &[u64] {
+        let s = self.header.sections[sec];
+        self.map.u64_slice(s.offset as usize, (s.len / 8) as usize).unwrap_or(&[])
+    }
+
+    #[inline]
+    fn u32_section(&self, sec: usize) -> &[u32] {
+        let s = self.header.sections[sec];
+        self.map.u32_slice(s.offset as usize, (s.len / 4) as usize).unwrap_or(&[])
+    }
+
+    #[inline]
+    fn f64_section(&self, sec: usize) -> &[f64] {
+        let s = self.header.sections[sec];
+        self.map.f64_slice(s.offset as usize, (s.len / 8) as usize).unwrap_or(&[])
+    }
+
+    /// In-neighbours of owned node `v` (global ids); empty for nodes
+    /// this shard does not own.
+    #[inline]
+    pub fn in_neighbors(&self, v: NodeId) -> &[NodeId] {
+        let Some(l) = self.local(v) else { return &[] };
+        let spine = self.u64_section(SEC_IN_OFFSETS);
+        // In-bounds by the open-time spine check.
+        &self.u32_section(SEC_IN_SOURCES)[spine[l] as usize..spine[l + 1] as usize]
+    }
+
+    /// Out-neighbours of owned node `v` (global ids); empty for nodes
+    /// this shard does not own.
+    #[inline]
+    pub fn out_neighbors(&self, v: NodeId) -> &[NodeId] {
+        let Some(l) = self.local(v) else { return &[] };
+        let spine = self.u64_section(SEC_OUT_OFFSETS);
+        &self.u32_section(SEC_OUT_TARGETS)[spine[l] as usize..spine[l + 1] as usize]
+    }
+
+    /// Total reverse-chain outflow `W_v` of owned node `v`; 0 for nodes
+    /// this shard does not own.
+    #[inline]
+    pub fn outflow(&self, v: NodeId) -> f64 {
+        match self.local(v) {
+            Some(l) => self.f64_section(SEC_OUT_TOTAL).get(l).copied().unwrap_or(0.0),
+            None => 0.0,
+        }
+    }
+
+    /// Samples an out-neighbour of owned `v` with probability
+    /// `∝ 1/|In(j)|` given uniform `r ∈ [0,1)`; `None` when `v` has no
+    /// out-edges (or is not owned). Bit-identical to
+    /// [`pasco_graph::partitioned::GraphPartition::sample_out`]: same
+    /// cumulative weights, same `partition_point`, same clamp.
+    #[inline]
+    pub fn sample_out(&self, v: NodeId, r: f64) -> Option<NodeId> {
+        let l = self.local(v)?;
+        let spine = self.u64_section(SEC_OUT_OFFSETS);
+        let lo = spine[l] as usize;
+        let hi = spine[l + 1] as usize;
+        if lo == hi {
+            return None;
+        }
+        let target = r * self.f64_section(SEC_OUT_TOTAL).get(l).copied().unwrap_or(0.0);
+        let slice = &self.f64_section(SEC_OUT_CUM)[lo..hi];
+        let idx = slice.partition_point(|&c| c <= target).min(slice.len() - 1);
+        self.u32_section(SEC_OUT_TARGETS).get(lo + idx).copied()
+    }
+
+    /// The partition's diagonal-index slice (one entry per owned node).
+    pub fn diag(&self) -> &[f64] {
+        self.f64_section(SEC_DIAG)
+    }
+
+    /// Verifies the payload checksum over every byte after the header —
+    /// `O(file)`, the deep-integrity pass that open deliberately skips.
+    pub fn verify(&self) -> Result<(), StoreError> {
+        self.map.advise_willneed();
+        let bytes = self.map.as_bytes();
+        // Validated: the file is at least HEADER_LEN long.
+        let payload = bytes.get(HEADER_LEN..).unwrap_or(&[]);
+        let actual = crate::format::fnv1a(payload);
+        if actual != self.header.payload_checksum {
+            return Err(StoreError::Checksum {
+                kind: "payload",
+                expected: self.header.payload_checksum,
+                actual,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for MappedShard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MappedShard")
+            .field("part_index", &self.header.part_index)
+            .field("range", &(self.header.start..self.header.end))
+            .field("mapped_bytes", &self.mapped_bytes())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::writer::{shard_file_name, StoreWriter};
+    use pasco_graph::generators;
+    use pasco_graph::partition::Partitioner;
+    use pasco_graph::partitioned::partition_graph;
+
+    fn scratch(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("pasco_store_shard_{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn mapped_shard_matches_the_partition_it_was_written_from() {
+        let g = generators::barabasi_albert(300, 4, 7);
+        let n = g.node_count();
+        let p = Partitioner::range(n, 3);
+        let parts = partition_graph(&g, &p);
+        let diag: Vec<f64> = (0..n).map(|v| 0.5 + v as f64 / n as f64).collect();
+        let dir = scratch("match");
+        let mut w = StoreWriter::create(&dir, n, 3).unwrap();
+        for (i, part) in parts.iter().enumerate() {
+            w.write_partition(i as u32, part, &diag[part.start as usize..part.end as usize])
+                .unwrap();
+        }
+        w.finish().unwrap();
+
+        for (i, part) in parts.iter().enumerate() {
+            let shard = MappedShard::open(dir.join(shard_file_name(i as u32))).unwrap();
+            shard.verify().unwrap();
+            assert_eq!((shard.start(), shard.end()), (part.start, part.end));
+            assert_eq!(shard.diag(), &diag[part.start as usize..part.end as usize]);
+            for v in part.start..part.end {
+                assert_eq!(shard.in_neighbors(v), part.in_neighbors(v), "in {v}");
+                assert_eq!(shard.out_neighbors(v), part.out_neighbors(v), "out {v}");
+                assert_eq!(shard.outflow(v).to_bits(), part.outflow(v).to_bits(), "W {v}");
+                for r in [0.0, 0.25, 0.63, 0.999] {
+                    assert_eq!(shard.sample_out(v, r), part.sample_out(v, r), "sample {v} {r}");
+                }
+            }
+            // Unowned nodes answer deterministically, never panic.
+            let outside = if part.start > 0 { 0 } else { part.end };
+            if outside < n {
+                assert_eq!(shard.in_neighbors(outside), &[] as &[u32]);
+                assert_eq!(shard.sample_out(outside, 0.5), None);
+                assert_eq!(shard.outflow(outside), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn open_is_typed_error_on_missing_file() {
+        let dir = scratch("missing");
+        match MappedShard::open(dir.join("shard-00000.pasco")) {
+            Err(StoreError::Io(_)) => {}
+            other => panic!("expected Io error, got {:?}", other.map(|_| ())),
+        }
+    }
+}

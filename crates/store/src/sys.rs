@@ -1,0 +1,264 @@
+//! A thin `extern "C"` shim over the three Linux syscalls the store
+//! needs — `mmap` / `munmap` / `madvise` — bound directly against the
+//! libc std already links, so the out-of-core path costs no crates.io
+//! dependency. This mirrors the epoll shim in `pasco_server::sys`: the
+//! workspace's second (and only other) sanctioned `unsafe` module.
+//!
+//! The unsafety is confined to the raw calls plus the typed
+//! reinterpretation of mapped bytes: everything is wrapped in an owned
+//! [`Mmap`] that unmaps on drop and exposes a safe, checked surface.
+//! The typed accessors ([`Mmap::u64_slice`] and friends) verify bounds
+//! and alignment before any slice is fabricated, and every bit pattern
+//! is a valid `u32`/`u64`/`f64`, so no accessor can mint an invalid
+//! value — corrupt files yield garbage *numbers*, never undefined
+//! behaviour.
+
+#[cfg(not(target_os = "linux"))]
+compile_error!(
+    "pasco_store's zero-copy loader is built on mmap and requires Linux \
+     (the workspace's deployment and CI target)"
+);
+
+#[cfg(not(target_endian = "little"))]
+compile_error!(
+    "the PASCOSH1 shard format is little-endian and is reinterpreted in \
+     place; a big-endian host would need a byte-swapping loader"
+);
+
+use std::fs::File;
+use std::io;
+use std::os::fd::AsRawFd;
+use std::os::raw::{c_int, c_void};
+
+const PROT_READ: c_int = 0x1;
+const MAP_PRIVATE: c_int = 0x02;
+const MADV_RANDOM: c_int = 1;
+const MADV_WILLNEED: c_int = 3;
+
+extern "C" {
+    fn mmap(
+        addr: *mut c_void,
+        len: usize,
+        prot: c_int,
+        flags: c_int,
+        fd: c_int,
+        offset: i64,
+    ) -> *mut c_void;
+    fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    fn madvise(addr: *mut c_void, len: usize, advice: c_int) -> c_int;
+}
+
+/// A read-only, private, file-backed memory mapping that unmaps on drop.
+///
+/// The mapping is `PROT_READ | MAP_PRIVATE`: nothing can write through
+/// it, and writes to the file by other processes are not required to be
+/// visible, so the byte slice it exposes is stable for the mapping's
+/// lifetime (the standard mmap caveat applies: truncating the file
+/// underneath a live mapping is an external-process fault the kernel
+/// reports as `SIGBUS`, the same contract every mmap consumer accepts).
+pub struct Mmap {
+    /// Base address; never null for a non-empty mapping.
+    ptr: *mut c_void,
+    len: usize,
+}
+
+// SAFETY: the mapping is immutable (PROT_READ, private) for its whole
+// lifetime, so shared references to it are valid from any thread.
+unsafe impl Send for Mmap {}
+// SAFETY: as above — &Mmap only ever reads.
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Maps the entire `file` read-only. An empty file maps to an empty
+    /// (allocation-free) `Mmap`.
+    pub fn map_readonly(file: &File) -> io::Result<Mmap> {
+        let len = file.metadata()?.len();
+        if len > usize::MAX as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "file exceeds the address space",
+            ));
+        }
+        let len = len as usize;
+        if len == 0 {
+            return Ok(Mmap { ptr: std::ptr::null_mut(), len: 0 });
+        }
+        // SAFETY: mmap with a null hint writes nothing through our
+        // pointers; it returns MAP_FAILED (-1) or a fresh page-aligned
+        // mapping of `len` bytes we then own exclusively.
+        let ptr =
+            unsafe { mmap(std::ptr::null_mut(), len, PROT_READ, MAP_PRIVATE, file.as_raw_fd(), 0) };
+        if ptr as isize == -1 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Mmap { ptr, len })
+    }
+
+    /// Mapped length in bytes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the mapping is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The mapped file as a byte slice.
+    pub fn as_bytes(&self) -> &[u8] {
+        if self.is_empty() {
+            return &[];
+        }
+        // SAFETY: `ptr` is a live PROT_READ mapping of exactly `len`
+        // bytes for as long as `self` lives; u8 has no alignment or
+        // validity requirements.
+        unsafe { std::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+    }
+
+    /// Advises the kernel that access will be random (walk lookups), so
+    /// readahead is not wasted on pages the walk never touches.
+    pub fn advise_random(&self) {
+        self.advise(MADV_RANDOM);
+    }
+
+    /// Advises the kernel to start paging the mapping in (a sequential
+    /// verify or a full scan benefits from readahead).
+    pub fn advise_willneed(&self) {
+        self.advise(MADV_WILLNEED);
+    }
+
+    fn advise(&self, advice: c_int) {
+        if self.len == 0 {
+            return;
+        }
+        // SAFETY: `ptr`/`len` describe a live mapping we own; madvise is
+        // a hint and cannot invalidate it. A failure is ignorable by
+        // contract (the advice is an optimisation, not a correctness
+        // requirement).
+        let _ = unsafe { madvise(self.ptr, self.len, advice) };
+    }
+
+    /// A `u64` slice of `count` elements starting `offset` bytes into
+    /// the mapping, or `None` when out of bounds or misaligned.
+    pub fn u64_slice(&self, offset: usize, count: usize) -> Option<&[u64]> {
+        self.typed::<u64>(offset, count)
+    }
+
+    /// A `u32` slice of `count` elements starting `offset` bytes into
+    /// the mapping, or `None` when out of bounds or misaligned.
+    pub fn u32_slice(&self, offset: usize, count: usize) -> Option<&[u32]> {
+        self.typed::<u32>(offset, count)
+    }
+
+    /// An `f64` slice of `count` elements starting `offset` bytes into
+    /// the mapping, or `None` when out of bounds or misaligned. Every
+    /// bit pattern is a valid `f64` (NaNs included), so this cannot mint
+    /// an invalid value from corrupt bytes.
+    pub fn f64_slice(&self, offset: usize, count: usize) -> Option<&[f64]> {
+        self.typed::<f64>(offset, count)
+    }
+
+    /// Bounds- and alignment-checked typed view. Private: the public
+    /// monomorphic wrappers restrict `T` to plain-old-data types for
+    /// which any bit pattern is valid.
+    fn typed<T: Copy>(&self, offset: usize, count: usize) -> Option<&[T]> {
+        let size = std::mem::size_of::<T>();
+        let bytes = count.checked_mul(size)?;
+        let end = offset.checked_add(bytes)?;
+        if end > self.len {
+            return None;
+        }
+        if count == 0 {
+            return Some(&[]);
+        }
+        let base = self.ptr as usize + offset;
+        if !base.is_multiple_of(std::mem::align_of::<T>()) {
+            return None;
+        }
+        // SAFETY: the range [offset, offset+count*size) was just checked
+        // to lie inside the live PROT_READ mapping, the base address is
+        // aligned for T, and T is restricted by the public wrappers to
+        // types for which every bit pattern is valid. The borrow is tied
+        // to &self, which keeps the mapping alive.
+        Some(unsafe { std::slice::from_raw_parts(base as *const T, count) })
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        if self.len == 0 {
+            return;
+        }
+        // SAFETY: `ptr`/`len` describe the mapping created in
+        // map_readonly and not yet unmapped; after this the struct is
+        // gone, so no dangling access can follow.
+        let _ = unsafe { munmap(self.ptr, self.len) };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_file(name: &str, contents: &[u8]) -> File {
+        let path = std::env::temp_dir().join(format!("pasco_store_sys_{name}"));
+        let mut f = File::create(&path).unwrap();
+        f.write_all(contents).unwrap();
+        f.flush().unwrap();
+        File::open(&path).unwrap()
+    }
+
+    #[test]
+    fn maps_a_real_file_and_reads_it_back() {
+        let payload: Vec<u8> = (0..=255u8).cycle().take(4096 + 17).collect();
+        let f = temp_file("roundtrip", &payload);
+        let m = Mmap::map_readonly(&f).unwrap();
+        assert_eq!(m.len(), payload.len());
+        assert_eq!(m.as_bytes(), &payload[..]);
+        m.advise_random();
+        m.advise_willneed();
+    }
+
+    #[test]
+    fn empty_file_maps_empty() {
+        let f = temp_file("empty", b"");
+        let m = Mmap::map_readonly(&f).unwrap();
+        assert!(m.is_empty());
+        assert_eq!(m.as_bytes(), b"");
+        assert_eq!(m.u64_slice(0, 0), Some(&[][..]));
+        assert_eq!(m.u64_slice(0, 1), None);
+    }
+
+    #[test]
+    fn typed_views_decode_little_endian_values() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&0xdead_beef_u32.to_le_bytes());
+        bytes.extend_from_slice(&7u32.to_le_bytes());
+        bytes.extend_from_slice(&u64::MAX.to_le_bytes());
+        bytes.extend_from_slice(&1.5f64.to_le_bytes());
+        let f = temp_file("typed", &bytes);
+        let m = Mmap::map_readonly(&f).unwrap();
+        assert_eq!(m.u32_slice(0, 2), Some(&[0xdead_beef, 7][..]));
+        assert_eq!(m.u64_slice(8, 1), Some(&[u64::MAX][..]));
+        assert_eq!(m.f64_slice(16, 1), Some(&[1.5][..]));
+    }
+
+    #[test]
+    fn typed_views_reject_out_of_bounds_and_misalignment() {
+        let f = temp_file("bounds", &[0u8; 64]);
+        let m = Mmap::map_readonly(&f).unwrap();
+        // Out of bounds: length, offset, and overflowing combinations.
+        assert!(m.u64_slice(0, 9).is_none());
+        assert!(m.u64_slice(64, 1).is_none());
+        assert!(m.u64_slice(usize::MAX, 1).is_none());
+        assert!(m.u64_slice(8, usize::MAX).is_none());
+        // Misaligned: mappings are page-aligned, so offset 4 breaks u64.
+        assert!(m.u64_slice(4, 1).is_none());
+        assert!(m.f64_slice(3, 1).is_none());
+        assert!(m.u32_slice(2, 1).is_none());
+        // Aligned, in-bounds views still work.
+        assert!(m.u64_slice(8, 7).is_some());
+        assert_eq!(m.u32_slice(4, 3), Some(&[0u32; 3][..]));
+    }
+}

@@ -42,7 +42,9 @@
 use pasco_simrank::api::envelope::{Envelope, FrameKind, ServerInfo, DEFAULT_MAX_FRAME};
 use pasco_simrank::api::transport::{poll_envelope, write_envelope};
 use pasco_simrank::api::wire::WireCodec;
-use pasco_simrank::api::worker::{BuildShard, Empty, LoadPartition, ShardQuery, ShardTopK};
+use pasco_simrank::api::worker::{
+    BuildShard, Empty, LoadPartition, LoadStore, ShardQuery, ShardTopK,
+};
 use pasco_simrank::engine::distributed::ShardWorkerCore;
 use pasco_simrank::QueryError;
 use std::io::BufReader;
@@ -300,6 +302,11 @@ fn serve_conn(
             FrameKind::LoadPartition => {
                 serve(state, id, env, cfg.max_frame_bytes, |core, msg: LoadPartition| {
                     core.load_partition(msg)
+                })
+            }
+            FrameKind::LoadStore => {
+                serve(state, id, env, cfg.max_frame_bytes, |core, msg: LoadStore| {
+                    core.load_store(msg)
                 })
             }
             FrameKind::BuildShard => {

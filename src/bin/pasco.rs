@@ -10,6 +10,8 @@
 //! pasco topk     --graph g.bin --index g.idx --i 3 --k 10
 //! pasco pairs    --graph g.bin --index g.idx --nodes 1,5,9 [--cache 1024]
 //! pasco convert  --in edges.txt --out g.bin      (edge list -> binary, or back)
+//! pasco save-store --graph g.bin --index g.idx --out store/ --parts 4
+//! pasco sp       --store store/ --i 3 --j 99     (any query cmd; O(1) open)
 //! pasco serve    --graph g.bin --index g.idx --addr 127.0.0.1:7878
 //!                [--mode local|sharded|broadcast|rdd|distributed] [--cache N]
 //!                [--workers N]
@@ -56,6 +58,7 @@ fn main() -> ExitCode {
         "generate" => cmd_generate(&flags),
         "stats" => cmd_stats(&flags),
         "index" => cmd_index(&flags),
+        "save-store" => cmd_save_store(&flags),
         "sp" => cmd_sp(&flags),
         "ss" => cmd_ss(&flags),
         "topk" => cmd_topk(&flags),
@@ -96,6 +99,8 @@ USAGE:
   pasco topk     --graph <file> --index <file> --i <node> --k <K>   (TSV out)
   pasco pairs    --graph <file> --index <file> --nodes <a,b,c,...> [--cache N]
   pasco convert  --in <file> --out <file>   (.txt <-> .bin by extension)
+  pasco save-store --graph <file> --out <dir> [--parts N] [--index <file>]
+                 (omit --index to build one first; same flags as index)
   pasco serve    --graph <file> --index <file> --addr <host:port>
                  [--mode local|sharded|broadcast|rdd|distributed] [--shards N]
                  [--cache N] [--cache-ttl-secs S] [--cache-bytes B]
@@ -117,6 +122,13 @@ USAGE:
   The coordinator ships one graph partition per worker and routes every
   query to its owner; answers stay bit-identical to --mode local. Drain a
   worker with `pasco query --connect <worker> --kind shutdown`.
+
+  Out of core: `pasco save-store` writes one mmap-ready shard file per
+  partition (diagonal included). Query/serve commands then take
+  `--store <dir>` instead of --graph/--index: the store is mapped in
+  place, reopen cost is O(1) in edge volume, and answers stay
+  bit-identical. With `--mode distributed` each worker maps only its own
+  shard of the same directory — no partition bytes cross the wire.
 ";
 
 type Flags = HashMap<String, String>;
@@ -298,11 +310,71 @@ fn cmd_index(flags: &Flags) -> Result<(), String> {
 }
 
 fn load_engine(flags: &Flags) -> Result<CloudWalker, String> {
+    let cfg = sim_config(flags)?;
+    // `--store <dir>` serves straight from a mapped shard store: no
+    // graph file, no index file, no resident CSR — the directory is the
+    // index. Plain opens run on the mapped engine; `--mode distributed`
+    // has each worker map its own shard of the same directory.
+    if let Some(dir) = flags.get("store") {
+        return match flags.get("mode").map(|s| s.as_str()) {
+            None | Some("mapped") => CloudWalker::open_store(dir, cfg),
+            Some("distributed") => {
+                let ExecMode::Distributed { workers } = exec_mode(flags)? else {
+                    unreachable!("mode `distributed` parses to Distributed");
+                };
+                CloudWalker::open_store_distributed(dir, cfg, &workers)
+            }
+            Some(other) => {
+                return Err(format!(
+                    "--store serves the mapped substrate (or distributed workers); \
+                     `--mode {other}` needs --graph/--index instead"
+                ))
+            }
+        }
+        .map_err(|e| e.to_string());
+    }
     let graph = Arc::new(load_graph(get(flags, "graph")?)?);
     let index = persist::load_index(get(flags, "index")?).map_err(|e| e.to_string())?;
-    let cfg = sim_config(flags)?;
     let mode = exec_mode(flags)?;
     CloudWalker::from_index_with_mode(graph, cfg, index, mode).map_err(|e| e.to_string())
+}
+
+/// Writes a graph + diagonal index as an out-of-core shard store: one
+/// mmap-ready `PASCOSH1` file per shard, diagonal slices included, so
+/// later commands serve it with `--store <dir>` — no graph file, no
+/// index file, O(1) reopen. Reuses a persisted `--index` when given;
+/// otherwise builds one first (same flags as `pasco index`).
+fn cmd_save_store(flags: &Flags) -> Result<(), String> {
+    let graph = Arc::new(load_graph(get(flags, "graph")?)?);
+    let out = get(flags, "out")?;
+    let parts: u32 = get_num(flags, "parts", 1)?;
+    if parts == 0 {
+        return Err("--parts must be positive".into());
+    }
+    let cfg = sim_config(flags)?;
+    let t0 = Instant::now();
+    let cw = match flags.get("index") {
+        Some(path) => {
+            let index = persist::load_index(path).map_err(|e| e.to_string())?;
+            CloudWalker::from_index_with_mode(graph, cfg, index, ExecMode::Local)
+                .map_err(|e| e.to_string())?
+        }
+        None => CloudWalker::build(graph, cfg, ExecMode::Local).map_err(|e| e.to_string())?,
+    };
+    cw.save_store(out, parts).map_err(|e| e.to_string())?;
+    let bytes: u64 = std::fs::read_dir(out)
+        .map_err(|e| format!("{out}: {e}"))?
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.metadata().ok())
+        .map(|m| m.len())
+        .sum();
+    println!(
+        "saved {} nodes as {parts} shard(s) in {:.2?} ({}); serve with --store {out}",
+        cw.node_count(),
+        t0.elapsed(),
+        human_bytes(bytes)
+    );
+    Ok(())
 }
 
 /// Executes one request through the typed front door; a `QueryError`
@@ -475,7 +547,7 @@ fn cmd_serve(flags: &Flags) -> Result<(), String> {
         "listening on {} ({} engine, {} nodes, cohort cache {cache})",
         server.local_addr(),
         cw.mode_name(),
-        cw.graph().node_count()
+        cw.node_count()
     );
     // The line above is how scripts discover an ephemeral port: make sure
     // it is on the wire even when stdout is a pipe.

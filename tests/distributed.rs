@@ -155,6 +155,83 @@ fn persisted_index_serves_distributed_bit_identically() {
 }
 
 #[test]
+fn store_backed_workers_serve_bit_identically_without_shipping_partitions() {
+    // The out-of-core provisioning path: workers `mmap` their own shard
+    // of a saved store (`FrameKind::LoadStore` ships a directory path),
+    // so provisioning moves O(path) wire bytes instead of O(E), the
+    // diagonal never crosses the wire, and every query kind still
+    // answers bit-identically to the local engine.
+    let g = Arc::new(generators::barabasi_albert(150, 3, 7));
+    let cfg = SimRankConfig::fast().with_seed(17);
+    let local = CloudWalker::build(Arc::clone(&g), cfg, ExecMode::Local).unwrap();
+    for parts in [1u32, 2, 4] {
+        let dir = std::env::temp_dir().join(format!("pasco_dist_store_{parts}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        local.save_store(&dir, parts).unwrap();
+
+        let fleet = spawn_fleet(parts as usize);
+        let dist = CloudWalker::open_store_distributed(&dir, cfg, &fleet.addrs).unwrap();
+        assert_eq!(dist.mode_name(), "distributed");
+
+        // Provisioning accounting, sampled before any query runs: the
+        // load stage shipped one directory path + ack per worker — a few
+        // hundred bytes, not the O(E) a partition transfer moves. (No
+        // build ran, so there are no stage rows on this path.)
+        let provisioning = dist.cluster_report().expect("store provisioning is accounted");
+        assert!(provisioning.shuffle_bytes > 0, "load frames move real wire bytes");
+        assert!(
+            provisioning.shuffle_bytes < 1024 * u64::from(parts),
+            "provisioning moved {} bytes for {parts} shards — that is not O(path)",
+            provisioning.shuffle_bytes
+        );
+        assert_eq!(local.diagonal(), dist.diagonal(), "index, {parts} shards");
+        for &(i, j) in &[(0u32, 1u32), (5, 70), (33, 32)] {
+            assert_eq!(local.single_pair(i, j), dist.single_pair(i, j), "MCSP, {parts} shards");
+        }
+        for &s in &[0u32, 64, 149] {
+            assert_eq!(local.single_source(s), dist.single_source(s), "MCSS, {parts} shards");
+            assert_eq!(
+                local.single_source_topk(s, 10),
+                dist.single_source_topk(s, 10),
+                "top-k, {parts} shards"
+            );
+            assert_eq!(local.query_cohort(s), dist.query_cohort(s), "cohort, {parts} shards");
+        }
+
+        // Workers report their mapped shard as resident state.
+        let stats: Vec<_> = dist
+            .worker_stats()
+            .expect("distributed substrate reports workers")
+            .into_iter()
+            .collect::<Result<_, _>>()
+            .expect("all workers alive");
+        assert_eq!(stats.len(), parts as usize);
+        assert_eq!(
+            stats.iter().map(|s| u64::from(s.owned_nodes)).sum::<u64>(),
+            u64::from(g.node_count()),
+            "owned nodes cover the graph"
+        );
+        fleet.stop();
+    }
+
+    // Fewer workers than shards is a typed config error, before any
+    // connection is attempted.
+    let dir = std::env::temp_dir().join("pasco_dist_store_short");
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    local.save_store(&dir, 3).unwrap();
+    let fleet = spawn_fleet(2);
+    match CloudWalker::open_store_distributed(&dir, cfg, &fleet.addrs) {
+        Err(SimRankError::InvalidConfig(msg)) => {
+            assert!(msg.contains("3 shards"), "{msg}");
+        }
+        other => panic!("expected InvalidConfig, got ok={}", other.is_ok()),
+    }
+    fleet.stop();
+}
+
+#[test]
 fn distributed_mode_rejects_empty_worker_list_and_dead_addresses() {
     let g = Arc::new(generators::cycle(8));
     let err = CloudWalker::build(

@@ -1,12 +1,13 @@
-//! The reproduction's strongest guarantee: the four execution engines
-//! (Local, Sharded, Broadcasting, RDD) are observationally equivalent
-//! under a fixed seed — indexes bitwise equal, MCSP bitwise equal, MCSS
-//! equal to float accumulation order (bitwise for Sharded, whose
-//! accumulation order matches Local's exactly).
+//! The reproduction's strongest guarantee: the execution engines
+//! (Local, Sharded, Broadcasting, RDD — and the out-of-core mapped
+//! store) are observationally equivalent under a fixed seed — indexes
+//! bitwise equal, MCSP bitwise equal, MCSS equal to float accumulation
+//! order (bitwise for Sharded and Mapped, whose accumulation order
+//! matches Local's exactly).
 
 use pasco::cluster::{ClusterConfig, ClusterError};
 use pasco::graph::generators;
-use pasco::simrank::{CloudWalker, ExecMode, SimRankConfig, SimRankError};
+use pasco::simrank::{CloudWalker, ExecMode, QueryError, SimRankConfig, SimRankError};
 use std::sync::Arc;
 
 fn build_all(g: &Arc<pasco::graph::CsrGraph>, cfg: SimRankConfig) -> [CloudWalker; 3] {
@@ -136,6 +137,75 @@ fn sharded_engine_is_bit_identical_to_local_for_every_query_kind() {
             assert_eq!(per_shard.len(), shards as usize);
             assert_eq!(per_shard.iter().copied().max().unwrap(), fp.per_worker_bytes);
             assert!(local.shard_footprints().is_none());
+        }
+    }
+}
+
+#[test]
+fn mapped_store_is_bit_identical_to_local_for_every_query_kind() {
+    // The out-of-core substrate: save the walker as an on-disk shard
+    // store, reopen it through the mmap path (no CSR, no reverse-chain
+    // index rebuilt), and every query kind must be *bitwise* equal to
+    // the resident walker at shard counts 1, 2 and 4 — adjacency and
+    // sampling weights are read in place from the mapping, and the
+    // generic kernels keep the accumulation order.
+    for (gname, g) in [
+        ("ba", Arc::new(generators::barabasi_albert(150, 3, 7))),
+        ("rmat", Arc::new(generators::rmat(8, 1_600, generators::RmatParams::default(), 5))),
+    ] {
+        let cfg = SimRankConfig::fast().with_seed(17);
+        let local = CloudWalker::build(Arc::clone(&g), cfg, ExecMode::Local).unwrap();
+        for parts in [1u32, 2, 4] {
+            let dir = std::env::temp_dir().join(format!("pasco_exec_mapped_{gname}_{parts}"));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            local.save_store(&dir, parts).unwrap();
+            let mapped = CloudWalker::open_store(&dir, cfg).unwrap();
+            assert_eq!(mapped.mode_name(), "mapped");
+            assert_eq!(local.diagonal(), mapped.diagonal(), "{gname}: index, {parts} shards");
+            for &(i, j) in &[(0u32, 1u32), (5, 70), (33, 32)] {
+                assert_eq!(
+                    local.single_pair(i, j),
+                    mapped.single_pair(i, j),
+                    "{gname}: MCSP ({i},{j}), {parts} shards"
+                );
+            }
+            for &s in &[0u32, 64, 149] {
+                assert_eq!(
+                    local.single_source(s),
+                    mapped.single_source(s),
+                    "{gname}: dense MCSS source {s}, {parts} shards"
+                );
+                assert_eq!(
+                    local.single_source_topk(s, 10),
+                    mapped.single_source_topk(s, 10),
+                    "{gname}: top-k source {s}, {parts} shards"
+                );
+                assert_eq!(
+                    local.query_cohort(s),
+                    mapped.query_cohort(s),
+                    "{gname}: cohort {s}, {parts} shards"
+                );
+            }
+
+            // Footprint is the mapped file bytes, reported per shard.
+            let fp = mapped.memory_footprint();
+            assert!(fp.partitioned);
+            let per_shard = mapped.shard_footprints().expect("mapped breakdown");
+            assert_eq!(per_shard.len(), parts as usize);
+            assert_eq!(per_shard.iter().copied().max().unwrap(), fp.per_worker_bytes);
+
+            // No resident graph: the one query kind that needs the CSR
+            // (the deterministic-push ablation) is a typed refusal, and
+            // re-saving a mapped walker is a typed refusal too.
+            assert!(mapped.graph().is_none());
+            assert!(mapped.store().is_some());
+            assert!(matches!(
+                mapped.try_single_source_push(0),
+                Err(QueryError::Unsupported { .. })
+            ));
+            let other = dir.join("copy");
+            assert!(matches!(mapped.save_store(&other, 1), Err(SimRankError::InvalidConfig(_))));
         }
     }
 }

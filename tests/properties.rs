@@ -203,6 +203,39 @@ proptest! {
         prop_assert_eq!(l.single_source_topk(9, 6), s.single_source_topk(9, 6));
     }
 
+    /// The shard count of the *on-disk* store never changes any answer:
+    /// for arbitrary graphs, seeds and shard counts, a walker reopened
+    /// from a saved store equals the resident walker bitwise — the
+    /// out-of-core dual of `shard_count_never_changes_results`.
+    #[test]
+    fn store_parts_never_changes_results(
+        edges in prop::collection::vec((0u32..40, 0u32..40), 0..160),
+        parts in 1u32..7,
+        seed in 0u64..1000,
+    ) {
+        use pasco::simrank::{CloudWalker, ExecMode, SimRankConfig};
+        use std::sync::Arc;
+        let mut b = GraphBuilder::new();
+        b.ensure_nodes(40);
+        for &(u, v) in &edges {
+            b.add_edge(u, v);
+        }
+        let g = Arc::new(b.build());
+        let cfg = SimRankConfig::fast().with_seed(seed).with_t(4).with_r(16).with_r_query(64);
+        let l = CloudWalker::build(Arc::clone(&g), cfg, ExecMode::Local).unwrap();
+        let dir = std::env::temp_dir()
+            .join(format!("pasco_prop_store_{parts}_{seed}_{}", edges.len()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        l.save_store(&dir, parts).unwrap();
+        let m = CloudWalker::open_store(&dir, cfg).unwrap();
+        prop_assert_eq!(l.diagonal(), m.diagonal());
+        prop_assert_eq!(l.single_pair(3, 17), m.single_pair(3, 17));
+        prop_assert_eq!(l.single_source(5), m.single_source(5));
+        prop_assert_eq!(l.single_source_topk(9, 6), m.single_source_topk(9, 6));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
     /// Shuffles are permutations: nothing lost, nothing duplicated, routing
     /// respected — for arbitrary record sets and partition counts.
     #[test]

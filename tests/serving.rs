@@ -30,7 +30,7 @@ fn client_stream(t: u32, n: u32) -> Vec<(u32, u32)> {
 fn shared_session_matches_sequential_replay() {
     const CLIENTS: u32 = 8;
     let cw = build(300, 41);
-    let n = cw.graph().node_count();
+    let n = cw.node_count();
 
     // Concurrent: all clients hammer one shared session.
     let shared = QuerySession::new(Arc::clone(&cw), 64);
